@@ -1,0 +1,1 @@
+//! Criterion benches for mobistore; see `benches/`.

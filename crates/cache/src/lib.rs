@@ -1,0 +1,19 @@
+//! Memory-hierarchy components for the `mobistore` reproduction of
+//! *Storage Alternatives for Mobile Computers* (Douglis et al., OSDI '94).
+//!
+//! * [`dram::BufferCache`] — the DRAM buffer cache every configuration
+//!   includes (§2), write-through by default per §4.2, with the write-back
+//!   ablation;
+//! * [`sram::SramWriteBuffer`] — the battery-backed SRAM write buffer that
+//!   lets small writes proceed without spinning up the disk (§2, §5.5);
+//! * [`lru::LruSet`] — the O(1) LRU machinery under the cache.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dram;
+pub mod lru;
+pub mod sram;
+
+pub use dram::{BufferCache, CacheStats, Evicted, WritePolicy};
+pub use sram::{SramStats, SramWriteBuffer};

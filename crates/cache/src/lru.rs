@@ -1,0 +1,287 @@
+//! An intrusive LRU list over `u64` keys.
+//!
+//! The buffer cache needs O(1) lookup, O(1) touch (move to front), and O(1)
+//! eviction of the least-recently-used block. This is a classic
+//! doubly-linked list threaded through a slab of nodes, with a `HashMap`
+//! index — no unsafe code, no external crates.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU set of `u64` keys with a fixed capacity in entries.
+///
+/// # Examples
+///
+/// ```
+/// use mobistore_cache::lru::LruSet;
+///
+/// let mut lru = LruSet::new(2);
+/// assert_eq!(lru.insert(1), None);
+/// assert_eq!(lru.insert(2), None);
+/// lru.touch(1); // 1 is now most recent
+/// assert_eq!(lru.insert(3), Some(2), "2 was the LRU entry");
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruSet {
+    capacity: usize,
+    index: HashMap<u64, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl LruSet {
+    /// Creates an empty set holding at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        LruSet {
+            capacity,
+            index: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity.min(4096)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Returns the number of keys currently held.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Returns true if no keys are held.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Returns the capacity in keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns true if `key` is present (without touching recency).
+    pub fn contains(&self, key: u64) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    /// Marks `key` most-recently-used; returns false if absent.
+    pub fn touch(&mut self, key: u64) -> bool {
+        let Some(&idx) = self.index.get(&key) else { return false };
+        self.unlink(idx);
+        self.push_front(idx);
+        true
+    }
+
+    /// Inserts `key` as most-recently-used; if the set is full, evicts and
+    /// returns the least-recently-used key. Re-inserting a present key just
+    /// touches it.
+    pub fn insert(&mut self, key: u64) -> Option<u64> {
+        if self.touch(key) {
+            return None;
+        }
+        let evicted = if self.index.len() == self.capacity {
+            let lru_idx = self.tail;
+            debug_assert_ne!(lru_idx, NIL);
+            let old = self.nodes[lru_idx].key;
+            self.unlink(lru_idx);
+            self.index.remove(&old);
+            self.free.push(lru_idx);
+            Some(old)
+        } else {
+            None
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node { key, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.nodes.push(Node { key, prev: NIL, next: NIL });
+                self.nodes.len() - 1
+            }
+        };
+        self.index.insert(key, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    /// Removes `key`; returns true if it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        let Some(idx) = self.index.remove(&key) else { return false };
+        self.unlink(idx);
+        self.free.push(idx);
+        true
+    }
+
+    /// Removes and returns the least-recently-used key.
+    pub fn pop_lru(&mut self) -> Option<u64> {
+        if self.tail == NIL {
+            return None;
+        }
+        let key = self.nodes[self.tail].key;
+        self.remove(key);
+        Some(key)
+    }
+
+    /// Iterates keys from most to least recently used.
+    pub fn iter_mru(&self) -> impl Iterator<Item = u64> + '_ {
+        MruIter { set: self, cursor: self.head }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+struct MruIter<'a> {
+    set: &'a LruSet,
+    cursor: usize,
+}
+
+impl Iterator for MruIter<'_> {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let node = &self.set.nodes[self.cursor];
+        self.cursor = node.next;
+        Some(node.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut lru = LruSet::new(3);
+        assert!(lru.is_empty());
+        lru.insert(10);
+        lru.insert(20);
+        assert!(lru.contains(10) && lru.contains(20) && !lru.contains(30));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn eviction_order_is_lru() {
+        let mut lru = LruSet::new(3);
+        lru.insert(1);
+        lru.insert(2);
+        lru.insert(3);
+        assert_eq!(lru.insert(4), Some(1));
+        assert_eq!(lru.insert(5), Some(2));
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn touch_changes_eviction_order() {
+        let mut lru = LruSet::new(3);
+        lru.insert(1);
+        lru.insert(2);
+        lru.insert(3);
+        assert!(lru.touch(1));
+        assert_eq!(lru.insert(4), Some(2));
+    }
+
+    #[test]
+    fn reinsert_touches() {
+        let mut lru = LruSet::new(2);
+        lru.insert(1);
+        lru.insert(2);
+        assert_eq!(lru.insert(1), None);
+        assert_eq!(lru.insert(3), Some(2));
+    }
+
+    #[test]
+    fn remove_frees_slot() {
+        let mut lru = LruSet::new(2);
+        lru.insert(1);
+        lru.insert(2);
+        assert!(lru.remove(1));
+        assert!(!lru.remove(1));
+        assert_eq!(lru.insert(3), None, "no eviction after a removal");
+    }
+
+    #[test]
+    fn pop_lru_drains_in_order() {
+        let mut lru = LruSet::new(3);
+        lru.insert(1);
+        lru.insert(2);
+        lru.insert(3);
+        lru.touch(1);
+        assert_eq!(lru.pop_lru(), Some(2));
+        assert_eq!(lru.pop_lru(), Some(3));
+        assert_eq!(lru.pop_lru(), Some(1));
+        assert_eq!(lru.pop_lru(), None);
+    }
+
+    #[test]
+    fn iter_mru_order() {
+        let mut lru = LruSet::new(4);
+        for k in [1, 2, 3, 4] {
+            lru.insert(k);
+        }
+        lru.touch(2);
+        let order: Vec<u64> = lru.iter_mru().collect();
+        assert_eq!(order, vec![2, 4, 3, 1]);
+    }
+
+    #[test]
+    fn slot_reuse_after_heavy_churn() {
+        let mut lru = LruSet::new(8);
+        for k in 0..10_000u64 {
+            lru.insert(k);
+            if k % 3 == 0 {
+                lru.remove(k.saturating_sub(1));
+            }
+        }
+        assert!(lru.len() <= 8);
+        // The slab should not grow past capacity + churn slack.
+        assert!(lru.nodes.len() <= 16, "slab leaked: {}", lru.nodes.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = LruSet::new(0);
+    }
+}

@@ -1,0 +1,268 @@
+//! The battery-backed SRAM write buffer.
+//!
+//! §2/§5.5: writes to the disk can be buffered in battery-backed SRAM,
+//! "not only improving performance, but also allowing small writes to a
+//! spun-down disk to proceed without spinning it up" (the Quantum Daytona's
+//! deferred spin-up policy). Writes to SRAM are assumed recoverable after a
+//! crash, so synchronous writes that fit become asynchronous with respect
+//! to the disk.
+//!
+//! The buffer absorbs writes until it is full; the write that overflows it
+//! must wait while the whole buffer flushes to the backing store — which is
+//! §5.5's observation that clustered writes "will be delayed as they wait
+//! for the disk". Reads of recently-written blocks are served from the
+//! buffer (§5.5, footnote 3).
+
+use std::collections::HashSet;
+
+use mobistore_device::params::SramParams;
+use mobistore_sim::energy::{EnergyMeter, Joules, Watts};
+use mobistore_sim::time::SimDuration;
+
+/// Counters the buffer maintains alongside energy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SramStats {
+    /// Writes fully absorbed without touching the disk.
+    pub absorbed: u64,
+    /// Flushes forced by overflow.
+    pub flushes: u64,
+    /// Reads served from the buffer.
+    pub read_hits: u64,
+}
+
+/// A fixed-capacity write buffer holding whole blocks.
+///
+/// # Examples
+///
+/// ```
+/// use mobistore_cache::sram::SramWriteBuffer;
+/// use mobistore_device::params::sram_nec;
+///
+/// let mut buf = SramWriteBuffer::new(sram_nec(), 4 * 1024, 1024);
+/// assert!(buf.fits(&[1, 2, 3]));
+/// buf.absorb(&[1, 2, 3]);
+/// assert!(buf.contains(2));
+/// assert!(!buf.fits(&[4, 5]), "only one slot left");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SramWriteBuffer {
+    params: SramParams,
+    capacity_blocks: usize,
+    block_size: u64,
+    blocks: HashSet<u64>,
+    meter: EnergyMeter,
+    stats: SramStats,
+}
+
+const CATEGORIES: &[&str] = &["active", "idle"];
+
+impl SramWriteBuffer {
+    /// Creates a buffer of `capacity_bytes` over blocks of `block_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity holds no complete block.
+    pub fn new(params: SramParams, capacity_bytes: u64, block_size: u64) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        let capacity_blocks = (capacity_bytes / block_size) as usize;
+        assert!(capacity_blocks > 0, "SRAM buffer smaller than one block");
+        SramWriteBuffer {
+            params,
+            capacity_blocks,
+            block_size,
+            blocks: HashSet::new(),
+            meter: EnergyMeter::new(CATEGORIES),
+            stats: SramStats::default(),
+        }
+    }
+
+    /// Returns the capacity in blocks.
+    pub fn capacity_blocks(&self) -> usize {
+        self.capacity_blocks
+    }
+
+    /// Returns the capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_blocks as u64 * self.block_size
+    }
+
+    /// Returns the number of buffered blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns true if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Returns the counters.
+    pub fn stats(&self) -> SramStats {
+        self.stats
+    }
+
+    /// Returns total energy consumed so far.
+    pub fn energy(&self) -> Joules {
+        self.meter.total()
+    }
+
+    /// Returns the energy meter for breakdowns.
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Zeroes energy and counters while keeping contents (warm-up
+    /// boundary).
+    pub fn reset_metrics(&mut self) {
+        self.meter = EnergyMeter::new(CATEGORIES);
+        self.stats = SramStats::default();
+    }
+
+    /// True if a write of `nblocks` would fit (blocks already buffered
+    /// overwrite in place and consume no new space).
+    pub fn fits(&self, lbns: &[u64]) -> bool {
+        let new = lbns.iter().filter(|lbn| !self.blocks.contains(lbn)).count();
+        self.blocks.len() + new <= self.capacity_blocks
+    }
+
+    /// Buffers the given blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if they do not fit; callers must check [`fits`](Self::fits)
+    /// and flush first.
+    pub fn absorb(&mut self, lbns: &[u64]) {
+        assert!(self.fits(lbns), "SRAM overflow: flush before absorbing");
+        for &lbn in lbns {
+            self.blocks.insert(lbn);
+        }
+        self.stats.absorbed += 1;
+    }
+
+    /// True if the block is buffered (a read of it needs no disk access).
+    pub fn contains(&self, lbn: u64) -> bool {
+        self.blocks.contains(&lbn)
+    }
+
+    /// Records a read served from the buffer.
+    pub fn note_read_hit(&mut self) {
+        self.stats.read_hits += 1;
+    }
+
+    /// Empties the buffer for a flush, returning the bytes to write to the
+    /// backing store.
+    pub fn drain_for_flush(&mut self) -> u64 {
+        self.drain_blocks().len() as u64 * self.block_size
+    }
+
+    /// Empties the buffer for a flush, returning the buffered blocks in
+    /// ascending order (backends that address blocks — the flash card —
+    /// need the addresses, not just the byte count).
+    pub fn drain_blocks(&mut self) -> Vec<u64> {
+        let mut blocks: Vec<u64> = self.blocks.drain().collect();
+        blocks.sort_unstable();
+        if !blocks.is_empty() {
+            self.stats.flushes += 1;
+        }
+        blocks
+    }
+
+    /// Drops a block (file deletion); returns true if it was buffered.
+    pub fn invalidate(&mut self, lbn: u64) -> bool {
+        self.blocks.remove(&lbn)
+    }
+
+    /// Time to move `bytes` in or out of the buffer.
+    pub fn access_time(&self, bytes: u64) -> SimDuration {
+        self.params.access_latency + self.params.bandwidth.transfer_time(bytes)
+    }
+
+    /// Charges the energy of one access of `bytes`.
+    pub fn charge_access(&mut self, bytes: u64) {
+        let dur = self.access_time(bytes);
+        self.meter.charge_for("active", self.params.active_power, dur);
+    }
+
+    /// Charges retention power for a span of simulated time.
+    pub fn charge_idle_span(&mut self, span: SimDuration) {
+        let kib = self.capacity_bytes() as f64 / 1024.0;
+        let retention = Watts(self.params.idle_power_per_kib.get() * kib);
+        self.meter.charge_for("idle", retention, span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobistore_device::params::sram_nec;
+
+    fn buf(blocks: u64) -> SramWriteBuffer {
+        SramWriteBuffer::new(sram_nec(), blocks * 512, 512)
+    }
+
+    #[test]
+    fn absorb_until_full() {
+        let mut b = buf(4);
+        assert!(b.fits(&[1, 2, 3, 4]));
+        b.absorb(&[1, 2, 3, 4]);
+        assert!(!b.fits(&[5]));
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.stats().absorbed, 1);
+    }
+
+    #[test]
+    fn overwrite_in_place_consumes_no_space() {
+        let mut b = buf(2);
+        b.absorb(&[1, 2]);
+        assert!(b.fits(&[1]), "overwrite of a buffered block fits");
+        b.absorb(&[1]);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn absorb_past_capacity_panics() {
+        let mut b = buf(1);
+        b.absorb(&[1, 2]);
+    }
+
+    #[test]
+    fn drain_returns_bytes_and_clears() {
+        let mut b = buf(4);
+        b.absorb(&[1, 2, 3]);
+        assert_eq!(b.drain_for_flush(), 3 * 512);
+        assert!(b.is_empty());
+        assert_eq!(b.stats().flushes, 1);
+        // Draining an empty buffer is free and not a flush.
+        assert_eq!(b.drain_for_flush(), 0);
+        assert_eq!(b.stats().flushes, 1);
+    }
+
+    #[test]
+    fn contains_and_invalidate() {
+        let mut b = buf(4);
+        b.absorb(&[9]);
+        assert!(b.contains(9));
+        assert!(b.invalidate(9));
+        assert!(!b.contains(9));
+        assert!(!b.invalidate(9));
+    }
+
+    #[test]
+    fn access_time_is_55ns_per_byte_plus_latency() {
+        let b = buf(4);
+        let t = b.access_time(1000);
+        // 500 ns latency + 55 us transfer.
+        assert_eq!(t.as_nanos(), 500 + 55_000);
+    }
+
+    #[test]
+    fn energy_charges() {
+        let mut b = buf(64); // 32 KB
+        b.charge_access(512);
+        b.charge_idle_span(SimDuration::from_secs(1000));
+        assert!(b.meter().category("active").get() > 0.0);
+        // 32 KiB x 2e-6 W/KiB x 1000 s = 0.064 J.
+        assert!((b.meter().category("idle").get() - 0.064).abs() < 1e-9);
+    }
+}

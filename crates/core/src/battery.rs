@@ -1,0 +1,108 @@
+//! Battery-life modelling.
+//!
+//! §1: "the storage subsystem can consume 20–54% of total system energy
+//! \[13, 14\], so these energy savings can as much as double battery
+//! lifetime". §7: flash can save 90% of the disk file system's energy,
+//! "extending battery life by 20–100%". The abstract quotes a 22%
+//! extension for the representative case.
+//!
+//! The model: if storage is a fraction `s` of total system energy and the
+//! replacement storage system saves a fraction `r` of that, total energy
+//! drops to `1 − s·r`, so battery life scales by `1 / (1 − s·r)`.
+
+/// The low end of the storage share of system energy reported by [13, 14].
+pub const STORAGE_SHARE_LOW: f64 = 0.20;
+/// The high end of the storage share of system energy reported by [13, 14].
+pub const STORAGE_SHARE_HIGH: f64 = 0.54;
+
+/// Returns the battery-life extension factor (e.g. `0.22` for +22%) when
+/// storage is `storage_share` of system energy and the new storage system
+/// saves `savings` of the storage energy.
+///
+/// # Panics
+///
+/// Panics unless both fractions are within `[0, 1]` (a full `1.0 × 1.0`
+/// combination — storage being all the energy and saving all of it — is
+/// rejected as it implies infinite life).
+///
+/// # Examples
+///
+/// ```
+/// use mobistore_core::battery::battery_extension;
+///
+/// // Storage at 20% of system energy, 90% of it saved: ~22% more battery.
+/// let ext = battery_extension(0.20, 0.90);
+/// assert!((ext - 0.2195).abs() < 0.001);
+/// ```
+pub fn battery_extension(storage_share: f64, savings: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&storage_share), "share out of range: {storage_share}");
+    assert!((0.0..=1.0).contains(&savings), "savings out of range: {savings}");
+    let reduced = storage_share * savings;
+    assert!(reduced < 1.0, "total energy cannot reach zero");
+    1.0 / (1.0 - reduced) - 1.0
+}
+
+/// Returns the energy savings fraction of `new` relative to `old`
+/// (e.g. `0.9` when the new system uses a tenth of the energy).
+///
+/// # Panics
+///
+/// Panics if `old` is not positive or `new` is negative or exceeds `old`.
+pub fn savings_fraction(old_joules: f64, new_joules: f64) -> f64 {
+    assert!(old_joules > 0.0, "baseline energy must be positive");
+    assert!(
+        (0.0..=old_joules).contains(&new_joules),
+        "new energy {new_joules} outside [0, {old_joules}]"
+    );
+    1.0 - new_joules / old_joules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_22_percent() {
+        // Abstract: "These energy savings can translate into a 22%
+        // extension of battery life" — 20% share, ~90% saved.
+        let ext = battery_extension(STORAGE_SHARE_LOW, 0.90);
+        assert!((0.21..0.23).contains(&ext), "{ext}");
+    }
+
+    #[test]
+    fn paper_doubling_at_high_share() {
+        // §1: savings "can as much as double battery lifetime" — 54% share,
+        // ~93% saved gives ~2x.
+        let ext = battery_extension(STORAGE_SHARE_HIGH, 0.93);
+        assert!(ext > 0.95, "{ext}");
+    }
+
+    #[test]
+    fn conclusion_range_20_to_100_percent() {
+        // §7: the flash card saves ~90% of disk energy, extending battery
+        // life by 20-100% across the reported share range.
+        let low = battery_extension(STORAGE_SHARE_LOW, 0.90);
+        let high = battery_extension(STORAGE_SHARE_HIGH, 0.90);
+        assert!((0.18..=0.25).contains(&low), "{low}");
+        assert!((0.90..=1.10).contains(&high), "{high}");
+    }
+
+    #[test]
+    fn zero_savings_means_zero_extension() {
+        assert_eq!(battery_extension(0.5, 0.0), 0.0);
+        assert_eq!(battery_extension(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn savings_fraction_basics() {
+        assert_eq!(savings_fraction(100.0, 10.0), 0.9);
+        assert_eq!(savings_fraction(100.0, 100.0), 0.0);
+        assert_eq!(savings_fraction(100.0, 0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero")]
+    fn full_saving_of_everything_panics() {
+        let _ = battery_extension(1.0, 1.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Storage-system configurations.
+//!
+//! A [`SystemConfig`] describes one simulated storage organisation: the
+//! DRAM buffer cache (§2: every organisation has one, §4.2: write-through
+//! by default, possibly zero-sized), and a non-volatile backend — magnetic
+//! disk with optional SRAM write buffer and a spin-down policy, flash disk
+//! emulator, or flash memory card. The constructors default to the paper's
+//! Table 4 configuration (2-Mbyte DRAM, 5 s spin-down, 32-Kbyte SRAM,
+//! flash 80% utilized) so each Table 4 row is one builder call.
+
+use mobistore_cache::dram::WritePolicy;
+use mobistore_device::params::{
+    dram_nec, sram_nec, DiskParams, DramParams, FlashCardParams, FlashDiskParams, SramParams,
+};
+use mobistore_device::disk::{SeekModel, SpinDownPolicy};
+use mobistore_device::QueueDiscipline;
+use mobistore_flash::store::{CleanerMode, VictimPolicy};
+use mobistore_sim::time::SimDuration;
+use mobistore_sim::units::MIB;
+
+/// The non-volatile backend of a storage system.
+#[derive(Debug, Clone)]
+pub enum BackendConfig {
+    /// A magnetic hard disk (§2).
+    Disk {
+        /// Disk parameters from [`mobistore_device::params`].
+        params: DiskParams,
+        /// The spin-down policy (fixed threshold, adaptive, or never).
+        spin_down: SpinDownPolicy,
+        /// Seek model: the paper's same-file-average assumption, or the
+        /// pessimistic distance-based alternative (§5.1's divergence).
+        seek_model: SeekModel,
+    },
+    /// A flash disk emulator (§2).
+    FlashDisk {
+        /// Flash-disk parameters (including its erase policy).
+        params: FlashDiskParams,
+    },
+    /// A byte-accessible flash memory card (§2).
+    FlashCard {
+        /// Card timing/power parameters.
+        params: FlashCardParams,
+        /// Card capacity in bytes.
+        capacity_bytes: u64,
+        /// Initial storage utilization in `[0, 1)`: the card is preloaded
+        /// with live data to this fraction of capacity (§5.2). `None`
+        /// preloads only the trace's own working set.
+        utilization: Option<f64>,
+        /// Cleaner scheduling (§4.2).
+        mode: CleanerMode,
+        /// Victim selection policy.
+        victim_policy: VictimPolicy,
+    },
+}
+
+/// A complete storage-system configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Label used in result tables (Table 4 row name).
+    pub name: String,
+    /// DRAM buffer-cache size in bytes; 0 simulates no cache (the `hp`
+    /// trace, §4.1).
+    pub dram_bytes: u64,
+    /// DRAM chip parameters.
+    pub dram_params: DramParams,
+    /// Write-through (paper default) or write-back (ablation).
+    pub write_policy: WritePolicy,
+    /// Request handling at a busy device: open-loop (the paper's
+    /// independent-operation model, the default) or FIFO queueing (the
+    /// ablation).
+    pub queueing: QueueDiscipline,
+    /// Battery-backed SRAM write-buffer size in bytes; 0 disables it.
+    ///
+    /// In front of a disk this is the §5.5 deferred-spin-up buffer
+    /// (Table 4's disks default to 32 Kbytes). In front of a flash device
+    /// it is the §7 extension ("adding SRAM to flash should dramatically
+    /// improve performance"); the flash configurations default to none,
+    /// as in the paper.
+    pub sram_bytes: u64,
+    /// SRAM chip parameters.
+    pub sram_params: SramParams,
+    /// The non-volatile backend.
+    pub backend: BackendConfig,
+}
+
+/// Table 4's spin-down threshold: "a good compromise between energy
+/// consumption and response time" (§5.1, citing [5, 13]).
+pub const DEFAULT_SPIN_DOWN: SimDuration = SimDuration::from_secs(5);
+/// Table 4's DRAM buffer size for the `mac` and `dos` traces.
+pub const DEFAULT_DRAM_BYTES: u64 = 2 * MIB;
+/// §5.5's baseline SRAM write-buffer size ("a 32-Kbyte SRAM write buffer
+/// costs only a few dollars").
+pub const DEFAULT_SRAM_BYTES: u64 = 32 * 1024;
+/// Table 4's flash storage utilization ("simulations using the flash card
+/// were done with the card 80% full").
+pub const DEFAULT_FLASH_UTILIZATION: f64 = 0.80;
+/// The simulated flash card / flash disk capacity: the paper treats the
+/// flash devices as 40-Mbyte parts to match the Caviar Ultralite (§3).
+pub const DEFAULT_FLASH_CAPACITY: u64 = 40 * MIB;
+
+impl SystemConfig {
+    /// A magnetic-disk system with the Table 4 defaults (2-Mbyte DRAM,
+    /// write-through, 5 s spin-down, 32-Kbyte SRAM write buffer).
+    pub fn disk(params: DiskParams) -> Self {
+        SystemConfig {
+            name: params.name.to_owned(),
+            dram_bytes: DEFAULT_DRAM_BYTES,
+            dram_params: dram_nec(),
+            write_policy: WritePolicy::WriteThrough,
+            queueing: QueueDiscipline::OpenLoop,
+            sram_bytes: DEFAULT_SRAM_BYTES,
+            sram_params: sram_nec(),
+            backend: BackendConfig::Disk {
+                params,
+                spin_down: SpinDownPolicy::Fixed(DEFAULT_SPIN_DOWN),
+                seek_model: SeekModel::SameFileAverage,
+            },
+        }
+    }
+
+    /// A flash-disk system with the Table 4 defaults.
+    pub fn flash_disk(params: FlashDiskParams) -> Self {
+        SystemConfig {
+            name: params.name.to_owned(),
+            dram_bytes: DEFAULT_DRAM_BYTES,
+            dram_params: dram_nec(),
+            write_policy: WritePolicy::WriteThrough,
+            queueing: QueueDiscipline::OpenLoop,
+            sram_bytes: 0,
+            sram_params: sram_nec(),
+            backend: BackendConfig::FlashDisk { params },
+        }
+    }
+
+    /// A flash-card system with the Table 4 defaults (40-Mbyte card, 80%
+    /// utilized, background cleaning, greedy victim selection).
+    pub fn flash_card(params: FlashCardParams) -> Self {
+        SystemConfig {
+            name: params.name.to_owned(),
+            dram_bytes: DEFAULT_DRAM_BYTES,
+            dram_params: dram_nec(),
+            write_policy: WritePolicy::WriteThrough,
+            queueing: QueueDiscipline::OpenLoop,
+            sram_bytes: 0,
+            sram_params: sram_nec(),
+            backend: BackendConfig::FlashCard {
+                params,
+                capacity_bytes: DEFAULT_FLASH_CAPACITY,
+                utilization: Some(DEFAULT_FLASH_UTILIZATION),
+                mode: CleanerMode::Background,
+                victim_policy: VictimPolicy::GreedyMinLive,
+            },
+        }
+    }
+
+    /// Overrides the configuration label.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the DRAM buffer-cache size (0 disables the cache, as the `hp`
+    /// simulations require).
+    pub fn with_dram(mut self, bytes: u64) -> Self {
+        self.dram_bytes = bytes;
+        self
+    }
+
+    /// Sets the cache write policy.
+    pub fn with_write_policy(mut self, policy: WritePolicy) -> Self {
+        self.write_policy = policy;
+        self
+    }
+
+    /// Sets the queue discipline (open-loop reproduces the paper; FIFO is
+    /// the queueing ablation).
+    pub fn with_queueing(mut self, discipline: QueueDiscipline) -> Self {
+        self.queueing = discipline;
+        self
+    }
+
+    /// Sets the SRAM write-buffer size for any backend (0 disables).
+    pub fn with_sram(mut self, bytes: u64) -> Self {
+        self.sram_bytes = bytes;
+        self
+    }
+
+    /// Sets the disk spin-down threshold (`None` never spins down).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-disk backends.
+    pub fn with_spin_down(self, threshold: Option<SimDuration>) -> Self {
+        let policy = match threshold {
+            Some(t) => SpinDownPolicy::Fixed(t),
+            None => SpinDownPolicy::Never,
+        };
+        self.with_spin_down_policy(policy)
+    }
+
+    /// Sets the full disk spin-down policy (fixed, adaptive, or never).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-disk backends.
+    pub fn with_spin_down_policy(mut self, policy: SpinDownPolicy) -> Self {
+        match &mut self.backend {
+            BackendConfig::Disk { spin_down, .. } => *spin_down = policy,
+            _ => panic!("spin-down applies to disk backends"),
+        }
+        self
+    }
+
+    /// Sets the disk seek model (the §5.1 seek-assumption ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-disk backends.
+    pub fn with_seek_model(mut self, model: SeekModel) -> Self {
+        match &mut self.backend {
+            BackendConfig::Disk { seek_model, .. } => *seek_model = model,
+            _ => panic!("seek model applies to disk backends"),
+        }
+        self
+    }
+
+    /// Sets the flash-card storage utilization (§5.2's sweep variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-flash-card backends or a fraction outside `[0, 1)`.
+    pub fn with_utilization(mut self, fraction: f64) -> Self {
+        assert!((0.0..1.0).contains(&fraction), "utilization out of range: {fraction}");
+        match &mut self.backend {
+            BackendConfig::FlashCard { utilization, .. } => *utilization = Some(fraction),
+            _ => panic!("utilization applies to flash-card backends"),
+        }
+        self
+    }
+
+    /// Sets the flash-card capacity (Figure 4's sweep variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-flash-card backends.
+    pub fn with_flash_capacity(mut self, bytes: u64) -> Self {
+        match &mut self.backend {
+            BackendConfig::FlashCard { capacity_bytes, .. } => *capacity_bytes = bytes,
+            _ => panic!("flash capacity applies to flash-card backends"),
+        }
+        self
+    }
+
+    /// Sets the flash-card cleaner scheduling mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-flash-card backends.
+    pub fn with_cleaner_mode(mut self, new_mode: CleanerMode) -> Self {
+        match &mut self.backend {
+            BackendConfig::FlashCard { mode, .. } => *mode = new_mode,
+            _ => panic!("cleaner mode applies to flash-card backends"),
+        }
+        self
+    }
+
+    /// Sets the flash-card victim-selection policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-flash-card backends.
+    pub fn with_victim_policy(mut self, policy: VictimPolicy) -> Self {
+        match &mut self.backend {
+            BackendConfig::FlashCard { victim_policy, .. } => *victim_policy = policy,
+            _ => panic!("victim policy applies to flash-card backends"),
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobistore_device::params::{cu140_datasheet, intel_datasheet, sdp5_datasheet};
+
+    #[test]
+    fn disk_defaults_match_table4() {
+        let cfg = SystemConfig::disk(cu140_datasheet());
+        assert_eq!(cfg.dram_bytes, 2 * MIB);
+        assert_eq!(cfg.write_policy, WritePolicy::WriteThrough);
+        assert_eq!(cfg.sram_bytes, 32 * 1024);
+        match cfg.backend {
+            BackendConfig::Disk { spin_down, .. } => {
+                assert_eq!(spin_down, SpinDownPolicy::Fixed(SimDuration::from_secs(5)));
+            }
+            _ => panic!("expected disk backend"),
+        }
+    }
+
+    #[test]
+    fn flash_card_defaults_match_table4() {
+        let cfg = SystemConfig::flash_card(intel_datasheet());
+        match cfg.backend {
+            BackendConfig::FlashCard { capacity_bytes, utilization, mode, .. } => {
+                assert_eq!(capacity_bytes, 40 * MIB);
+                assert_eq!(utilization, Some(0.80));
+                assert_eq!(mode, CleanerMode::Background);
+            }
+            _ => panic!("expected flash card backend"),
+        }
+    }
+
+    #[test]
+    fn builders_chain() {
+        let cfg = SystemConfig::flash_card(intel_datasheet())
+            .named("custom")
+            .with_dram(0)
+            .with_utilization(0.95)
+            .with_flash_capacity(10 * MIB);
+        assert_eq!(cfg.name, "custom");
+        assert_eq!(cfg.dram_bytes, 0);
+        match cfg.backend {
+            BackendConfig::FlashCard { utilization, capacity_bytes, .. } => {
+                assert_eq!(utilization, Some(0.95));
+                assert_eq!(capacity_bytes, 10 * MIB);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn sram_applies_to_any_backend() {
+        // §7's extension: SRAM can front the flash devices too.
+        let cfg = SystemConfig::flash_disk(sdp5_datasheet()).with_sram(1024);
+        assert_eq!(cfg.sram_bytes, 1024);
+        let cfg = SystemConfig::flash_card(intel_datasheet()).with_sram(64 * 1024);
+        assert_eq!(cfg.sram_bytes, 64 * 1024);
+        // And the flash defaults have none, as in the paper's Table 4.
+        assert_eq!(SystemConfig::flash_disk(sdp5_datasheet()).sram_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn utilization_must_be_fraction() {
+        let _ = SystemConfig::flash_card(intel_datasheet()).with_utilization(1.5);
+    }
+}

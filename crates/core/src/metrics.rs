@@ -1,0 +1,170 @@
+//! Simulation results.
+//!
+//! [`Metrics`] carries everything the paper reports per configuration:
+//! total energy (with a per-component breakdown), the Table 4 response-time
+//! moments for reads and writes, cache/SRAM behaviour, and the flash-card
+//! cleaning/endurance counters behind §5.2.
+
+use mobistore_cache::dram::CacheStats;
+use mobistore_cache::sram::SramStats;
+use mobistore_device::disk::DiskCounters;
+use mobistore_device::flashdisk::FlashDiskCounters;
+use mobistore_flash::store::{FlashCardCounters, WearStats};
+use mobistore_sim::energy::Joules;
+use mobistore_sim::stats::Summary;
+use mobistore_sim::time::SimDuration;
+
+/// Results of one simulation run (the measured, post-warm-up portion).
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// The configuration label (Table 4 row).
+    pub name: String,
+    /// Total energy over the measured portion, all components.
+    pub energy: Joules,
+    /// Energy per component: `("disk" | "flash" | "dram" | "sram", joules)`.
+    pub energy_by_component: Vec<(&'static str, Joules)>,
+    /// The backend device's per-state breakdown: `(state, energy, time in
+    /// state)` — e.g. how long the disk spent spun down, or the card spent
+    /// cleaning. Time covers only states charged as power × duration.
+    pub backend_states: Vec<(&'static str, Joules, SimDuration)>,
+    /// Read response times in milliseconds (mean/max/σ as in Table 4).
+    pub read_response_ms: Summary,
+    /// Write response times in milliseconds.
+    pub write_response_ms: Summary,
+    /// All operations' response times in milliseconds (Figure 4 reports
+    /// "average over-all response time").
+    pub overall_response_ms: Summary,
+    /// Wall-clock span of the measured portion.
+    pub duration: SimDuration,
+    /// DRAM cache behaviour, if a cache was configured.
+    pub cache: Option<CacheStats>,
+    /// SRAM write-buffer behaviour, if one was configured.
+    pub sram: Option<SramStats>,
+    /// Magnetic-disk counters, for disk backends.
+    pub disk: Option<DiskCounters>,
+    /// Flash-disk counters, for flash-disk backends.
+    pub flash_disk: Option<FlashDiskCounters>,
+    /// Flash-card counters, for flash-card backends.
+    pub flash_card: Option<FlashCardCounters>,
+    /// Flash-card endurance statistics (§5.2), for flash-card backends.
+    pub wear: Option<WearStats>,
+}
+
+impl Metrics {
+    /// Mean power draw over the measured portion, in watts.
+    pub fn mean_power_w(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.energy.get() / secs
+        }
+    }
+
+    /// Fraction of the measured span the backend spent in `state`
+    /// (e.g. `"standby"` for the disk, `"clean"` for the card), or `None`
+    /// if the state is unknown or the span is empty.
+    pub fn state_fraction(&self, state: &str) -> Option<f64> {
+        let span = self.duration.as_secs_f64();
+        if span == 0.0 {
+            return None;
+        }
+        self.backend_states
+            .iter()
+            .find(|(name, _, _)| *name == state)
+            .map(|(_, _, d)| d.as_secs_f64() / span)
+    }
+
+    /// DRAM read hit ratio, if a cache was configured and saw reads.
+    pub fn read_hit_ratio(&self) -> Option<f64> {
+        let c = self.cache?;
+        let total = c.read_hits + c.read_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(c.read_hits as f64 / total as f64)
+        }
+    }
+
+    /// Renders the Table 4 row: energy, read mean/max/σ, write mean/max/σ.
+    pub fn table4_row(&self) -> String {
+        format!(
+            "{:<34} {:>10.0} {:>9.2} {:>9.1} {:>7.1} {:>9.2} {:>9.1} {:>7.1}",
+            self.name,
+            self.energy.get(),
+            self.read_response_ms.mean,
+            self.read_response_ms.max,
+            self.read_response_ms.std,
+            self.write_response_ms.mean,
+            self.write_response_ms.max,
+            self.write_response_ms.std,
+        )
+    }
+
+    /// The header matching [`table4_row`](Self::table4_row).
+    pub fn table4_header() -> String {
+        format!(
+            "{:<34} {:>10} {:>9} {:>9} {:>7} {:>9} {:>9} {:>7}",
+            "Device / parameters", "Energy(J)", "Rd mean", "Rd max", "Rd sd", "Wr mean", "Wr max", "Wr sd"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> Metrics {
+        Metrics {
+            name: "test".into(),
+            energy: Joules(100.0),
+            energy_by_component: vec![("disk", Joules(90.0)), ("dram", Joules(10.0))],
+            backend_states: vec![("standby", Joules(5.0), SimDuration::from_secs(25))],
+            read_response_ms: Summary { count: 10, mean: 2.0, max: 50.0, min: 0.1, std: 5.0, sum: 20.0 },
+            write_response_ms: Summary { count: 5, mean: 1.0, max: 10.0, min: 0.1, std: 2.0, sum: 5.0 },
+            overall_response_ms: Summary { count: 15, mean: 1.7, max: 50.0, min: 0.1, std: 4.0, sum: 25.0 },
+            duration: SimDuration::from_secs(50),
+            cache: Some(CacheStats { read_hits: 80, read_misses: 20, writes: 10, writebacks: 0 }),
+            sram: None,
+            disk: None,
+            flash_disk: None,
+            flash_card: None,
+            wear: None,
+        }
+    }
+
+    #[test]
+    fn mean_power() {
+        assert_eq!(dummy().mean_power_w(), 2.0);
+        let mut m = dummy();
+        m.duration = SimDuration::ZERO;
+        assert_eq!(m.mean_power_w(), 0.0);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        assert_eq!(dummy().read_hit_ratio(), Some(0.8));
+        let mut m = dummy();
+        m.cache = None;
+        assert_eq!(m.read_hit_ratio(), None);
+    }
+
+    #[test]
+    fn state_fraction() {
+        let m = dummy();
+        assert_eq!(m.state_fraction("standby"), Some(0.5));
+        assert_eq!(m.state_fraction("warp"), None);
+        let mut empty = dummy();
+        empty.duration = SimDuration::ZERO;
+        assert_eq!(empty.state_fraction("standby"), None);
+    }
+
+    #[test]
+    fn row_renders_all_columns() {
+        let row = dummy().table4_row();
+        for needle in ["test", "100", "2.00", "50.0", "1.00", "10.0"] {
+            assert!(row.contains(needle), "missing {needle} in {row}");
+        }
+        assert!(!Metrics::table4_header().is_empty());
+    }
+}

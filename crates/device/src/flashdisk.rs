@@ -1,0 +1,325 @@
+//! The flash disk emulator model (SunDisk SDP series).
+//!
+//! A flash disk presents a conventional block interface and erases a single
+//! 512-byte sector at a time (§2), so — unlike the flash card — it never
+//! copies live data and is immune to storage utilization (§5.2). Two erase
+//! policies are modeled (§5.3):
+//!
+//! * **on-demand** (SDP5/SDP10): each write erases its sectors inline; the
+//!   quoted write bandwidth already includes the erasure;
+//! * **asynchronous** (SDP5A): the device pre-erases dirty sectors during
+//!   idle periods, so writes that find pre-erased sectors proceed at the
+//!   fast write rate (400 Kbytes/s) instead of the combined
+//!   erase-plus-write rate (≈ 109 Kbytes/s). Background erasure is
+//!   suspended while the device serves requests.
+
+use mobistore_sim::energy::{EnergyMeter, Joules};
+use mobistore_sim::time::SimTime;
+
+use crate::params::{ErasePolicy, FlashDiskParams};
+use crate::{Dir, Service};
+
+/// Counters the flash disk maintains alongside energy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlashDiskCounters {
+    /// Completed accesses.
+    pub ops: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Bytes written into sectors the background cleaner had pre-erased.
+    pub bytes_pre_erased: u64,
+    /// Bytes whose erasure had to happen inline with the write.
+    pub bytes_erased_on_demand: u64,
+}
+
+/// A simulated flash disk emulator.
+///
+/// # Examples
+///
+/// ```
+/// use mobistore_device::flashdisk::FlashDisk;
+/// use mobistore_device::params::sdp5_datasheet;
+/// use mobistore_device::Dir;
+/// use mobistore_sim::time::SimTime;
+///
+/// let mut fd = FlashDisk::new(sdp5_datasheet());
+/// let svc = fd.access(SimTime::ZERO, Dir::Read, 1024);
+/// // 1.5 ms latency + 1 Kbyte at 600 Kbytes/s.
+/// assert!((svc.end.as_secs_f64() - (0.0015 + 1.0 / 600.0)).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlashDisk {
+    params: FlashDiskParams,
+    queueing: crate::QueueDiscipline,
+    meter: EnergyMeter,
+    counters: FlashDiskCounters,
+    free_at: SimTime,
+    /// Bytes of pre-erased sectors available for fast writes.
+    erased_pool: u64,
+    /// Bytes of dirty sectors awaiting background erasure.
+    garbage: u64,
+}
+
+const CATEGORIES: &[&str] = &["active", "erase", "idle"];
+
+impl FlashDisk {
+    /// Creates a flash disk; under [`ErasePolicy::Asynchronous`] the spare
+    /// pool starts fully erased.
+    pub fn new(params: FlashDiskParams) -> Self {
+        let erased_pool = match params.erase_policy {
+            ErasePolicy::OnDemand => 0,
+            ErasePolicy::Asynchronous => params.spare_pool_bytes,
+        };
+        FlashDisk {
+            params,
+            queueing: crate::QueueDiscipline::Fifo,
+            meter: EnergyMeter::new(CATEGORIES),
+            counters: FlashDiskCounters::default(),
+            free_at: SimTime::ZERO,
+            erased_pool,
+            garbage: 0,
+        }
+    }
+
+    /// Sets the queue discipline (see [`crate::QueueDiscipline`]).
+    pub fn with_queueing(mut self, discipline: crate::QueueDiscipline) -> Self {
+        self.queueing = discipline;
+        self
+    }
+
+    /// Returns the parameter set this device was built with.
+    pub fn params(&self) -> &FlashDiskParams {
+        &self.params
+    }
+
+    /// Returns the operation counters.
+    pub fn counters(&self) -> FlashDiskCounters {
+        self.counters
+    }
+
+    /// Returns total energy consumed so far.
+    pub fn energy(&self) -> Joules {
+        self.meter.total()
+    }
+
+    /// Returns the energy meter for per-state breakdowns.
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Returns the bytes currently pre-erased and ready for fast writes.
+    pub fn erased_pool(&self) -> u64 {
+        self.erased_pool
+    }
+
+    /// Zeroes energy and counters while keeping device state; used at the
+    /// warm-up boundary (§4.2).
+    pub fn reset_metrics(&mut self) {
+        self.meter = EnergyMeter::new(CATEGORIES);
+        self.counters = FlashDiskCounters::default();
+    }
+
+    /// Serves one access issued at `now`.
+    pub fn access(&mut self, now: SimTime, dir: Dir, bytes: u64) -> Service {
+        let start = self.settle(now);
+        let service = match dir {
+            Dir::Read => self.params.read_bandwidth.transfer_time(bytes),
+            Dir::Write => self.write_time(bytes),
+        };
+        let total = self.params.access_latency + service;
+        let end = start + total;
+        self.meter.charge_for("active", self.params.active_power, total);
+
+        self.counters.ops += 1;
+        match dir {
+            Dir::Read => self.counters.bytes_read += bytes,
+            Dir::Write => self.counters.bytes_written += bytes,
+        }
+        // Open-loop accesses may overlap; keep the marker monotone.
+        self.free_at = self.free_at.max(end);
+        Service { start, end }
+    }
+
+    /// Accounts for the trailing idle period (and any final background
+    /// erasure) at the end of a simulation.
+    pub fn finish(&mut self, end: SimTime) {
+        let settled = self.settle(end);
+        debug_assert!(settled >= end || settled == end.max(settled));
+    }
+
+    fn write_time(&mut self, bytes: u64) -> mobistore_sim::time::SimDuration {
+        match self.params.erase_policy {
+            ErasePolicy::OnDemand => self.params.write_bandwidth.transfer_time(bytes),
+            ErasePolicy::Asynchronous => {
+                let from_pool = bytes.min(self.erased_pool);
+                let deficit = bytes - from_pool;
+                self.erased_pool -= from_pool;
+                // Overwritten sectors become garbage for the background
+                // cleaner.
+                self.garbage += bytes;
+                self.counters.bytes_pre_erased += from_pool;
+                self.counters.bytes_erased_on_demand += deficit;
+                self.params.pre_erased_write_bandwidth.transfer_time(from_pool)
+                    + self.params.erase_bandwidth.transfer_time(deficit)
+                    + self.params.pre_erased_write_bandwidth.transfer_time(deficit)
+            }
+        }
+    }
+
+    /// Settles the gap `[free_at, now]`: background erasure first (if the
+    /// policy is asynchronous and there is garbage), idle power for the
+    /// remainder. Returns when the device can start a new request.
+    fn settle(&mut self, now: SimTime) -> SimTime {
+        if now <= self.free_at {
+            // No idle gap to account; FIFO queues, open-loop serves at
+            // arrival (the paper's independent-operation model).
+            return match self.queueing {
+                crate::QueueDiscipline::Fifo => self.free_at,
+                crate::QueueDiscipline::OpenLoop => now,
+            };
+        }
+        let gap = now - self.free_at;
+        let mut idle = gap;
+        if self.params.erase_policy == ErasePolicy::Asynchronous && self.garbage > 0 {
+            let needed = self.params.erase_bandwidth.transfer_time(self.garbage);
+            let spent = needed.min(gap);
+            let erased = if spent == needed {
+                self.garbage
+            } else {
+                self.params.erase_bandwidth.bytes_in(spent).min(self.garbage)
+            };
+            self.garbage -= erased;
+            self.erased_pool += erased;
+            self.meter.charge_for("erase", self.params.active_power, spent);
+            idle = gap - spent;
+        }
+        self.meter.charge_for("idle", self.params.idle_power, idle);
+        self.free_at = now;
+        now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{sdp10_measured, sdp5_datasheet, sdp5a_datasheet};
+    use mobistore_sim::time::SimDuration;
+    use mobistore_sim::units::KIB;
+
+    #[test]
+    fn on_demand_write_uses_combined_rate() {
+        let mut fd = FlashDisk::new(sdp5_datasheet());
+        let svc = fd.access(SimTime::ZERO, Dir::Write, 109 * KIB);
+        // ~1 s transfer at the combined 109.09 Kbytes/s rate + 1.5 ms.
+        let secs = (svc.end - svc.start).as_secs_f64();
+        assert!((secs - (0.0015 + 109.0 / 109.0909)).abs() < 1e-3, "{secs}");
+    }
+
+    #[test]
+    fn sdp10_write_is_slow() {
+        let mut fd = FlashDisk::new(sdp10_measured());
+        let svc = fd.access(SimTime::ZERO, Dir::Write, 40 * KIB);
+        assert!(((svc.end - svc.start).as_secs_f64() - 1.0015).abs() < 1e-6);
+    }
+
+    #[test]
+    fn async_write_from_pool_is_fast() {
+        let mut fd = FlashDisk::new(sdp5a_datasheet());
+        let svc = fd.access(SimTime::ZERO, Dir::Write, 400 * KIB);
+        // Entirely from the 512-Kbyte pre-erased pool: 1 s at 400 Kbytes/s.
+        let secs = (svc.end - svc.start).as_secs_f64();
+        assert!((secs - 1.0015).abs() < 1e-6, "{secs}");
+        assert_eq!(fd.counters().bytes_pre_erased, 400 * KIB);
+        assert_eq!(fd.erased_pool(), 112 * KIB);
+    }
+
+    #[test]
+    fn async_write_beyond_pool_pays_inline_erase() {
+        let mut fd = FlashDisk::new(sdp5a_datasheet());
+        // Exhaust the 512-Kbyte pool, then write more with no idle time to
+        // replenish it.
+        let first = fd.access(SimTime::ZERO, Dir::Write, 512 * KIB);
+        let svc = fd.access(first.end, Dir::Write, 150 * KIB);
+        // Deficit of 150 Kbytes: erase 1 s at 150 + write at 400.
+        let secs = (svc.end - svc.start).as_secs_f64();
+        let expect = 0.0015 + 1.0 + 150.0 / 400.0;
+        assert!((secs - expect).abs() < 1e-6, "{secs} vs {expect}");
+        assert_eq!(fd.counters().bytes_erased_on_demand, 150 * KIB);
+    }
+
+    #[test]
+    fn idle_gap_replenishes_pool() {
+        let mut fd = FlashDisk::new(sdp5a_datasheet());
+        let first = fd.access(SimTime::ZERO, Dir::Write, 512 * KIB);
+        // 1 s of idle erases 150 Kbytes of the garbage.
+        let later = first.end + SimDuration::from_secs(1);
+        let svc = fd.access(later, Dir::Write, 150 * KIB);
+        let secs = (svc.end - svc.start).as_secs_f64();
+        let expect = 0.0015 + 150.0 / 400.0;
+        assert!((secs - expect).abs() < 1e-4, "{secs} vs {expect}");
+    }
+
+    #[test]
+    fn async_speedup_matches_section_5_3() {
+        // The paper: decoupling erasure from writes improves write response
+        // by ~2.5x. Compare transfer-dominated writes.
+        let mut sync = FlashDisk::new(sdp5_datasheet());
+        let mut asy = FlashDisk::new(sdp5a_datasheet());
+        let t_sync = sync.access(SimTime::ZERO, Dir::Write, 32 * KIB);
+        let t_asy = asy.access(SimTime::ZERO, Dir::Write, 32 * KIB);
+        let ratio = (t_sync.end - t_sync.start).as_secs_f64() / (t_asy.end - t_asy.start).as_secs_f64();
+        assert!((2.0..4.0).contains(&ratio), "speedup {ratio}");
+    }
+
+    #[test]
+    fn energy_covers_idle_and_erase() {
+        let mut fd = FlashDisk::new(sdp5a_datasheet());
+        let first = fd.access(SimTime::ZERO, Dir::Write, 512 * KIB);
+        fd.finish(first.end + SimDuration::from_secs(10));
+        let m = fd.meter();
+        assert!(m.category("active").get() > 0.0);
+        assert!(m.category("erase").get() > 0.0, "background erase consumed energy");
+        assert!(m.category("idle").get() > 0.0);
+        // 512 Kbytes of garbage erase in 512/150 = 3.41 s of the 10 s gap.
+        let erase_j = m.category("erase").get();
+        assert!((erase_j - 0.36 * (512.0 / 150.0)).abs() < 0.01, "{erase_j}");
+    }
+
+    #[test]
+    fn energy_async_vs_sync_is_comparable() {
+        // §5.3: asynchronous cleaning has minimal impact on energy.
+        let mut sync = FlashDisk::new(sdp5_datasheet());
+        let mut asy = FlashDisk::new(sdp5a_datasheet());
+        let mut t1 = SimTime::ZERO;
+        let mut t2 = SimTime::ZERO;
+        for _ in 0..50 {
+            t1 = sync.access(t1 + SimDuration::from_secs(1), Dir::Write, 16 * KIB).end;
+            t2 = asy.access(t2 + SimDuration::from_secs(1), Dir::Write, 16 * KIB).end;
+        }
+        let end = t1.max(t2) + SimDuration::from_secs(1);
+        sync.finish(end);
+        asy.finish(end);
+        let (e1, e2) = (sync.energy().get(), asy.energy().get());
+        assert!((e1 - e2).abs() / e1 < 0.1, "sync {e1} vs async {e2}");
+    }
+
+    #[test]
+    fn reads_queue_behind_busy_device() {
+        let mut fd = FlashDisk::new(sdp5_datasheet());
+        let w = fd.access(SimTime::ZERO, Dir::Write, 109 * KIB); // ~1 s
+        let r = fd.access(SimTime::from_nanos(1_000_000), Dir::Read, KIB);
+        assert_eq!(r.start, w.end);
+    }
+
+    #[test]
+    fn reset_metrics_preserves_pool_state() {
+        let mut fd = FlashDisk::new(sdp5a_datasheet());
+        let _ = fd.access(SimTime::ZERO, Dir::Write, 100 * KIB);
+        let pool = fd.erased_pool();
+        fd.reset_metrics();
+        assert_eq!(fd.energy().get(), 0.0);
+        assert_eq!(fd.erased_pool(), pool);
+    }
+}

@@ -1,0 +1,107 @@
+//! Storage device models for the `mobistore` reproduction of *Storage
+//! Alternatives for Mobile Computers* (Douglis et al., OSDI '94).
+//!
+//! The paper compares three storage architectures (§2):
+//!
+//! * [`disk::MagneticDisk`] — a spinning hard disk with spin-down power
+//!   management (Western Digital Caviar Ultralite CU140, HP Kittyhawk);
+//! * [`flashdisk::FlashDisk`] — a flash memory card behind a disk block
+//!   interface with per-sector erasure (SunDisk SDP5/SDP5A/SDP10);
+//! * the byte-accessible flash memory card (Intel Series 2) — its raw
+//!   parameters are here ([`params::FlashCardParams`]), while the segment
+//!   management and cleaning machinery lives in `mobistore-flash`.
+//!
+//! [`params`] is the parameter database: every scalar from the paper's
+//! Table 2 plus the measured rates of §3, keyed by the same
+//! *(device, source)* labels as the rows of Table 4.
+//!
+//! All devices account energy with per-state [`mobistore_sim::EnergyMeter`]s
+//! and model request queueing internally (a request issued while the device
+//! is busy waits), which is what produces the paper's maximum-response
+//! columns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod flashdisk;
+pub mod params;
+
+pub use disk::MagneticDisk;
+pub use flashdisk::FlashDisk;
+
+/// How a device treats a request that arrives while it is busy.
+///
+/// The paper's simulator evaluates each operation independently ("all
+/// operations and state transitions are assumed to take the average or
+/// 'typical' time", §4.2) — its reported maxima are single-operation worst
+/// cases such as wind-down + spin-up. [`QueueDiscipline::OpenLoop`]
+/// reproduces that: a request starts at its arrival time regardless of
+/// earlier requests, while device *state* (spin status, erased-pool level,
+/// cleaning progress) still evolves in time. [`QueueDiscipline::Fifo`]
+/// models a real single-server queue and is used by the micro-benchmark
+/// testbeds (which issue requests back-to-back) and by the queueing
+/// ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueDiscipline {
+    /// Requests wait for earlier requests to finish.
+    #[default]
+    Fifo,
+    /// Requests are served at arrival; busy periods may overlap (the
+    /// paper's model).
+    OpenLoop,
+}
+
+/// The direction of a storage access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Data flows from the device.
+    Read,
+    /// Data flows to the device.
+    Write,
+}
+
+/// The interval during which a device served a request.
+///
+/// A request issued at `t` with `Service { start, end }` waited
+/// `start - t` (queueing, spin-up, on-demand cleaning) and experienced a
+/// response time of `end - t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Service {
+    /// When the device began working on the request.
+    pub start: mobistore_sim::time::SimTime,
+    /// When the request completed.
+    pub end: mobistore_sim::time::SimTime,
+}
+
+impl Service {
+    /// The time spent servicing (excluding queueing).
+    pub fn service_time(&self) -> mobistore_sim::time::SimDuration {
+        self.end - self.start
+    }
+
+    /// The response time experienced by a request issued at `issued`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issued` is after `end`.
+    pub fn response(&self, issued: mobistore_sim::time::SimTime) -> mobistore_sim::time::SimDuration {
+        self.end - issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobistore_sim::time::{SimDuration, SimTime};
+
+    #[test]
+    fn service_and_response() {
+        let svc = Service {
+            start: SimTime::from_nanos(100),
+            end: SimTime::from_nanos(250),
+        };
+        assert_eq!(svc.service_time(), SimDuration::from_nanos(150));
+        assert_eq!(svc.response(SimTime::from_nanos(50)), SimDuration::from_nanos(200));
+    }
+}

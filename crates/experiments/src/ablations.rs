@@ -1,0 +1,281 @@
+//! Ablations and extensions beyond the paper's headline experiments.
+//!
+//! * [`cleaning_policies`] — greedy vs FIFO vs cost-benefit victim
+//!   selection (§2 mentions MFFS's greedy policy and eNVy's hybrid as the
+//!   design space);
+//! * [`write_back_cache`] — write-through (paper default) vs write-back
+//!   (the §4.2 footnote's trade-off);
+//! * [`spin_down_sweep`] — the disk spin-down threshold (§5.1 picks 5 s
+//!   as "a good compromise", citing [5, 13]);
+//! * [`flash_with_sram`] — an SRAM write buffer in front of the flash
+//!   disk, the §7 suggestion ("adding SRAM to flash should dramatically
+//!   improve performance").
+
+use std::fmt;
+
+use mobistore_cache::dram::WritePolicy;
+use mobistore_core::config::SystemConfig;
+use mobistore_core::metrics::Metrics;
+use mobistore_core::simulator::simulate;
+use mobistore_device::params::{cu140_datasheet, intel_datasheet, sdp5_datasheet, sdp5a_datasheet};
+use mobistore_device::disk::{SeekModel, SpinDownPolicy};
+use mobistore_flash::store::VictimPolicy;
+use mobistore_sim::time::SimDuration;
+use mobistore_workload::Workload;
+
+use crate::{flash_card_config, Scale};
+
+/// A labelled set of metrics rows.
+#[derive(Debug, Clone)]
+pub struct Ablation {
+    /// What is being compared.
+    pub title: &'static str,
+    /// `(label, metrics)` rows.
+    pub rows: Vec<(String, Metrics)>,
+}
+
+/// Compares flash-card cleaning policies on the `synth` workload (whose
+/// hot-and-cold skew is what cost-benefit policies exploit).
+pub fn cleaning_policies(scale: Scale) -> Ablation {
+    let trace = Workload::Synth.generate_scaled(scale.fraction, scale.seed);
+    let rows = [
+        ("greedy min-utilization", VictimPolicy::GreedyMinLive),
+        ("FIFO", VictimPolicy::Fifo),
+        ("cost-benefit (LFS/eNVy)", VictimPolicy::CostBenefit),
+    ]
+    .into_iter()
+    .map(|(label, policy)| {
+        let cfg = flash_card_config(intel_datasheet(), &trace, 0.90).with_victim_policy(policy);
+        (label.to_owned(), simulate(&cfg, &trace))
+    })
+    .collect();
+    Ablation { title: "Flash-card cleaning policy (synth, 90% utilized)", rows }
+}
+
+/// Compares write-through vs write-back DRAM caching on the flash card
+/// (§4.2's footnote: write-back "might avoid some erasures at the cost of
+/// occasional data loss").
+pub fn write_back_cache(scale: Scale) -> Ablation {
+    let trace = Workload::Mac.generate_scaled(scale.fraction, scale.seed);
+    let rows = [
+        ("write-through (paper)", WritePolicy::WriteThrough),
+        ("write-back", WritePolicy::WriteBack),
+    ]
+    .into_iter()
+    .map(|(label, policy)| {
+        let cfg = flash_card_config(intel_datasheet(), &trace, 0.80).with_write_policy(policy);
+        (label.to_owned(), simulate(&cfg, &trace))
+    })
+    .collect();
+    Ablation { title: "DRAM write policy on the Intel card (mac)", rows }
+}
+
+/// Sweeps the disk spin-down threshold on the `hp` trace (long idle gaps
+/// make the trade-off visible).
+pub fn spin_down_sweep(scale: Scale) -> Ablation {
+    let trace = Workload::Hp.generate_scaled(scale.fraction, scale.seed);
+    let mut rows = Vec::new();
+    for secs in [1u64, 5, 30, 120] {
+        let cfg = SystemConfig::disk(cu140_datasheet())
+            .with_dram(0)
+            .with_spin_down(Some(SimDuration::from_secs(secs)));
+        rows.push((format!("spin-down {secs}s"), simulate(&cfg, &trace)));
+    }
+    let adaptive = SystemConfig::disk(cu140_datasheet()).with_dram(0).with_spin_down_policy(
+        SpinDownPolicy::Adaptive {
+            min: SimDuration::from_secs(1),
+            max: SimDuration::from_secs(60),
+            initial: SimDuration::from_secs(5),
+        },
+    );
+    rows.push(("adaptive 1..60s".to_owned(), simulate(&adaptive, &trace)));
+    let never = SystemConfig::disk(cu140_datasheet()).with_dram(0).with_spin_down(None);
+    rows.push(("never spin down".to_owned(), simulate(&never, &trace)));
+    Ablation { title: "cu140 spin-down threshold (hp)", rows }
+}
+
+/// Puts the §5.5 SRAM write buffer in front of the flash devices — the
+/// extension §7 calls for ("adding SRAM to flash should dramatically
+/// improve performance"). The SDP5A backend lets flushed bursts land in
+/// pre-erased sectors with erasure hidden in idle time.
+pub fn flash_with_sram(scale: Scale) -> Ablation {
+    let trace = Workload::Mac.generate_scaled(scale.fraction, scale.seed);
+    let rows = vec![
+        (
+            "sdp5 (no SRAM)".to_owned(),
+            simulate(&SystemConfig::flash_disk(sdp5_datasheet()), &trace),
+        ),
+        (
+            "sdp5a async erase, no SRAM".to_owned(),
+            simulate(&SystemConfig::flash_disk(sdp5a_datasheet()), &trace),
+        ),
+        (
+            "sdp5a + 32KB SRAM".to_owned(),
+            simulate(&SystemConfig::flash_disk(sdp5a_datasheet()).with_sram(32 * 1024), &trace),
+        ),
+        (
+            "Intel card + 32KB SRAM".to_owned(),
+            simulate(&flash_card_config(intel_datasheet(), &trace, 0.80).with_sram(32 * 1024), &trace),
+        ),
+    ];
+    Ablation { title: "SRAM write buffer in front of flash (mac)", rows }
+}
+
+/// Quantifies §5.1's seek-assumption divergence: the same trace through
+/// the cu140 with the paper's same-file-average seeks vs distance-based
+/// seeks over the real block addresses. §5.1: "Measured write performance
+/// for the cu140 was about twice as slow in practice as in simulation; we
+/// believe this is due to our optimistic assumption about avoiding
+/// seeks."
+pub fn seek_models(scale: Scale) -> Ablation {
+    // The §5.1 setting: the synth workload, no DRAM cache, no SRAM, disk
+    // spinning throughout.
+    let trace = Workload::Synth.generate_scaled(scale.fraction, scale.seed);
+    // Distance model over the real 40-MB device geometry (512-byte
+    // blocks), not just the trace's span.
+    let capacity_blocks = (40 * 1024 * 1024 / trace.block_size).max(trace.blocks_spanned());
+    let rows = [
+        ("same-file average (paper)", SeekModel::SameFileAverage),
+        ("always average (fragmented)", SeekModel::AlwaysAverage),
+        ("distance-based (compact)", SeekModel::DistanceBased { capacity_blocks }),
+    ]
+    .into_iter()
+    .map(|(label, model)| {
+        let cfg = SystemConfig::disk(cu140_datasheet())
+            .with_dram(0)
+            .with_sram(0)
+            .with_spin_down(None)
+            .with_seek_model(model);
+        (label.to_owned(), simulate(&cfg, &trace))
+    })
+    .collect();
+    Ablation { title: "cu140 seek model (synth, no cache, always spinning)", rows }
+}
+
+impl fmt::Display for Ablation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablation: {}", self.title)?;
+        writeln!(
+            f,
+            "{:<30} {:>11} {:>11} {:>11} {:>10}",
+            "configuration", "energy(J)", "rd mean ms", "wr mean ms", "erasures"
+        )?;
+        for (label, m) in &self.rows {
+            let erasures = m.flash_card.map(|c| c.erasures).unwrap_or(0);
+            writeln!(
+                f,
+                "{:<30} {:>11.1} {:>11.3} {:>11.3} {:>10}",
+                label,
+                m.energy.get(),
+                m.read_response_ms.mean,
+                m.write_response_ms.mean,
+                erasures,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_back_reduces_flash_writes() {
+        let ab = write_back_cache(Scale::quick());
+        let wt = &ab.rows[0].1;
+        let wb = &ab.rows[1].1;
+        // Write-back absorbs overwrites in DRAM: fewer bytes reach flash.
+        assert!(
+            wb.flash_card.unwrap().bytes_written < wt.flash_card.unwrap().bytes_written,
+            "wb {} vs wt {}",
+            wb.flash_card.unwrap().bytes_written,
+            wt.flash_card.unwrap().bytes_written
+        );
+        // And writes are acknowledged at DRAM speed.
+        assert!(wb.write_response_ms.mean < wt.write_response_ms.mean);
+    }
+
+    #[test]
+    fn never_spinning_down_costs_energy() {
+        let ab = spin_down_sweep(Scale::quick());
+        let five = &ab.rows[1].1;
+        let never = &ab.rows.last().unwrap().1;
+        assert!(never.energy.get() > five.energy.get());
+        // But it avoids spin-up latency entirely.
+        assert!(never.read_response_ms.max <= five.read_response_ms.max);
+    }
+
+    #[test]
+    fn adaptive_policy_is_competitive_with_the_5s_compromise() {
+        let ab = spin_down_sweep(Scale::quick());
+        let five = &ab.rows[1].1;
+        let adaptive = ab
+            .rows
+            .iter()
+            .find(|(label, _)| label.starts_with("adaptive"))
+            .map(|(_, m)| m)
+            .expect("adaptive row");
+        // The adaptive threshold should land near the tuned fixed point on
+        // both axes (within 2x), without knowing the workload in advance.
+        assert!(adaptive.energy.get() < five.energy.get() * 2.0);
+        assert!(adaptive.read_response_ms.mean < five.read_response_ms.mean * 4.0);
+    }
+
+    #[test]
+    fn short_timeout_spins_up_more() {
+        let ab = spin_down_sweep(Scale::quick());
+        let one = ab.rows[0].1.disk.unwrap();
+        let long = ab.rows[3].1.disk.unwrap();
+        assert!(one.spin_ups >= long.spin_ups, "1s {} vs 120s {}", one.spin_ups, long.spin_ups);
+    }
+
+    #[test]
+    fn sram_helps_flash_writes() {
+        let ab = flash_with_sram(Scale::quick());
+        let plain = &ab.rows[0].1;
+        let buffered = &ab.rows[2].1;
+        let card_buffered = &ab.rows[3].1;
+        // SRAM absorbs nearly every flash write: a 20x-class improvement,
+        // the "compete with newer magnetic disks" of §7.
+        assert!(
+            buffered.write_response_ms.mean * 10.0 < plain.write_response_ms.mean,
+            "buffered {} vs plain {}",
+            buffered.write_response_ms.mean,
+            plain.write_response_ms.mean
+        );
+        assert!(card_buffered.write_response_ms.mean < 5.0, "{}", card_buffered.write_response_ms.mean);
+    }
+
+    #[test]
+    fn seek_models_bracket_the_paper_assumption() {
+        let ab = seek_models(Scale::quick());
+        let paper = &ab.rows[0].1;
+        let fragmented = &ab.rows[1].1;
+        let compact = &ab.rows[2].1;
+        // The §5.1 direction: on a fragmented volume (every access seeks),
+        // writes slow down relative to the paper's optimistic assumption —
+        // the "measured about twice as slow" divergence.
+        assert!(
+            fragmented.write_response_ms.mean > paper.write_response_ms.mean,
+            "fragmented {} vs paper {}",
+            fragmented.write_response_ms.mean,
+            paper.write_response_ms.mean
+        );
+        // And with compact sequential layout, true distance-based seeks are
+        // *cheaper* than charging a full average seek on every file switch:
+        // the divergence comes from fragmentation, not from the averaging.
+        assert!(compact.overall_response_ms.mean < fragmented.overall_response_ms.mean);
+    }
+
+    #[test]
+    fn cleaning_policies_all_complete() {
+        let ab = cleaning_policies(Scale::quick());
+        assert_eq!(ab.rows.len(), 3);
+        for (label, m) in &ab.rows {
+            assert!(m.energy.get() > 0.0, "{label}");
+            assert!(m.flash_card.is_some(), "{label}");
+        }
+        assert!(ab.to_string().contains("greedy"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale <fraction>] [--seed <n>] [targets...]
+//! ```
+//!
+//! Targets: `table1 table2 table3 table4 figure1 figure2 figure3 figure4
+//! figure5 async endurance verify battery ablations` (default: all).
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mobistore_experiments as exp;
+use mobistore_experiments::Scale;
+
+fn main() -> ExitCode {
+    let mut scale = Scale::full();
+    let mut targets: Vec<String> = Vec::new();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 && v <= 1.0 => scale.fraction = v,
+                _ => return usage("--scale needs a fraction in (0, 1]"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => scale.seed = v,
+                None => return usage("--seed needs an integer"),
+            },
+            "--csv" => match args.next() {
+                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => return usage("--csv needs a directory"),
+            },
+            "--help" | "-h" => return usage(""),
+            t if !t.starts_with('-') => targets.push(t.to_owned()),
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+    if targets.is_empty() {
+        targets = [
+            "table1", "table2", "table3", "table4", "figure1", "figure2", "figure3", "figure4",
+            "figure5", "async", "endurance", "verify", "battery", "ablations", "nextgen",
+            "sensitivity", "related",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    }
+
+    eprintln!("# mobistore repro: scale {:.2}, seed {}", scale.fraction, scale.seed);
+    for target in &targets {
+        eprintln!("# running {target}...");
+        match target.as_str() {
+            "table1" => println!("{}\n", exp::table1::run()),
+            "table2" => println!("{}\n", exp::table2::run()),
+            "table3" => println!("{}\n", exp::table3::run(scale)),
+            "table4" => {
+                let t = exp::table4::run(scale);
+                println!("{t}\n");
+                write_csv(&csv_dir, "table4.csv", &exp::csv::table4_csv(&t));
+            }
+            "figure1" => {
+                let fig = exp::figure1::run();
+                println!("{fig}\n{}\n", fig.plot());
+            }
+            "figure2" => {
+                let fig = exp::figure2::run(scale);
+                println!("{fig}\n{}\n", fig.plot());
+                write_csv(&csv_dir, "figure2.csv", &exp::csv::figure2_csv(&fig));
+            }
+            "figure3" => {
+                let fig = exp::figure3::run();
+                println!("{fig}\n{}\n", fig.plot());
+            }
+            "figure4" => {
+                let fig = exp::figure4::run(scale);
+                println!("{fig}\n");
+                write_csv(&csv_dir, "figure4.csv", &exp::csv::figure4_csv(&fig));
+            }
+            "figure5" => {
+                let fig = exp::figure5::run(scale);
+                println!("{fig}\n");
+                write_csv(&csv_dir, "figure5.csv", &exp::csv::figure5_csv(&fig));
+            }
+            "async" => println!("{}\n", exp::async_cleaning::run(scale)),
+            "endurance" => println!("{}\n", exp::endurance::run(scale)),
+            "verify" => println!("{}\n", exp::verification::run(scale)),
+            "battery" => println!("{}\n", exp::battery::run(scale)),
+            "ablations" => {
+                println!("{}\n", exp::ablations::cleaning_policies(scale));
+                println!("{}\n", exp::ablations::write_back_cache(scale));
+                println!("{}\n", exp::ablations::spin_down_sweep(scale));
+                println!("{}\n", exp::ablations::flash_with_sram(scale));
+                println!("{}\n", exp::ablations::seek_models(scale));
+            }
+            "nextgen" => {
+                println!("{}\n", exp::next_gen::series2plus(mobistore_workload::Workload::Dos, scale));
+                println!("{}\n", exp::next_gen::wear_leveling(scale));
+                println!("{}\n", exp::next_gen::render_lifetime(&exp::next_gen::lifetime(scale)));
+            }
+            "sensitivity" => println!("{}\n", exp::sensitivity::run(scale)),
+            "related" => println!("{}\n", exp::related::run(scale)),
+            other => return usage(&format!("unknown target {other}")),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Writes one CSV file into the `--csv` directory, if one was given.
+fn write_csv(dir: &Option<PathBuf>, name: &str, contents: &str) {
+    let Some(dir) = dir else { return };
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match fs::write(&path, contents) {
+        Ok(()) => eprintln!("# wrote {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: repro [--scale <0..1]] [--seed <n>] [--csv <dir>] [table1|table2|table3|table4|figure1|figure2|\
+         figure3|figure4|figure5|async|endurance|verify|battery|ablations|nextgen|sensitivity|related ...]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,161 @@
+//! CSV renderings of the experiment results, for external plotting.
+//!
+//! Each function returns the full file contents (header + rows); the
+//! `repro --csv DIR` flag writes them to disk. Numbers use enough digits
+//! to round-trip the shapes; the text tables remain the primary artifact.
+
+use std::fmt::Write as _;
+
+use mobistore_core::metrics::Metrics;
+
+use crate::figure2::{Figure2, UTILIZATIONS};
+use crate::figure4::{Figure4, DRAM_BYTES};
+use crate::figure5::{Figure5, SRAM_BYTES};
+use crate::table4::Table4;
+
+/// The per-metrics columns shared by all CSVs.
+const METRIC_COLUMNS: &str =
+    "energy_j,read_mean_ms,read_max_ms,read_sd_ms,write_mean_ms,write_max_ms,write_sd_ms";
+
+fn metric_cells(m: &Metrics) -> String {
+    format!(
+        "{:.4},{:.5},{:.4},{:.4},{:.5},{:.4},{:.4}",
+        m.energy.get(),
+        m.read_response_ms.mean,
+        m.read_response_ms.max,
+        m.read_response_ms.std,
+        m.write_response_ms.mean,
+        m.write_response_ms.max,
+        m.write_response_ms.std,
+    )
+}
+
+/// Table 4 as CSV: one row per (trace, device configuration).
+pub fn table4_csv(t: &Table4) -> String {
+    let mut out = format!("trace,config,{METRIC_COLUMNS}\n");
+    for part in &t.parts {
+        for row in &part.rows {
+            let _ = writeln!(out, "{},{},{}", part.workload.name(), quote(&row.name), metric_cells(row));
+        }
+    }
+    out
+}
+
+/// Figure 2 as CSV: one row per (trace, utilization).
+pub fn figure2_csv(f: &Figure2) -> String {
+    let mut out = format!("trace,utilization,{METRIC_COLUMNS},erasures,cleaning_waits\n");
+    for curve in &f.curves {
+        for (u, m) in UTILIZATIONS.iter().zip(&curve.points) {
+            let fc = m.flash_card.expect("flash card backend");
+            let _ = writeln!(
+                out,
+                "{},{:.2},{},{},{}",
+                curve.workload.name(),
+                u,
+                metric_cells(m),
+                fc.erasures,
+                fc.cleaning_waits
+            );
+        }
+    }
+    out
+}
+
+/// Figure 4 as CSV: one row per (configuration, DRAM size).
+pub fn figure4_csv(f: &Figure4) -> String {
+    let mut out = format!("config,dram_bytes,{METRIC_COLUMNS},overall_mean_ms\n");
+    for curve in &f.curves {
+        for (d, m) in DRAM_BYTES.iter().zip(&curve.points) {
+            let _ = writeln!(
+                out,
+                "{},{},{},{:.5}",
+                quote(&curve.label),
+                d,
+                metric_cells(m),
+                m.overall_response_ms.mean
+            );
+        }
+    }
+    out
+}
+
+/// Figure 5 as CSV: one row per (trace, SRAM size), with normalized
+/// columns.
+pub fn figure5_csv(f: &Figure5) -> String {
+    let mut out = format!("trace,sram_bytes,{METRIC_COLUMNS},energy_norm,write_norm\n");
+    for curve in &f.curves {
+        let ne = curve.normalized_energy();
+        let nw = curve.normalized_write_response();
+        for ((s, m), (e, w)) in SRAM_BYTES.iter().zip(&curve.points).zip(ne.iter().zip(&nw)) {
+            let _ = writeln!(
+                out,
+                "{},{},{},{:.5},{:.5}",
+                curve.workload.name(),
+                s,
+                metric_cells(m),
+                e,
+                w
+            );
+        }
+    }
+    out
+}
+
+/// Quotes a field if it contains a comma.
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{figure2, figure4, figure5, table4, Scale};
+    use mobistore_workload::Workload;
+
+    #[test]
+    fn table4_csv_shape() {
+        let t = Table4 { parts: vec![table4::run_part(Workload::Dos, Scale::quick())] };
+        let csv = table4_csv(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 7, "header + 7 configs");
+        assert!(lines[0].starts_with("trace,config,energy_j"));
+        assert!(lines[1].starts_with("dos,"));
+        // Every data row has the same number of fields as the header.
+        let fields = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), fields, "{l}");
+        }
+    }
+
+    #[test]
+    fn figure2_csv_shape() {
+        let f = Figure2 { curves: vec![figure2::run_curve(Workload::Dos, Scale::quick())] };
+        let csv = figure2_csv(&f);
+        assert_eq!(csv.lines().count(), 1 + UTILIZATIONS.len());
+        assert!(csv.contains("cleaning_waits"));
+    }
+
+    #[test]
+    fn figure4_and_5_csv_shape() {
+        let f4 = figure4::run(Scale::quick());
+        let csv4 = figure4_csv(&f4);
+        assert_eq!(csv4.lines().count(), 1 + 6 * DRAM_BYTES.len());
+
+        let f5 = Figure5 { curves: vec![figure5::run_curve(Workload::Mac, Scale::quick())] };
+        let csv5 = figure5_csv(&f5);
+        assert_eq!(csv5.lines().count(), 1 + SRAM_BYTES.len());
+        // The no-SRAM row is normalized to exactly 1.
+        assert!(csv5.lines().nth(1).unwrap().ends_with("1.00000,1.00000"));
+    }
+
+    #[test]
+    fn quoting() {
+        assert_eq!(quote("plain"), "plain");
+        assert_eq!(quote("a,b"), "\"a,b\"");
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

@@ -1,0 +1,184 @@
+//! Figure 1 — latency and instantaneous throughput of 4-Kbyte writes to a
+//! 1-Mbyte file.
+//!
+//! Five configurations: cu140 ±DoubleSpace, sdp10 ±Stacker, Intel card
+//! (compression always on). The paper's headline: the Intel/MFFS latency
+//! *increases linearly* with cumulative data written, producing a 1/x
+//! throughput decay, while every other configuration stays flat. Points
+//! are averaged over 32-Kbyte windows, as the paper's figure smooths.
+
+use std::fmt;
+
+use mobistore_device::params::{cu140_datasheet, intel_datasheet, sdp10_datasheet};
+use mobistore_fsmodel::compress::DataClass;
+use mobistore_fsmodel::mffs::MffsParams;
+use mobistore_fsmodel::{doublespace, stacker, BenchRun, DiskTestbed, FlashCardTestbed, FlashDiskTestbed};
+use mobistore_sim::units::{KIB, MIB};
+
+/// One Figure 1 curve.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Configuration label (matching the paper's legend).
+    pub label: &'static str,
+    /// Cumulative Kbytes written at each point (x-axis).
+    pub cumulative_kib: Vec<f64>,
+    /// Smoothed latency per 4-Kbyte write, ms (Figure 1(a)).
+    pub latency_ms: Vec<f64>,
+    /// Instantaneous throughput, Kbytes/s (Figure 1(b)).
+    pub throughput_kib_s: Vec<f64>,
+}
+
+/// The regenerated Figure 1.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// The five curves.
+    pub curves: Vec<Curve>,
+}
+
+const CHUNK: u64 = 4 * KIB;
+/// The paper smooths latency over 32-Kbyte windows.
+const WINDOW_CHUNKS: usize = 8;
+
+/// Runs the five write benchmarks.
+pub fn run() -> Figure1 {
+    let mut curves = Vec::with_capacity(5);
+
+    let disk_raw = DiskTestbed::new(cu140_datasheet(), None);
+    curves.push(to_curve("cu140 uncompressed", disk_raw.write_file(MIB, CHUNK, DataClass::Compressible)));
+    let disk_dbl = DiskTestbed::new(cu140_datasheet(), Some(doublespace()));
+    curves.push(to_curve("cu140 compressed", disk_dbl.write_file(MIB, CHUNK, DataClass::Compressible)));
+
+    let mut fd_raw = FlashDiskTestbed::new(sdp10_datasheet(), None);
+    curves.push(to_curve("sdp10 uncompressed", fd_raw.write_file(MIB, CHUNK, DataClass::Compressible)));
+    let mut fd_stk = FlashDiskTestbed::new(sdp10_datasheet(), Some(stacker()));
+    curves.push(to_curve("sdp10 compressed", fd_stk.write_file(MIB, CHUNK, DataClass::Compressible)));
+
+    let mut card = FlashCardTestbed::new(intel_datasheet(), 10 * MIB, MffsParams::mffs2());
+    curves.push(to_curve("Intel flash card (MFFS)", card.write_file(MIB, CHUNK, DataClass::Compressible)));
+
+    Figure1 { curves }
+}
+
+fn to_curve(label: &'static str, run: BenchRun) -> Curve {
+    let mut cumulative = Vec::new();
+    let mut latency = Vec::new();
+    let mut throughput = Vec::new();
+    for (w, window) in run.chunk_latencies_ms.chunks(WINDOW_CHUNKS).enumerate() {
+        let mean_ms = window.iter().sum::<f64>() / window.len() as f64;
+        cumulative.push(((w + 1) * WINDOW_CHUNKS) as f64 * CHUNK as f64 / 1024.0);
+        latency.push(mean_ms);
+        throughput.push(CHUNK as f64 / 1024.0 / (mean_ms / 1000.0));
+    }
+    Curve { label, cumulative_kib: cumulative, latency_ms: latency, throughput_kib_s: throughput }
+}
+
+impl Curve {
+    /// Least-squares slope of latency vs cumulative Kbytes (ms per Kbyte);
+    /// near zero for flat devices, ≈ 0.2 for the MFFS anomaly.
+    pub fn latency_slope(&self) -> f64 {
+        let n = self.cumulative_kib.len() as f64;
+        let sx: f64 = self.cumulative_kib.iter().sum();
+        let sy: f64 = self.latency_ms.iter().sum();
+        let sxy: f64 = self.cumulative_kib.iter().zip(&self.latency_ms).map(|(x, y)| x * y).sum();
+        let sxx: f64 = self.cumulative_kib.iter().map(|x| x * x).sum();
+        (n * sxy - sx * sy) / (n * sxx - sx * sx)
+    }
+}
+
+impl Figure1 {
+    /// Renders Figure 1(a) — write latency vs cumulative Kbytes — as an
+    /// ASCII plot.
+    pub fn plot(&self) -> String {
+        let series: Vec<crate::plot::Series> = self
+            .curves
+            .iter()
+            .map(|c| crate::plot::Series {
+                label: c.label.to_owned(),
+                points: c.cumulative_kib.iter().copied().zip(c.latency_ms.iter().copied()).collect(),
+            })
+            .collect();
+        crate::plot::render(
+            "Figure 1(a): 4-KB write latency vs cumulative Kbytes",
+            "cumulative Kbytes",
+            "ms",
+            &series,
+            72,
+            20,
+        )
+    }
+}
+
+impl fmt::Display for Figure1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 1: 4-KB writes to a 1-MB file (32-KB smoothing windows)")?;
+        writeln!(f, "{:<26} {:>12} {:>12} {:>14} {:>16}", "Configuration", "lat@32KB", "lat@1MB", "slope ms/KB", "avg tput KB/s")?;
+        for c in &self.curves {
+            let avg_tput = 1024.0
+                / (c.latency_ms.iter().sum::<f64>() / c.latency_ms.len() as f64 / 1000.0
+                    * (MIB / CHUNK) as f64);
+            writeln!(
+                f,
+                "{:<26} {:>12.1} {:>12.1} {:>14.4} {:>16.1}",
+                c.label,
+                c.latency_ms.first().copied().unwrap_or(0.0),
+                c.latency_ms.last().copied().unwrap_or(0.0),
+                c.latency_slope(),
+                avg_tput,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mffs_latency_grows_linearly_others_flat() {
+        let fig = run();
+        let mffs = fig.curves.iter().find(|c| c.label.contains("MFFS")).expect("card curve");
+        // Paper: latency rises roughly 0.21 ms per Kbyte written.
+        let slope = mffs.latency_slope();
+        assert!((0.1..0.4).contains(&slope), "MFFS slope {slope}");
+        assert!(mffs.latency_ms.last().unwrap() > &100.0);
+        for c in fig.curves.iter().filter(|c| !c.label.contains("MFFS")) {
+            assert!(c.latency_slope().abs() < 0.01, "{} slope {}", c.label, c.latency_slope());
+        }
+    }
+
+    #[test]
+    fn mffs_throughput_decays() {
+        let fig = run();
+        let mffs = fig.curves.iter().find(|c| c.label.contains("MFFS")).expect("card curve");
+        let first = mffs.throughput_kib_s.first().unwrap();
+        let last = mffs.throughput_kib_s.last().unwrap();
+        assert!(first > &(3.0 * last), "first {first} last {last}");
+    }
+
+    #[test]
+    fn early_card_writes_beat_flash_disk_average_does_not() {
+        // §3: "though writes to the first part of the file are faster for
+        // the flash card than for the flash disk, the average throughput
+        // across the entire 1-Mbyte write is slightly worse".
+        let fig = run();
+        let mffs = fig.curves.iter().find(|c| c.label.contains("MFFS")).unwrap();
+        let sdp = fig.curves.iter().find(|c| c.label == "sdp10 compressed").unwrap();
+        assert!(mffs.throughput_kib_s[0] > sdp.throughput_kib_s[0]);
+        let avg = |c: &Curve| c.throughput_kib_s.len() as f64
+            / c.throughput_kib_s.iter().map(|t| 1.0 / t).sum::<f64>();
+        assert!(avg(mffs) < avg(sdp), "card avg {} vs sdp {}", avg(mffs), avg(sdp));
+    }
+
+    #[test]
+    fn curves_cover_the_full_megabyte() {
+        let fig = run();
+        assert_eq!(fig.curves.len(), 5);
+        for c in &fig.curves {
+            assert_eq!(c.cumulative_kib.len(), 32, "{}", c.label);
+            assert_eq!(*c.cumulative_kib.last().unwrap() as u64, 1024);
+        }
+        let text = fig.to_string();
+        assert!(text.contains("slope"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Figure 3 — measured OmniBook throughput vs cumulative Mbytes written.
+//!
+//! §5.2: a 10-Mbyte Intel card holds 1, 9, or 9.5 Mbytes of live data;
+//! the benchmark overwrites 20 × 1 Mbyte of randomly-selected live data in
+//! 4-Kbyte requests, reporting throughput per 1-Mbyte step. Published
+//! shapes: throughput drops with cumulative data for *all* curves (MFFS
+//! overhead), and drops much faster with more live data (cleaning).
+
+use std::fmt;
+
+use mobistore_device::params::intel_datasheet;
+use mobistore_fsmodel::compress::DataClass;
+use mobistore_fsmodel::mffs::{FlashCardTestbed, MffsParams};
+use mobistore_sim::rng::SimRng;
+use mobistore_sim::time::SimDuration;
+use mobistore_sim::units::{KIB, MIB};
+
+/// The live-data amounts, in Mbytes (the paper's three curves).
+pub const LIVE_MB: [f64; 3] = [1.0, 9.0, 9.5];
+
+/// One Figure 3 curve.
+#[derive(Debug, Clone)]
+pub struct Figure3Curve {
+    /// Live data in Mbytes.
+    pub live_mb: f64,
+    /// Throughput (Kbytes/s) for each 1-Mbyte step.
+    pub throughput_kib_s: Vec<f64>,
+}
+
+/// The regenerated Figure 3.
+#[derive(Debug, Clone)]
+pub struct Figure3 {
+    /// One curve per live-data amount.
+    pub curves: Vec<Figure3Curve>,
+}
+
+const CHUNK: u64 = 4 * KIB;
+/// Cumulative data written per curve, in Mbytes (the paper's x-axis).
+const TOTAL_MB: u64 = 20;
+
+/// Runs the experiment at a reduced or full length. `steps` caps the
+/// number of 1-Mbyte rounds (the paper's 20).
+pub fn run_with_steps(steps: u64) -> Figure3 {
+    let curves = LIVE_MB
+        .iter()
+        .map(|&live_mb| {
+            let mut tb = FlashCardTestbed::new(intel_datasheet(), 10 * MIB, MffsParams::mffs2());
+            let live_bytes = (live_mb * MIB as f64) as u64;
+            let handle = tb.install_live_data(live_bytes);
+            let mut rng = SimRng::seed_from_u64(live_mb.to_bits());
+            let mut throughput = Vec::with_capacity(steps as usize);
+            for _ in 0..steps {
+                let mut elapsed = SimDuration::ZERO;
+                let writes = MIB / CHUNK;
+                for _ in 0..writes {
+                    let offset = rng.below(live_bytes / CHUNK) * CHUNK;
+                    elapsed += tb.overwrite_chunk(handle, offset, CHUNK, DataClass::Compressible);
+                }
+                throughput.push(MIB as f64 / 1024.0 / elapsed.as_secs_f64());
+            }
+            Figure3Curve { live_mb, throughput_kib_s: throughput }
+        })
+        .collect();
+    Figure3 { curves }
+}
+
+/// Runs the full 20-Mbyte experiment.
+pub fn run() -> Figure3 {
+    run_with_steps(TOTAL_MB)
+}
+
+impl Figure3 {
+    /// Renders Figure 3 — throughput vs cumulative Mbytes — as an ASCII
+    /// plot.
+    pub fn plot(&self) -> String {
+        let series: Vec<crate::plot::Series> = self
+            .curves
+            .iter()
+            .map(|c| crate::plot::Series {
+                label: format!("{} MB live", c.live_mb),
+                points: c
+                    .throughput_kib_s
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| ((i + 1) as f64, t))
+                    .collect(),
+            })
+            .collect();
+        crate::plot::render(
+            "Figure 3: overwrite throughput vs cumulative Mbytes (10-MB card)",
+            "cumulative MB",
+            "KB/s",
+            &series,
+            72,
+            18,
+        )
+    }
+}
+
+impl fmt::Display for Figure3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 3: overwrite throughput (KB/s) on a 10-MB Intel card")?;
+        write!(f, "{:<14}", "cumulative MB")?;
+        for c in &self.curves {
+            write!(f, " {:>12}", format!("{} MB live", c.live_mb))?;
+        }
+        writeln!(f)?;
+        let steps = self.curves[0].throughput_kib_s.len();
+        for i in 0..steps {
+            write!(f, "{:<14}", i + 1)?;
+            for c in &self.curves {
+                write!(f, " {:>12.1}", c.throughput_kib_s[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_drops_with_cumulative_data() {
+        // "The drop in throughput over the course of the experiment is
+        // apparent for all three configurations."
+        let fig = run_with_steps(6);
+        for c in &fig.curves {
+            let first = c.throughput_kib_s[0];
+            let last = *c.throughput_kib_s.last().unwrap();
+            assert!(last < first, "{} MB live: {first} -> {last}", c.live_mb);
+        }
+    }
+
+    #[test]
+    fn more_live_data_is_slower() {
+        // "throughput decreased much faster with increased space
+        // utilization."
+        let fig = run_with_steps(4);
+        let last = |i: usize| *fig.curves[i].throughput_kib_s.last().unwrap();
+        assert!(last(0) > last(1), "1 MB {} vs 9 MB {}", last(0), last(1));
+        assert!(last(1) >= last(2), "9 MB {} vs 9.5 MB {}", last(1), last(2));
+        // The nearly-full card collapses early: its *first* step is already
+        // slower than the sparse card's.
+        assert!(fig.curves[2].throughput_kib_s[0] < fig.curves[0].throughput_kib_s[0]);
+    }
+
+    #[test]
+    fn magnitudes_are_tens_of_kib_s() {
+        // Paper's y-axis spans 0–25 KB/s.
+        let fig = run_with_steps(3);
+        for c in &fig.curves {
+            for &t in &c.throughput_kib_s {
+                assert!(t < 80.0, "{} MB live: {t}", c.live_mb);
+            }
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let text = run_with_steps(2).to_string();
+        assert!(text.contains("9.5 MB live"));
+    }
+}

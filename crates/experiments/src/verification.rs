@@ -1,0 +1,290 @@
+//! §5.1 — simulator verification against the testbed, on the `synth`
+//! workload.
+//!
+//! The paper ran the 6-Mbyte synthetic trace both on the OmniBook and
+//! through the simulator (driven by measured micro-benchmark performance):
+//! *"All simulated performance numbers were within a few percent of
+//! measured performance, with the exception of flash card reads and Caviar
+//! Ultralite cu140 writes"* — testbed flash-card reads were ≈ 4× worse
+//! (cleaning + decompression the simulator omits) and testbed cu140 writes
+//! ≈ 2× worse (the simulator's optimistic seek assumption).
+//!
+//! Here the "testbed" is the `mobistore-fsmodel` stack (DOS FS / MFFS
+//! models over the devices) and the "simulator" is `mobistore-core` with
+//! measured parameters — two independently-built layers replaying the same
+//! records.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mobistore_core::config::SystemConfig;
+use mobistore_core::simulator::{simulate_with, RunOptions};
+use mobistore_device::params::{cu140_measured, intel_measured, sdp10_measured};
+use mobistore_fsmodel::compress::DataClass;
+use mobistore_fsmodel::mffs::{FileHandle, FlashCardTestbed, MffsParams};
+use mobistore_sim::stats::OnlineStats;
+use mobistore_sim::units::MIB;
+use mobistore_trace::record::{FileId, Op};
+use mobistore_workload::synth::{generate_records, SynthSpec};
+
+use crate::{flash_card_config, Scale};
+
+/// One device's simulator-vs-testbed comparison.
+#[derive(Debug, Clone)]
+pub struct VerifyRow {
+    /// Device label.
+    pub device: &'static str,
+    /// Simulator mean read response (ms).
+    pub sim_read_ms: f64,
+    /// Testbed mean read response (ms).
+    pub testbed_read_ms: f64,
+    /// Simulator mean write response (ms).
+    pub sim_write_ms: f64,
+    /// Testbed mean write response (ms).
+    pub testbed_write_ms: f64,
+}
+
+impl VerifyRow {
+    /// Testbed/simulator read ratio.
+    pub fn read_ratio(&self) -> f64 {
+        self.testbed_read_ms / self.sim_read_ms
+    }
+
+    /// Testbed/simulator write ratio.
+    pub fn write_ratio(&self) -> f64 {
+        self.testbed_write_ms / self.sim_write_ms
+    }
+}
+
+/// The §5.1 verification experiment.
+#[derive(Debug, Clone)]
+pub struct Verification {
+    /// One row per device.
+    pub rows: Vec<VerifyRow>,
+}
+
+/// Runs the verification on a `synth` trace sized by `scale`.
+pub fn run(scale: Scale) -> Verification {
+    let ops = ((30_000.0 * scale.fraction) as usize).max(500);
+    let spec = SynthSpec::paper(ops);
+    let records = generate_records(&spec, scale.seed);
+    let mut trace = mobistore_workload::synth::generate(&spec, scale.seed);
+    // Both sides execute operations back-to-back on the testbed, so the
+    // comparison validates per-operation costs: stretch interarrivals so
+    // the simulator side sees no queueing either.
+    for (i, op) in trace.ops.iter_mut().enumerate() {
+        op.time = mobistore_sim::time::SimTime::from_secs_f64(i as f64 * 100.0);
+    }
+
+    // Simulator side: measured parameters, no DRAM cache (the OmniBook ran
+    // DOS with no buffer cache), no warm-up (the testbed has none either).
+    let no_warm = RunOptions { warm_percent: 0, ..RunOptions::default() };
+    let sim = |cfg: SystemConfig| simulate_with(&cfg.with_dram(0), &trace, no_warm);
+    // §3: the disk spun throughout the benchmarks; no SRAM on the OmniBook.
+    let disk_sim = sim(SystemConfig::disk(cu140_measured()).with_sram(0).with_spin_down(None));
+    let fdisk_sim = sim(SystemConfig::flash_disk(sdp10_measured()));
+    let card_sim = sim(flash_card_config(intel_measured(), &trace, 0.60));
+
+    // Testbed side: replay the same file-level records through the
+    // fsmodel stacks.
+    let (disk_r, disk_w) = replay_disk(&spec, &records);
+    let (fdisk_r, fdisk_w) = replay_flash_disk(&spec, &records);
+    let (card_r, card_w) = replay_card(&spec, &records);
+
+    Verification {
+        rows: vec![
+            VerifyRow {
+                device: "cu140 (measured)",
+                sim_read_ms: disk_sim.read_response_ms.mean,
+                testbed_read_ms: disk_r,
+                sim_write_ms: disk_sim.write_response_ms.mean,
+                testbed_write_ms: disk_w,
+            },
+            VerifyRow {
+                device: "sdp10 (measured)",
+                sim_read_ms: fdisk_sim.read_response_ms.mean,
+                testbed_read_ms: fdisk_r,
+                sim_write_ms: fdisk_sim.write_response_ms.mean,
+                testbed_write_ms: fdisk_w,
+            },
+            VerifyRow {
+                device: "Intel card (measured)",
+                sim_read_ms: card_sim.read_response_ms.mean,
+                testbed_read_ms: card_r,
+                sim_write_ms: card_sim.write_response_ms.mean,
+                testbed_write_ms: card_w,
+            },
+        ],
+    }
+}
+
+/// Replays the records against the DOS-over-cu140 testbed: every access
+/// pays file-system overhead plus a real seek (the testbed has no
+/// same-file optimism).
+fn replay_disk(
+    _spec: &SynthSpec,
+    records: &[mobistore_trace::record::FileRecord],
+) -> (f64, f64) {
+    use mobistore_fsmodel::dosfs::DosFsParams;
+    let p = cu140_measured();
+    let fs = DosFsParams::disk();
+    let mut reads = OnlineStats::new();
+    let mut writes = OnlineStats::new();
+    for rec in records {
+        match rec.op {
+            Op::Read => {
+                let t = fs.per_chunk_read
+                    + p.avg_seek
+                    + p.avg_rotation
+                    + p.read_bandwidth.transfer_time(rec.size.max(512));
+                reads.record(t.as_millis_f64());
+            }
+            Op::Write => {
+                // DOS writes the data, then synchronously updates the FAT
+                // and directory entry — a second positioned access the
+                // simulator does not model (the source of the paper's
+                // ~2x cu140 write divergence).
+                let fat_update = p.avg_seek + p.avg_rotation + p.write_bandwidth.transfer_time(512);
+                let t = fs.per_chunk_write
+                    + p.avg_seek
+                    + p.avg_rotation
+                    + p.write_bandwidth.transfer_time(rec.size.max(512))
+                    + fat_update;
+                writes.record(t.as_millis_f64());
+            }
+            Op::Delete => {}
+        }
+    }
+    (reads.mean(), writes.mean())
+}
+
+/// Replays against the DOS-over-sdp10 testbed.
+fn replay_flash_disk(
+    _spec: &SynthSpec,
+    records: &[mobistore_trace::record::FileRecord],
+) -> (f64, f64) {
+    use mobistore_fsmodel::dosfs::DosFsParams;
+    let p = mobistore_device::params::sdp10_datasheet();
+    let fs = DosFsParams::flash_disk();
+    let mut reads = OnlineStats::new();
+    let mut writes = OnlineStats::new();
+    for rec in records {
+        match rec.op {
+            Op::Read => {
+                let t = fs.per_chunk_read
+                    + p.access_latency
+                    + p.read_bandwidth.transfer_time(rec.size.max(512));
+                reads.record(t.as_millis_f64());
+            }
+            Op::Write => {
+                let t = fs.per_chunk_write
+                    + p.access_latency
+                    + p.write_bandwidth.transfer_time(rec.size.max(512));
+                writes.record(t.as_millis_f64());
+            }
+            Op::Delete => {}
+        }
+    }
+    (reads.mean(), writes.mean())
+}
+
+/// Replays against the MFFS-over-Intel testbed, with real cleaning,
+/// compression, and the file-size anomaly.
+fn replay_card(
+    spec: &SynthSpec,
+    records: &[mobistore_trace::record::FileRecord],
+) -> (f64, f64) {
+    let mut tb = FlashCardTestbed::new(intel_measured(), 10 * MIB, MffsParams::mffs2());
+    // Install the whole 6-Mbyte dataset up front, as §4.1's workload
+    // defines it; deletions release files and rewrites re-install them.
+    let dataset_files = (spec.dataset_bytes / spec.file_bytes).max(1);
+    let mut handles: HashMap<FileId, FileHandle> = (0..dataset_files)
+        .map(|f| (FileId(f), tb.install_live_data(spec.file_bytes)))
+        .collect();
+    let mut reads = OnlineStats::new();
+    let mut writes = OnlineStats::new();
+    let class = DataClass::Compressible;
+    for rec in records {
+        match rec.op {
+            Op::Read => {
+                if let Some(&h) = handles.get(&rec.file) {
+                    let t = tb.read_chunk(h, rec.offset.min(spec.file_bytes - rec.size.max(512)), rec.size.max(512), class);
+                    reads.record(t.as_millis_f64());
+                }
+            }
+            Op::Write => {
+                match handles.get(&rec.file) {
+                    Some(&h) => {
+                        let offset = rec.offset.min(spec.file_bytes - rec.size.max(512));
+                        let t = tb.overwrite_chunk(h, offset, rec.size.max(512), class);
+                        writes.record(t.as_millis_f64());
+                    }
+                    None => {
+                        // §4.1: the next write to an erased file writes the
+                        // entire 32-Kbyte unit — a timed whole-file append.
+                        let h = tb.create_file();
+                        let t = tb.append_chunk(h, spec.file_bytes, class);
+                        handles.insert(rec.file, h);
+                        writes.record(t.as_millis_f64());
+                    }
+                }
+            }
+            Op::Delete => {
+                if let Some(h) = handles.remove(&rec.file) {
+                    tb.delete_file(h);
+                }
+            }
+        }
+    }
+    (reads.mean(), writes.mean())
+}
+
+impl fmt::Display for Verification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Section 5.1: simulator vs testbed model on the synth workload")?;
+        writeln!(
+            f,
+            "{:<24} {:>10} {:>10} {:>7} {:>10} {:>10} {:>7}",
+            "device", "sim rd ms", "tb rd ms", "ratio", "sim wr ms", "tb wr ms", "ratio"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<24} {:>10.2} {:>10.2} {:>7.2} {:>10.2} {:>10.2} {:>7.2}",
+                r.device,
+                r.sim_read_ms,
+                r.testbed_read_ms,
+                r.read_ratio(),
+                r.sim_write_ms,
+                r.testbed_write_ms,
+                r.write_ratio(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flash_disk_agrees_disk_writes_and_card_reads_diverge() {
+        // The paper's outcome: agreement within a small factor everywhere
+        // except flash-card reads (testbed ~4x slower) and cu140 writes
+        // (testbed ~2x slower, the simulator's optimistic seeks).
+        let v = run(Scale::quick());
+        let fdisk = &v.rows[1];
+        assert!((0.5..2.0).contains(&fdisk.write_ratio()), "sdp10 writes {}", fdisk.write_ratio());
+        let disk = &v.rows[0];
+        assert!(disk.write_ratio() > 1.2, "cu140 writes should diverge: {}", disk.write_ratio());
+        let card = &v.rows[2];
+        assert!(card.read_ratio() > 1.5, "card reads should diverge: {}", card.read_ratio());
+    }
+
+    #[test]
+    fn renders() {
+        let text = run(Scale::quick()).to_string();
+        assert!(text.contains("sim rd ms"));
+    }
+}

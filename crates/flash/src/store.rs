@@ -1,0 +1,1041 @@
+//! The flash memory card store: segments, cleaning, and wear.
+//!
+//! Implements the flash card architecture of §2 and the simulator rules of
+//! §4.2:
+//!
+//! * the card is divided into fixed-size *segments* (64/128 Kbytes on the
+//!   Intel Series 2); a segment must be erased — a fixed 1.6 s operation —
+//!   before any of its bytes can be rewritten;
+//! * logical blocks are remapped on every write (out-of-place update);
+//!   overwriting a block leaves its old copy dead until its segment is
+//!   cleaned;
+//! * one segment (the *frontier*) is filled completely before data blocks
+//!   are written to a new segment;
+//! * the cleaner keeps at least one segment erased at all times (unless
+//!   configured for on-demand cleaning), selecting the segment with the
+//!   lowest utilization, copying its live data to the frontier, and erasing
+//!   it;
+//! * cleaning and erasure run in the background during idle periods and are
+//!   suspended during reads and writes; a write that finds no erased space
+//!   waits for the cleaner, which is what degrades write response at high
+//!   storage utilization (§5.2, Figure 2);
+//! * every segment counts its erasures, driving the endurance analysis
+//!   (§5.2: 100,000-cycle guarantee).
+
+use std::collections::HashMap;
+
+use mobistore_device::params::FlashCardParams;
+use mobistore_device::Service;
+use mobistore_sim::energy::{EnergyMeter, Joules};
+use mobistore_sim::time::{SimDuration, SimTime};
+
+/// When the cleaner runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CleanerMode {
+    /// Clean in the background during idle time, keeping at least one
+    /// segment erased (the Flash File System behaviour, §4.2).
+    Background,
+    /// Clean only when a write finds no erased space (§4.2's "erasures are
+    /// done on an as-needed basis").
+    OnDemand,
+}
+
+/// How the cleaner picks its victim segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimPolicy {
+    /// Lowest utilization first — the MFFS policy the paper describes (§2).
+    GreedyMinLive,
+    /// Oldest full segment first; an ablation baseline with no utilization
+    /// awareness.
+    Fifo,
+    /// Cost-benefit: maximise freed-space per copy cost weighted by segment
+    /// age, à la Sprite LFS / eNVy (§2 mentions eNVy's hybrid metric); an
+    /// ablation extension.
+    CostBenefit,
+    /// Greedy with a wear-leveling bias: a segment's erase count above the
+    /// card's minimum is charged against it, so hot segments stop being
+    /// recycled exclusively. §2: "it is possible to spread the load over
+    /// the flash memory to avoid 'burning out' particular areas"; an
+    /// ablation extension quantifying that trade.
+    WearAware,
+}
+
+/// Configuration for a [`FlashCardStore`].
+#[derive(Debug, Clone)]
+pub struct FlashCardConfig {
+    /// Device timing/power parameters.
+    pub params: FlashCardParams,
+    /// Logical block size in bytes (the trace's block size).
+    pub block_size: u64,
+    /// Card capacity in bytes; rounded down to whole segments.
+    pub capacity_bytes: u64,
+    /// Cleaner scheduling.
+    pub mode: CleanerMode,
+    /// Victim selection policy.
+    pub victim_policy: VictimPolicy,
+    /// Queue discipline (see [`mobistore_device::QueueDiscipline`]).
+    pub queueing: mobistore_device::QueueDiscipline,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SegState {
+    Erased,
+    Frontier,
+    Full,
+}
+
+#[derive(Debug, Clone)]
+struct Segment {
+    state: SegState,
+    /// Live blocks currently mapped into this segment.
+    live: u32,
+    /// Slots consumed (live + dead); only meaningful for the frontier.
+    used: u32,
+    /// Times this segment has been erased.
+    erase_count: u32,
+    /// Monotone sequence number of when this segment was last opened as
+    /// frontier; drives the FIFO and cost-benefit policies.
+    opened_at_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CleanJob {
+    victim: u32,
+    /// Work remaining before the victim is erased and usable.
+    remaining: SimDuration,
+}
+
+/// Counters the store maintains alongside energy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlashCardCounters {
+    /// Completed accesses.
+    pub ops: u64,
+    /// Bytes read by requests.
+    pub bytes_read: u64,
+    /// Bytes written by requests.
+    pub bytes_written: u64,
+    /// Segment erasures performed.
+    pub erasures: u64,
+    /// Live blocks copied by the cleaner.
+    pub blocks_copied: u64,
+    /// Writes that had to wait for the cleaner.
+    pub cleaning_waits: u64,
+}
+
+/// Endurance statistics (§5.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WearStats {
+    /// Highest per-segment erase count.
+    pub max_erase: u32,
+    /// Mean per-segment erase count.
+    pub mean_erase: f64,
+    /// Total erasures.
+    pub total: u64,
+}
+
+/// A simulated byte-accessible flash memory card with segment cleaning.
+///
+/// # Examples
+///
+/// ```
+/// use mobistore_device::params::intel_datasheet;
+/// use mobistore_flash::store::{CleanerMode, FlashCardConfig, FlashCardStore, VictimPolicy};
+/// use mobistore_sim::time::SimTime;
+///
+/// let mut card = FlashCardStore::new(FlashCardConfig {
+///     params: intel_datasheet(),
+///     block_size: 1024,
+///     capacity_bytes: 4 * 1024 * 1024,
+///     mode: CleanerMode::Background,
+///     victim_policy: VictimPolicy::GreedyMinLive,
+///     queueing: mobistore_device::QueueDiscipline::Fifo,
+/// });
+/// let svc = card.write(SimTime::ZERO, 0, 4);
+/// assert!(svc.end > svc.start);
+/// assert_eq!(card.live_blocks(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlashCardStore {
+    config: FlashCardConfig,
+    blocks_per_segment: u32,
+    segments: Vec<Segment>,
+    /// Logical block number → (segment, slot-irrelevant) location.
+    map: HashMap<u64, u32>,
+    /// Segment currently accepting writes.
+    frontier: u32,
+    /// Fully-erased segments ready to become the frontier.
+    erased: Vec<u32>,
+    job: Option<CleanJob>,
+    meter: EnergyMeter,
+    counters: FlashCardCounters,
+    free_at: SimTime,
+    live_blocks: u64,
+    open_seq: u64,
+}
+
+const CATEGORIES: &[&str] = &["active", "clean", "idle"];
+
+impl FlashCardStore {
+    /// Creates an empty card.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields fewer than two segments or a
+    /// segment smaller than one block.
+    pub fn new(config: FlashCardConfig) -> Self {
+        let seg_size = config.params.segment_size;
+        assert!(seg_size >= config.block_size, "segment smaller than a block");
+        let num_segments = (config.capacity_bytes / seg_size) as u32;
+        assert!(num_segments >= 2, "need at least two segments, got {num_segments}");
+        let blocks_per_segment = (seg_size / config.block_size) as u32;
+
+        let mut segments = vec![
+            Segment {
+                state: SegState::Erased,
+                live: 0,
+                used: 0,
+                erase_count: 0,
+                opened_at_seq: 0,
+            };
+            num_segments as usize
+        ];
+        segments[0].state = SegState::Frontier;
+        let erased = (1..num_segments).rev().collect();
+
+        FlashCardStore {
+            config,
+            blocks_per_segment,
+            segments,
+            map: HashMap::new(),
+            frontier: 0,
+            erased,
+            job: None,
+            meter: EnergyMeter::new(CATEGORIES),
+            counters: FlashCardCounters::default(),
+            free_at: SimTime::ZERO,
+            live_blocks: 0,
+            open_seq: 1,
+        }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &FlashCardConfig {
+        &self.config
+    }
+
+    /// Returns the card capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        u64::from(self.blocks_per_segment) * self.segments.len() as u64
+    }
+
+    /// Returns the number of live (mapped) blocks.
+    pub fn live_blocks(&self) -> u64 {
+        self.live_blocks
+    }
+
+    /// Returns current storage utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.live_blocks as f64 / self.capacity_blocks() as f64
+    }
+
+    /// Returns free (erased, writable) blocks across the frontier and the
+    /// erased-segment pool.
+    pub fn free_blocks(&self) -> u64 {
+        let frontier_free = u64::from(self.blocks_per_segment - self.segments[self.frontier as usize].used);
+        frontier_free + self.erased.len() as u64 * u64::from(self.blocks_per_segment)
+    }
+
+    /// Returns the operation counters.
+    pub fn counters(&self) -> FlashCardCounters {
+        self.counters
+    }
+
+    /// Returns total energy consumed so far.
+    pub fn energy(&self) -> Joules {
+        self.meter.total()
+    }
+
+    /// Returns the energy meter for per-state breakdowns.
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Returns per-segment endurance statistics.
+    pub fn wear(&self) -> WearStats {
+        let max = self.segments.iter().map(|s| s.erase_count).max().unwrap_or(0);
+        let sum: u64 = self.segments.iter().map(|s| u64::from(s.erase_count)).sum();
+        WearStats {
+            max_erase: max,
+            mean_erase: sum as f64 / self.segments.len() as f64,
+            total: sum,
+        }
+    }
+
+    /// Zeroes energy and counters (but not wear) while keeping card state;
+    /// used at the warm-up boundary (§4.2). Pass `reset_wear` to also zero
+    /// per-segment erase counts, as the endurance experiment does.
+    pub fn reset_metrics(&mut self, reset_wear: bool) {
+        self.meter = EnergyMeter::new(CATEGORIES);
+        self.counters = FlashCardCounters::default();
+        if reset_wear {
+            for seg in &mut self.segments {
+                seg.erase_count = 0;
+            }
+        }
+    }
+
+    /// Instantly installs `lbns` as live data, consuming space but no time
+    /// or energy. Models §5.2's preallocation: *"The data are preallocated
+    /// in flash at the start of the simulation."*
+    ///
+    /// # Panics
+    ///
+    /// Panics if preloading would leave less than one segment of free
+    /// space (the cleaner could deadlock).
+    pub fn preload(&mut self, lbns: impl IntoIterator<Item = u64>) {
+        for lbn in lbns {
+            assert!(
+                self.free_blocks() > u64::from(self.blocks_per_segment),
+                "preload would exceed safe capacity ({} blocks)",
+                self.capacity_blocks()
+            );
+            if self.map.contains_key(&lbn) {
+                continue;
+            }
+            self.place_block(lbn);
+        }
+    }
+
+    /// Instantly installs `lbns` as live data on an *aged* card: every
+    /// segment except the frontier and one erased reserve is completely
+    /// full, with the live blocks spread evenly and the remaining slots
+    /// dead.
+    ///
+    /// This is the §5.2 steady state — free space exists as garbage
+    /// scattered through the segments, not as pristine erased segments —
+    /// so the cleaner must work from the first writes onward and its cost
+    /// is proportional to storage utilization, which is the effect
+    /// Figure 2 measures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-empty card or if the blocks do not fit in
+    /// the fillable segments.
+    pub fn preload_aged(&mut self, lbns: impl IntoIterator<Item = u64>) {
+        assert_eq!(self.live_blocks, 0, "preload_aged requires an empty card");
+        let lbns: Vec<u64> = lbns.into_iter().collect();
+        let fillable = self.segments.len() - 2;
+        let capacity = fillable as u64 * u64::from(self.blocks_per_segment);
+        assert!(
+            lbns.len() as u64 <= capacity,
+            "aged preload of {} blocks exceeds the {} fillable blocks \
+             (need more segments for this utilization)",
+            lbns.len(),
+            capacity
+        );
+
+        // Fill segments 1..N-1 (0 stays the frontier, N-1 stays erased).
+        // Blocks are interleaved round-robin so that consecutive logical
+        // blocks land in different segments — an aged card's placement has
+        // no correlation between logical adjacency and segment locality.
+        let reserve = self.segments.len() as u32 - 1;
+        let mut seg_live = vec![0u32; self.segments.len()];
+        for (i, lbn) in lbns.into_iter().enumerate() {
+            let seg = 1 + (i % fillable) as u32;
+            let old = self.map.insert(lbn, seg);
+            assert!(old.is_none(), "duplicate lbn in aged preload");
+            self.live_blocks += 1;
+            seg_live[seg as usize] += 1;
+        }
+        for seg in 1..reserve {
+            let s = &mut self.segments[seg as usize];
+            s.state = SegState::Full;
+            s.live = seg_live[seg as usize];
+            s.used = self.blocks_per_segment;
+        }
+        self.erased = vec![reserve];
+    }
+
+    /// Serves a read of `blocks` logical blocks issued at `now`.
+    ///
+    /// Reads never wait for cleaning (erasure is suspended during I/O), but
+    /// do queue behind earlier requests.
+    pub fn read(&mut self, now: SimTime, _lbn: u64, blocks: u32) -> Service {
+        let start = self.settle(now);
+        let bytes = u64::from(blocks) * self.config.block_size;
+        let dur = self.config.params.access_latency + self.config.params.read_bandwidth.transfer_time(bytes);
+        let end = start + dur;
+        self.meter.charge_for("active", self.config.params.active_power, dur);
+        self.counters.ops += 1;
+        self.counters.bytes_read += bytes;
+        self.free_at = self.free_at.max(end);
+        Service { start, end }
+    }
+
+    /// Serves a write of `blocks` logical blocks starting at `lbn`, issued
+    /// at `now`.
+    ///
+    /// Cleaning is needed whenever the erased-segment pool drains. Under
+    /// [`CleanerMode::Background`] a job is launched to run during idle
+    /// gaps; a write that fills the frontier before the job finishes must
+    /// wait out its remaining work, which is what degrades write response
+    /// at high utilization (§5.2). Under [`CleanerMode::OnDemand`] the
+    /// triggering write performs the whole cleaning synchronously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if space is exhausted and nothing is cleanable (the working
+    /// set exceeds usable capacity).
+    pub fn write(&mut self, now: SimTime, lbn: u64, blocks: u32) -> Service {
+        let start = self.settle(now);
+        let mut wait = SimDuration::ZERO;
+        let mut waited = false;
+        for i in 0..u64::from(blocks) {
+            if self.frontier_full() && !self.advance_frontier() {
+                // The background job has not produced an erased segment in
+                // time: the write stalls for its remaining work.
+                match self.run_cleaning_foreground() {
+                    Some(spent) => {
+                        wait += spent;
+                        waited = true;
+                    }
+                    None => panic!(
+                        "flash card full: {} live of {} blocks and nothing cleanable",
+                        self.live_blocks,
+                        self.capacity_blocks()
+                    ),
+                }
+                assert!(
+                    !self.frontier_full() || self.advance_frontier(),
+                    "cleaner failed to free space (utilization too high for segment size)"
+                );
+            }
+            self.place_block(lbn + i);
+            if self.erased.is_empty() && self.job.is_none() {
+                // The pool just drained: the frontier was freshly opened, so
+                // a full segment of free slots guarantees any victim's live
+                // data can be relocated.
+                match self.config.mode {
+                    CleanerMode::Background => {
+                        self.start_job();
+                    }
+                    CleanerMode::OnDemand => {
+                        if let Some(spent) = self.run_cleaning_foreground() {
+                            wait += spent;
+                            waited = true;
+                        }
+                    }
+                }
+            }
+        }
+        if waited {
+            self.counters.cleaning_waits += 1;
+        }
+        let bytes = u64::from(blocks) * self.config.block_size;
+        let dur = self.config.params.access_latency + self.config.params.write_bandwidth.transfer_time(bytes);
+        let end = start + wait + dur;
+        self.meter.charge_for("active", self.config.params.active_power, dur);
+        self.counters.ops += 1;
+        self.counters.bytes_written += bytes;
+        self.free_at = self.free_at.max(end);
+        Service { start, end }
+    }
+
+    /// Marks `blocks` logical blocks starting at `lbn` dead (file deletion).
+    /// Takes no device time.
+    pub fn trim(&mut self, lbn: u64, blocks: u32) {
+        for i in 0..u64::from(blocks) {
+            if let Some(seg) = self.map.remove(&(lbn + i)) {
+                self.segments[seg as usize].live -= 1;
+                self.live_blocks -= 1;
+            }
+        }
+        self.maybe_start_job();
+    }
+
+    /// Accounts for the trailing idle period (and any final background
+    /// cleaning) at the end of a simulation.
+    pub fn finish(&mut self, end: SimTime) {
+        let _ = self.settle(end);
+    }
+
+    fn frontier_full(&self) -> bool {
+        self.segments[self.frontier as usize].used == self.blocks_per_segment
+    }
+
+    /// Moves the frontier to an erased segment; returns false if none.
+    fn advance_frontier(&mut self) -> bool {
+        let Some(next) = self.erased.pop() else { return false };
+        self.segments[self.frontier as usize].state = SegState::Full;
+        self.segments[next as usize].state = SegState::Frontier;
+        self.segments[next as usize].opened_at_seq = self.open_seq;
+        self.open_seq += 1;
+        self.frontier = next;
+        true
+    }
+
+    /// Writes one logical block at the frontier, retiring any old copy.
+    ///
+    /// The caller must ensure the frontier has a free slot.
+    fn place_block(&mut self, lbn: u64) {
+        if self.frontier_full() {
+            assert!(self.advance_frontier(), "place_block with no space");
+        }
+        if let Some(old) = self.map.insert(lbn, self.frontier) {
+            self.segments[old as usize].live -= 1;
+        } else {
+            self.live_blocks += 1;
+        }
+        let f = &mut self.segments[self.frontier as usize];
+        f.live += 1;
+        f.used += 1;
+    }
+
+    /// Picks a cleaning victim per the configured policy; `None` if nothing
+    /// is cleanable or relocating its live data would not fit in free space.
+    fn select_victim(&self) -> Option<u32> {
+        let free = self.free_blocks();
+        let candidates = self
+            .segments
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| s.state == SegState::Full && *i as u32 != self.frontier)
+            .filter(|(_, s)| u64::from(s.live) <= free)
+            // Cleaning a fully-live segment frees nothing.
+            .filter(|(_, s)| s.live < self.blocks_per_segment);
+        match self.config.victim_policy {
+            VictimPolicy::GreedyMinLive => candidates.min_by_key(|(i, s)| (s.live, *i)).map(|(i, _)| i as u32),
+            VictimPolicy::Fifo => candidates.min_by_key(|(i, s)| (s.opened_at_seq, *i)).map(|(i, _)| i as u32),
+            VictimPolicy::WearAware => {
+                let min_wear = self.segments.iter().map(|s| s.erase_count).min().unwrap_or(0);
+                // Each erase above the card minimum costs as much as 1/32
+                // of a segment of extra live data — enough to bound the
+                // wear spread without constantly recycling cold segments.
+                let penalty = (self.blocks_per_segment / 32).max(1);
+                candidates
+                    .min_by_key(|(i, s)| (u64::from(s.live) + u64::from(s.erase_count - min_wear) * u64::from(penalty), *i))
+                    .map(|(i, _)| i as u32)
+            }
+            VictimPolicy::CostBenefit => candidates
+                .min_by(|(ia, a), (ib, b)| {
+                    // Benefit/cost = (free space gained x age) / (copy cost).
+                    // We minimise the negation via partial_cmp on the score.
+                    let score = |s: &Segment| {
+                        let u = f64::from(s.live) / f64::from(self.blocks_per_segment);
+                        let age = (self.open_seq - s.opened_at_seq) as f64;
+                        -((1.0 - u) * age / (1.0 + u))
+                    };
+                    score(a).partial_cmp(&score(b)).expect("scores are finite").then(ia.cmp(ib))
+                })
+                .map(|(i, _)| i as u32),
+        }
+    }
+
+    /// Starts a background job if the erased pool is empty and cleaning is
+    /// possible.
+    fn maybe_start_job(&mut self) {
+        if self.config.mode != CleanerMode::Background || self.job.is_some() || !self.erased.is_empty() {
+            return;
+        }
+        self.start_job();
+    }
+
+    /// Starts a cleaning job regardless of mode; returns false if no victim.
+    fn start_job(&mut self) -> bool {
+        let Some(victim) = self.select_victim() else { return false };
+        // Logically relocate live data now (map + space bookkeeping); the
+        // *time* of copying plus erasure is paid by the job as it runs.
+        let live: Vec<u64> = self
+            .map
+            .iter()
+            .filter(|(_, &seg)| seg == victim)
+            .map(|(&lbn, _)| lbn)
+            .collect();
+        let copy_blocks = live.len() as u64;
+        let mut lbns = live;
+        lbns.sort_unstable(); // Determinism: HashMap iteration order varies.
+        for lbn in lbns {
+            self.place_block(lbn);
+        }
+        self.counters.blocks_copied += copy_blocks;
+        debug_assert_eq!(self.segments[victim as usize].live, 0);
+
+        let copy_bytes = copy_blocks * self.config.block_size;
+        // Copies are internal to the card: they run at raw speeds even
+        // when the foreground path carries file-system software costs.
+        let copy_time = self.config.params.copy_read_bandwidth.transfer_time(copy_bytes)
+            + self.config.params.copy_write_bandwidth.transfer_time(copy_bytes);
+        self.job = Some(CleanJob {
+            victim,
+            remaining: copy_time + self.config.params.erase_time,
+        });
+        true
+    }
+
+    /// Completes the current job's remaining work in the foreground (a
+    /// write is waiting); returns the time spent, or `None` if there is no
+    /// job and nothing is cleanable. Starts a job first if none is running.
+    fn run_cleaning_foreground(&mut self) -> Option<SimDuration> {
+        if self.job.is_none() && !self.start_job() {
+            return None;
+        }
+        let job = self.job.take().expect("job exists");
+        self.meter.charge_for("clean", self.config.params.active_power, job.remaining);
+        let spent = job.remaining;
+        self.finish_job(job.victim);
+        Some(spent)
+    }
+
+    /// Applies job completion: the victim becomes erased.
+    fn finish_job(&mut self, victim: u32) {
+        let seg = &mut self.segments[victim as usize];
+        seg.state = SegState::Erased;
+        seg.live = 0;
+        seg.used = 0;
+        seg.erase_count += 1;
+        self.erased.push(victim);
+        self.counters.erasures += 1;
+    }
+
+    /// Settles the gap `[free_at, now]`: background cleaning progresses
+    /// during idle time (suspended during I/O, which is modeled by only
+    /// advancing it here), idle power covers the remainder.
+    fn settle(&mut self, now: SimTime) -> SimTime {
+        if now <= self.free_at {
+            // No idle gap: FIFO queues, open-loop serves at arrival (the
+            // paper's independent-operation model). Background cleaning
+            // gets no time either way (it is suspended during I/O).
+            return match self.config.queueing {
+                mobistore_device::QueueDiscipline::Fifo => self.free_at,
+                mobistore_device::QueueDiscipline::OpenLoop => now,
+            };
+        }
+        let mut t = self.free_at;
+        while t < now {
+            if self.job.is_none() {
+                self.maybe_start_job();
+            }
+            let Some(job) = self.job.as_mut() else { break };
+            let slice = job.remaining.min(now - t);
+            job.remaining -= slice;
+            self.meter.charge_for("clean", self.config.params.active_power, slice);
+            t += slice;
+            if self.job.as_ref().expect("job exists").remaining.is_zero() {
+                let victim = self.job.take().expect("job exists").victim;
+                self.finish_job(victim);
+            }
+        }
+        if t < now {
+            self.meter.charge_for("idle", self.config.params.idle_power, now - t);
+        }
+        self.free_at = now;
+        now
+    }
+
+    /// Validates internal bookkeeping; used by tests and the property
+    /// suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn check_invariants(&self) {
+        let live_sum: u64 = self.segments.iter().map(|s| u64::from(s.live)).sum();
+        assert_eq!(live_sum, self.live_blocks, "segment live counts vs total");
+        assert_eq!(self.map.len() as u64, self.live_blocks, "map size vs live blocks");
+        assert!(self.live_blocks <= self.capacity_blocks());
+        let frontier = &self.segments[self.frontier as usize];
+        assert_eq!(frontier.state, SegState::Frontier);
+        assert!(frontier.used <= self.blocks_per_segment);
+        assert!(frontier.live <= frontier.used);
+        for (i, s) in self.segments.iter().enumerate() {
+            if s.state == SegState::Erased {
+                assert_eq!(s.live, 0, "erased segment {i} has live data");
+                assert!(
+                    self.erased.contains(&(i as u32)) || self.job.as_ref().is_some_and(|j| j.victim == i as u32),
+                    "erased segment {i} missing from pool"
+                );
+            }
+            assert!(s.live <= self.blocks_per_segment);
+        }
+        for &e in &self.erased {
+            assert_eq!(self.segments[e as usize].state, SegState::Erased);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobistore_device::params::intel_datasheet;
+    use mobistore_sim::units::KIB;
+
+    /// A small card: 4 segments x 128 KB = 512 KB, 1-KB blocks,
+    /// 128 blocks/segment.
+    fn small_card(mode: CleanerMode) -> FlashCardStore {
+        FlashCardStore::new(FlashCardConfig {
+            params: intel_datasheet(),
+            block_size: KIB,
+            capacity_bytes: 512 * KIB,
+            mode,
+            victim_policy: VictimPolicy::GreedyMinLive,
+            queueing: mobistore_device::QueueDiscipline::Fifo,
+        })
+    }
+
+    #[test]
+    fn geometry() {
+        let card = small_card(CleanerMode::Background);
+        assert_eq!(card.capacity_blocks(), 512);
+        assert_eq!(card.free_blocks(), 512);
+        assert_eq!(card.live_blocks(), 0);
+        card.check_invariants();
+    }
+
+    #[test]
+    fn write_maps_blocks_and_consumes_space() {
+        let mut card = small_card(CleanerMode::Background);
+        let svc = card.write(SimTime::ZERO, 0, 8);
+        assert_eq!(card.live_blocks(), 8);
+        assert_eq!(card.free_blocks(), 504);
+        // 8 KB at 214 KB/s.
+        let secs = (svc.end - svc.start).as_secs_f64();
+        assert!((secs - 8.0 / 214.0).abs() < 1e-6, "{secs}");
+        card.check_invariants();
+    }
+
+    #[test]
+    fn overwrite_creates_dead_blocks_not_live() {
+        let mut card = small_card(CleanerMode::Background);
+        card.write(SimTime::ZERO, 0, 8);
+        let t = SimTime::from_secs_f64(10.0);
+        card.write(t, 0, 8);
+        assert_eq!(card.live_blocks(), 8, "overwrite does not grow live data");
+        assert_eq!(card.free_blocks(), 512 - 16, "but consumes new slots");
+        card.check_invariants();
+    }
+
+    #[test]
+    fn read_costs_time_but_no_space() {
+        let mut card = small_card(CleanerMode::Background);
+        card.write(SimTime::ZERO, 0, 4);
+        let free = card.free_blocks();
+        let svc = card.read(SimTime::from_secs_f64(5.0), 0, 4);
+        assert_eq!(card.free_blocks(), free);
+        let secs = (svc.end - svc.start).as_secs_f64();
+        assert!((secs - 4.0 / 9765.0).abs() < 1e-6, "{secs}");
+    }
+
+    #[test]
+    fn trim_reduces_live() {
+        let mut card = small_card(CleanerMode::Background);
+        card.write(SimTime::ZERO, 0, 8);
+        card.trim(0, 4);
+        assert_eq!(card.live_blocks(), 4);
+        // Trimming unmapped blocks is a no-op.
+        card.trim(100, 4);
+        assert_eq!(card.live_blocks(), 4);
+        card.check_invariants();
+    }
+
+    #[test]
+    fn preload_is_instant() {
+        let mut card = small_card(CleanerMode::Background);
+        card.preload(0..300);
+        assert_eq!(card.live_blocks(), 300);
+        assert!((card.utilization() - 300.0 / 512.0).abs() < 1e-9);
+        assert_eq!(card.energy().get(), 0.0);
+        card.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "safe capacity")]
+    fn preload_cannot_fill_past_slack() {
+        let mut card = small_card(CleanerMode::Background);
+        card.preload(0..512);
+    }
+
+    #[test]
+    fn preload_aged_spreads_live_data() {
+        let mut card = small_card(CleanerMode::Background);
+        card.preload_aged(0..192); // 37.5% of 512 blocks
+        card.check_invariants();
+        assert_eq!(card.live_blocks(), 192);
+        // Only the frontier (128 slots) and one reserve segment are free.
+        assert_eq!(card.free_blocks(), 256);
+        // The first cleaning after the pool drains copies roughly an even
+        // share of the live data (192 / 2 fillable segments = 96).
+        let mut t = SimTime::ZERO;
+        let mut lbn = 1000;
+        while card.counters().erasures == 0 {
+            t = card.write(t, lbn, 1).end;
+            lbn += 1;
+            assert!(lbn < 2000, "cleaning never triggered");
+        }
+        // The triggering write may immediately start (and logically copy
+        // for) the *next* job after the first erase, so either one or two
+        // 96-block shares are copied by now.
+        let copied = card.counters().blocks_copied;
+        assert!(copied == 96 || copied == 192, "copied {copied}");
+        card.check_invariants();
+    }
+
+    #[test]
+    fn aged_cleaning_cost_scales_with_utilization() {
+        // The Figure 2 mechanism in miniature: on an aged card the same
+        // write workload costs more cleaning time at higher utilization.
+        // 16 segments x 128 KB = 2048 blocks.
+        let run = |live: u64| {
+            let mut card = FlashCardStore::new(FlashCardConfig {
+                params: intel_datasheet(),
+                block_size: KIB,
+                capacity_bytes: 2 * 1024 * KIB,
+                mode: CleanerMode::Background,
+                victim_policy: VictimPolicy::GreedyMinLive,
+                queueing: mobistore_device::QueueDiscipline::Fifo,
+            });
+            card.preload_aged(0..live);
+            let mut t = SimTime::ZERO;
+            for lbn in 0..600 {
+                t = card.write(t, lbn % live, 1).end;
+            }
+            card.check_invariants();
+            card.meter().category("clean").get()
+        };
+        let low = run(820); // 40%
+        let high = run(1434); // 70%
+        assert!(high > low, "clean energy {low} -> {high}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fillable")]
+    fn aged_preload_rejects_overfill() {
+        let mut card = small_card(CleanerMode::Background);
+        card.preload_aged(0..300); // > 2 x 128 fillable
+    }
+
+    #[test]
+    fn background_cleaning_runs_in_idle_gaps() {
+        let mut card = small_card(CleanerMode::Background);
+        // Fill three segments; the advance into segment 3 drains the erased
+        // pool and launches a background job.
+        let mut t = card.write(SimTime::ZERO, 0, 128).end;
+        t = card.write(t, 128, 128).end;
+        card.trim(0, 128); // segment 0 fully dead: the obvious victim
+        t = card.write(t, 256, 129).end; // fills seg 2, opens seg 3
+        assert_eq!(card.counters().erasures, 0, "job not finished yet");
+        // A long idle gap lets the job copy (nothing) and erase.
+        let later = t + SimDuration::from_secs(60);
+        let svc = card.read(later, 128, 1);
+        assert_eq!(svc.start, later, "reads never wait for cleaning");
+        assert_eq!(card.counters().erasures, 1, "idle gap erased the victim");
+        assert!(card.meter().category("clean").get() > 0.0);
+        card.check_invariants();
+    }
+
+    #[test]
+    fn write_waits_when_cleaner_cannot_keep_up() {
+        let mut card = small_card(CleanerMode::Background);
+        card.preload(0..300);
+        // Overwrite continuously with zero idle time: the background job
+        // gets no gaps, so some write must stall for it.
+        let mut t = SimTime::ZERO;
+        for round in 0u64..3 {
+            for lbn in 0..300 {
+                t = card.write(t, lbn, 1).end;
+                let _ = round;
+            }
+        }
+        assert!(card.counters().cleaning_waits >= 1, "no write ever waited");
+        assert!(card.counters().erasures >= 1);
+        card.check_invariants();
+    }
+
+    #[test]
+    fn on_demand_write_pays_whole_cleaning() {
+        let mut card = small_card(CleanerMode::OnDemand);
+        card.preload(0..300);
+        let mut t = SimTime::ZERO;
+        let mut max_response = SimDuration::ZERO;
+        for lbn in 0..300 {
+            let svc = card.write(t, lbn, 1);
+            max_response = max_response.max(svc.end - t);
+            t = svc.end;
+        }
+        assert!(card.counters().cleaning_waits >= 1);
+        // Some write absorbed a full erase (1.6 s) plus copying.
+        assert!(max_response.as_secs_f64() > 1.6, "{max_response}");
+        card.check_invariants();
+    }
+
+    #[test]
+    fn greedy_picks_lowest_utilization_victim() {
+        let mut card = small_card(CleanerMode::OnDemand);
+        // Segment 0: 128 blocks, then kill 100 (28 live).
+        let mut t = card.write(SimTime::ZERO, 0, 128).end;
+        // Segment 1: 128 blocks, kill 10 (118 live).
+        t = card.write(t, 128, 128).end;
+        card.trim(0, 100);
+        card.trim(128, 10);
+        // Fill until the pool drains and the first cleaning fires.
+        let mut lbn = 300;
+        while card.counters().erasures == 0 {
+            t = card.write(t, lbn, 1).end;
+            lbn += 1;
+            assert!(lbn < 900, "cleaning never triggered");
+        }
+        // The victim must have been segment 0 (28 live copied, not 118).
+        assert_eq!(card.counters().blocks_copied, 28);
+        card.check_invariants();
+    }
+
+    #[test]
+    fn cleaning_copies_preserve_data_mapping() {
+        let mut card = small_card(CleanerMode::OnDemand);
+        card.preload(0..300);
+        let mut t = SimTime::ZERO;
+        for round in 0..3 {
+            for lbn in 0..200 {
+                t = card.write(t, lbn, 1).end;
+            }
+            // All 300 lbns must stay live through arbitrary cleaning.
+            assert_eq!(card.live_blocks(), 300, "round {round}");
+            card.check_invariants();
+        }
+    }
+
+    #[test]
+    fn wear_tracks_erasures() {
+        let mut card = small_card(CleanerMode::OnDemand);
+        card.preload(0..300);
+        let mut t = SimTime::ZERO;
+        for lbn in 0..200 {
+            t = card.write(t, lbn, 1).end;
+        }
+        for lbn in 0..200 {
+            t = card.write(t, lbn, 1).end;
+        }
+        let wear = card.wear();
+        assert!(wear.total >= 1);
+        assert!(wear.max_erase >= 1);
+        assert!((wear.mean_erase - wear.total as f64 / 4.0).abs() < 1e-9);
+        assert_eq!(wear.total, card.counters().erasures);
+    }
+
+    #[test]
+    fn higher_utilization_copies_more() {
+        // The §5.2 effect in miniature: the same overwrite workload at 40%
+        // vs 90% utilization copies more live data and erases more often.
+        // 16 segments x 128 KB = 2 MB = 2048 blocks.
+        let run = |preload: u64| {
+            let mut card = FlashCardStore::new(FlashCardConfig {
+                params: intel_datasheet(),
+                block_size: KIB,
+                capacity_bytes: 2 * 1024 * KIB,
+                mode: CleanerMode::Background,
+                victim_policy: VictimPolicy::GreedyMinLive,
+                queueing: mobistore_device::QueueDiscipline::Fifo,
+            });
+            card.preload(0..preload);
+            let mut t = SimTime::ZERO;
+            let mut lbn = 0u64;
+            for _ in 0..4000 {
+                // Tight interarrival so cleaning mostly cannot hide in idle
+                // gaps.
+                let at = t + SimDuration::from_micros(100);
+                t = card.write(at, lbn % preload, 1).end;
+                lbn += 7; // Stride spreads overwrites across segments.
+            }
+            card.check_invariants();
+            (card.counters().blocks_copied, card.counters().erasures, card.energy().get())
+        };
+        let (copied_low, erase_low, energy_low) = run(820); // 40%
+        let (copied_high, erase_high, energy_high) = run(1845); // 90%
+        assert!(copied_high > copied_low, "copies: {copied_high} vs {copied_low}");
+        assert!(erase_high >= erase_low, "erasures: {erase_high} vs {erase_low}");
+        assert!(energy_high > energy_low, "energy: {energy_high} vs {energy_low}");
+    }
+
+    #[test]
+    fn fifo_policy_picks_oldest() {
+        let mut card = FlashCardStore::new(FlashCardConfig {
+            params: intel_datasheet(),
+            block_size: KIB,
+            capacity_bytes: 512 * KIB,
+            mode: CleanerMode::OnDemand,
+            victim_policy: VictimPolicy::Fifo,
+            queueing: mobistore_device::QueueDiscipline::Fifo,
+        });
+        // Fill segments 0 and 1; segment 0 is oldest.
+        let mut t = card.write(SimTime::ZERO, 0, 128).end;
+        t = card.write(t, 128, 128).end;
+        card.trim(0, 20); // seg 0: 108 live
+        card.trim(128, 100); // seg 1: 28 live (greedy would pick this)
+        let mut lbn = 300;
+        while card.counters().erasures == 0 {
+            t = card.write(t, lbn, 1).end;
+            lbn += 1;
+            assert!(lbn < 900, "cleaning never triggered");
+        }
+        // FIFO copied the 108 live blocks of the *older* segment 0.
+        assert_eq!(card.counters().blocks_copied, 108);
+        card.check_invariants();
+    }
+
+    #[test]
+    fn wear_aware_policy_narrows_the_wear_spread() {
+        // A skewed overwrite workload: greedy recycles the same hot
+        // segments forever; the wear-aware policy spreads erasures, so the
+        // worst segment's count drops even if total work rises a little.
+        let run = |policy: VictimPolicy| {
+            let mut card = FlashCardStore::new(FlashCardConfig {
+                params: intel_datasheet(),
+                block_size: KIB,
+                capacity_bytes: 2 * 1024 * KIB,
+                mode: CleanerMode::Background,
+                victim_policy: policy,
+                queueing: mobistore_device::QueueDiscipline::Fifo,
+            });
+            card.preload_aged(0..1600); // 78% full, mostly cold
+            let mut t = SimTime::ZERO;
+            for i in 0..20_000u64 {
+                // Overwrite a tiny hot set (32 blocks) relentlessly.
+                t = card.write(t, i % 32, 1).end;
+            }
+            card.check_invariants();
+            card.wear()
+        };
+        let greedy = run(VictimPolicy::GreedyMinLive);
+        let aware = run(VictimPolicy::WearAware);
+        assert!(
+            f64::from(aware.max_erase) < f64::from(greedy.max_erase) * 0.7,
+            "aware max {} vs greedy max {}",
+            aware.max_erase,
+            greedy.max_erase
+        );
+        // Leveling is not free: spreading a 1.5%-of-card hot spot costs
+        // extra copies and erasures (the §2 trade-off made quantitative);
+        // the tax stays within a small factor.
+        assert!(
+            (aware.total as f64) < greedy.total as f64 * 4.0,
+            "aware total {} vs greedy {}",
+            aware.total,
+            greedy.total
+        );
+    }
+
+    #[test]
+    fn reset_metrics_can_keep_or_clear_wear() {
+        let mut card = small_card(CleanerMode::OnDemand);
+        card.preload(0..300);
+        let mut t = SimTime::ZERO;
+        for lbn in 0..250 {
+            t = card.write(t, lbn, 1).end;
+        }
+        assert!(card.wear().total > 0);
+        card.reset_metrics(false);
+        assert_eq!(card.energy().get(), 0.0);
+        assert!(card.wear().total > 0, "wear preserved");
+        card.reset_metrics(true);
+        assert_eq!(card.wear().total, 0);
+    }
+}

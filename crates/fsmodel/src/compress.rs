@@ -1,0 +1,104 @@
+//! Software compression (DoubleSpace, Stacker, MFFS built-in).
+//!
+//! §3: the CU140 and SDP10 could run with DoubleSpace and Stacker; MFFS
+//! 2.00 compresses always. The compressible corpus was the first 2 Kbytes
+//! of *Moby-Dick* repeated, "obtaining compression ratios around 50%";
+//! completely random data does not compress, and reads of uncompressible
+//! data skip the decompression step entirely ("about twice the bandwidth",
+//! §3).
+
+use mobistore_sim::time::SimDuration;
+use mobistore_sim::units::Bandwidth;
+
+/// The two data classes the paper's benchmarks distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataClass {
+    /// Completely random bytes: incompressible; reads skip decompression.
+    Random,
+    /// The repeated Moby-Dick text: compresses ~2:1.
+    Compressible,
+}
+
+/// A software compressor model: a ratio plus CPU throughput on the
+/// OmniBook's 25-MHz 386SXLV.
+#[derive(Debug, Clone)]
+pub struct Compressor {
+    /// Output/input size ratio for compressible data (paper: ≈ 0.5).
+    pub ratio: f64,
+    /// Compression throughput (input bytes per second).
+    pub compress_bw: Bandwidth,
+    /// Decompression throughput (output bytes per second).
+    pub decompress_bw: Bandwidth,
+}
+
+impl Compressor {
+    /// Creates a compressor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is outside `(0, 1]`.
+    pub fn new(ratio: f64, compress_bw: Bandwidth, decompress_bw: Bandwidth) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio out of range: {ratio}");
+        Compressor { ratio, compress_bw, decompress_bw }
+    }
+
+    /// Bytes that reach the device after compression.
+    pub fn stored_bytes(&self, bytes: u64, class: DataClass) -> u64 {
+        match class {
+            DataClass::Random => bytes,
+            DataClass::Compressible => ((bytes as f64 * self.ratio).ceil() as u64).max(1),
+        }
+    }
+
+    /// CPU time to compress `bytes` of input; the compressor always runs,
+    /// even on data that turns out incompressible.
+    pub fn compress_time(&self, bytes: u64) -> SimDuration {
+        self.compress_bw.transfer_time(bytes)
+    }
+
+    /// CPU time to decompress back to `bytes` of output; random data skips
+    /// the step (§3).
+    pub fn decompress_time(&self, bytes: u64, class: DataClass) -> SimDuration {
+        match class {
+            DataClass::Random => SimDuration::ZERO,
+            DataClass::Compressible => self.decompress_bw.transfer_time(bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp() -> Compressor {
+        Compressor::new(0.5, Bandwidth::from_kib_per_s(250.0), Bandwidth::from_kib_per_s(500.0))
+    }
+
+    #[test]
+    fn ratio_applies_to_compressible_only() {
+        let c = comp();
+        assert_eq!(c.stored_bytes(4096, DataClass::Compressible), 2048);
+        assert_eq!(c.stored_bytes(4096, DataClass::Random), 4096);
+        assert_eq!(c.stored_bytes(1, DataClass::Compressible), 1, "never zero");
+    }
+
+    #[test]
+    fn random_reads_skip_decompression() {
+        let c = comp();
+        assert_eq!(c.decompress_time(4096, DataClass::Random), SimDuration::ZERO);
+        assert!(c.decompress_time(4096, DataClass::Compressible) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn compression_always_costs_cpu() {
+        let c = comp();
+        let t = c.compress_time(250 * 1024);
+        assert_eq!(t, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_ratio_rejected() {
+        let _ = Compressor::new(1.5, Bandwidth::from_kib_per_s(1.0), Bandwidth::from_kib_per_s(1.0));
+    }
+}

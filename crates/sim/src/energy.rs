@@ -1,0 +1,271 @@
+//! Energy and power accounting.
+//!
+//! The paper's central metric is total energy consumed by the storage system
+//! (Table 4, Figures 2, 4, 5). Devices are modeled as spending wall-clock
+//! time in *power states* (active, idle, sleeping, spinning up, …), each with
+//! a constant power draw; energy is the power × time integral.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, Sub};
+
+use crate::time::SimDuration;
+
+/// An amount of energy, in joules.
+///
+/// # Examples
+///
+/// ```
+/// use mobistore_sim::energy::{Joules, Watts};
+/// use mobistore_sim::time::SimDuration;
+///
+/// let e = Watts(2.0) * SimDuration::from_secs(3);
+/// assert_eq!(e, Joules(6.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Joules(pub f64);
+
+/// A power draw, in watts.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Watts(pub f64);
+
+impl Joules {
+    /// Zero energy.
+    pub const ZERO: Joules = Joules(0.0);
+
+    /// Returns the raw joule count.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Watts {
+    /// Zero power draw.
+    pub const ZERO: Watts = Watts(0.0);
+
+    /// Returns the raw watt value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Mul<SimDuration> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: SimDuration) -> Joules {
+        Joules(self.0 * rhs.as_secs_f64())
+    }
+}
+
+impl Add for Joules {
+    type Output = Joules;
+    fn add(self, rhs: Joules) -> Joules {
+        Joules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Joules {
+    fn add_assign(&mut self, rhs: Joules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Joules {
+    type Output = Joules;
+    fn sub(self, rhs: Joules) -> Joules {
+        Joules(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Joules {
+    fn sum<I: Iterator<Item = Joules>>(iter: I) -> Joules {
+        iter.fold(Joules::ZERO, |acc, j| acc + j)
+    }
+}
+
+impl fmt::Debug for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}J", self.0)
+    }
+}
+
+impl fmt::Display for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} J", self.0)
+    }
+}
+
+impl fmt::Debug for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}W", self.0)
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} W", self.0)
+    }
+}
+
+/// Accumulates energy, optionally broken down by a small set of named
+/// categories (e.g. "active", "idle", "spin-up").
+///
+/// Categories are fixed at construction; charging to an unknown category
+/// panics, which catches typos in device code early.
+///
+/// # Examples
+///
+/// ```
+/// use mobistore_sim::energy::{EnergyMeter, Watts};
+/// use mobistore_sim::time::SimDuration;
+///
+/// let mut meter = EnergyMeter::new(&["active", "idle"]);
+/// meter.charge("active", Watts(1.75) * SimDuration::from_secs(2));
+/// meter.charge("idle", Watts(0.7) * SimDuration::from_secs(10));
+/// assert!((meter.total().get() - 10.5).abs() < 1e-9);
+/// assert_eq!(meter.category("active").get(), 3.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    categories: Vec<(&'static str, Joules, SimDuration)>,
+}
+
+impl EnergyMeter {
+    /// Creates a meter with the given category names.
+    pub fn new(categories: &[&'static str]) -> Self {
+        EnergyMeter {
+            categories: categories
+                .iter()
+                .map(|&name| (name, Joules::ZERO, SimDuration::ZERO))
+                .collect(),
+        }
+    }
+
+    /// Adds `energy` to `category` without attributing any state time
+    /// (e.g. a fixed per-operation cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `category` was not declared at construction.
+    pub fn charge(&mut self, category: &str, energy: Joules) {
+        let slot = self.slot(category);
+        slot.1 += energy;
+    }
+
+    /// Charges `power × duration` to `category` and attributes the
+    /// duration as time spent in that state, enabling duty-cycle reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `category` was not declared at construction.
+    pub fn charge_for(&mut self, category: &str, power: Watts, duration: SimDuration) {
+        let slot = self.slot(category);
+        slot.1 += power * duration;
+        slot.2 += duration;
+    }
+
+    fn slot(&mut self, category: &str) -> &mut (&'static str, Joules, SimDuration) {
+        self.categories
+            .iter_mut()
+            .find(|(name, _, _)| *name == category)
+            .unwrap_or_else(|| panic!("unknown energy category: {category}"))
+    }
+
+    /// Returns the energy charged to `category`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `category` was not declared at construction.
+    pub fn category(&self, category: &str) -> Joules {
+        self.categories
+            .iter()
+            .find(|(name, _, _)| *name == category)
+            .map(|(_, e, _)| *e)
+            .unwrap_or_else(|| panic!("unknown energy category: {category}"))
+    }
+
+    /// Returns the time attributed to `category` via
+    /// [`charge_for`](Self::charge_for).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `category` was not declared at construction.
+    pub fn category_time(&self, category: &str) -> SimDuration {
+        self.categories
+            .iter()
+            .find(|(name, _, _)| *name == category)
+            .map(|(_, _, d)| *d)
+            .unwrap_or_else(|| panic!("unknown energy category: {category}"))
+    }
+
+    /// Returns total energy across all categories.
+    pub fn total(&self) -> Joules {
+        self.categories.iter().map(|(_, e, _)| *e).sum()
+    }
+
+    /// Iterates over `(category, energy)` pairs in declaration order.
+    pub fn breakdown(&self) -> impl Iterator<Item = (&'static str, Joules)> + '_ {
+        self.categories.iter().map(|(n, e, _)| (*n, *e))
+    }
+
+    /// Iterates over `(category, energy, attributed time)` triples in
+    /// declaration order.
+    pub fn breakdown_timed(&self) -> impl Iterator<Item = (&'static str, Joules, SimDuration)> + '_ {
+        self.categories.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts(0.5) * SimDuration::from_millis(2_000);
+        assert!((e.get() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joule_arithmetic() {
+        let a = Joules(1.5);
+        let b = Joules(0.5);
+        assert_eq!((a + b).get(), 2.0);
+        assert_eq!((a - b).get(), 1.0);
+        let total: Joules = [a, b, b].into_iter().sum();
+        assert_eq!(total.get(), 2.5);
+    }
+
+    #[test]
+    fn meter_accumulates_per_category() {
+        let mut m = EnergyMeter::new(&["a", "b"]);
+        m.charge("a", Joules(1.0));
+        m.charge("a", Joules(2.0));
+        m.charge("b", Joules(4.0));
+        assert_eq!(m.category("a").get(), 3.0);
+        assert_eq!(m.category("b").get(), 4.0);
+        assert_eq!(m.total().get(), 7.0);
+        let names: Vec<_> = m.breakdown().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn charge_for_tracks_time_and_energy() {
+        let mut m = EnergyMeter::new(&["active", "idle"]);
+        m.charge_for("active", Watts(2.0), SimDuration::from_secs(3));
+        m.charge_for("active", Watts(1.0), SimDuration::from_secs(1));
+        m.charge("active", Joules(0.5)); // Untimed surcharge.
+        assert!((m.category("active").get() - 7.5).abs() < 1e-12);
+        assert_eq!(m.category_time("active"), SimDuration::from_secs(4));
+        assert_eq!(m.category_time("idle"), SimDuration::ZERO);
+        let timed: Vec<_> = m.breakdown_timed().collect();
+        assert_eq!(timed.len(), 2);
+        assert_eq!(timed[0].0, "active");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown energy category")]
+    fn unknown_category_panics() {
+        let mut m = EnergyMeter::new(&["a"]);
+        m.charge("nope", Joules(1.0));
+    }
+}

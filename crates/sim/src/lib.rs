@@ -1,0 +1,33 @@
+//! Discrete-event simulation substrate for the `mobistore` reproduction of
+//! *Storage Alternatives for Mobile Computers* (Douglis et al., OSDI '94).
+//!
+//! This crate holds the domain-independent pieces every other crate builds
+//! on:
+//!
+//! * [`time`] — an integer-nanosecond simulated clock ([`time::SimTime`],
+//!   [`time::SimDuration`]);
+//! * [`energy`] — joule/watt units and the per-category [`energy::EnergyMeter`];
+//! * [`units`] — byte sizes and [`units::Bandwidth`] (Kbytes/s, as in the
+//!   paper);
+//! * [`stats`] — streaming mean/max/σ ([`stats::OnlineStats`]) matching the
+//!   columns of the paper's Table 4;
+//! * [`rng`] — a deterministic PCG32 generator and the distribution samplers
+//!   (exponential, log-normal, Zipf) used by the workload generators.
+//!
+//! Everything is deterministic: integer time plus a seeded RNG make each
+//! experiment reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use energy::{EnergyMeter, Joules, Watts};
+pub use rng::SimRng;
+pub use stats::{OnlineStats, Summary};
+pub use time::{SimDuration, SimTime};
+pub use units::{Bandwidth, KIB, MIB};

@@ -1,0 +1,333 @@
+//! Deterministic random-number generation and distribution sampling.
+//!
+//! Every stochastic component of the reproduction (workload generators, file
+//! placement, synthetic data) draws from [`SimRng`], a small PCG32 generator.
+//! A fixed seed therefore reproduces every experiment bit-for-bit, on any
+//! platform. Distribution samplers beyond uniform (exponential, log-normal,
+//! Zipf, bounded Pareto) are implemented here so the simulator needs no
+//! external randomness crates.
+
+/// A deterministic PCG32 (XSH-RR) pseudo-random generator.
+///
+/// # Examples
+///
+/// ```
+/// use mobistore_sim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from_u64(42);
+/// let mut b = SimRng::seed_from_u64(42);
+/// assert_eq!(a.next_u32(), b.next_u32());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed with the default stream.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng::seed_with_stream(seed, 0xda3e_39cb_94b9_5bdb)
+    }
+
+    /// Creates a generator from a seed and a stream selector; different
+    /// streams with the same seed are statistically independent.
+    pub fn seed_with_stream(seed: u64, stream: u64) -> Self {
+        let inc = (stream << 1) | 1;
+        let mut rng = SimRng { state: 0, inc };
+        rng.step();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.step();
+        rng
+    }
+
+    fn step(&mut self) {
+        self.state = self.state.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+    }
+
+    /// Returns the next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.step();
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        // 53 random mantissa bits give a uniform dyadic rational in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi})");
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Returns a uniform integer in `[0, n)` without modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is empty");
+        // Lemire-style rejection on the widening multiply.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniform integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "bad range [{lo}, {hi}]");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.f64() < p
+    }
+
+    /// Samples an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive: {mean}");
+        // Inverse-CDF; (1 - f64()) avoids ln(0).
+        -mean * (1.0 - self.f64()).ln()
+    }
+
+    /// Samples a standard normal via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.f64(); // (0, 1]: safe for ln
+        let u2: f64 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+
+    /// Samples a log-normal distribution parameterised by the *target*
+    /// arithmetic mean and standard deviation of the resulting values.
+    ///
+    /// This is the heavy-tailed interarrival model used to match the paper's
+    /// Table 3 statistics (mean ≪ σ ≪ max).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` or `std` is not finite and positive.
+    pub fn lognormal_mean_std(&mut self, mean: f64, std: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive: {mean}");
+        assert!(std.is_finite() && std > 0.0, "std must be positive: {std}");
+        let variance_ratio = (std / mean).powi(2);
+        let sigma2 = (1.0 + variance_ratio).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        (mu + sigma2.sqrt() * self.standard_normal()).exp()
+    }
+}
+
+/// A Zipf-like discrete distribution over `0..n`, used for file popularity.
+///
+/// Rank `k` (0-based) is drawn with probability proportional to
+/// `1 / (k + 1)^s`.
+///
+/// # Examples
+///
+/// ```
+/// use mobistore_sim::rng::{SimRng, Zipf};
+///
+/// let mut rng = SimRng::seed_from_u64(7);
+/// let zipf = Zipf::new(100, 1.0);
+/// let x = zipf.sample(&mut rng);
+/// assert!(x < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` items with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        assert!(s.is_finite() && s >= 0.0, "bad Zipf exponent: {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Returns the number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns true if the distribution has exactly one item.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("NaN in CDF")) {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcg_is_deterministic_per_seed() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(1);
+        let mut c = SimRng::seed_from_u64(2);
+        let xs: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        let ys: Vec<u32> = (0..8).map(|_| b.next_u32()).collect();
+        let zs: Vec<u32> = (0..8).map(|_| c.next_u32()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn streams_differ() {
+        let mut a = SimRng::seed_with_stream(1, 10);
+        let mut b = SimRng::seed_with_stream(1, 11);
+        assert_ne!(
+            (0..4).map(|_| a.next_u32()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u32()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            counts[rng.below(5) as usize] += 1;
+        }
+        for &c in &counts {
+            // Each bucket should get 10k ± a generous tolerance.
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn range_inclusive_hits_bounds() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1_000 {
+            match rng.range_inclusive(3, 6) {
+                3 => saw_lo = true,
+                6 => saw_hi = true,
+                x => assert!((3..=6).contains(&x)),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(3.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_matches_target_moments() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.lognormal_mean_std(0.5, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+        // Heavy tail: variance estimate is noisy, allow wide tolerance.
+        assert!((var.sqrt() - 2.0).abs() < 0.5, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing_in_rank() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let zipf = Zipf::new(10, 1.0);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must dominate rank 9 by roughly the 10:1 Zipf ratio.
+        assert!(counts[0] > counts[9] * 5, "{counts:?}");
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let zipf = Zipf::new(4, 0.0);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(10);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+}

@@ -1,0 +1,456 @@
+//! Simulated time.
+//!
+//! All simulation time is carried as an integer number of nanoseconds so that
+//! every experiment is reproducible bit-for-bit. The traces in the paper span
+//! up to 4.4 days (≈ 3.8 × 10¹⁴ ns), comfortably inside `u64`.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulated clock, in nanoseconds since the start of the
+/// simulation.
+///
+/// `SimTime` is totally ordered and supports the usual instant/duration
+/// arithmetic: `SimTime ± SimDuration -> SimTime` and
+/// `SimTime - SimTime -> SimDuration`.
+///
+/// # Examples
+///
+/// ```
+/// use mobistore_sim::time::{SimDuration, SimTime};
+///
+/// let t0 = SimTime::ZERO;
+/// let t1 = t0 + SimDuration::from_millis(5);
+/// assert_eq!(t1 - t0, SimDuration::from_micros(5_000));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use mobistore_sim::time::SimDuration;
+///
+/// let d = SimDuration::from_secs(2) + SimDuration::from_millis(500);
+/// assert_eq!(d.as_secs_f64(), 2.5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant `nanos` nanoseconds after the simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant `secs` seconds after the simulation start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, non-finite, or too large for the clock.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime(ns_from_secs_f64(secs))
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as fractional seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the duration elapsed since `earlier`, or `SimDuration::ZERO`
+    /// if `earlier` is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The maximum representable duration; useful as an "infinite" timeout.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration of `nanos` nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a duration of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a duration of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a duration of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a duration of `mins` minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60 * 1_000_000_000)
+    }
+
+    /// Creates a duration of `hours` hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3_600 * 1_000_000_000)
+    }
+
+    /// Creates a duration of `days` days.
+    pub const fn from_days(days: u64) -> Self {
+        SimDuration(days * 86_400 * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, non-finite, or too large for the clock.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration(ns_from_secs_f64(secs))
+    }
+
+    /// Creates a duration from fractional milliseconds, rounding to the
+    /// nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `millis` is negative, non-finite, or too large.
+    pub fn from_millis_f64(millis: f64) -> Self {
+        SimDuration::from_secs_f64(millis / 1e3)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the duration as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns `self - other`, or `ZERO` if `other` is larger.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns true if this is the empty duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Multiplies the duration by a non-negative scalar, rounding to the
+    /// nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative, non-finite, or the result overflows.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        SimDuration(ns_from_secs_f64(self.as_secs_f64() * factor))
+    }
+
+    /// Divides this duration by another, returning the ratio as `f64`.
+    ///
+    /// Returns `f64::INFINITY` when dividing a non-zero duration by zero and
+    /// `0.0` when both are zero.
+    pub fn ratio(self, other: SimDuration) -> f64 {
+        if other.0 == 0 {
+            if self.0 == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+}
+
+fn ns_from_secs_f64(secs: f64) -> u64 {
+    assert!(
+        secs.is_finite() && secs >= 0.0,
+        "time must be finite and non-negative, got {secs}"
+    );
+    let ns = secs * 1e9;
+    assert!(ns <= u64::MAX as f64, "time overflows the simulated clock: {secs}s");
+    ns.round() as u64
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("simulated clock overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("simulated clock underflow"))
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("subtracting a later SimTime from an earlier one"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("subtracting a longer duration from a shorter one"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("duration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({})", format_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_ns(self.0))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimDuration({})", format_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_ns(self.0))
+    }
+}
+
+/// Formats a nanosecond count with a human-friendly unit.
+fn format_ns(ns: u64) -> String {
+    if ns == 0 {
+        "0s".to_owned()
+    } else if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
+        assert_eq!(SimDuration::from_mins(1), SimDuration::from_secs(60));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
+        assert_eq!(SimDuration::from_days(1), SimDuration::from_hours(24));
+    }
+
+    #[test]
+    fn instant_duration_arithmetic() {
+        let t = SimTime::from_nanos(100);
+        let d = SimDuration::from_nanos(40);
+        assert_eq!((t + d).as_nanos(), 140);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let early = SimTime::from_nanos(10);
+        let late = SimTime::from_nanos(50);
+        assert_eq!(late.saturating_since(early).as_nanos(), 40);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let d = SimDuration::from_secs_f64(1.25);
+        assert_eq!(d.as_nanos(), 1_250_000_000);
+        assert_eq!(d.as_secs_f64(), 1.25);
+        assert_eq!(d.as_millis_f64(), 1250.0);
+    }
+
+    #[test]
+    fn from_millis_f64_rounds_to_ns() {
+        assert_eq!(SimDuration::from_millis_f64(25.7).as_nanos(), 25_700_000);
+        assert_eq!(SimDuration::from_millis_f64(0.0005).as_nanos(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_seconds_panic() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier")]
+    fn time_subtraction_underflow_panics() {
+        let _ = SimTime::from_nanos(1) - SimTime::from_nanos(2);
+    }
+
+    #[test]
+    fn mul_and_div() {
+        let d = SimDuration::from_millis(3);
+        assert_eq!(d * 4, SimDuration::from_millis(12));
+        assert_eq!(d / 3, SimDuration::from_millis(1));
+        assert_eq!(d.mul_f64(0.5), SimDuration::from_micros(1_500));
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        let d = SimDuration::from_secs(1);
+        assert_eq!(d.ratio(SimDuration::from_secs(2)), 0.5);
+        assert_eq!(SimDuration::ZERO.ratio(SimDuration::ZERO), 0.0);
+        assert_eq!(d.ratio(SimDuration::ZERO), f64::INFINITY);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_nanos(5).to_string(), "5ns");
+        assert_eq!(SimDuration::from_micros(5).to_string(), "5.000us");
+        assert_eq!(SimDuration::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(SimDuration::from_secs(5).to_string(), "5.000s");
+        assert_eq!(SimDuration::ZERO.to_string(), "0s");
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimDuration::from_secs(1);
+        let b = SimDuration::from_secs(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let ta = SimTime::from_nanos(1);
+        let tb = SimTime::from_nanos(2);
+        assert_eq!(ta.max(tb), tb);
+        assert_eq!(ta.min(tb), ta);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = [1u64, 2, 3].iter().map(|&s| SimDuration::from_secs(s)).sum();
+        assert_eq!(total, SimDuration::from_secs(6));
+    }
+}

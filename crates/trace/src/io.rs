@@ -1,0 +1,183 @@
+//! Plain-text (de)serialisation of disk-level traces.
+//!
+//! The format is one operation per line:
+//!
+//! ```text
+//! # mobistore trace v1 block_size=1024
+//! 0 write 0 4 1
+//! 1000000 read 0 2 1
+//! ```
+//!
+//! Fields: `time_ns kind lbn blocks file_id`, space-separated. Lines
+//! beginning with `#` are comments, except the mandatory header carrying the
+//! block size. The format exists so generated workloads can be archived and
+//! replayed outside the library (e.g. by the `repro` binary's `--dump`
+//! mode).
+
+use std::fmt::Write as _;
+
+use mobistore_sim::time::SimTime;
+
+use crate::record::{DiskOp, DiskOpKind, FileId, Trace};
+
+/// An error produced when parsing a textual trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialises a trace to the v1 text format.
+pub fn write_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# mobistore trace v1 block_size={}", trace.block_size);
+    for op in &trace.ops {
+        let kind = match op.kind {
+            DiskOpKind::Read => "read",
+            DiskOpKind::Write => "write",
+            DiskOpKind::Trim => "trim",
+        };
+        let _ = writeln!(out, "{} {} {} {} {}", op.time.as_nanos(), kind, op.lbn, op.blocks, op.file.0);
+    }
+    out
+}
+
+/// Parses a trace from the v1 text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line on any malformed
+/// input, missing header, or out-of-order timestamps.
+pub fn read_text(text: &str) -> Result<Trace, ParseError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError { line: 1, message: "empty input".into() })?;
+    let block_size = parse_header(header).ok_or_else(|| ParseError {
+        line: 1,
+        message: format!("bad header: {header:?}"),
+    })?;
+
+    let mut trace = Trace::new(block_size);
+    let mut last_time = 0u64;
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_ascii_whitespace();
+        let op = (|| -> Option<DiskOp> {
+            let time: u64 = fields.next()?.parse().ok()?;
+            let kind = match fields.next()? {
+                "read" => DiskOpKind::Read,
+                "write" => DiskOpKind::Write,
+                "trim" => DiskOpKind::Trim,
+                _ => return None,
+            };
+            let lbn: u64 = fields.next()?.parse().ok()?;
+            let blocks: u32 = fields.next()?.parse().ok()?;
+            let file: u64 = fields.next()?.parse().ok()?;
+            if fields.next().is_some() {
+                return None;
+            }
+            Some(DiskOp { time: SimTime::from_nanos(time), kind, lbn, blocks, file: FileId(file) })
+        })()
+        .ok_or_else(|| ParseError { line: lineno, message: format!("malformed record: {line:?}") })?;
+
+        if op.time.as_nanos() < last_time {
+            return Err(ParseError { line: lineno, message: "timestamps not sorted".into() });
+        }
+        last_time = op.time.as_nanos();
+        trace.push(op);
+    }
+    Ok(trace)
+}
+
+fn parse_header(header: &str) -> Option<u64> {
+    let rest = header.strip_prefix("# mobistore trace v1 block_size=")?;
+    rest.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new(512);
+        t.push(DiskOp {
+            time: SimTime::from_nanos(10),
+            kind: DiskOpKind::Write,
+            lbn: 3,
+            blocks: 2,
+            file: FileId(7),
+        });
+        t.push(DiskOp {
+            time: SimTime::from_nanos(20),
+            kind: DiskOpKind::Trim,
+            lbn: 3,
+            blocks: 2,
+            file: FileId(7),
+        });
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let text = write_text(&t);
+        let back = read_text(&text).unwrap();
+        assert_eq!(back.block_size, t.block_size);
+        assert_eq!(back.ops, t.ops);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# mobistore trace v1 block_size=1024\n\n# a comment\n5 read 0 1 0\n";
+        let t = read_text(text).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.block_size, 1024);
+    }
+
+    #[test]
+    fn missing_header_is_error() {
+        let err = read_text("5 read 0 1 0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn malformed_record_names_line() {
+        let text = "# mobistore trace v1 block_size=1024\n5 scribble 0 1 0\n";
+        let err = read_text(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("malformed"));
+    }
+
+    #[test]
+    fn extra_fields_rejected() {
+        let text = "# mobistore trace v1 block_size=1024\n5 read 0 1 0 99\n";
+        assert!(read_text(text).is_err());
+    }
+
+    #[test]
+    fn unsorted_times_rejected() {
+        let text = "# mobistore trace v1 block_size=1024\n5 read 0 1 0\n4 read 0 1 0\n";
+        let err = read_text(text).unwrap_err();
+        assert!(err.message.contains("sorted"));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(read_text("").is_err());
+    }
+}

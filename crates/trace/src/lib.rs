@@ -1,0 +1,27 @@
+//! Trace infrastructure for the `mobistore` reproduction of *Storage
+//! Alternatives for Mobile Computers* (Douglis et al., OSDI '94).
+//!
+//! The paper drives its simulator with four traces (`mac`, `dos`, `hp`,
+//! `synth`, §4.1). This crate provides:
+//!
+//! * [`record`] — file-level records and disk-level operations;
+//! * [`layout`] — the file-to-block preprocessor that converts file-level
+//!   traces into disk-level traces, as the paper's preprocessing step did;
+//! * [`stats`] — the Table 3 characterisation statistics plus the 10%
+//!   warm-up split;
+//! * [`io`] — a plain-text archive format for generated traces.
+//!
+//! The workload generators that *produce* these traces live in the
+//! `mobistore-workload` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod layout;
+pub mod record;
+pub mod stats;
+
+pub use layout::FileLayout;
+pub use record::{DiskOp, DiskOpKind, FileId, FileRecord, Op, Trace};
+pub use stats::{split_warm, TraceStats};

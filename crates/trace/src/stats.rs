@@ -1,0 +1,184 @@
+//! Trace characterisation, regenerating the columns of Table 3.
+//!
+//! §4.2: *"10% of the trace was processed in order to 'warm' the buffer
+//! cache, and statistics were generated based on the remainder of the
+//! trace."* Table 3's caption likewise notes its statistics apply to the 90%
+//! of each trace that is actually simulated. [`TraceStats::measure`]
+//! therefore takes the post-warm-up portion.
+
+use std::collections::HashSet;
+
+use mobistore_sim::stats::{OnlineStats, Summary};
+use mobistore_sim::time::SimDuration;
+
+use crate::record::{DiskOpKind, Trace};
+
+/// The Table 3 statistics for one trace.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// Wall-clock span of the measured portion.
+    pub duration: SimDuration,
+    /// Number of distinct Kbytes touched (distinct blocks × block size).
+    pub distinct_kbytes: u64,
+    /// Fraction of read operations among reads + writes.
+    pub fraction_reads: f64,
+    /// Block size in Kbytes.
+    pub block_size_kbytes: f64,
+    /// Mean read size in blocks.
+    pub mean_read_blocks: f64,
+    /// Mean write size in blocks.
+    pub mean_write_blocks: f64,
+    /// Interarrival time statistics, in seconds.
+    pub interarrival: Summary,
+    /// Total number of operations (including trims).
+    pub ops: u64,
+}
+
+impl TraceStats {
+    /// Measures a trace (normally the post-warm-up 90%).
+    pub fn measure(trace: &Trace) -> Self {
+        let mut distinct = HashSet::new();
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let mut read_blocks = OnlineStats::new();
+        let mut write_blocks = OnlineStats::new();
+        let mut interarrival = OnlineStats::new();
+        let mut last_time: Option<mobistore_sim::time::SimTime> = None;
+
+        for op in &trace.ops {
+            match op.kind {
+                DiskOpKind::Read => {
+                    reads += 1;
+                    read_blocks.record(f64::from(op.blocks));
+                }
+                DiskOpKind::Write => {
+                    writes += 1;
+                    write_blocks.record(f64::from(op.blocks));
+                }
+                DiskOpKind::Trim => {}
+            }
+            if op.kind != DiskOpKind::Trim {
+                for b in op.lbn..op.lbn + u64::from(op.blocks) {
+                    distinct.insert(b);
+                }
+                if let Some(prev) = last_time {
+                    interarrival.record((op.time - prev).as_secs_f64());
+                }
+                last_time = Some(op.time);
+            }
+        }
+
+        let accesses = reads + writes;
+        TraceStats {
+            duration: trace.duration(),
+            distinct_kbytes: distinct.len() as u64 * trace.block_size / 1024,
+            fraction_reads: if accesses == 0 { 0.0 } else { reads as f64 / accesses as f64 },
+            block_size_kbytes: trace.block_size as f64 / 1024.0,
+            mean_read_blocks: read_blocks.mean(),
+            mean_write_blocks: write_blocks.mean(),
+            interarrival: interarrival.summary(),
+            ops: trace.ops.len() as u64,
+        }
+    }
+}
+
+/// Splits a trace at the paper's warm-up boundary: the first `warm_percent`
+/// of operations warm the cache; the rest are measured.
+///
+/// # Panics
+///
+/// Panics if `warm_percent` is not in `0..=100`.
+///
+/// # Examples
+///
+/// ```
+/// use mobistore_trace::record::Trace;
+/// use mobistore_trace::stats::split_warm;
+///
+/// let trace = Trace::new(1024);
+/// let (warm, measured) = split_warm(&trace, 10);
+/// assert!(warm.is_empty() && measured.is_empty());
+/// ```
+pub fn split_warm(trace: &Trace, warm_percent: u32) -> (Trace, Trace) {
+    assert!(warm_percent <= 100, "warm percentage out of range");
+    let boundary = (trace.ops.len() * warm_percent as usize) / 100;
+    let warm = Trace { block_size: trace.block_size, ops: trace.ops[..boundary].to_vec() };
+    let measured = Trace { block_size: trace.block_size, ops: trace.ops[boundary..].to_vec() };
+    (warm, measured)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{DiskOp, FileId};
+    use mobistore_sim::time::SimTime;
+
+    fn mk(kind: DiskOpKind, ns: u64, lbn: u64, blocks: u32) -> DiskOp {
+        DiskOp { time: SimTime::from_nanos(ns), kind, lbn, blocks, file: FileId(0) }
+    }
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new(1024);
+        t.push(mk(DiskOpKind::Write, 0, 0, 4));
+        t.push(mk(DiskOpKind::Read, 1_000_000_000, 0, 2));
+        t.push(mk(DiskOpKind::Read, 3_000_000_000, 2, 2));
+        t.push(mk(DiskOpKind::Trim, 3_000_000_000, 0, 4));
+        t.push(mk(DiskOpKind::Write, 4_000_000_000, 4, 2));
+        t
+    }
+
+    #[test]
+    fn measures_basic_moments() {
+        let s = TraceStats::measure(&sample_trace());
+        assert_eq!(s.ops, 5);
+        // Reads: 2 of 4 accesses.
+        assert_eq!(s.fraction_reads, 0.5);
+        assert_eq!(s.mean_read_blocks, 2.0);
+        assert_eq!(s.mean_write_blocks, 3.0);
+        // Distinct blocks 0..6 = 6 blocks of 1 KB.
+        assert_eq!(s.distinct_kbytes, 6);
+        // Interarrivals between non-trim ops: 1s, 2s, 1s.
+        assert_eq!(s.interarrival.count, 3);
+        assert!((s.interarrival.mean - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.interarrival.max, 2.0);
+    }
+
+    #[test]
+    fn trims_do_not_count_as_accesses() {
+        let mut t = Trace::new(1024);
+        t.push(mk(DiskOpKind::Trim, 0, 0, 8));
+        let s = TraceStats::measure(&t);
+        assert_eq!(s.fraction_reads, 0.0);
+        assert_eq!(s.distinct_kbytes, 0);
+        assert_eq!(s.interarrival.count, 0);
+    }
+
+    #[test]
+    fn split_warm_partitions_ops() {
+        let t = sample_trace();
+        let (warm, measured) = split_warm(&t, 40);
+        assert_eq!(warm.len(), 2);
+        assert_eq!(measured.len(), 3);
+        assert_eq!(warm.block_size, 1024);
+        assert_eq!(measured.ops[0], t.ops[2]);
+    }
+
+    #[test]
+    fn split_warm_zero_and_full() {
+        let t = sample_trace();
+        let (w0, m0) = split_warm(&t, 0);
+        assert!(w0.is_empty());
+        assert_eq!(m0.len(), t.len());
+        let (w100, m100) = split_warm(&t, 100);
+        assert_eq!(w100.len(), t.len());
+        assert!(m100.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let s = TraceStats::measure(&Trace::new(512));
+        assert_eq!(s.ops, 0);
+        assert_eq!(s.mean_read_blocks, 0.0);
+        assert_eq!(s.duration, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,85 @@
+//! Workload generators for the `mobistore` reproduction of *Storage
+//! Alternatives for Mobile Computers* (Douglis et al., OSDI '94).
+//!
+//! The paper's four workloads (§4.1):
+//!
+//! * [`synth`] — the synthetic hot-and-cold workload, reimplemented exactly
+//!   from the published recipe;
+//! * [`tracegen`] — statistical generators for the proprietary `mac`,
+//!   `dos`, and `hp` traces, calibrated to every moment Table 3 publishes
+//!   (see `DESIGN.md` for the substitution argument).
+//!
+//! [`Workload`] is the convenience enum the experiment harness iterates
+//! over.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod synth;
+pub mod tracegen;
+
+pub use synth::SynthSpec;
+pub use tracegen::TraceSpec;
+
+use mobistore_trace::record::Trace;
+
+/// The four workloads of §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// PowerBook file-level trace (Table 3).
+    Mac,
+    /// IBM PC / Windows 3.1 file-level trace (Table 3).
+    Dos,
+    /// HP-UX disk-level trace (Table 3); simulate with no DRAM cache.
+    Hp,
+    /// The synthetic hot-and-cold stress test.
+    Synth,
+}
+
+impl Workload {
+    /// All four workloads, in the paper's order.
+    pub const ALL: [Workload; 4] = [Workload::Mac, Workload::Dos, Workload::Hp, Workload::Synth];
+
+    /// The three trace-derived workloads of Tables 3 and 4.
+    pub const TABLE4: [Workload; 3] = [Workload::Mac, Workload::Dos, Workload::Hp];
+
+    /// The workload's name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Mac => "mac",
+            Workload::Dos => "dos",
+            Workload::Hp => "hp",
+            Workload::Synth => "synth",
+        }
+    }
+
+    /// True if simulations of this workload must run without a DRAM cache
+    /// (§4.1: the `hp` trace is below the buffer cache).
+    pub fn below_buffer_cache(self) -> bool {
+        self == Workload::Hp
+    }
+
+    /// Generates the workload at full published length.
+    pub fn generate(self, seed: u64) -> Trace {
+        self.generate_scaled(1.0, seed)
+    }
+
+    /// Generates the workload scaled to `fraction` of its full duration
+    /// (or operation count, for `synth`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn generate_scaled(self, fraction: f64, seed: u64) -> Trace {
+        assert!(fraction > 0.0 && fraction <= 1.0, "bad scale {fraction}");
+        match self {
+            Workload::Mac => tracegen::generate(&TraceSpec::mac().scaled(fraction), seed),
+            Workload::Dos => tracegen::generate(&TraceSpec::dos().scaled(fraction), seed),
+            Workload::Hp => tracegen::generate(&TraceSpec::hp().scaled(fraction), seed),
+            Workload::Synth => {
+                let ops = ((30_000.0 * fraction) as usize).max(10);
+                synth::generate(&SynthSpec::paper(ops), seed)
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Flash-card tuning explorer: utilization and cleaning policy.
+//!
+//! §5.2's central finding is that storage utilization drives flash-card
+//! energy, response, and endurance. This example sweeps utilization on a
+//! chosen workload and compares cleaning policies, printing the trade-off
+//! table a system designer would want.
+//!
+//! ```text
+//! cargo run --release --example flash_tuning [mac|dos|hp|synth] [scale]
+//! ```
+
+use mobistore::core::simulator::simulate;
+use mobistore::experiments::flash_card_config;
+use mobistore::device::params::intel_datasheet;
+use mobistore::flash::store::VictimPolicy;
+use mobistore::Workload;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workload = match args.next().as_deref() {
+        Some("dos") => Workload::Dos,
+        Some("hp") => Workload::Hp,
+        Some("synth") => Workload::Synth,
+        _ => Workload::Mac,
+    };
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.05);
+
+    println!("Workload: {} at {:.0}% scale\n", workload.name(), scale * 100.0);
+    let trace = workload.generate_scaled(scale, 7);
+    let dram = if workload.below_buffer_cache() { 0 } else { 2 * 1024 * 1024 };
+
+    println!("-- Utilization sweep (greedy cleaning) --");
+    println!(
+        "{:>6} {:>11} {:>13} {:>10} {:>12} {:>10}",
+        "util%", "energy(J)", "wr mean(ms)", "erasures", "clean waits", "max wear"
+    );
+    for util in [0.40, 0.60, 0.80, 0.90, 0.95] {
+        let cfg = flash_card_config(intel_datasheet(), &trace, util).with_dram(dram);
+        let m = simulate(&cfg, &trace);
+        let fc = m.flash_card.expect("flash card");
+        let wear = m.wear.expect("wear");
+        println!(
+            "{:>6.0} {:>11.1} {:>13.3} {:>10} {:>12} {:>10}",
+            util * 100.0,
+            m.energy.get(),
+            m.write_response_ms.mean,
+            fc.erasures,
+            fc.cleaning_waits,
+            wear.max_erase
+        );
+    }
+
+    println!("\n-- Cleaning policy at 90% utilization --");
+    println!("{:>26} {:>11} {:>13} {:>10}", "policy", "energy(J)", "wr mean(ms)", "erasures");
+    for (name, policy) in [
+        ("greedy min-utilization", VictimPolicy::GreedyMinLive),
+        ("FIFO", VictimPolicy::Fifo),
+        ("cost-benefit (LFS/eNVy)", VictimPolicy::CostBenefit),
+    ] {
+        let cfg = flash_card_config(intel_datasheet(), &trace, 0.90)
+            .with_dram(dram)
+            .with_victim_policy(policy);
+        let m = simulate(&cfg, &trace);
+        println!(
+            "{:>26} {:>11.1} {:>13.3} {:>10}",
+            name,
+            m.energy.get(),
+            m.write_response_ms.mean,
+            m.flash_card.expect("flash card").erasures
+        );
+    }
+
+    println!(
+        "\nAt 100,000 erase cycles per segment (the Series 2 guarantee), the\n\
+         highest-worn segment's count above bounds the card's service life."
+    );
+}

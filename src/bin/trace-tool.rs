@@ -1,0 +1,142 @@
+//! `trace-tool` — generate, inspect, and validate mobistore traces.
+//!
+//! ```text
+//! trace-tool gen <mac|dos|hp|synth> [--scale F] [--seed N] [-o FILE]
+//! trace-tool stats <FILE>       # Table 3-style characteristics
+//! trace-tool head <FILE> [N]    # first N operations, human-readable
+//! trace-tool validate <FILE>    # parse + consistency checks
+//! ```
+//!
+//! Traces use the text format of `mobistore::trace::io` (one operation per
+//! line), so they diff, grep, and archive cleanly.
+
+use std::fs;
+use std::process::ExitCode;
+
+use mobistore::trace::io::{read_text, write_text};
+use mobistore::trace::record::Trace;
+use mobistore::trace::stats::{split_warm, TraceStats};
+use mobistore::Workload;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => gen(&args[1..]),
+        Some("stats") => with_trace(&args[1..], print_stats),
+        Some("head") => head(&args[1..]),
+        Some("validate") => with_trace(&args[1..], |t| {
+            println!("ok: {} operations, block size {}, span {} blocks", t.len(), t.block_size, t.blocks_spanned());
+        }),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  trace-tool gen <mac|dos|hp|synth> [--scale F] [--seed N] [-o FILE]\n  \
+         trace-tool stats <FILE>\n  trace-tool head <FILE> [N]\n  trace-tool validate <FILE>"
+    );
+    ExitCode::from(2)
+}
+
+fn gen(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else { return usage() };
+    let workload = match name.as_str() {
+        "mac" => Workload::Mac,
+        "dos" => Workload::Dos,
+        "hp" => Workload::Hp,
+        "synth" => Workload::Synth,
+        other => {
+            eprintln!("unknown workload {other}");
+            return usage();
+        }
+    };
+    let mut scale = 1.0f64;
+    let mut seed = 1994u64;
+    let mut out: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if (0.0..=1.0).contains(&v) && v > 0.0 => scale = v,
+                _ => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "-o" | "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let trace = workload.generate_scaled(scale, seed);
+    let text = write_text(&trace);
+    match out {
+        Some(path) => {
+            if let Err(e) = fs::write(&path, &text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {} operations to {path}", trace.len());
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn with_trace(args: &[String], f: impl FnOnce(&Trace)) -> ExitCode {
+    let Some(path) = args.first() else { return usage() };
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match read_text(&text) {
+        Ok(trace) => {
+            f(&trace);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_stats(trace: &Trace) {
+    let (_, measured) = split_warm(trace, 10);
+    let s = TraceStats::measure(&measured);
+    println!("operations           : {}", trace.len());
+    println!("duration             : {}", trace.duration());
+    println!("block size           : {} bytes", trace.block_size);
+    println!("post-warm statistics (90% of operations, as in the paper):");
+    println!("  distinct Kbytes    : {}", s.distinct_kbytes);
+    println!("  fraction of reads  : {:.3}", s.fraction_reads);
+    println!("  mean read size     : {:.2} blocks", s.mean_read_blocks);
+    println!("  mean write size    : {:.2} blocks", s.mean_write_blocks);
+    println!(
+        "  interarrival       : mean {:.3}s  sigma {:.2}s  max {:.1}s",
+        s.interarrival.mean, s.interarrival.std, s.interarrival.max
+    );
+}
+
+fn head(args: &[String]) -> ExitCode {
+    let n: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(10);
+    with_trace(args, |trace| {
+        for op in trace.ops.iter().take(n) {
+            println!(
+                "{:>14}  {:<5}  lbn {:<8} blocks {:<4} file {}",
+                op.time.to_string(),
+                format!("{:?}", op.kind).to_lowercase(),
+                op.lbn,
+                op.blocks,
+                op.file
+            );
+        }
+    })
+}

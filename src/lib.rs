@@ -1,0 +1,57 @@
+//! # mobistore
+//!
+//! A full Rust reproduction of **"Storage Alternatives for Mobile
+//! Computers"** (Fred Douglis, Ramón Cáceres, Frans Kaashoek, Kai Li,
+//! Brian Marsh, Joshua A. Tauber — OSDI 1994).
+//!
+//! The paper compares three storage organisations for mobile computers —
+//! magnetic hard disk, flash disk emulator, and flash memory card, each
+//! behind a DRAM buffer cache — using hardware micro-benchmarks and
+//! trace-driven simulation. This workspace reimplements the entire
+//! experimental apparatus; this crate is the facade that re-exports every
+//! layer:
+//!
+//! * [`sim`] — deterministic simulation substrate (time, energy, RNG,
+//!   statistics);
+//! * [`trace`] — trace records, file-to-block preprocessing, Table 3
+//!   statistics;
+//! * [`device`] — device models and the Table 2 parameter database;
+//! * [`cache`] — DRAM buffer cache and battery-backed SRAM write buffer;
+//! * [`flash`] — flash-card segment management, cleaning, endurance;
+//! * [`core`] — the storage-alternatives simulator ([`SystemConfig`],
+//!   [`simulate`], [`Metrics`]);
+//! * [`workload`] — the four §4.1 workload generators;
+//! * [`fsmodel`] — the OmniBook/DOS/MFFS testbed models behind Table 1
+//!   and Figures 1 and 3;
+//! * [`experiments`] — runners that regenerate every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mobistore::core::config::SystemConfig;
+//! use mobistore::core::simulator::simulate;
+//! use mobistore::device::params::{cu140_datasheet, intel_datasheet};
+//! use mobistore::workload::Workload;
+//!
+//! // Generate a 2%-scale mac-like workload and compare disk vs flash.
+//! let trace = Workload::Mac.generate_scaled(0.02, 42);
+//! let disk = simulate(&SystemConfig::disk(cu140_datasheet()), &trace);
+//! let card = simulate(&SystemConfig::flash_card(intel_datasheet()), &trace);
+//! assert!(card.energy.get() < disk.energy.get());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mobistore_cache as cache;
+pub use mobistore_core as core;
+pub use mobistore_device as device;
+pub use mobistore_experiments as experiments;
+pub use mobistore_flash as flash;
+pub use mobistore_fsmodel as fsmodel;
+pub use mobistore_sim as sim;
+pub use mobistore_trace as trace;
+pub use mobistore_workload as workload;
+
+pub use mobistore_core::{simulate, Metrics, SystemConfig};
+pub use mobistore_workload::Workload;

@@ -1,0 +1,173 @@
+//! End-to-end integration tests spanning every crate: workload generation
+//! → trace preprocessing → storage simulation → metrics.
+
+use mobistore::cache::dram::WritePolicy;
+use mobistore::core::config::SystemConfig;
+use mobistore::core::simulator::{simulate, simulate_with, RunOptions};
+use mobistore::device::params::{cu140_datasheet, intel_datasheet, sdp5_datasheet, sdp5a_datasheet};
+use mobistore::device::QueueDiscipline;
+use mobistore::experiments::flash_card_config;
+use mobistore::trace::io::{read_text, write_text};
+use mobistore::Workload;
+
+const SCALE: f64 = 0.02;
+const SEED: u64 = 99;
+
+/// Every workload runs against every backend without panicking and with
+/// physically sensible outputs.
+#[test]
+fn all_workloads_all_backends() {
+    for workload in Workload::ALL {
+        let trace = workload.generate_scaled(SCALE, SEED);
+        let dram = if workload.below_buffer_cache() { 0 } else { 2 * 1024 * 1024 };
+        let configs = [
+            SystemConfig::disk(cu140_datasheet()).with_dram(dram),
+            SystemConfig::flash_disk(sdp5_datasheet()).with_dram(dram),
+            flash_card_config(intel_datasheet(), &trace, 0.80).with_dram(dram),
+        ];
+        for cfg in configs {
+            let m = simulate(&cfg, &trace);
+            assert!(m.energy.get() > 0.0, "{} on {}", cfg.name, workload.name());
+            assert!(m.energy.get().is_finite());
+            assert!(m.duration.as_secs_f64() > 0.0);
+            assert!(m.read_response_ms.mean >= 0.0);
+            assert!(m.write_response_ms.max >= m.write_response_ms.mean);
+            assert!(m.overall_response_ms.count >= m.read_response_ms.count);
+            // Mean power must be bounded by the sum of plausible device
+            // draws (disk spin-up 3 W + DRAM + SRAM < 4 W).
+            assert!(m.mean_power_w() < 4.0, "{}: {} W", cfg.name, m.mean_power_w());
+        }
+    }
+}
+
+/// Identical inputs give bit-identical outputs across the whole pipeline.
+#[test]
+fn full_pipeline_is_deterministic() {
+    for workload in [Workload::Mac, Workload::Synth] {
+        let t1 = workload.generate_scaled(SCALE, SEED);
+        let t2 = workload.generate_scaled(SCALE, SEED);
+        assert_eq!(t1.ops, t2.ops, "{}", workload.name());
+
+        let cfg = flash_card_config(intel_datasheet(), &t1, 0.85);
+        let a = simulate(&cfg, &t1);
+        let b = simulate(&cfg, &t2);
+        assert_eq!(a.energy.get(), b.energy.get());
+        assert_eq!(a.read_response_ms, b.read_response_ms);
+        assert_eq!(a.write_response_ms, b.write_response_ms);
+        assert_eq!(a.wear, b.wear);
+    }
+}
+
+/// Different seeds give different traces (the generators actually use the
+/// seed).
+#[test]
+fn seeds_matter() {
+    let a = Workload::Dos.generate_scaled(SCALE, 1);
+    let b = Workload::Dos.generate_scaled(SCALE, 2);
+    assert_ne!(a.ops, b.ops);
+}
+
+/// A trace archived to text and re-read replays to identical metrics.
+#[test]
+fn archived_trace_replays_identically() {
+    let trace = Workload::Dos.generate_scaled(SCALE, SEED);
+    let restored = read_text(&write_text(&trace)).expect("round-trip");
+    assert_eq!(restored.block_size, trace.block_size);
+    assert_eq!(restored.ops, trace.ops);
+
+    let cfg = SystemConfig::flash_disk(sdp5a_datasheet());
+    let a = simulate(&cfg, &trace);
+    let b = simulate(&cfg, &restored);
+    assert_eq!(a.energy.get(), b.energy.get());
+}
+
+/// Warm-up exclusion: measuring 90% of the ops yields fewer recorded
+/// responses than measuring all of them, and a warmer cache.
+#[test]
+fn warm_up_shrinks_sample_and_warms_cache() {
+    let trace = Workload::Mac.generate_scaled(SCALE, SEED);
+    let cfg = SystemConfig::disk(cu140_datasheet());
+    let warm = simulate_with(&cfg, &trace, RunOptions { warm_percent: 10, ..Default::default() });
+    let cold = simulate_with(&cfg, &trace, RunOptions { warm_percent: 0, ..Default::default() });
+    assert!(warm.overall_response_ms.count < cold.overall_response_ms.count);
+    let hit_warm = warm.read_hit_ratio().expect("cache");
+    let hit_cold = cold.read_hit_ratio().expect("cache");
+    assert!(hit_warm >= hit_cold * 0.95, "warm {hit_warm} vs cold {hit_cold}");
+}
+
+/// FIFO queueing can only increase response times relative to the paper's
+/// open-loop model (same trace, same devices).
+#[test]
+fn fifo_queueing_dominates_open_loop() {
+    let trace = Workload::Dos.generate_scaled(SCALE, SEED);
+    let open = simulate(&SystemConfig::flash_disk(sdp5_datasheet()), &trace);
+    let fifo = simulate(
+        &SystemConfig::flash_disk(sdp5_datasheet()).with_queueing(QueueDiscipline::Fifo),
+        &trace,
+    );
+    assert!(fifo.write_response_ms.mean >= open.write_response_ms.mean);
+    assert!(fifo.read_response_ms.mean >= open.read_response_ms.mean * 0.999);
+}
+
+/// Write-back caching reduces flash traffic on every workload that
+/// overwrites data.
+#[test]
+fn write_back_reduces_device_writes_everywhere() {
+    for workload in [Workload::Mac, Workload::Dos] {
+        let trace = workload.generate_scaled(SCALE, SEED);
+        let wt = simulate(&flash_card_config(intel_datasheet(), &trace, 0.8), &trace);
+        let wb = simulate(
+            &flash_card_config(intel_datasheet(), &trace, 0.8).with_write_policy(WritePolicy::WriteBack),
+            &trace,
+        );
+        let (wt_bytes, wb_bytes) =
+            (wt.flash_card.unwrap().bytes_written, wb.flash_card.unwrap().bytes_written);
+        assert!(wb_bytes < wt_bytes, "{}: {} vs {}", workload.name(), wb_bytes, wt_bytes);
+    }
+}
+
+/// Energy breakdowns sum to the total.
+#[test]
+fn energy_components_sum_to_total() {
+    let trace = Workload::Mac.generate_scaled(SCALE, SEED);
+    for cfg in [
+        SystemConfig::disk(cu140_datasheet()),
+        SystemConfig::flash_disk(sdp5_datasheet()),
+        flash_card_config(intel_datasheet(), &trace, 0.8),
+    ] {
+        let m = simulate(&cfg, &trace);
+        let sum: f64 = m.energy_by_component.iter().map(|(_, j)| j.get()).sum();
+        assert!((sum - m.energy.get()).abs() < 1e-9, "{}", cfg.name);
+        assert!(!m.energy_by_component.is_empty());
+    }
+}
+
+/// The disk's per-state time attribution covers the measured span: the
+/// five spin states tile the timeline (open-loop overlap and per-op
+/// latency allow a small tolerance).
+#[test]
+fn disk_state_times_tile_the_timeline() {
+    let trace = Workload::Hp.generate_scaled(SCALE, SEED);
+    let m = simulate(&SystemConfig::disk(cu140_datasheet()).with_dram(0), &trace);
+    let state_sum: f64 = m.backend_states.iter().map(|(_, _, d)| d.as_secs_f64()).sum();
+    let span = m.duration.as_secs_f64();
+    let ratio = state_sum / span;
+    assert!((0.9..1.1).contains(&ratio), "states {state_sum}s vs span {span}s");
+    // And every state's energy is non-negative and finite.
+    for (name, j, d) in &m.backend_states {
+        assert!(j.get() >= 0.0 && j.get().is_finite(), "{name}");
+        assert!(d.as_secs_f64() >= 0.0, "{name}");
+    }
+}
+
+/// The flash card's wear accounting is consistent with its counters.
+#[test]
+fn wear_matches_erasure_counter() {
+    let trace = Workload::Synth.generate_scaled(0.2, SEED);
+    let cfg = flash_card_config(intel_datasheet(), &trace, 0.92);
+    let m = simulate(&cfg, &trace);
+    let wear = m.wear.expect("wear");
+    let counters = m.flash_card.expect("counters");
+    assert_eq!(wear.total, counters.erasures);
+    assert!(f64::from(wear.max_erase) >= wear.mean_erase);
+}

@@ -1,0 +1,154 @@
+//! Integration tests asserting the paper's headline claims at a moderate
+//! scale (10% of each trace). Full-scale values are recorded in
+//! `EXPERIMENTS.md`; these tests keep the claims from regressing.
+
+use mobistore::core::battery::{battery_extension, savings_fraction, STORAGE_SHARE_HIGH, STORAGE_SHARE_LOW};
+use mobistore::core::config::SystemConfig;
+use mobistore::core::simulator::simulate;
+use mobistore::device::params::{cu140_datasheet, intel_datasheet, sdp5_datasheet, sdp5a_datasheet};
+use mobistore::experiments::flash_card_config;
+use mobistore::Workload;
+
+const SCALE: f64 = 0.10;
+const SEED: u64 = 1994;
+
+fn dram_for(w: Workload) -> u64 {
+    if w.below_buffer_cache() {
+        0
+    } else {
+        2 * 1024 * 1024
+    }
+}
+
+/// Abstract: "flash memory can reduce energy consumption by an order of
+/// magnitude, compared to magnetic disk" — even with the aggressive 5 s
+/// spin-down the disks get here.
+#[test]
+fn flash_saves_energy_by_large_factor() {
+    for workload in Workload::TABLE4 {
+        let trace = workload.generate_scaled(SCALE, SEED);
+        let dram = dram_for(workload);
+        let disk = simulate(&SystemConfig::disk(cu140_datasheet()).with_dram(dram), &trace);
+        let sdp = simulate(&SystemConfig::flash_disk(sdp5_datasheet()).with_dram(dram), &trace);
+        let ratio = disk.energy.get() / sdp.energy.get();
+        // §7: "the flash disk file system can save 59-86% of the energy of
+        // the disk file system" — i.e. a 2.4-7x ratio; DRAM baseline
+        // included here, so accept anything >= 2.5x.
+        assert!(ratio > 2.5, "{}: only {ratio:.1}x", workload.name());
+    }
+}
+
+/// §7: flash reads are several times faster than disk reads; disk writes
+/// through SRAM beat flash writes.
+#[test]
+fn read_and_write_orderings() {
+    for workload in Workload::TABLE4 {
+        let trace = workload.generate_scaled(SCALE, SEED);
+        let dram = dram_for(workload);
+        let disk = simulate(&SystemConfig::disk(cu140_datasheet()).with_dram(dram), &trace);
+        let sdp = simulate(&SystemConfig::flash_disk(sdp5_datasheet()).with_dram(dram), &trace);
+        assert!(
+            sdp.read_response_ms.mean * 2.0 < disk.read_response_ms.mean,
+            "{}: flash reads {} vs disk {}",
+            workload.name(),
+            sdp.read_response_ms.mean,
+            disk.read_response_ms.mean
+        );
+        assert!(
+            disk.write_response_ms.mean * 4.0 < sdp.write_response_ms.mean,
+            "{}: disk writes {} vs flash {}",
+            workload.name(),
+            disk.write_response_ms.mean,
+            sdp.write_response_ms.mean
+        );
+    }
+}
+
+/// Abstract: running flash near capacity (95% vs 40%) increases energy
+/// substantially, degrades write response, and accelerates wear.
+#[test]
+fn utilization_effects_on_mac() {
+    let trace = Workload::Mac.generate_scaled(SCALE, SEED);
+    let dram = dram_for(Workload::Mac);
+    let low = simulate(&flash_card_config(intel_datasheet(), &trace, 0.40).with_dram(dram), &trace);
+    let high = simulate(&flash_card_config(intel_datasheet(), &trace, 0.95).with_dram(dram), &trace);
+    assert!(
+        high.energy.get() > low.energy.get() * 1.5,
+        "energy {} -> {}",
+        low.energy.get(),
+        high.energy.get()
+    );
+    assert!(high.write_response_ms.mean > low.write_response_ms.mean);
+    let (wl, wh) = (low.wear.unwrap(), high.wear.unwrap());
+    assert!(wh.total > wl.total * 2, "erasures {} -> {}", wl.total, wh.total);
+    assert!(wh.max_erase > wl.max_erase);
+}
+
+/// §5.3: asynchronous erasure improves flash-disk write response by a
+/// factor of ~2.5 with minimal energy impact.
+#[test]
+fn asynchronous_cleaning_claim() {
+    for workload in Workload::TABLE4 {
+        let trace = workload.generate_scaled(SCALE, SEED);
+        let dram = dram_for(workload);
+        let sync = simulate(&SystemConfig::flash_disk(sdp5_datasheet()).with_dram(dram), &trace);
+        let asynch = simulate(&SystemConfig::flash_disk(sdp5a_datasheet()).with_dram(dram), &trace);
+        let speedup = sync.write_response_ms.mean / asynch.write_response_ms.mean;
+        assert!(
+            (1.8..4.5).contains(&speedup),
+            "{}: write speedup {speedup:.2}",
+            workload.name()
+        );
+        let energy_change = (asynch.energy.get() / sync.energy.get() - 1.0).abs();
+        assert!(energy_change < 0.05, "{}: energy changed {energy_change:.3}", workload.name());
+    }
+}
+
+/// Abstract: the energy savings translate into a ~22% battery-life
+/// extension at the 20% storage share, up to ~100% at the 54% share.
+#[test]
+fn battery_life_claim() {
+    let trace = Workload::Mac.generate_scaled(SCALE, SEED);
+    let disk = simulate(&SystemConfig::disk(cu140_datasheet()), &trace);
+    let card = simulate(&flash_card_config(intel_datasheet(), &trace, 0.80), &trace);
+    let savings = savings_fraction(disk.energy.get(), card.energy.get().min(disk.energy.get()));
+    assert!(savings > 0.5, "savings {savings:.2}");
+    let low = battery_extension(STORAGE_SHARE_LOW, savings);
+    let high = battery_extension(STORAGE_SHARE_HIGH, savings);
+    assert!((0.08..0.30).contains(&low), "extension at 20% share: {low:.2}");
+    assert!(high > low * 2.0, "extension at 54% share: {high:.2}");
+}
+
+/// §5.5: a 32-Kbyte SRAM write buffer improves mean write response by a
+/// factor of 20 or more for mac and dos, and saves energy.
+#[test]
+fn sram_write_buffer_claim() {
+    for workload in [Workload::Mac, Workload::Dos] {
+        let trace = workload.generate_scaled(SCALE, SEED);
+        let dram = dram_for(workload);
+        let without = simulate(
+            &SystemConfig::disk(cu140_datasheet()).with_dram(dram).with_sram(0),
+            &trace,
+        );
+        let with = simulate(&SystemConfig::disk(cu140_datasheet()).with_dram(dram), &trace);
+        let speedup = without.write_response_ms.mean / with.write_response_ms.mean;
+        assert!(speedup > 20.0, "{}: speedup {speedup:.1}", workload.name());
+        assert!(with.energy.get() < without.energy.get(), "{}", workload.name());
+    }
+}
+
+/// §5.4: adding DRAM to the flash card costs energy without appreciable
+/// response benefit.
+#[test]
+fn dram_does_not_pay_off_on_flash() {
+    let trace = Workload::Dos.generate_scaled(SCALE, SEED);
+    let none = simulate(&flash_card_config(intel_datasheet(), &trace, 0.85).with_dram(0), &trace);
+    let big = simulate(
+        &flash_card_config(intel_datasheet(), &trace, 0.85).with_dram(4 * 1024 * 1024),
+        &trace,
+    );
+    assert!(big.energy.get() > none.energy.get());
+    // Response may improve a little, but not the order-of-magnitude a disk
+    // system would see.
+    assert!(big.overall_response_ms.mean > none.overall_response_ms.mean * 0.5);
+}

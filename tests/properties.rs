@@ -1,0 +1,363 @@
+//! Property-based tests on the core data structures and invariants.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+
+use mobistore::cache::lru::LruSet;
+use mobistore::device::params::intel_datasheet;
+use mobistore::device::QueueDiscipline;
+use mobistore::flash::store::{CleanerMode, FlashCardConfig, FlashCardStore, VictimPolicy};
+use mobistore::sim::rng::SimRng;
+use mobistore::sim::stats::OnlineStats;
+use mobistore::sim::time::{SimDuration, SimTime};
+use mobistore::trace::layout::FileLayout;
+use mobistore::trace::record::{DiskOpKind, FileId, FileRecord, Op};
+
+// ---------------------------------------------------------------------
+// LRU: model-check against a naive Vec-based reference.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum LruOp {
+    Insert(u64),
+    Touch(u64),
+    Remove(u64),
+    PopLru,
+}
+
+fn lru_op() -> impl Strategy<Value = LruOp> {
+    prop_oneof![
+        (0u64..32).prop_map(LruOp::Insert),
+        (0u64..32).prop_map(LruOp::Touch),
+        (0u64..32).prop_map(LruOp::Remove),
+        Just(LruOp::PopLru),
+    ]
+}
+
+/// A straightforward reference: most-recent at the front.
+#[derive(Default)]
+struct NaiveLru {
+    cap: usize,
+    items: Vec<u64>,
+}
+
+impl NaiveLru {
+    fn touch(&mut self, k: u64) -> bool {
+        if let Some(i) = self.items.iter().position(|&x| x == k) {
+            let k = self.items.remove(i);
+            self.items.insert(0, k);
+            true
+        } else {
+            false
+        }
+    }
+    fn insert(&mut self, k: u64) -> Option<u64> {
+        if self.touch(k) {
+            return None;
+        }
+        let evicted = if self.items.len() == self.cap { self.items.pop() } else { None };
+        self.items.insert(0, k);
+        evicted
+    }
+    fn remove(&mut self, k: u64) -> bool {
+        if let Some(i) = self.items.iter().position(|&x| x == k) {
+            self.items.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+    fn pop_lru(&mut self) -> Option<u64> {
+        self.items.pop()
+    }
+}
+
+proptest! {
+    #[test]
+    fn lru_matches_reference(cap in 1usize..12, ops in prop::collection::vec(lru_op(), 0..200)) {
+        let mut real = LruSet::new(cap);
+        let mut model = NaiveLru { cap, items: Vec::new() };
+        for op in ops {
+            match op {
+                LruOp::Insert(k) => prop_assert_eq!(real.insert(k), model.insert(k)),
+                LruOp::Touch(k) => prop_assert_eq!(real.touch(k), model.touch(k)),
+                LruOp::Remove(k) => prop_assert_eq!(real.remove(k), model.remove(k)),
+                LruOp::PopLru => prop_assert_eq!(real.pop_lru(), model.pop_lru()),
+            }
+            prop_assert_eq!(real.len(), model.items.len());
+            let order: Vec<u64> = real.iter_mru().collect();
+            prop_assert_eq!(&order, &model.items, "MRU order diverged");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flash card: random workloads keep every internal invariant, and the
+// live-block map matches a reference set.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CardOp {
+    Write { lbn: u64, blocks: u8 },
+    Trim { lbn: u64, blocks: u8 },
+    Read { lbn: u64, blocks: u8 },
+    Idle { ms: u32 },
+}
+
+fn card_op() -> impl Strategy<Value = CardOp> {
+    prop_oneof![
+        3 => (0u64..600, 1u8..8).prop_map(|(lbn, blocks)| CardOp::Write { lbn, blocks }),
+        1 => (0u64..600, 1u8..8).prop_map(|(lbn, blocks)| CardOp::Trim { lbn, blocks }),
+        1 => (0u64..600, 1u8..4).prop_map(|(lbn, blocks)| CardOp::Read { lbn, blocks }),
+        1 => (1u32..5_000).prop_map(|ms| CardOp::Idle { ms }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn flash_card_invariants_hold(
+        preload in 0u64..600,
+        ops in prop::collection::vec(card_op(), 0..150),
+    ) {
+        // 16 segments x 128 KB at 1-KB blocks = 2048 blocks.
+        let mut card = FlashCardStore::new(FlashCardConfig {
+            params: intel_datasheet(),
+            block_size: 1024,
+            capacity_bytes: 2 * 1024 * 1024,
+            mode: CleanerMode::Background,
+            victim_policy: VictimPolicy::GreedyMinLive,
+            queueing: QueueDiscipline::Fifo,
+        });
+        card.preload_aged(1000..1000 + preload);
+        let mut model: HashSet<u64> = (1000..1000 + preload).collect();
+
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            match op {
+                CardOp::Write { lbn, blocks } => {
+                    let svc = card.write(now, lbn, u32::from(blocks));
+                    prop_assert!(svc.end >= svc.start);
+                    now = now.max(svc.end);
+                    model.extend(lbn..lbn + u64::from(blocks));
+                }
+                CardOp::Trim { lbn, blocks } => {
+                    card.trim(lbn, u32::from(blocks));
+                    for b in lbn..lbn + u64::from(blocks) {
+                        model.remove(&b);
+                    }
+                }
+                CardOp::Read { lbn, blocks } => {
+                    let svc = card.read(now, lbn, u32::from(blocks));
+                    now = now.max(svc.end);
+                }
+                CardOp::Idle { ms } => now += SimDuration::from_millis(u64::from(ms)),
+            }
+            card.check_invariants();
+            prop_assert_eq!(card.live_blocks(), model.len() as u64);
+            prop_assert!(card.live_blocks() + card.free_blocks() <= card.capacity_blocks());
+        }
+        // Energy is finite and non-negative.
+        prop_assert!(card.energy().get() >= 0.0);
+        prop_assert!(card.energy().get().is_finite());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flash disk: the asynchronous cleaner conserves sectors — everything
+// written becomes garbage, and garbage only ever turns into pre-erased
+// pool space.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum FdOp {
+    Write { kib: u8 },
+    Read { kib: u8 },
+    Idle { ms: u16 },
+}
+
+fn fd_op() -> impl Strategy<Value = FdOp> {
+    prop_oneof![
+        2 => (1u8..64).prop_map(|kib| FdOp::Write { kib }),
+        1 => (1u8..64).prop_map(|kib| FdOp::Read { kib }),
+        2 => (1u16..10_000).prop_map(|ms| FdOp::Idle { ms }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn flash_disk_pool_is_conserved(ops in prop::collection::vec(fd_op(), 0..100)) {
+        use mobistore::device::flashdisk::FlashDisk;
+        use mobistore::device::params::sdp5a_datasheet;
+        use mobistore::device::Dir;
+
+        let params = sdp5a_datasheet();
+        let initial_pool = params.spare_pool_bytes;
+        let mut fd = FlashDisk::new(params);
+        let mut now = SimTime::ZERO;
+        let mut written = 0u64;
+        for op in ops {
+            match op {
+                FdOp::Write { kib } => {
+                    let bytes = u64::from(kib) * 1024;
+                    let svc = fd.access(now, Dir::Write, bytes);
+                    now = svc.end;
+                    written += bytes;
+                }
+                FdOp::Read { kib } => {
+                    let svc = fd.access(now, Dir::Read, u64::from(kib) * 1024);
+                    now = svc.end;
+                }
+                FdOp::Idle { ms } => now += SimDuration::from_millis(u64::from(ms)),
+            }
+            // Conservation: pool + outstanding garbage = initial pool +
+            // everything ever written (each write both consumes erased
+            // space and creates equal garbage). The pool alone can never
+            // exceed that bound.
+            let c = fd.counters();
+            prop_assert_eq!(c.bytes_written, written);
+            prop_assert!(fd.erased_pool() <= initial_pool + written);
+            prop_assert!(c.bytes_pre_erased + c.bytes_erased_on_demand == written);
+            prop_assert!(fd.energy().get() >= 0.0 && fd.energy().get().is_finite());
+        }
+        // After enough idle time, all garbage is reclaimed. Pool-backed
+        // writes return their sectors to the pool (conservation), while
+        // deficit writes erased fresh sectors inline, growing the erased
+        // population by exactly the on-demand bytes.
+        fd.finish(now + SimDuration::from_hours(1));
+        let c = fd.counters();
+        prop_assert_eq!(fd.erased_pool(), initial_pool + c.bytes_erased_on_demand);
+    }
+}
+
+// ---------------------------------------------------------------------
+// File layout: no two live files ever own the same block.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum LayoutOp {
+    Access { file: u64, read: bool, offset_kb: u16, size_kb: u16 },
+    Delete { file: u64 },
+}
+
+fn layout_op() -> impl Strategy<Value = LayoutOp> {
+    prop_oneof![
+        4 => (0u64..12, any::<bool>(), 0u16..64, 1u16..32)
+            .prop_map(|(file, read, offset_kb, size_kb)| LayoutOp::Access { file, read, offset_kb, size_kb }),
+        1 => (0u64..12).prop_map(|file| LayoutOp::Delete { file }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn layout_never_aliases_files(ops in prop::collection::vec(layout_op(), 0..120)) {
+        let mut layout = FileLayout::new(1024);
+        // block -> owning file, from the emitted write/trim stream.
+        let mut owner: HashMap<u64, u64> = HashMap::new();
+        let mut t = 0u64;
+        for op in ops {
+            t += 1;
+            let rec = match op {
+                LayoutOp::Access { file, read, offset_kb, size_kb } => FileRecord {
+                    time: SimTime::from_nanos(t),
+                    op: if read { Op::Read } else { Op::Write },
+                    file: FileId(file),
+                    offset: u64::from(offset_kb) * 1024,
+                    size: u64::from(size_kb) * 1024,
+                },
+                LayoutOp::Delete { file } => FileRecord {
+                    time: SimTime::from_nanos(t),
+                    op: Op::Delete,
+                    file: FileId(file),
+                    offset: 0,
+                    size: 0,
+                },
+            };
+            for disk_op in layout.apply(&rec) {
+                let range = disk_op.lbn..disk_op.lbn + u64::from(disk_op.blocks);
+                match disk_op.kind {
+                    DiskOpKind::Trim => {
+                        for b in range {
+                            owner.remove(&b);
+                        }
+                    }
+                    DiskOpKind::Read | DiskOpKind::Write => {
+                        for b in range {
+                            if let Some(&prev) = owner.get(&b) {
+                                prop_assert_eq!(prev, disk_op.file.0,
+                                    "block {} owned by f{} but accessed by f{}", b, prev, disk_op.file.0);
+                            } else {
+                                owner.insert(b, disk_op.file.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// OnlineStats: streaming moments match the two-pass computation; merge
+// equals concatenation.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn online_stats_match_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..300), split in 0usize..300) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.population_std() - var.sqrt()).abs() <= 1e-5 * var.sqrt().max(1.0));
+
+        let split = split.min(xs.len());
+        let (mut left, mut right) = (OnlineStats::new(), OnlineStats::new());
+        for &x in &xs[..split] {
+            left.record(x);
+        }
+        for &x in &xs[split..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), s.count());
+        prop_assert!((left.mean() - s.mean()).abs() <= 1e-6 * s.mean().abs().max(1.0));
+        prop_assert_eq!(left.max(), s.max());
+        prop_assert_eq!(left.min(), s.min());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Time arithmetic: durations form a sane ordered monoid.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn duration_arithmetic_is_consistent(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40) {
+        let (da, db) = (SimDuration::from_nanos(a), SimDuration::from_nanos(b));
+        prop_assert_eq!(da + db, db + da);
+        prop_assert_eq!((da + db).saturating_sub(db), da);
+        prop_assert_eq!(da.max(db).min(da.min(db)), da.min(db));
+        let t = SimTime::from_nanos(a);
+        prop_assert_eq!((t + db) - db, t);
+        prop_assert_eq!((t + db) - t, db);
+    }
+
+    #[test]
+    fn rng_streams_reproduce(seed in any::<u64>(), n in 1usize..64) {
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        for _ in 0..n {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Uniform sampling stays in range.
+        for _ in 0..n {
+            let x = a.below(17);
+            prop_assert!(x < 17);
+        }
+    }
+}
