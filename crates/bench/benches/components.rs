@@ -1,71 +1,63 @@
-//! Criterion micro-benches on the simulator's building blocks: how fast
-//! the substrate itself runs (operations per second of simulated storage),
-//! plus the §5.3 and ablation experiments.
+//! Micro-benches on the simulator's building blocks: how fast the
+//! substrate itself runs (operations per second of simulated storage),
+//! plus the §5.3 and ablation experiments and the parallel executor.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use mobistore_bench::Harness;
 use mobistore_core::config::SystemConfig;
 use mobistore_core::simulator::simulate;
 use mobistore_device::params::{cu140_datasheet, intel_datasheet, sdp5_datasheet};
 use mobistore_experiments::{ablations, async_cleaning, flash_card_config, Scale};
+use mobistore_sim::exec;
 use mobistore_workload::Workload;
 
-fn bench_simulator_throughput(c: &mut Criterion) {
-    let trace = Workload::Mac.generate_scaled(0.05, 1);
-    let mut group = c.benchmark_group("simulator_ops_per_sec");
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("disk", |b| {
-        let cfg = SystemConfig::disk(cu140_datasheet());
-        b.iter(|| black_box(simulate(&cfg, &trace)));
-    });
-    group.bench_function("flash_disk", |b| {
-        let cfg = SystemConfig::flash_disk(sdp5_datasheet());
-        b.iter(|| black_box(simulate(&cfg, &trace)));
-    });
-    group.bench_function("flash_card", |b| {
-        let cfg = flash_card_config(intel_datasheet(), &trace, 0.8);
-        b.iter(|| black_box(simulate(&cfg, &trace)));
-    });
-    group.finish();
-}
+fn main() {
+    let h = Harness::from_args();
 
-fn bench_workload_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workload_generation");
+    let trace = Workload::Mac.generate_scaled(0.05, 1);
+    let ops = trace.len();
+    let disk_cfg = SystemConfig::disk(cu140_datasheet());
+    if let Some(mean) = h.bench("simulator_ops_per_sec/disk", || {
+        black_box(simulate(&disk_cfg, &trace))
+    }) {
+        println!(
+            "    {:>40} {:.0} sim-ops/s",
+            "",
+            ops as f64 / mean.as_secs_f64()
+        );
+    }
+    let fdisk_cfg = SystemConfig::flash_disk(sdp5_datasheet());
+    h.bench("simulator_ops_per_sec/flash_disk", || {
+        black_box(simulate(&fdisk_cfg, &trace))
+    });
+    let card_cfg = flash_card_config(intel_datasheet(), &trace, 0.8);
+    h.bench("simulator_ops_per_sec/flash_card", || {
+        black_box(simulate(&card_cfg, &trace))
+    });
+
     for workload in Workload::ALL {
-        group.bench_function(workload.name(), |b| {
-            b.iter(|| black_box(workload.generate_scaled(0.05, 1)));
+        h.bench(&format!("workload_generation/{}", workload.name()), || {
+            black_box(workload.generate_scaled(0.05, 1))
         });
     }
-    group.finish();
-}
 
-fn bench_async_cleaning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("section_5_3_async_cleaning");
-    group.sample_size(10);
-    group.bench_function("mac", |b| {
-        b.iter(|| black_box(async_cleaning::run_row(Workload::Mac, Scale::quick())));
+    h.bench("section_5_3_async_cleaning/mac", || {
+        black_box(async_cleaning::run_row(Workload::Mac, Scale::quick()))
     });
-    group.finish();
-}
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
-    group.bench_function("cleaning_policies", |b| {
-        b.iter(|| black_box(ablations::cleaning_policies(Scale::quick())));
+    h.bench("ablations/cleaning_policies", || {
+        black_box(ablations::cleaning_policies(Scale::quick()))
     });
-    group.bench_function("spin_down_sweep", |b| {
-        b.iter(|| black_box(ablations::spin_down_sweep(Scale::quick())));
+    h.bench("ablations/spin_down_sweep", || {
+        black_box(ablations::spin_down_sweep(Scale::quick()))
     });
-    group.finish();
-}
 
-criterion_group!(
-    components,
-    bench_simulator_throughput,
-    bench_workload_generation,
-    bench_async_cleaning,
-    bench_ablations
-);
-criterion_main!(components);
+    // The executor itself: per-item overhead on trivial work.
+    let items: Vec<u64> = (0..10_000).collect();
+    h.bench("exec/parallel_map_overhead_10k", || {
+        black_box(exec::parallel_map(&items, |&x| {
+            x.wrapping_mul(2_654_435_761)
+        }))
+    });
+}

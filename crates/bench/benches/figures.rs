@@ -1,52 +1,24 @@
-//! Criterion benches regenerating each paper figure.
+//! Wall-clock benches regenerating each paper figure.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use mobistore_bench::Harness;
 use mobistore_experiments::{figure1, figure2, figure3, figure4, figure5, Scale};
 use mobistore_workload::Workload;
 
-fn bench_figure1(c: &mut Criterion) {
-    c.bench_function("figure1_write_latency_curves", |b| {
-        b.iter(|| black_box(figure1::run()));
+fn main() {
+    let h = Harness::from_args();
+    h.bench("figure1_write_latency_curves", || black_box(figure1::run()));
+    h.bench("figure2_utilization_sweep/dos", || {
+        black_box(figure2::run_curve(Workload::Dos, Scale::quick()))
+    });
+    h.bench("figure3_overwrite_throughput/three_live_levels", || {
+        black_box(figure3::run_with_steps(4))
+    });
+    h.bench("figure4_dram_flash_sweep/dos", || {
+        black_box(figure4::run(Scale::quick()))
+    });
+    h.bench("figure5_sram_sweep/mac", || {
+        black_box(figure5::run_curve(Workload::Mac, Scale::quick()))
     });
 }
-
-fn bench_figure2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure2_utilization_sweep");
-    group.sample_size(10);
-    group.bench_function("dos", |b| {
-        b.iter(|| black_box(figure2::run_curve(Workload::Dos, Scale::quick())));
-    });
-    group.finish();
-}
-
-fn bench_figure3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure3_overwrite_throughput");
-    group.sample_size(10);
-    group.bench_function("three_live_levels", |b| {
-        b.iter(|| black_box(figure3::run_with_steps(4)));
-    });
-    group.finish();
-}
-
-fn bench_figure4(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure4_dram_flash_sweep");
-    group.sample_size(10);
-    group.bench_function("dos", |b| {
-        b.iter(|| black_box(figure4::run(Scale::quick())));
-    });
-    group.finish();
-}
-
-fn bench_figure5(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure5_sram_sweep");
-    group.sample_size(10);
-    group.bench_function("mac", |b| {
-        b.iter(|| black_box(figure5::run_curve(Workload::Mac, Scale::quick())));
-    });
-    group.finish();
-}
-
-criterion_group!(figures, bench_figure1, bench_figure2, bench_figure3, bench_figure4, bench_figure5);
-criterion_main!(figures);

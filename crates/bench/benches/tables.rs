@@ -1,44 +1,26 @@
-//! Criterion benches regenerating each paper table.
+//! Wall-clock benches regenerating each paper table.
 //!
 //! These measure the cost of the reproduction itself (workload generation
 //! plus simulation), one bench per table, at an abbreviated scale so the
 //! whole suite stays minutes-long. Run with
 //! `cargo bench -p mobistore-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use mobistore_bench::Harness;
 use mobistore_experiments::{table1, table2, table3, table4, Scale};
 use mobistore_workload::Workload;
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_microbenchmarks", |b| {
-        b.iter(|| black_box(table1::run()));
+fn main() {
+    let h = Harness::from_args();
+    h.bench("table1_microbenchmarks", || black_box(table1::run()));
+    h.bench("table2_device_specs", || black_box(table2::run()));
+    h.bench("table3_trace_characteristics", || {
+        black_box(table3::run(Scale::quick()))
     });
-}
-
-fn bench_table2(c: &mut Criterion) {
-    c.bench_function("table2_device_specs", |b| {
-        b.iter(|| black_box(table2::run()));
-    });
-}
-
-fn bench_table3(c: &mut Criterion) {
-    c.bench_function("table3_trace_characteristics", |b| {
-        b.iter(|| black_box(table3::run(Scale::quick())));
-    });
-}
-
-fn bench_table4(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table4");
-    group.sample_size(10);
     for workload in Workload::TABLE4 {
-        group.bench_function(workload.name(), |b| {
-            b.iter(|| black_box(table4::run_part(workload, Scale::quick())));
+        h.bench(&format!("table4/{}", workload.name()), || {
+            black_box(table4::run_part(workload, Scale::quick()))
         });
     }
-    group.finish();
 }
-
-criterion_group!(tables, bench_table1, bench_table2, bench_table3, bench_table4);
-criterion_main!(tables);

@@ -1,1 +1,62 @@
-//! Criterion benches for mobistore; see `benches/`.
+//! A minimal, dependency-free wall-clock bench harness.
+//!
+//! The build environment has no registry access, so these benches use a
+//! small std-only timing loop instead of criterion: each bench warms up
+//! once, then runs a fixed number of timed iterations and reports
+//! min/mean/max wall-clock per iteration. Run with
+//! `cargo bench -p mobistore-bench [-- <name filter>]`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A group of named benches sharing a filter taken from the command line.
+pub struct Harness {
+    filter: Option<String>,
+    iterations: usize,
+}
+
+impl Harness {
+    /// Builds a harness, reading an optional name filter from `argv` (any
+    /// argument not starting with `-`) and an iteration count from
+    /// `MOBISTORE_BENCH_ITERS` (default 10).
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let iterations = std::env::var("MOBISTORE_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or(10);
+        Harness { filter, iterations }
+    }
+
+    /// Times `f`, printing one line of per-iteration statistics. Returns
+    /// the mean iteration time (or `None` if filtered out).
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Option<Duration> {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        black_box(f()); // warm-up: populate caches, page in code
+        let mut samples = Vec::with_capacity(self.iterations);
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed());
+        }
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{name:<44} {:>10.3} ms/iter (min {:.3}, max {:.3}, n={})",
+            mean.as_secs_f64() * 1e3,
+            min.as_secs_f64() * 1e3,
+            max.as_secs_f64() * 1e3,
+            samples.len(),
+        );
+        Some(mean)
+    }
+}

@@ -83,7 +83,12 @@ impl BufferCache {
     /// # Panics
     ///
     /// Panics if the capacity holds no complete block.
-    pub fn new(params: DramParams, capacity_bytes: u64, block_size: u64, policy: WritePolicy) -> Self {
+    pub fn new(
+        params: DramParams,
+        capacity_bytes: u64,
+        block_size: u64,
+        policy: WritePolicy,
+    ) -> Self {
         assert!(block_size > 0, "block size must be positive");
         let blocks = (capacity_bytes / block_size) as usize;
         assert!(blocks > 0, "cache smaller than one block");
@@ -149,7 +154,10 @@ impl BufferCache {
             if was_dirty {
                 self.stats.writebacks += 1;
             }
-            Evicted { lbn: old, dirty: was_dirty }
+            Evicted {
+                lbn: old,
+                dirty: was_dirty,
+            }
         });
         if mark_dirty {
             self.dirty.insert(lbn);
@@ -199,7 +207,10 @@ impl BufferCache {
     /// active power for the transfer duration, on top of refresh).
     pub fn charge_access(&mut self, bytes: u64) {
         let dur = self.access_time(bytes);
-        let delta = Watts((self.params.active_power_per_mib.get() - self.params.idle_power_per_mib.get()) * self.capacity_mib);
+        let delta = Watts(
+            (self.params.active_power_per_mib.get() - self.params.idle_power_per_mib.get())
+                * self.capacity_mib,
+        );
         self.meter.charge_for("active", delta, dur);
     }
 

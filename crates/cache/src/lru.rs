@@ -79,7 +79,9 @@ impl LruSet {
 
     /// Marks `key` most-recently-used; returns false if absent.
     pub fn touch(&mut self, key: u64) -> bool {
-        let Some(&idx) = self.index.get(&key) else { return false };
+        let Some(&idx) = self.index.get(&key) else {
+            return false;
+        };
         self.unlink(idx);
         self.push_front(idx);
         true
@@ -105,11 +107,19 @@ impl LruSet {
         };
         let idx = match self.free.pop() {
             Some(i) => {
-                self.nodes[i] = Node { key, prev: NIL, next: NIL };
+                self.nodes[i] = Node {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                };
                 i
             }
             None => {
-                self.nodes.push(Node { key, prev: NIL, next: NIL });
+                self.nodes.push(Node {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                });
                 self.nodes.len() - 1
             }
         };
@@ -120,7 +130,9 @@ impl LruSet {
 
     /// Removes `key`; returns true if it was present.
     pub fn remove(&mut self, key: u64) -> bool {
-        let Some(idx) = self.index.remove(&key) else { return false };
+        let Some(idx) = self.index.remove(&key) else {
+            return false;
+        };
         self.unlink(idx);
         self.free.push(idx);
         true
@@ -138,7 +150,10 @@ impl LruSet {
 
     /// Iterates keys from most to least recently used.
     pub fn iter_mru(&self) -> impl Iterator<Item = u64> + '_ {
-        MruIter { set: self, cursor: self.head }
+        MruIter {
+            set: self,
+            cursor: self.head,
+        }
     }
 
     fn unlink(&mut self, idx: usize) {

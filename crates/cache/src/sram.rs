@@ -180,7 +180,8 @@ impl SramWriteBuffer {
     /// Charges the energy of one access of `bytes`.
     pub fn charge_access(&mut self, bytes: u64) {
         let dur = self.access_time(bytes);
-        self.meter.charge_for("active", self.params.active_power, dur);
+        self.meter
+            .charge_for("active", self.params.active_power, dur);
     }
 
     /// Charges retention power for a span of simulated time.

@@ -35,8 +35,14 @@ pub const STORAGE_SHARE_HIGH: f64 = 0.54;
 /// assert!((ext - 0.2195).abs() < 0.001);
 /// ```
 pub fn battery_extension(storage_share: f64, savings: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&storage_share), "share out of range: {storage_share}");
-    assert!((0.0..=1.0).contains(&savings), "savings out of range: {savings}");
+    assert!(
+        (0.0..=1.0).contains(&storage_share),
+        "share out of range: {storage_share}"
+    );
+    assert!(
+        (0.0..=1.0).contains(&savings),
+        "savings out of range: {savings}"
+    );
     let reduced = storage_share * savings;
     assert!(reduced < 1.0, "total energy cannot reach zero");
     1.0 / (1.0 - reduced) - 1.0

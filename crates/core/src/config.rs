@@ -9,10 +9,10 @@
 //! flash 80% utilized) so each Table 4 row is one builder call.
 
 use mobistore_cache::dram::WritePolicy;
+use mobistore_device::disk::{SeekModel, SpinDownPolicy};
 use mobistore_device::params::{
     dram_nec, sram_nec, DiskParams, DramParams, FlashCardParams, FlashDiskParams, SramParams,
 };
-use mobistore_device::disk::{SeekModel, SpinDownPolicy};
 use mobistore_device::QueueDiscipline;
 use mobistore_flash::store::{CleanerMode, VictimPolicy};
 use mobistore_sim::time::SimDuration;
@@ -230,7 +230,10 @@ impl SystemConfig {
     ///
     /// Panics on non-flash-card backends or a fraction outside `[0, 1)`.
     pub fn with_utilization(mut self, fraction: f64) -> Self {
-        assert!((0.0..1.0).contains(&fraction), "utilization out of range: {fraction}");
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "utilization out of range: {fraction}"
+        );
         match &mut self.backend {
             BackendConfig::FlashCard { utilization, .. } => *utilization = Some(fraction),
             _ => panic!("utilization applies to flash-card backends"),
@@ -301,7 +304,12 @@ mod tests {
     fn flash_card_defaults_match_table4() {
         let cfg = SystemConfig::flash_card(intel_datasheet());
         match cfg.backend {
-            BackendConfig::FlashCard { capacity_bytes, utilization, mode, .. } => {
+            BackendConfig::FlashCard {
+                capacity_bytes,
+                utilization,
+                mode,
+                ..
+            } => {
                 assert_eq!(capacity_bytes, 40 * MIB);
                 assert_eq!(utilization, Some(0.80));
                 assert_eq!(mode, CleanerMode::Background);
@@ -320,7 +328,11 @@ mod tests {
         assert_eq!(cfg.name, "custom");
         assert_eq!(cfg.dram_bytes, 0);
         match cfg.backend {
-            BackendConfig::FlashCard { utilization, capacity_bytes, .. } => {
+            BackendConfig::FlashCard {
+                utilization,
+                capacity_bytes,
+                ..
+            } => {
                 assert_eq!(utilization, Some(0.95));
                 assert_eq!(capacity_bytes, 10 * MIB);
             }

@@ -105,7 +105,14 @@ impl Metrics {
     pub fn table4_header() -> String {
         format!(
             "{:<34} {:>10} {:>9} {:>9} {:>7} {:>9} {:>9} {:>7}",
-            "Device / parameters", "Energy(J)", "Rd mean", "Rd max", "Rd sd", "Wr mean", "Wr max", "Wr sd"
+            "Device / parameters",
+            "Energy(J)",
+            "Rd mean",
+            "Rd max",
+            "Rd sd",
+            "Wr mean",
+            "Wr max",
+            "Wr sd"
         )
     }
 }
@@ -120,11 +127,37 @@ mod tests {
             energy: Joules(100.0),
             energy_by_component: vec![("disk", Joules(90.0)), ("dram", Joules(10.0))],
             backend_states: vec![("standby", Joules(5.0), SimDuration::from_secs(25))],
-            read_response_ms: Summary { count: 10, mean: 2.0, max: 50.0, min: 0.1, std: 5.0, sum: 20.0 },
-            write_response_ms: Summary { count: 5, mean: 1.0, max: 10.0, min: 0.1, std: 2.0, sum: 5.0 },
-            overall_response_ms: Summary { count: 15, mean: 1.7, max: 50.0, min: 0.1, std: 4.0, sum: 25.0 },
+            read_response_ms: Summary {
+                count: 10,
+                mean: 2.0,
+                max: 50.0,
+                min: 0.1,
+                std: 5.0,
+                sum: 20.0,
+            },
+            write_response_ms: Summary {
+                count: 5,
+                mean: 1.0,
+                max: 10.0,
+                min: 0.1,
+                std: 2.0,
+                sum: 5.0,
+            },
+            overall_response_ms: Summary {
+                count: 15,
+                mean: 1.7,
+                max: 50.0,
+                min: 0.1,
+                std: 4.0,
+                sum: 25.0,
+            },
             duration: SimDuration::from_secs(50),
-            cache: Some(CacheStats { read_hits: 80, read_misses: 20, writes: 10, writebacks: 0 }),
+            cache: Some(CacheStats {
+                read_hits: 80,
+                read_misses: 20,
+                writes: 10,
+                writebacks: 0,
+            }),
             sram: None,
             disk: None,
             flash_disk: None,

@@ -38,7 +38,10 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { warm_percent: 10, reset_wear_at_warm: true }
+        RunOptions {
+            warm_percent: 10,
+            reset_wear_at_warm: true,
+        }
     }
 }
 
@@ -109,14 +112,20 @@ pub enum ConfigError {
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ConfigError::FlashOverfull { working_set_blocks, target_blocks } => write!(
+            ConfigError::FlashOverfull {
+                working_set_blocks,
+                target_blocks,
+            } => write!(
                 f,
                 "trace working set ({working_set_blocks} blocks) exceeds the flash \
                  preallocation bound ({target_blocks} blocks); increase the flash \
                  capacity or the utilization"
             ),
             ConfigError::NothingToMeasure => {
-                write!(f, "warm-up must leave something to measure (warm_percent < 100)")
+                write!(
+                    f,
+                    "warm-up must leave something to measure (warm_percent < 100)"
+                )
             }
         }
     }
@@ -158,8 +167,12 @@ pub fn try_simulate(
     if options.warm_percent >= 100 {
         return Err(ConfigError::NothingToMeasure);
     }
-    if let BackendConfig::FlashCard { params, capacity_bytes, utilization: Some(frac), .. } =
-        &config.backend
+    if let BackendConfig::FlashCard {
+        params,
+        capacity_bytes,
+        utilization: Some(frac),
+        ..
+    } = &config.backend
     {
         let capacity_blocks =
             (capacity_bytes / params.segment_size) * (params.segment_size / trace.block_size);
@@ -215,12 +228,20 @@ impl Simulator {
             None
         };
         let sram = if config.sram_bytes >= block_size {
-            Some(SramWriteBuffer::new(config.sram_params.clone(), config.sram_bytes, block_size))
+            Some(SramWriteBuffer::new(
+                config.sram_params.clone(),
+                config.sram_bytes,
+                block_size,
+            ))
         } else {
             None
         };
         let backend = match &config.backend {
-            BackendConfig::Disk { params, spin_down, seek_model } => {
+            BackendConfig::Disk {
+                params,
+                spin_down,
+                seek_model,
+            } => {
                 let disk = MagneticDisk::with_policy(params.clone(), *spin_down)
                     .with_queueing(config.queueing)
                     .with_seek_model(*seek_model);
@@ -229,7 +250,13 @@ impl Simulator {
             BackendConfig::FlashDisk { params } => {
                 Backend::FlashDisk(FlashDisk::new(params.clone()).with_queueing(config.queueing))
             }
-            BackendConfig::FlashCard { params, capacity_bytes, utilization, mode, victim_policy } => {
+            BackendConfig::FlashCard {
+                params,
+                capacity_bytes,
+                utilization,
+                mode,
+                victim_policy,
+            } => {
                 let mut card = FlashCardStore::new(FlashCardConfig {
                     params: params.clone(),
                     block_size,
@@ -257,7 +284,10 @@ impl Simulator {
     }
 
     fn run(mut self, trace: &Trace, options: RunOptions) -> Metrics {
-        assert!(options.warm_percent < 100, "warm-up must leave something to measure");
+        assert!(
+            options.warm_percent < 100,
+            "warm-up must leave something to measure"
+        );
         let warm_count = trace.ops.len() * options.warm_percent as usize / 100;
 
         let mut measure_start = SimTime::ZERO;
@@ -270,7 +300,9 @@ impl Simulator {
             self.step(op, record);
         }
 
-        let end = self.last_completion.max(trace.ops.last().map_or(SimTime::ZERO, |op| op.time));
+        let end = self
+            .last_completion
+            .max(trace.ops.last().map_or(SimTime::ZERO, |op| op.time));
         self.finalize(measure_start, end)
     }
 
@@ -308,7 +340,10 @@ impl Simulator {
             None => lbns.clone(),
         };
 
-        let mut response = self.dram.as_ref().map_or(SimDuration::ZERO, |c| c.access_time(bytes));
+        let mut response = self
+            .dram
+            .as_ref()
+            .map_or(SimDuration::ZERO, |c| c.access_time(bytes));
         if !misses.is_empty() {
             response += self.fetch_from_backend(now, op, &misses);
             // Fill the cache with what was fetched.
@@ -355,7 +390,9 @@ impl Simulator {
         }
         let bytes = device_blocks * block_size;
         let svc = match &mut self.backend {
-            Backend::Disk(disk) => disk.access_at(now, Dir::Read, bytes, Some(op.file.0), Some(op.lbn)),
+            Backend::Disk(disk) => {
+                disk.access_at(now, Dir::Read, bytes, Some(op.file.0), Some(op.lbn))
+            }
             Backend::FlashDisk(fd) => fd.access(now, Dir::Read, bytes),
             Backend::FlashCard(card) => card.read(now, misses[0], device_blocks as u32),
         };
@@ -377,7 +414,6 @@ impl Simulator {
             writeback_evictions = flushed.into_iter().map(|e| e.lbn).collect();
         }
 
-        
         match self.write_policy {
             WritePolicy::WriteBack if self.dram.is_some() => {
                 // Dirty data stays in DRAM; only evictions reach storage,
@@ -458,7 +494,10 @@ impl Simulator {
                         run_start = i;
                     }
                 }
-                Service { start: start.unwrap_or(now), end }
+                Service {
+                    start: start.unwrap_or(now),
+                    end,
+                }
             }
         }
     }
@@ -532,7 +571,11 @@ impl Simulator {
     fn finalize(mut self, measure_start: SimTime, end: SimTime) -> Metrics {
         // Flush any residual write-back dirt so its energy is accounted.
         if self.write_policy == WritePolicy::WriteBack {
-            let dirty = self.dram.as_mut().map(|c| c.drain_dirty()).unwrap_or_default();
+            let dirty = self
+                .dram
+                .as_mut()
+                .map(|c| c.drain_dirty())
+                .unwrap_or_default();
             if !dirty.is_empty() {
                 let fake = DiskOp {
                     time: end,
@@ -625,7 +668,9 @@ fn preload_card(card: &mut FlashCardStore, trace: &Trace, utilization: Option<f6
         }
         None => w,
     };
-    let filler_base = trace.blocks_spanned().max(working.last().map_or(0, |l| l + 1));
+    let filler_base = trace
+        .blocks_spanned()
+        .max(working.last().map_or(0, |l| l + 1));
     let filler = target - w;
     // Aged layout (§5.2): the preallocated data is spread across all
     // segments, so free space exists as cleanable garbage rather than
@@ -647,7 +692,11 @@ mod tests {
         for i in 0..ops {
             t.push(DiskOp {
                 time: SimTime::from_nanos(i as u64 * gap_ms * 1_000_000),
-                kind: if i % 2 == 0 { DiskOpKind::Write } else { DiskOpKind::Read },
+                kind: if i % 2 == 0 {
+                    DiskOpKind::Write
+                } else {
+                    DiskOpKind::Read
+                },
                 lbn: (i as u64 / 2) % 16,
                 blocks: 2,
                 file: FileId((i as u64 / 8) % 3),
@@ -679,7 +728,11 @@ mod tests {
         for i in 0..ops {
             t.push(DiskOp {
                 time: SimTime::from_nanos(i as u64 * gap_ms * 1_000_000),
-                kind: if i % 4 == 0 { DiskOpKind::Write } else { DiskOpKind::Read },
+                kind: if i % 4 == 0 {
+                    DiskOpKind::Write
+                } else {
+                    DiskOpKind::Read
+                },
                 lbn: (i as u64 * 97) % 6144,
                 blocks: 2,
                 file: FileId(i as u64 % 29),
@@ -713,16 +766,27 @@ mod tests {
         let trace = small_trace(400, 50);
         let m = simulate(&SystemConfig::disk(cu140_datasheet()), &trace);
         assert!(m.read_hit_ratio().expect("cache present") > 0.8);
-        assert!(m.read_response_ms.mean < 5.0, "mean {}", m.read_response_ms.mean);
+        assert!(
+            m.read_response_ms.mean < 5.0,
+            "mean {}",
+            m.read_response_ms.mean
+        );
     }
 
     #[test]
     fn no_dram_sends_all_reads_to_device() {
         let trace = small_trace(200, 50);
-        let m = simulate(&SystemConfig::flash_disk(sdp5_datasheet()).with_dram(0), &trace);
+        let m = simulate(
+            &SystemConfig::flash_disk(sdp5_datasheet()).with_dram(0),
+            &trace,
+        );
         assert!(m.cache.is_none());
         // Every read pays at least the 1.5 ms access latency.
-        assert!(m.read_response_ms.mean >= 1.5, "mean {}", m.read_response_ms.mean);
+        assert!(
+            m.read_response_ms.mean >= 1.5,
+            "mean {}",
+            m.read_response_ms.mean
+        );
     }
 
     #[test]
@@ -745,7 +809,10 @@ mod tests {
         let m = simulate_with(
             &SystemConfig::flash_disk(sdp5_datasheet()),
             &trace,
-            RunOptions { warm_percent: 50, ..RunOptions::default() },
+            RunOptions {
+                warm_percent: 50,
+                ..RunOptions::default()
+            },
         );
         assert_eq!(m.read_response_ms.count + m.write_response_ms.count, 50);
     }
@@ -769,7 +836,13 @@ mod tests {
     #[test]
     fn trims_invalidate_cache() {
         let mut trace = Trace::new(1024);
-        trace.push(DiskOp { time: SimTime::ZERO, kind: DiskOpKind::Write, lbn: 0, blocks: 4, file: FileId(1) });
+        trace.push(DiskOp {
+            time: SimTime::ZERO,
+            kind: DiskOpKind::Write,
+            lbn: 0,
+            blocks: 4,
+            file: FileId(1),
+        });
         trace.push(DiskOp {
             time: SimTime::from_secs_f64(1.0),
             kind: DiskOpKind::Trim,
@@ -787,7 +860,10 @@ mod tests {
         let m = simulate_with(
             &SystemConfig::flash_card(intel_datasheet()).with_flash_capacity(4 * MIB),
             &trace,
-            RunOptions { warm_percent: 0, ..RunOptions::default() },
+            RunOptions {
+                warm_percent: 0,
+                ..RunOptions::default()
+            },
         );
         let c = m.cache.expect("cache");
         assert_eq!(c.read_misses, 4, "trimmed blocks must miss");

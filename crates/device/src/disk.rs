@@ -235,7 +235,8 @@ impl MagneticDisk {
         //   saved per second of standby = idle_p - standby_p
         let cycle = self.params.spin_down_power * self.params.spin_down_time
             + self.params.spin_up_power * self.params.spin_up_time;
-        let idle_equiv = self.params.idle_power * (self.params.spin_down_time + self.params.spin_up_time);
+        let idle_equiv =
+            self.params.idle_power * (self.params.spin_down_time + self.params.spin_up_time);
         let extra = cycle.get() - idle_equiv.get();
         let save_rate = (self.params.idle_power.get() - self.params.standby_power.get()).max(1e-9);
         (self.params.spin_down_time + self.params.spin_up_time)
@@ -246,8 +247,12 @@ impl MagneticDisk {
     /// gap of length `gap` in which `spun_down` says whether a spin-down
     /// happened.
     fn adapt(&mut self, gap: SimDuration, spun_down: bool) {
-        let SpinDownPolicy::Adaptive { min, max, .. } = self.policy else { return };
-        let Some(current) = self.spin_down_timeout else { return };
+        let SpinDownPolicy::Adaptive { min, max, .. } = self.policy else {
+            return;
+        };
+        let Some(current) = self.spin_down_timeout else {
+            return;
+        };
         let breakeven = self.breakeven_idle();
         let updated = if spun_down {
             if gap < current + breakeven {
@@ -275,9 +280,7 @@ impl MagneticDisk {
     pub fn is_spun_down(&self, now: SimTime) -> bool {
         match self.spin_down_timeout {
             None => false,
-            Some(timeout) => {
-                now > self.free_at && now.saturating_since(self.free_at) > timeout
-            }
+            Some(timeout) => now > self.free_at && now.saturating_since(self.free_at) > timeout,
         }
     }
 
@@ -332,7 +335,8 @@ impl MagneticDisk {
         };
         let active = seek + self.params.avg_rotation + bandwidth.transfer_time(bytes);
         let end = ready + active;
-        self.meter.charge_for("active", self.params.active_power, active);
+        self.meter
+            .charge_for("active", self.params.active_power, active);
 
         self.counters.ops += 1;
         match dir {
@@ -378,23 +382,33 @@ impl MagneticDisk {
         self.adapt(gap, true);
 
         // The disk began spinning down `timeout` after it went idle.
-        self.meter.charge_for("idle", self.params.idle_power, timeout);
+        self.meter
+            .charge_for("idle", self.params.idle_power, timeout);
         let down_complete = self.free_at + timeout + self.params.spin_down_time;
         self.counters.spin_downs += 1;
         let spin_up_start = if now < down_complete {
             // Mid-spin-down: wait out the remaining wind-down.
-            self.meter
-                .charge_for("spindown", self.params.spin_down_power, self.params.spin_down_time);
+            self.meter.charge_for(
+                "spindown",
+                self.params.spin_down_power,
+                self.params.spin_down_time,
+            );
             down_complete
         } else {
-            self.meter
-                .charge_for("spindown", self.params.spin_down_power, self.params.spin_down_time);
+            self.meter.charge_for(
+                "spindown",
+                self.params.spin_down_power,
+                self.params.spin_down_time,
+            );
             self.meter
                 .charge_for("standby", self.params.standby_power, now - down_complete);
             now
         };
-        self.meter
-            .charge_for("spinup", self.params.spin_up_power, self.params.spin_up_time);
+        self.meter.charge_for(
+            "spinup",
+            self.params.spin_up_power,
+            self.params.spin_up_time,
+        );
         self.counters.spin_ups += 1;
         spin_up_start + self.params.spin_up_time
     }
@@ -412,14 +426,18 @@ impl MagneticDisk {
                 self.meter.charge("idle", self.params.idle_power * gap);
             }
             Some(timeout) => {
-                self.meter.charge_for("idle", self.params.idle_power, timeout);
+                self.meter
+                    .charge_for("idle", self.params.idle_power, timeout);
                 let after = gap - timeout;
                 let down = after.min(self.params.spin_down_time);
-                self.meter.charge_for("spindown", self.params.spin_down_power, down);
+                self.meter
+                    .charge_for("spindown", self.params.spin_down_power, down);
                 if after > self.params.spin_down_time {
                     self.counters.spin_downs += 1;
                     self.meter.charge_for(
-                        "standby", self.params.standby_power, after - self.params.spin_down_time,
+                        "standby",
+                        self.params.standby_power,
+                        after - self.params.spin_down_time,
                     );
                 }
             }
@@ -618,10 +636,15 @@ mod tests {
         // 30 s pauses never trigger the 40 s threshold, but exceed
         // breakeven: the policy should lower the threshold toward them.
         for _ in 0..4 {
-            t = d.access(t + SimDuration::from_secs(30), Dir::Read, 0, Some(1)).end;
+            t = d
+                .access(t + SimDuration::from_secs(30), Dir::Read, 0, Some(1))
+                .end;
         }
         let threshold = d.current_threshold().unwrap();
-        assert!(threshold < SimDuration::from_secs(40), "threshold {threshold}");
+        assert!(
+            threshold < SimDuration::from_secs(40),
+            "threshold {threshold}"
+        );
         assert!(threshold >= SimDuration::from_secs(1));
     }
 
@@ -635,12 +658,16 @@ mod tests {
         let mut d = MagneticDisk::with_policy(cu140_datasheet(), policy);
         let mut t = d.access(SimTime::ZERO, Dir::Read, 0, Some(1)).end;
         for _ in 0..10 {
-            t = d.access(t + SimDuration::from_secs(3600), Dir::Read, 0, Some(1)).end;
+            t = d
+                .access(t + SimDuration::from_secs(3600), Dir::Read, 0, Some(1))
+                .end;
         }
         // Long pauses push the threshold down, but never below min.
         assert_eq!(d.current_threshold(), Some(SimDuration::from_secs(2)));
         for _ in 0..10 {
-            t = d.access(t + SimDuration::from_secs(6), Dir::Read, 0, Some(1)).end;
+            t = d
+                .access(t + SimDuration::from_secs(6), Dir::Read, 0, Some(1))
+                .end;
         }
         // Eager spin-downs push it up, but never above max.
         assert_eq!(d.current_threshold(), Some(SimDuration::from_secs(8)));
@@ -651,7 +678,9 @@ mod tests {
         let mut d = disk();
         let mut t = d.access(SimTime::ZERO, Dir::Read, 0, Some(1)).end;
         for _ in 0..5 {
-            t = d.access(t + SimDuration::from_secs(6), Dir::Read, 0, Some(1)).end;
+            t = d
+                .access(t + SimDuration::from_secs(6), Dir::Read, 0, Some(1))
+                .end;
         }
         assert_eq!(d.current_threshold(), Some(SimDuration::from_secs(5)));
     }
@@ -668,8 +697,10 @@ mod tests {
 
     #[test]
     fn distance_model_scales_with_travel() {
-        let mut d = MagneticDisk::new(cu140_datasheet(), None)
-            .with_seek_model(SeekModel::DistanceBased { capacity_blocks: 80_000 });
+        let mut d =
+            MagneticDisk::new(cu140_datasheet(), None).with_seek_model(SeekModel::DistanceBased {
+                capacity_blocks: 80_000,
+            });
         // Head starts at 0; a far target costs more than a near one.
         let far = d.access_at(SimTime::ZERO, Dir::Read, 0, Some(1), Some(40_000));
         let far_time = far.end - far.start;
@@ -686,8 +717,10 @@ mod tests {
 
     #[test]
     fn distance_model_caps_long_seeks() {
-        let mut d = MagneticDisk::new(cu140_datasheet(), None)
-            .with_seek_model(SeekModel::DistanceBased { capacity_blocks: 100 });
+        let mut d =
+            MagneticDisk::new(cu140_datasheet(), None).with_seek_model(SeekModel::DistanceBased {
+                capacity_blocks: 100,
+            });
         // Travel far beyond capacity: the sqrt curve is clamped at 2x.
         let svc = d.access_at(SimTime::ZERO, Dir::Read, 0, Some(1), Some(1_000_000));
         let ms = (svc.end - svc.start).as_millis_f64();

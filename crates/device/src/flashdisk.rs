@@ -130,7 +130,8 @@ impl FlashDisk {
         };
         let total = self.params.access_latency + service;
         let end = start + total;
-        self.meter.charge_for("active", self.params.active_power, total);
+        self.meter
+            .charge_for("active", self.params.active_power, total);
 
         self.counters.ops += 1;
         match dir {
@@ -161,9 +162,14 @@ impl FlashDisk {
                 self.garbage += bytes;
                 self.counters.bytes_pre_erased += from_pool;
                 self.counters.bytes_erased_on_demand += deficit;
-                self.params.pre_erased_write_bandwidth.transfer_time(from_pool)
+                self.params
+                    .pre_erased_write_bandwidth
+                    .transfer_time(from_pool)
                     + self.params.erase_bandwidth.transfer_time(deficit)
-                    + self.params.pre_erased_write_bandwidth.transfer_time(deficit)
+                    + self
+                        .params
+                        .pre_erased_write_bandwidth
+                        .transfer_time(deficit)
             }
         }
     }
@@ -188,11 +194,15 @@ impl FlashDisk {
             let erased = if spent == needed {
                 self.garbage
             } else {
-                self.params.erase_bandwidth.bytes_in(spent).min(self.garbage)
+                self.params
+                    .erase_bandwidth
+                    .bytes_in(spent)
+                    .min(self.garbage)
             };
             self.garbage -= erased;
             self.erased_pool += erased;
-            self.meter.charge_for("erase", self.params.active_power, spent);
+            self.meter
+                .charge_for("erase", self.params.active_power, spent);
             idle = gap - spent;
         }
         self.meter.charge_for("idle", self.params.idle_power, idle);
@@ -269,7 +279,8 @@ mod tests {
         let mut asy = FlashDisk::new(sdp5a_datasheet());
         let t_sync = sync.access(SimTime::ZERO, Dir::Write, 32 * KIB);
         let t_asy = asy.access(SimTime::ZERO, Dir::Write, 32 * KIB);
-        let ratio = (t_sync.end - t_sync.start).as_secs_f64() / (t_asy.end - t_asy.start).as_secs_f64();
+        let ratio =
+            (t_sync.end - t_sync.start).as_secs_f64() / (t_asy.end - t_asy.start).as_secs_f64();
         assert!((2.0..4.0).contains(&ratio), "speedup {ratio}");
     }
 
@@ -280,7 +291,10 @@ mod tests {
         fd.finish(first.end + SimDuration::from_secs(10));
         let m = fd.meter();
         assert!(m.category("active").get() > 0.0);
-        assert!(m.category("erase").get() > 0.0, "background erase consumed energy");
+        assert!(
+            m.category("erase").get() > 0.0,
+            "background erase consumed energy"
+        );
         assert!(m.category("idle").get() > 0.0);
         // 512 Kbytes of garbage erase in 512/150 = 3.41 s of the 10 s gap.
         let erase_j = m.category("erase").get();
@@ -295,8 +309,12 @@ mod tests {
         let mut t1 = SimTime::ZERO;
         let mut t2 = SimTime::ZERO;
         for _ in 0..50 {
-            t1 = sync.access(t1 + SimDuration::from_secs(1), Dir::Write, 16 * KIB).end;
-            t2 = asy.access(t2 + SimDuration::from_secs(1), Dir::Write, 16 * KIB).end;
+            t1 = sync
+                .access(t1 + SimDuration::from_secs(1), Dir::Write, 16 * KIB)
+                .end;
+            t2 = asy
+                .access(t2 + SimDuration::from_secs(1), Dir::Write, 16 * KIB)
+                .end;
         }
         let end = t1.max(t2) + SimDuration::from_secs(1);
         sync.finish(end);

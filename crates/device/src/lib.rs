@@ -85,7 +85,10 @@ impl Service {
     /// # Panics
     ///
     /// Panics if `issued` is after `end`.
-    pub fn response(&self, issued: mobistore_sim::time::SimTime) -> mobistore_sim::time::SimDuration {
+    pub fn response(
+        &self,
+        issued: mobistore_sim::time::SimTime,
+    ) -> mobistore_sim::time::SimDuration {
         self.end - issued
     }
 }
@@ -102,6 +105,9 @@ mod tests {
             end: SimTime::from_nanos(250),
         };
         assert_eq!(svc.service_time(), SimDuration::from_nanos(150));
-        assert_eq!(svc.response(SimTime::from_nanos(50)), SimDuration::from_nanos(200));
+        assert_eq!(
+            svc.response(SimTime::from_nanos(50)),
+            SimDuration::from_nanos(200)
+        );
     }
 }

@@ -17,13 +17,14 @@ use mobistore_cache::dram::WritePolicy;
 use mobistore_core::config::SystemConfig;
 use mobistore_core::metrics::Metrics;
 use mobistore_core::simulator::simulate;
-use mobistore_device::params::{cu140_datasheet, intel_datasheet, sdp5_datasheet, sdp5a_datasheet};
 use mobistore_device::disk::{SeekModel, SpinDownPolicy};
+use mobistore_device::params::{cu140_datasheet, intel_datasheet, sdp5_datasheet, sdp5a_datasheet};
 use mobistore_flash::store::VictimPolicy;
+use mobistore_sim::exec::parallel_map;
 use mobistore_sim::time::SimDuration;
 use mobistore_workload::Workload;
 
-use crate::{flash_card_config, Scale};
+use crate::{flash_card_config, shared_trace, Scale};
 
 /// A labelled set of metrics rows.
 #[derive(Debug, Clone)]
@@ -37,61 +38,77 @@ pub struct Ablation {
 /// Compares flash-card cleaning policies on the `synth` workload (whose
 /// hot-and-cold skew is what cost-benefit policies exploit).
 pub fn cleaning_policies(scale: Scale) -> Ablation {
-    let trace = Workload::Synth.generate_scaled(scale.fraction, scale.seed);
-    let rows = [
+    let trace = shared_trace(Workload::Synth, scale);
+    let variants = [
         ("greedy min-utilization", VictimPolicy::GreedyMinLive),
         ("FIFO", VictimPolicy::Fifo),
         ("cost-benefit (LFS/eNVy)", VictimPolicy::CostBenefit),
-    ]
-    .into_iter()
-    .map(|(label, policy)| {
+    ];
+    let rows = parallel_map(&variants, |&(label, policy)| {
         let cfg = flash_card_config(intel_datasheet(), &trace, 0.90).with_victim_policy(policy);
         (label.to_owned(), simulate(&cfg, &trace))
-    })
-    .collect();
-    Ablation { title: "Flash-card cleaning policy (synth, 90% utilized)", rows }
+    });
+    Ablation {
+        title: "Flash-card cleaning policy (synth, 90% utilized)",
+        rows,
+    }
 }
 
 /// Compares write-through vs write-back DRAM caching on the flash card
 /// (§4.2's footnote: write-back "might avoid some erasures at the cost of
 /// occasional data loss").
 pub fn write_back_cache(scale: Scale) -> Ablation {
-    let trace = Workload::Mac.generate_scaled(scale.fraction, scale.seed);
-    let rows = [
+    let trace = shared_trace(Workload::Mac, scale);
+    let variants = [
         ("write-through (paper)", WritePolicy::WriteThrough),
         ("write-back", WritePolicy::WriteBack),
-    ]
-    .into_iter()
-    .map(|(label, policy)| {
+    ];
+    let rows = parallel_map(&variants, |&(label, policy)| {
         let cfg = flash_card_config(intel_datasheet(), &trace, 0.80).with_write_policy(policy);
         (label.to_owned(), simulate(&cfg, &trace))
-    })
-    .collect();
-    Ablation { title: "DRAM write policy on the Intel card (mac)", rows }
+    });
+    Ablation {
+        title: "DRAM write policy on the Intel card (mac)",
+        rows,
+    }
 }
 
 /// Sweeps the disk spin-down threshold on the `hp` trace (long idle gaps
 /// make the trade-off visible).
 pub fn spin_down_sweep(scale: Scale) -> Ablation {
-    let trace = Workload::Hp.generate_scaled(scale.fraction, scale.seed);
-    let mut rows = Vec::new();
-    for secs in [1u64, 5, 30, 120] {
-        let cfg = SystemConfig::disk(cu140_datasheet())
+    let trace = shared_trace(Workload::Hp, scale);
+    let mut configs: Vec<(String, SystemConfig)> = [1u64, 5, 30, 120]
+        .iter()
+        .map(|&secs| {
+            let cfg = SystemConfig::disk(cu140_datasheet())
+                .with_dram(0)
+                .with_spin_down(Some(SimDuration::from_secs(secs)));
+            (format!("spin-down {secs}s"), cfg)
+        })
+        .collect();
+    configs.push((
+        "adaptive 1..60s".to_owned(),
+        SystemConfig::disk(cu140_datasheet())
             .with_dram(0)
-            .with_spin_down(Some(SimDuration::from_secs(secs)));
-        rows.push((format!("spin-down {secs}s"), simulate(&cfg, &trace)));
+            .with_spin_down_policy(SpinDownPolicy::Adaptive {
+                min: SimDuration::from_secs(1),
+                max: SimDuration::from_secs(60),
+                initial: SimDuration::from_secs(5),
+            }),
+    ));
+    configs.push((
+        "never spin down".to_owned(),
+        SystemConfig::disk(cu140_datasheet())
+            .with_dram(0)
+            .with_spin_down(None),
+    ));
+    let rows = parallel_map(&configs, |(label, cfg)| {
+        (label.clone(), simulate(cfg, &trace))
+    });
+    Ablation {
+        title: "cu140 spin-down threshold (hp)",
+        rows,
     }
-    let adaptive = SystemConfig::disk(cu140_datasheet()).with_dram(0).with_spin_down_policy(
-        SpinDownPolicy::Adaptive {
-            min: SimDuration::from_secs(1),
-            max: SimDuration::from_secs(60),
-            initial: SimDuration::from_secs(5),
-        },
-    );
-    rows.push(("adaptive 1..60s".to_owned(), simulate(&adaptive, &trace)));
-    let never = SystemConfig::disk(cu140_datasheet()).with_dram(0).with_spin_down(None);
-    rows.push(("never spin down".to_owned(), simulate(&never, &trace)));
-    Ablation { title: "cu140 spin-down threshold (hp)", rows }
 }
 
 /// Puts the §5.5 SRAM write buffer in front of the flash devices — the
@@ -99,26 +116,29 @@ pub fn spin_down_sweep(scale: Scale) -> Ablation {
 /// improve performance"). The SDP5A backend lets flushed bursts land in
 /// pre-erased sectors with erasure hidden in idle time.
 pub fn flash_with_sram(scale: Scale) -> Ablation {
-    let trace = Workload::Mac.generate_scaled(scale.fraction, scale.seed);
-    let rows = vec![
+    let trace = shared_trace(Workload::Mac, scale);
+    let configs = [
+        ("sdp5 (no SRAM)", SystemConfig::flash_disk(sdp5_datasheet())),
         (
-            "sdp5 (no SRAM)".to_owned(),
-            simulate(&SystemConfig::flash_disk(sdp5_datasheet()), &trace),
+            "sdp5a async erase, no SRAM",
+            SystemConfig::flash_disk(sdp5a_datasheet()),
         ),
         (
-            "sdp5a async erase, no SRAM".to_owned(),
-            simulate(&SystemConfig::flash_disk(sdp5a_datasheet()), &trace),
+            "sdp5a + 32KB SRAM",
+            SystemConfig::flash_disk(sdp5a_datasheet()).with_sram(32 * 1024),
         ),
         (
-            "sdp5a + 32KB SRAM".to_owned(),
-            simulate(&SystemConfig::flash_disk(sdp5a_datasheet()).with_sram(32 * 1024), &trace),
-        ),
-        (
-            "Intel card + 32KB SRAM".to_owned(),
-            simulate(&flash_card_config(intel_datasheet(), &trace, 0.80).with_sram(32 * 1024), &trace),
+            "Intel card + 32KB SRAM",
+            flash_card_config(intel_datasheet(), &trace, 0.80).with_sram(32 * 1024),
         ),
     ];
-    Ablation { title: "SRAM write buffer in front of flash (mac)", rows }
+    let rows = parallel_map(&configs, |(label, cfg)| {
+        ((*label).to_owned(), simulate(cfg, &trace))
+    });
+    Ablation {
+        title: "SRAM write buffer in front of flash (mac)",
+        rows,
+    }
 }
 
 /// Quantifies §5.1's seek-assumption divergence: the same trace through
@@ -130,26 +150,30 @@ pub fn flash_with_sram(scale: Scale) -> Ablation {
 pub fn seek_models(scale: Scale) -> Ablation {
     // The §5.1 setting: the synth workload, no DRAM cache, no SRAM, disk
     // spinning throughout.
-    let trace = Workload::Synth.generate_scaled(scale.fraction, scale.seed);
+    let trace = shared_trace(Workload::Synth, scale);
     // Distance model over the real 40-MB device geometry (512-byte
     // blocks), not just the trace's span.
     let capacity_blocks = (40 * 1024 * 1024 / trace.block_size).max(trace.blocks_spanned());
-    let rows = [
+    let variants = [
         ("same-file average (paper)", SeekModel::SameFileAverage),
         ("always average (fragmented)", SeekModel::AlwaysAverage),
-        ("distance-based (compact)", SeekModel::DistanceBased { capacity_blocks }),
-    ]
-    .into_iter()
-    .map(|(label, model)| {
+        (
+            "distance-based (compact)",
+            SeekModel::DistanceBased { capacity_blocks },
+        ),
+    ];
+    let rows = parallel_map(&variants, |&(label, model)| {
         let cfg = SystemConfig::disk(cu140_datasheet())
             .with_dram(0)
             .with_sram(0)
             .with_spin_down(None)
             .with_seek_model(model);
         (label.to_owned(), simulate(&cfg, &trace))
-    })
-    .collect();
-    Ablation { title: "cu140 seek model (synth, no cache, always spinning)", rows }
+    });
+    Ablation {
+        title: "cu140 seek model (synth, no cache, always spinning)",
+        rows,
+    }
 }
 
 impl fmt::Display for Ablation {
@@ -227,7 +251,12 @@ mod tests {
         let ab = spin_down_sweep(Scale::quick());
         let one = ab.rows[0].1.disk.unwrap();
         let long = ab.rows[3].1.disk.unwrap();
-        assert!(one.spin_ups >= long.spin_ups, "1s {} vs 120s {}", one.spin_ups, long.spin_ups);
+        assert!(
+            one.spin_ups >= long.spin_ups,
+            "1s {} vs 120s {}",
+            one.spin_ups,
+            long.spin_ups
+        );
     }
 
     #[test]
@@ -244,7 +273,11 @@ mod tests {
             buffered.write_response_ms.mean,
             plain.write_response_ms.mean
         );
-        assert!(card_buffered.write_response_ms.mean < 5.0, "{}", card_buffered.write_response_ms.mean);
+        assert!(
+            card_buffered.write_response_ms.mean < 5.0,
+            "{}",
+            card_buffered.write_response_ms.mean
+        );
     }
 
     #[test]

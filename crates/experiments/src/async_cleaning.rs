@@ -12,9 +12,10 @@ use mobistore_core::config::SystemConfig;
 use mobistore_core::metrics::Metrics;
 use mobistore_core::simulator::simulate;
 use mobistore_device::params::{sdp5_datasheet, sdp5a_datasheet};
+use mobistore_sim::exec::parallel_map;
 use mobistore_workload::Workload;
 
-use crate::Scale;
+use crate::{shared_trace, Scale};
 
 /// One trace's synchronous-vs-asynchronous comparison.
 #[derive(Debug, Clone)]
@@ -46,28 +47,50 @@ pub struct AsyncCleaning {
     pub rows: Vec<AsyncRow>,
 }
 
-/// Runs the comparison over all three traces.
+/// Runs the comparison over all three traces in parallel.
 pub fn run(scale: Scale) -> AsyncCleaning {
-    let rows = Workload::TABLE4.iter().map(|&w| run_row(w, scale)).collect();
+    let rows = parallel_map(&Workload::TABLE4, |&w| run_row(w, scale));
     AsyncCleaning { rows }
 }
 
-/// Runs the comparison for one trace.
+/// Runs the comparison for one trace (the sync/async pair in parallel).
 pub fn run_row(workload: Workload, scale: Scale) -> AsyncRow {
-    let trace = workload.generate_scaled(scale.fraction, scale.seed);
-    let dram = if workload.below_buffer_cache() { 0 } else { 2 * 1024 * 1024 };
-    let sync_cfg = SystemConfig::flash_disk(sdp5_datasheet()).with_dram(dram);
-    let async_cfg = SystemConfig::flash_disk(sdp5a_datasheet()).with_dram(dram);
-    let mut synchronous = simulate(&sync_cfg, &trace);
-    synchronous.name = format!("{} sdp5 (sync)", workload.name());
-    let mut asynchronous = simulate(&async_cfg, &trace);
-    asynchronous.name = format!("{} sdp5a (async)", workload.name());
-    AsyncRow { workload, synchronous, asynchronous }
+    let trace = shared_trace(workload, scale);
+    let dram = if workload.below_buffer_cache() {
+        0
+    } else {
+        2 * 1024 * 1024
+    };
+    let configs = [
+        (
+            SystemConfig::flash_disk(sdp5_datasheet()).with_dram(dram),
+            "sdp5 (sync)",
+        ),
+        (
+            SystemConfig::flash_disk(sdp5a_datasheet()).with_dram(dram),
+            "sdp5a (async)",
+        ),
+    ];
+    let mut results = parallel_map(&configs, |(cfg, suffix)| {
+        let mut m = simulate(cfg, &trace);
+        m.name = format!("{} {suffix}", workload.name());
+        m
+    });
+    let asynchronous = results.pop().expect("async row");
+    let synchronous = results.pop().expect("sync row");
+    AsyncRow {
+        workload,
+        synchronous,
+        asynchronous,
+    }
 }
 
 impl fmt::Display for AsyncCleaning {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Section 5.3: SDP5A asynchronous cleaning (paper: write response -56..61%)")?;
+        writeln!(
+            f,
+            "Section 5.3: SDP5A asynchronous cleaning (paper: write response -56..61%)"
+        )?;
         writeln!(
             f,
             "{:<8} {:>16} {:>16} {:>12} {:>12}",
@@ -102,12 +125,18 @@ mod tests {
     #[test]
     fn energy_impact_is_minimal() {
         let row = run_row(Workload::Mac, Scale::quick());
-        assert!(row.energy_change().abs() < 0.10, "energy change {}", row.energy_change());
+        assert!(
+            row.energy_change().abs() < 0.10,
+            "energy change {}",
+            row.energy_change()
+        );
     }
 
     #[test]
     fn renders() {
-        let exp = AsyncCleaning { rows: vec![run_row(Workload::Dos, Scale::quick())] };
+        let exp = AsyncCleaning {
+            rows: vec![run_row(Workload::Dos, Scale::quick())],
+        };
         let text = exp.to_string();
         assert!(text.contains("async"));
     }

@@ -8,7 +8,9 @@
 
 use std::fmt;
 
-use mobistore_core::battery::{battery_extension, savings_fraction, STORAGE_SHARE_HIGH, STORAGE_SHARE_LOW};
+use mobistore_core::battery::{
+    battery_extension, savings_fraction, STORAGE_SHARE_HIGH, STORAGE_SHARE_LOW,
+};
 use mobistore_workload::Workload;
 
 use crate::table4::{run_part, DeviceConfig, Table4Part};
@@ -63,7 +65,10 @@ pub fn from_part(part: &Table4Part) -> BatteryRow {
 
 impl fmt::Display for Battery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Battery life (paper: flash disk saves 59-86%, card ~90% -> +20-100% life)")?;
+        writeln!(
+            f,
+            "Battery life (paper: flash disk saves 59-86%, card ~90% -> +20-100% life)"
+        )?;
         writeln!(
             f,
             "{:<8} {:>16} {:>16} {:>14} {:>14}",
@@ -95,18 +100,32 @@ mod tests {
         // Paper: flash disk saves 59-86% of disk energy; the card ~90%
         // (at quick scale the card's cleaning sees less locality, so allow
         // a wider band).
-        assert!((0.4..0.95).contains(&row.flash_disk_savings), "{}", row.flash_disk_savings);
-        assert!((0.5..1.0).contains(&row.flash_card_savings), "{}", row.flash_card_savings);
+        assert!(
+            (0.4..0.95).contains(&row.flash_disk_savings),
+            "{}",
+            row.flash_disk_savings
+        );
+        assert!(
+            (0.5..1.0).contains(&row.flash_card_savings),
+            "{}",
+            row.flash_card_savings
+        );
         // Extension ordering follows the share.
         assert!(row.card_extension_high_share > row.card_extension_low_share);
         // Low-share extension should be in the tens of percent (the
         // paper's 22% headline band, loosely).
-        assert!((0.05..0.35).contains(&row.card_extension_low_share), "{}", row.card_extension_low_share);
+        assert!(
+            (0.05..0.35).contains(&row.card_extension_low_share),
+            "{}",
+            row.card_extension_low_share
+        );
     }
 
     #[test]
     fn renders() {
-        let b = Battery { rows: vec![from_part(&run_part(Workload::Mac, Scale::quick()))] };
+        let b = Battery {
+            rows: vec![from_part(&run_part(Workload::Mac, Scale::quick()))],
+        };
         assert!(b.to_string().contains("card savings"));
     }
 }

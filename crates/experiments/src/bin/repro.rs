@@ -1,24 +1,60 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale <fraction>] [--seed <n>] [targets...]
+//! repro [--scale <fraction>] [--seed <n>] [--jobs <n>] [--timings] [targets...]
 //! ```
 //!
 //! Targets: `table1 table2 table3 table4 figure1 figure2 figure3 figure4
-//! figure5 async endurance verify battery ablations` (default: all).
+//! figure5 async endurance verify battery ablations nextgen sensitivity
+//! related` (default: all).
+//!
+//! Targets run **concurrently** on a worker pool (`--jobs N`, the
+//! `MOBISTORE_JOBS` environment variable, or all available cores), with
+//! each target's stdout buffered and flushed in request order — so the
+//! output is byte-identical to a `--jobs 1` serial run. Workload traces
+//! are generated once per process and shared between targets through the
+//! `mobistore_workload::cache` trace cache; `--timings` reports per-target
+//! wall-clock and the cache's hit/miss summary on stderr.
 
 use std::env;
+use std::fmt::Display;
 use std::fs;
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use mobistore_experiments as exp;
 use mobistore_experiments::Scale;
+use mobistore_sim::exec;
+
+/// Every known target, in the default (paper) order.
+const ALL_TARGETS: [&str; 17] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "async",
+    "endurance",
+    "verify",
+    "battery",
+    "ablations",
+    "nextgen",
+    "sensitivity",
+    "related",
+];
 
 fn main() -> ExitCode {
+    let started = Instant::now();
     let mut scale = Scale::full();
     let mut targets: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
+    let mut timings = false;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -30,6 +66,11 @@ fn main() -> ExitCode {
                 Some(v) => scale.seed = v,
                 None => return usage("--seed needs an integer"),
             },
+            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v > 0 => exec::set_jobs(v),
+                _ => return usage("--jobs needs a positive integer"),
+            },
+            "--timings" => timings = true,
             "--csv" => match args.next() {
                 Some(dir) => csv_dir = Some(PathBuf::from(dir)),
                 None => return usage("--csv needs a directory"),
@@ -40,73 +81,126 @@ fn main() -> ExitCode {
         }
     }
     if targets.is_empty() {
-        targets = [
-            "table1", "table2", "table3", "table4", "figure1", "figure2", "figure3", "figure4",
-            "figure5", "async", "endurance", "verify", "battery", "ablations", "nextgen",
-            "sensitivity", "related",
-        ]
-        .iter()
-        .map(|s| (*s).to_owned())
-        .collect();
+        targets = ALL_TARGETS.iter().map(|s| (*s).to_owned()).collect();
+    }
+    if let Some(bad) = targets.iter().find(|t| !ALL_TARGETS.contains(&t.as_str())) {
+        return usage(&format!("unknown target {bad}"));
     }
 
-    eprintln!("# mobistore repro: scale {:.2}, seed {}", scale.fraction, scale.seed);
-    for target in &targets {
+    eprintln!(
+        "# mobistore repro: scale {:.2}, seed {}, jobs {}",
+        scale.fraction,
+        scale.seed,
+        exec::jobs()
+    );
+
+    // Run all requested targets concurrently, buffering each target's
+    // stdout; flushing in request order keeps the combined output
+    // byte-identical to a serial run.
+    let results: Vec<(String, Duration)> = exec::parallel_map(&targets, |target| {
         eprintln!("# running {target}...");
-        match target.as_str() {
-            "table1" => println!("{}\n", exp::table1::run()),
-            "table2" => println!("{}\n", exp::table2::run()),
-            "table3" => println!("{}\n", exp::table3::run(scale)),
-            "table4" => {
-                let t = exp::table4::run(scale);
-                println!("{t}\n");
-                write_csv(&csv_dir, "table4.csv", &exp::csv::table4_csv(&t));
-            }
-            "figure1" => {
-                let fig = exp::figure1::run();
-                println!("{fig}\n{}\n", fig.plot());
-            }
-            "figure2" => {
-                let fig = exp::figure2::run(scale);
-                println!("{fig}\n{}\n", fig.plot());
-                write_csv(&csv_dir, "figure2.csv", &exp::csv::figure2_csv(&fig));
-            }
-            "figure3" => {
-                let fig = exp::figure3::run();
-                println!("{fig}\n{}\n", fig.plot());
-            }
-            "figure4" => {
-                let fig = exp::figure4::run(scale);
-                println!("{fig}\n");
-                write_csv(&csv_dir, "figure4.csv", &exp::csv::figure4_csv(&fig));
-            }
-            "figure5" => {
-                let fig = exp::figure5::run(scale);
-                println!("{fig}\n");
-                write_csv(&csv_dir, "figure5.csv", &exp::csv::figure5_csv(&fig));
-            }
-            "async" => println!("{}\n", exp::async_cleaning::run(scale)),
-            "endurance" => println!("{}\n", exp::endurance::run(scale)),
-            "verify" => println!("{}\n", exp::verification::run(scale)),
-            "battery" => println!("{}\n", exp::battery::run(scale)),
-            "ablations" => {
-                println!("{}\n", exp::ablations::cleaning_policies(scale));
-                println!("{}\n", exp::ablations::write_back_cache(scale));
-                println!("{}\n", exp::ablations::spin_down_sweep(scale));
-                println!("{}\n", exp::ablations::flash_with_sram(scale));
-                println!("{}\n", exp::ablations::seek_models(scale));
-            }
-            "nextgen" => {
-                println!("{}\n", exp::next_gen::series2plus(mobistore_workload::Workload::Dos, scale));
-                println!("{}\n", exp::next_gen::wear_leveling(scale));
-                println!("{}\n", exp::next_gen::render_lifetime(&exp::next_gen::lifetime(scale)));
-            }
-            "sensitivity" => println!("{}\n", exp::sensitivity::run(scale)),
-            "related" => println!("{}\n", exp::related::run(scale)),
-            other => return usage(&format!("unknown target {other}")),
+        let t0 = Instant::now();
+        let out = render_target(target, scale, &csv_dir);
+        (out, t0.elapsed())
+    });
+
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    for (out, _) in &results {
+        if lock.write_all(out.as_bytes()).is_err() {
+            return ExitCode::from(1);
         }
     }
+    drop(lock);
+
+    if timings {
+        eprintln!("# timings (jobs={}):", exec::jobs());
+        for (target, (_, elapsed)) in targets.iter().zip(&results) {
+            eprintln!("#   {target:<12} {:>9.3}s", elapsed.as_secs_f64());
+        }
+        let c = mobistore_workload::cache::summary();
+        eprintln!(
+            "# trace cache: {} generated, {} hits, {} entries ({} lookups)",
+            c.misses,
+            c.hits,
+            c.entries,
+            c.lookups()
+        );
+        eprintln!(
+            "# total wall-clock: {:.3}s",
+            started.elapsed().as_secs_f64()
+        );
+    }
     ExitCode::SUCCESS
+}
+
+/// Runs one target and returns exactly the bytes the serial version
+/// printed to stdout for it.
+fn render_target(target: &str, scale: Scale, csv_dir: &Option<PathBuf>) -> String {
+    let mut out = String::new();
+    // Mirrors the old `println!("{}\n", x)`: the value, then a blank line.
+    fn p(out: &mut String, x: impl Display) {
+        out.push_str(&format!("{x}\n\n"));
+    }
+    match target {
+        "table1" => p(&mut out, exp::table1::run()),
+        "table2" => p(&mut out, exp::table2::run()),
+        "table3" => p(&mut out, exp::table3::run(scale)),
+        "table4" => {
+            let t = exp::table4::run(scale);
+            p(&mut out, &t);
+            write_csv(csv_dir, "table4.csv", &exp::csv::table4_csv(&t));
+        }
+        "figure1" => {
+            let fig = exp::figure1::run();
+            p(&mut out, format_args!("{fig}\n{}", fig.plot()));
+        }
+        "figure2" => {
+            let fig = exp::figure2::run(scale);
+            p(&mut out, format_args!("{fig}\n{}", fig.plot()));
+            write_csv(csv_dir, "figure2.csv", &exp::csv::figure2_csv(&fig));
+        }
+        "figure3" => {
+            let fig = exp::figure3::run();
+            p(&mut out, format_args!("{fig}\n{}", fig.plot()));
+        }
+        "figure4" => {
+            let fig = exp::figure4::run(scale);
+            p(&mut out, &fig);
+            write_csv(csv_dir, "figure4.csv", &exp::csv::figure4_csv(&fig));
+        }
+        "figure5" => {
+            let fig = exp::figure5::run(scale);
+            p(&mut out, &fig);
+            write_csv(csv_dir, "figure5.csv", &exp::csv::figure5_csv(&fig));
+        }
+        "async" => p(&mut out, exp::async_cleaning::run(scale)),
+        "endurance" => p(&mut out, exp::endurance::run(scale)),
+        "verify" => p(&mut out, exp::verification::run(scale)),
+        "battery" => p(&mut out, exp::battery::run(scale)),
+        "ablations" => {
+            p(&mut out, exp::ablations::cleaning_policies(scale));
+            p(&mut out, exp::ablations::write_back_cache(scale));
+            p(&mut out, exp::ablations::spin_down_sweep(scale));
+            p(&mut out, exp::ablations::flash_with_sram(scale));
+            p(&mut out, exp::ablations::seek_models(scale));
+        }
+        "nextgen" => {
+            p(
+                &mut out,
+                exp::next_gen::series2plus(mobistore_workload::Workload::Dos, scale),
+            );
+            p(&mut out, exp::next_gen::wear_leveling(scale));
+            p(
+                &mut out,
+                exp::next_gen::render_lifetime(&exp::next_gen::lifetime(scale)),
+            );
+        }
+        "sensitivity" => p(&mut out, exp::sensitivity::run(scale)),
+        "related" => p(&mut out, exp::related::run(scale)),
+        other => unreachable!("target {other} validated in main"),
+    }
+    out
 }
 
 /// Writes one CSV file into the `--csv` directory, if one was given.
@@ -128,8 +222,9 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--scale <0..1]] [--seed <n>] [--csv <dir>] [table1|table2|table3|table4|figure1|figure2|\
-         figure3|figure4|figure5|async|endurance|verify|battery|ablations|nextgen|sensitivity|related ...]"
+        "usage: repro [--scale <0..1]] [--seed <n>] [--jobs <n>] [--timings] [--csv <dir>] \
+         [table1|table2|table3|table4|figure1|figure2|figure3|figure4|figure5|async|endurance|\
+         verify|battery|ablations|nextgen|sensitivity|related ...]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

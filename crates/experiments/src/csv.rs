@@ -35,7 +35,13 @@ pub fn table4_csv(t: &Table4) -> String {
     let mut out = format!("trace,config,{METRIC_COLUMNS}\n");
     for part in &t.parts {
         for row in &part.rows {
-            let _ = writeln!(out, "{},{},{}", part.workload.name(), quote(&row.name), metric_cells(row));
+            let _ = writeln!(
+                out,
+                "{},{},{}",
+                part.workload.name(),
+                quote(&row.name),
+                metric_cells(row)
+            );
         }
     }
     out
@@ -118,7 +124,9 @@ mod tests {
 
     #[test]
     fn table4_csv_shape() {
-        let t = Table4 { parts: vec![table4::run_part(Workload::Dos, Scale::quick())] };
+        let t = Table4 {
+            parts: vec![table4::run_part(Workload::Dos, Scale::quick())],
+        };
         let csv = table4_csv(&t);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 1 + 7, "header + 7 configs");
@@ -133,7 +141,9 @@ mod tests {
 
     #[test]
     fn figure2_csv_shape() {
-        let f = Figure2 { curves: vec![figure2::run_curve(Workload::Dos, Scale::quick())] };
+        let f = Figure2 {
+            curves: vec![figure2::run_curve(Workload::Dos, Scale::quick())],
+        };
         let csv = figure2_csv(&f);
         assert_eq!(csv.lines().count(), 1 + UTILIZATIONS.len());
         assert!(csv.contains("cleaning_waits"));
@@ -145,7 +155,9 @@ mod tests {
         let csv4 = figure4_csv(&f4);
         assert_eq!(csv4.lines().count(), 1 + 6 * DRAM_BYTES.len());
 
-        let f5 = Figure5 { curves: vec![figure5::run_curve(Workload::Mac, Scale::quick())] };
+        let f5 = Figure5 {
+            curves: vec![figure5::run_curve(Workload::Mac, Scale::quick())],
+        };
         let csv5 = figure5_csv(&f5);
         assert_eq!(csv5.lines().count(), 1 + SRAM_BYTES.len());
         // The no-SRAM row is normalized to exactly 1.

@@ -11,9 +11,10 @@ use std::fmt;
 use mobistore_core::simulator::simulate;
 use mobistore_device::params::intel_datasheet;
 use mobistore_flash::store::WearStats;
+use mobistore_sim::exec::parallel_map;
 use mobistore_workload::Workload;
 
-use crate::{flash_card_config, Scale};
+use crate::{flash_card_config, shared_trace, Scale};
 
 /// The endpoints the paper quotes.
 pub const UTIL_LOW: f64 = 0.40;
@@ -49,21 +50,32 @@ pub struct Endurance {
     pub rows: Vec<EnduranceRow>,
 }
 
-/// Runs the endurance comparison for the paper's two traces (`mac`, `hp`).
+/// Runs the endurance comparison for the paper's two traces (`mac`, `hp`)
+/// in parallel.
 pub fn run(scale: Scale) -> Endurance {
-    let rows = [Workload::Mac, Workload::Hp].iter().map(|&w| run_row(w, scale)).collect();
+    let rows = parallel_map(&[Workload::Mac, Workload::Hp], |&w| run_row(w, scale));
     Endurance { rows }
 }
 
-/// Runs one trace at both utilizations.
+/// Runs one trace at both utilizations (in parallel).
 pub fn run_row(workload: Workload, scale: Scale) -> EnduranceRow {
-    let trace = workload.generate_scaled(scale.fraction, scale.seed);
-    let dram = if workload.below_buffer_cache() { 0 } else { 2 * 1024 * 1024 };
-    let wear_at = |util: f64| {
+    let trace = shared_trace(workload, scale);
+    let dram = if workload.below_buffer_cache() {
+        0
+    } else {
+        2 * 1024 * 1024
+    };
+    let mut wear = parallel_map(&[UTIL_LOW, UTIL_HIGH], |&util| {
         let cfg = flash_card_config(intel_datasheet(), &trace, util).with_dram(dram);
         simulate(&cfg, &trace).wear.expect("flash card wear")
-    };
-    EnduranceRow { workload, low: wear_at(UTIL_LOW), high: wear_at(UTIL_HIGH) }
+    });
+    let high = wear.pop().expect("high point");
+    let low = wear.pop().expect("low point");
+    EnduranceRow {
+        workload,
+        low,
+        high,
+    }
 }
 
 impl fmt::Display for Endurance {
@@ -97,13 +109,20 @@ mod tests {
     #[test]
     fn high_utilization_wears_faster() {
         let row = run_row(Workload::Mac, Scale::quick());
-        assert!(row.high.total >= row.low.total, "high {:?} low {:?}", row.high, row.low);
+        assert!(
+            row.high.total >= row.low.total,
+            "high {:?} low {:?}",
+            row.high,
+            row.low
+        );
         assert!(row.high.max_erase >= row.low.max_erase);
     }
 
     #[test]
     fn renders() {
-        let e = Endurance { rows: vec![run_row(Workload::Mac, Scale::quick())] };
+        let e = Endurance {
+            rows: vec![run_row(Workload::Mac, Scale::quick())],
+        };
         assert!(e.to_string().contains("total ratio"));
     }
 }

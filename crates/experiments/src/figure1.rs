@@ -12,7 +12,9 @@ use std::fmt;
 use mobistore_device::params::{cu140_datasheet, intel_datasheet, sdp10_datasheet};
 use mobistore_fsmodel::compress::DataClass;
 use mobistore_fsmodel::mffs::MffsParams;
-use mobistore_fsmodel::{doublespace, stacker, BenchRun, DiskTestbed, FlashCardTestbed, FlashDiskTestbed};
+use mobistore_fsmodel::{
+    doublespace, stacker, BenchRun, DiskTestbed, FlashCardTestbed, FlashDiskTestbed,
+};
 use mobistore_sim::units::{KIB, MIB};
 
 /// One Figure 1 curve.
@@ -44,17 +46,32 @@ pub fn run() -> Figure1 {
     let mut curves = Vec::with_capacity(5);
 
     let disk_raw = DiskTestbed::new(cu140_datasheet(), None);
-    curves.push(to_curve("cu140 uncompressed", disk_raw.write_file(MIB, CHUNK, DataClass::Compressible)));
+    curves.push(to_curve(
+        "cu140 uncompressed",
+        disk_raw.write_file(MIB, CHUNK, DataClass::Compressible),
+    ));
     let disk_dbl = DiskTestbed::new(cu140_datasheet(), Some(doublespace()));
-    curves.push(to_curve("cu140 compressed", disk_dbl.write_file(MIB, CHUNK, DataClass::Compressible)));
+    curves.push(to_curve(
+        "cu140 compressed",
+        disk_dbl.write_file(MIB, CHUNK, DataClass::Compressible),
+    ));
 
     let mut fd_raw = FlashDiskTestbed::new(sdp10_datasheet(), None);
-    curves.push(to_curve("sdp10 uncompressed", fd_raw.write_file(MIB, CHUNK, DataClass::Compressible)));
+    curves.push(to_curve(
+        "sdp10 uncompressed",
+        fd_raw.write_file(MIB, CHUNK, DataClass::Compressible),
+    ));
     let mut fd_stk = FlashDiskTestbed::new(sdp10_datasheet(), Some(stacker()));
-    curves.push(to_curve("sdp10 compressed", fd_stk.write_file(MIB, CHUNK, DataClass::Compressible)));
+    curves.push(to_curve(
+        "sdp10 compressed",
+        fd_stk.write_file(MIB, CHUNK, DataClass::Compressible),
+    ));
 
     let mut card = FlashCardTestbed::new(intel_datasheet(), 10 * MIB, MffsParams::mffs2());
-    curves.push(to_curve("Intel flash card (MFFS)", card.write_file(MIB, CHUNK, DataClass::Compressible)));
+    curves.push(to_curve(
+        "Intel flash card (MFFS)",
+        card.write_file(MIB, CHUNK, DataClass::Compressible),
+    ));
 
     Figure1 { curves }
 }
@@ -69,7 +86,12 @@ fn to_curve(label: &'static str, run: BenchRun) -> Curve {
         latency.push(mean_ms);
         throughput.push(CHUNK as f64 / 1024.0 / (mean_ms / 1000.0));
     }
-    Curve { label, cumulative_kib: cumulative, latency_ms: latency, throughput_kib_s: throughput }
+    Curve {
+        label,
+        cumulative_kib: cumulative,
+        latency_ms: latency,
+        throughput_kib_s: throughput,
+    }
 }
 
 impl Curve {
@@ -79,7 +101,12 @@ impl Curve {
         let n = self.cumulative_kib.len() as f64;
         let sx: f64 = self.cumulative_kib.iter().sum();
         let sy: f64 = self.latency_ms.iter().sum();
-        let sxy: f64 = self.cumulative_kib.iter().zip(&self.latency_ms).map(|(x, y)| x * y).sum();
+        let sxy: f64 = self
+            .cumulative_kib
+            .iter()
+            .zip(&self.latency_ms)
+            .map(|(x, y)| x * y)
+            .sum();
         let sxx: f64 = self.cumulative_kib.iter().map(|x| x * x).sum();
         (n * sxy - sx * sy) / (n * sxx - sx * sx)
     }
@@ -94,7 +121,12 @@ impl Figure1 {
             .iter()
             .map(|c| crate::plot::Series {
                 label: c.label.to_owned(),
-                points: c.cumulative_kib.iter().copied().zip(c.latency_ms.iter().copied()).collect(),
+                points: c
+                    .cumulative_kib
+                    .iter()
+                    .copied()
+                    .zip(c.latency_ms.iter().copied())
+                    .collect(),
             })
             .collect();
         crate::plot::render(
@@ -110,8 +142,15 @@ impl Figure1 {
 
 impl fmt::Display for Figure1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 1: 4-KB writes to a 1-MB file (32-KB smoothing windows)")?;
-        writeln!(f, "{:<26} {:>12} {:>12} {:>14} {:>16}", "Configuration", "lat@32KB", "lat@1MB", "slope ms/KB", "avg tput KB/s")?;
+        writeln!(
+            f,
+            "Figure 1: 4-KB writes to a 1-MB file (32-KB smoothing windows)"
+        )?;
+        writeln!(
+            f,
+            "{:<26} {:>12} {:>12} {:>14} {:>16}",
+            "Configuration", "lat@32KB", "lat@1MB", "slope ms/KB", "avg tput KB/s"
+        )?;
         for c in &self.curves {
             let avg_tput = 1024.0
                 / (c.latency_ms.iter().sum::<f64>() / c.latency_ms.len() as f64 / 1000.0
@@ -137,20 +176,33 @@ mod tests {
     #[test]
     fn mffs_latency_grows_linearly_others_flat() {
         let fig = run();
-        let mffs = fig.curves.iter().find(|c| c.label.contains("MFFS")).expect("card curve");
+        let mffs = fig
+            .curves
+            .iter()
+            .find(|c| c.label.contains("MFFS"))
+            .expect("card curve");
         // Paper: latency rises roughly 0.21 ms per Kbyte written.
         let slope = mffs.latency_slope();
         assert!((0.1..0.4).contains(&slope), "MFFS slope {slope}");
         assert!(mffs.latency_ms.last().unwrap() > &100.0);
         for c in fig.curves.iter().filter(|c| !c.label.contains("MFFS")) {
-            assert!(c.latency_slope().abs() < 0.01, "{} slope {}", c.label, c.latency_slope());
+            assert!(
+                c.latency_slope().abs() < 0.01,
+                "{} slope {}",
+                c.label,
+                c.latency_slope()
+            );
         }
     }
 
     #[test]
     fn mffs_throughput_decays() {
         let fig = run();
-        let mffs = fig.curves.iter().find(|c| c.label.contains("MFFS")).expect("card curve");
+        let mffs = fig
+            .curves
+            .iter()
+            .find(|c| c.label.contains("MFFS"))
+            .expect("card curve");
         let first = mffs.throughput_kib_s.first().unwrap();
         let last = mffs.throughput_kib_s.last().unwrap();
         assert!(first > &(3.0 * last), "first {first} last {last}");
@@ -162,12 +214,27 @@ mod tests {
         // the flash card than for the flash disk, the average throughput
         // across the entire 1-Mbyte write is slightly worse".
         let fig = run();
-        let mffs = fig.curves.iter().find(|c| c.label.contains("MFFS")).unwrap();
-        let sdp = fig.curves.iter().find(|c| c.label == "sdp10 compressed").unwrap();
+        let mffs = fig
+            .curves
+            .iter()
+            .find(|c| c.label.contains("MFFS"))
+            .unwrap();
+        let sdp = fig
+            .curves
+            .iter()
+            .find(|c| c.label == "sdp10 compressed")
+            .unwrap();
         assert!(mffs.throughput_kib_s[0] > sdp.throughput_kib_s[0]);
-        let avg = |c: &Curve| c.throughput_kib_s.len() as f64
-            / c.throughput_kib_s.iter().map(|t| 1.0 / t).sum::<f64>();
-        assert!(avg(mffs) < avg(sdp), "card avg {} vs sdp {}", avg(mffs), avg(sdp));
+        let avg = |c: &Curve| {
+            c.throughput_kib_s.len() as f64
+                / c.throughput_kib_s.iter().map(|t| 1.0 / t).sum::<f64>()
+        };
+        assert!(
+            avg(mffs) < avg(sdp),
+            "card avg {} vs sdp {}",
+            avg(mffs),
+            avg(sdp)
+        );
     }
 
     #[test]

@@ -12,9 +12,10 @@ use std::fmt;
 use mobistore_core::metrics::Metrics;
 use mobistore_core::simulator::simulate;
 use mobistore_device::params::intel_datasheet;
+use mobistore_sim::exec::parallel_map;
 use mobistore_workload::Workload;
 
-use crate::{flash_card_config, Scale};
+use crate::{flash_card_config, shared_trace, Scale};
 
 /// The utilization sweep points (fractions).
 pub const UTILIZATIONS: [f64; 7] = [0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95];
@@ -37,23 +38,27 @@ pub struct Figure2 {
 
 /// Runs the utilization sweep for all three traces.
 pub fn run(scale: Scale) -> Figure2 {
-    let curves = Workload::TABLE4.iter().map(|&w| run_curve(w, scale)).collect();
+    let curves = Workload::TABLE4
+        .iter()
+        .map(|&w| run_curve(w, scale))
+        .collect();
     Figure2 { curves }
 }
 
-/// Runs the sweep for one trace.
+/// Runs the sweep for one trace, all utilization points in parallel.
 pub fn run_curve(workload: Workload, scale: Scale) -> Figure2Curve {
-    let trace = workload.generate_scaled(scale.fraction, scale.seed);
-    let dram = if workload.below_buffer_cache() { 0 } else { 2 * 1024 * 1024 };
-    let points = UTILIZATIONS
-        .iter()
-        .map(|&util| {
-            let cfg = flash_card_config(intel_datasheet(), &trace, util).with_dram(dram);
-            let mut m = simulate(&cfg, &trace);
-            m.name = format!("{} @{util:.0}%", workload.name());
-            m
-        })
-        .collect();
+    let trace = shared_trace(workload, scale);
+    let dram = if workload.below_buffer_cache() {
+        0
+    } else {
+        2 * 1024 * 1024
+    };
+    let points = parallel_map(&UTILIZATIONS, |&util| {
+        let cfg = flash_card_config(intel_datasheet(), &trace, util).with_dram(dram);
+        let mut m = simulate(&cfg, &trace);
+        m.name = format!("{} @{util:.0}%", workload.name());
+        m
+    });
     Figure2Curve { workload, points }
 }
 
@@ -65,7 +70,8 @@ impl Figure2Curve {
 
     /// Mean-write-response increase from 40% to 95%, as a fraction.
     pub fn write_response_increase(&self) -> f64 {
-        self.points.last().expect("points").write_response_ms.mean / self.points[0].write_response_ms.mean
+        self.points.last().expect("points").write_response_ms.mean
+            / self.points[0].write_response_ms.mean
             - 1.0
     }
 }
@@ -141,9 +147,15 @@ mod tests {
         let last = curve.points.last().unwrap().energy.get();
         assert!(last > first, "energy {first} -> {last}");
         // Cleaning work (the §5.2 mechanism) increases monotonically-ish.
-        let copies: Vec<u64> =
-            curve.points.iter().map(|m| m.flash_card.unwrap().blocks_copied).collect();
-        assert!(copies.last().unwrap() > copies.first().unwrap(), "{copies:?}");
+        let copies: Vec<u64> = curve
+            .points
+            .iter()
+            .map(|m| m.flash_card.unwrap().blocks_copied)
+            .collect();
+        assert!(
+            copies.last().unwrap() > copies.first().unwrap(),
+            "{copies:?}"
+        );
     }
 
     #[test]
@@ -156,7 +168,9 @@ mod tests {
 
     #[test]
     fn renders() {
-        let fig = Figure2 { curves: vec![run_curve(Workload::Dos, Scale::quick())] };
+        let fig = Figure2 {
+            curves: vec![run_curve(Workload::Dos, Scale::quick())],
+        };
         let text = fig.to_string();
         assert!(text.contains("util%"));
         assert!(text.contains("dos"));

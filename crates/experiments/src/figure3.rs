@@ -58,7 +58,10 @@ pub fn run_with_steps(steps: u64) -> Figure3 {
                 }
                 throughput.push(MIB as f64 / 1024.0 / elapsed.as_secs_f64());
             }
-            Figure3Curve { live_mb, throughput_kib_s: throughput }
+            Figure3Curve {
+                live_mb,
+                throughput_kib_s: throughput,
+            }
         })
         .collect();
     Figure3 { curves }
@@ -99,7 +102,10 @@ impl Figure3 {
 
 impl fmt::Display for Figure3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 3: overwrite throughput (KB/s) on a 10-MB Intel card")?;
+        writeln!(
+            f,
+            "Figure 3: overwrite throughput (KB/s) on a 10-MB Intel card"
+        )?;
         write!(f, "{:<14}", "cumulative MB")?;
         for c in &self.curves {
             write!(f, " {:>12}", format!("{} MB live", c.live_mb))?;

@@ -15,11 +15,12 @@ use mobistore_core::config::SystemConfig;
 use mobistore_core::metrics::Metrics;
 use mobistore_core::simulator::simulate;
 use mobistore_device::params::{intel_datasheet, sdp5_datasheet};
+use mobistore_sim::exec::parallel_map;
 use mobistore_sim::units::MIB;
 use mobistore_trace::record::Trace;
 use mobistore_workload::Workload;
 
-use crate::{working_set_blocks, Scale};
+use crate::{shared_trace, working_set_blocks, Scale};
 
 /// The DRAM sweep points, in bytes (the paper's x-axis reaches 4 MB).
 pub const DRAM_BYTES: [u64; 5] = [0, 512 * 1024, MIB, 2 * MIB, 4 * MIB];
@@ -46,48 +47,57 @@ pub struct Figure4 {
     pub curves: Vec<Figure4Curve>,
 }
 
-/// Runs the sweep on the `dos` trace.
+/// Runs the sweep on the `dos` trace. All 30 (curve × DRAM) points are
+/// independent simulations, so the whole grid runs as one parallel batch.
 pub fn run(scale: Scale) -> Figure4 {
-    let trace = Workload::Dos.generate_scaled(scale.fraction, scale.seed);
+    let trace = shared_trace(Workload::Dos, scale);
     // At reduced scales the trace touches fewer distinct bytes; scale the
     // stored-data premise with it so utilization matches the paper's.
     let w_bytes = working_set_blocks(&trace) * trace.block_size;
     let data_bytes = (DATA_MB * MIB).max(w_bytes.div_ceil(MIB) * MIB);
     let scale_factor = data_bytes / (DATA_MB * MIB);
 
-    let mut curves = Vec::new();
-    for cap_mb in FLASH_MB {
-        let capacity = cap_mb * MIB * scale_factor;
-        let utilization = data_bytes as f64 / capacity as f64;
-        let base = SystemConfig::flash_card(intel_datasheet())
-            .with_flash_capacity(capacity)
-            .with_utilization(utilization);
-        curves.push(sweep_dram(
-            format!("Intel-{cap_mb}Mbyte ({:.1}%)", utilization * 100.0),
-            base,
-            &trace,
-        ));
-    }
-    curves.push(sweep_dram("SDP5 - 34Mbyte (94.1%)".to_owned(), SystemConfig::flash_disk(sdp5_datasheet()), &trace));
+    let mut bases: Vec<(String, SystemConfig)> = FLASH_MB
+        .iter()
+        .map(|&cap_mb| {
+            let capacity = cap_mb * MIB * scale_factor;
+            let utilization = data_bytes as f64 / capacity as f64;
+            let base = SystemConfig::flash_card(intel_datasheet())
+                .with_flash_capacity(capacity)
+                .with_utilization(utilization);
+            (
+                format!("Intel-{cap_mb}Mbyte ({:.1}%)", utilization * 100.0),
+                base,
+            )
+        })
+        .collect();
+    bases.push((
+        "SDP5 - 34Mbyte (94.1%)".to_owned(),
+        SystemConfig::flash_disk(sdp5_datasheet()),
+    ));
+    let curves = parallel_map(&bases, |(label, base)| {
+        sweep_dram(label.clone(), base.clone(), &trace)
+    });
     Figure4 { curves }
 }
 
+/// Sweeps one configuration across the DRAM sizes, points in parallel.
 fn sweep_dram(label: String, base: SystemConfig, trace: &Trace) -> Figure4Curve {
-    let points = DRAM_BYTES
-        .iter()
-        .map(|&dram| {
-            let cfg = base.clone().with_dram(dram);
-            let mut m = simulate(&cfg, trace);
-            m.name = format!("{label} dram={}KB", dram / 1024);
-            m
-        })
-        .collect();
+    let points = parallel_map(&DRAM_BYTES, |&dram| {
+        let cfg = base.clone().with_dram(dram);
+        let mut m = simulate(&cfg, trace);
+        m.name = format!("{label} dram={}KB", dram / 1024);
+        m
+    });
     Figure4Curve { label, points }
 }
 
 impl fmt::Display for Figure4 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 4: dos trace, energy (J) / over-all response (ms) by DRAM size")?;
+        writeln!(
+            f,
+            "Figure 4: dos trace, energy (J) / over-all response (ms) by DRAM size"
+        )?;
         write!(f, "{:<28}", "Configuration")?;
         for d in DRAM_BYTES {
             write!(f, " {:>16}", format!("{}KB", d / 1024))?;
@@ -96,7 +106,11 @@ impl fmt::Display for Figure4 {
         for c in &self.curves {
             write!(f, "{:<28}", c.label)?;
             for m in &c.points {
-                write!(f, " {:>16}", format!("{:.0}/{:.2}", m.energy.get(), m.overall_response_ms.mean))?;
+                write!(
+                    f,
+                    " {:>16}",
+                    format!("{:.0}/{:.2}", m.energy.get(), m.overall_response_ms.mean)
+                )?;
             }
             writeln!(f)?;
         }
@@ -135,7 +149,10 @@ mod tests {
         let curve = &fig.curves[4]; // 38 MB card, least cleaning noise
         let no_dram = &curve.points[0];
         let big_dram = curve.points.last().unwrap();
-        assert!(big_dram.energy.get() > no_dram.energy.get(), "DRAM costs energy");
+        assert!(
+            big_dram.energy.get() > no_dram.energy.get(),
+            "DRAM costs energy"
+        );
         // Response improves by at most a small factor (flash reads are
         // nearly DRAM-fast already).
         assert!(big_dram.overall_response_ms.mean > no_dram.overall_response_ms.mean * 0.5);

@@ -13,9 +13,10 @@ use mobistore_core::config::SystemConfig;
 use mobistore_core::metrics::Metrics;
 use mobistore_core::simulator::simulate;
 use mobistore_device::params::cu140_datasheet;
+use mobistore_sim::exec::parallel_map;
 use mobistore_workload::Workload;
 
-use crate::Scale;
+use crate::{shared_trace, Scale};
 
 /// The SRAM sweep points, in bytes.
 pub const SRAM_BYTES: [u64; 4] = [0, 32 * 1024, 512 * 1024, 1024 * 1024];
@@ -38,22 +39,30 @@ pub struct Figure5 {
 
 /// Runs the sweep for all three traces.
 pub fn run(scale: Scale) -> Figure5 {
-    Figure5 { curves: Workload::TABLE4.iter().map(|&w| run_curve(w, scale)).collect() }
+    Figure5 {
+        curves: Workload::TABLE4
+            .iter()
+            .map(|&w| run_curve(w, scale))
+            .collect(),
+    }
 }
 
-/// Runs the sweep for one trace.
+/// Runs the sweep for one trace, all SRAM points in parallel.
 pub fn run_curve(workload: Workload, scale: Scale) -> Figure5Curve {
-    let trace = workload.generate_scaled(scale.fraction, scale.seed);
-    let dram = if workload.below_buffer_cache() { 0 } else { 2 * 1024 * 1024 };
-    let points = SRAM_BYTES
-        .iter()
-        .map(|&sram| {
-            let cfg = SystemConfig::disk(cu140_datasheet()).with_dram(dram).with_sram(sram);
-            let mut m = simulate(&cfg, &trace);
-            m.name = format!("{} sram={}KB", workload.name(), sram / 1024);
-            m
-        })
-        .collect();
+    let trace = shared_trace(workload, scale);
+    let dram = if workload.below_buffer_cache() {
+        0
+    } else {
+        2 * 1024 * 1024
+    };
+    let points = parallel_map(&SRAM_BYTES, |&sram| {
+        let cfg = SystemConfig::disk(cu140_datasheet())
+            .with_dram(dram)
+            .with_sram(sram);
+        let mut m = simulate(&cfg, &trace);
+        m.name = format!("{} sram={}KB", workload.name(), sram / 1024);
+        m
+    });
     Figure5Curve { workload, points }
 }
 
@@ -67,14 +76,24 @@ impl Figure5Curve {
     /// Mean write response normalized to the no-SRAM point.
     pub fn normalized_write_response(&self) -> Vec<f64> {
         let base = self.points[0].write_response_ms.mean;
-        self.points.iter().map(|m| m.write_response_ms.mean / base).collect()
+        self.points
+            .iter()
+            .map(|m| m.write_response_ms.mean / base)
+            .collect()
     }
 }
 
 impl fmt::Display for Figure5 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 5: cu140 + SRAM write buffer, normalized to no SRAM")?;
-        writeln!(f, "{:<8} {:>8} {:>14} {:>14} {:>18}", "trace", "SRAM KB", "energy (norm)", "write (norm)", "write mean (ms)")?;
+        writeln!(
+            f,
+            "Figure 5: cu140 + SRAM write buffer, normalized to no SRAM"
+        )?;
+        writeln!(
+            f,
+            "{:<8} {:>8} {:>14} {:>14} {:>18}",
+            "trace", "SRAM KB", "energy (norm)", "write (norm)", "write mean (ms)"
+        )?;
         for c in &self.curves {
             let ne = c.normalized_energy();
             let nw = c.normalized_write_response();
@@ -120,7 +139,9 @@ mod tests {
 
     #[test]
     fn renders() {
-        let fig = Figure5 { curves: vec![run_curve(Workload::Dos, Scale::quick())] };
+        let fig = Figure5 {
+            curves: vec![run_curve(Workload::Dos, Scale::quick())],
+        };
         let text = fig.to_string();
         assert!(text.contains("SRAM KB"));
     }

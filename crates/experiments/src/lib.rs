@@ -50,10 +50,13 @@ pub mod table3;
 pub mod table4;
 pub mod verification;
 
+use std::sync::Arc;
+
 use mobistore_core::config::SystemConfig;
 use mobistore_device::params::FlashCardParams;
 use mobistore_sim::units::MIB;
 use mobistore_trace::record::{DiskOpKind, Trace};
+use mobistore_workload::Workload;
 
 /// How much of each workload to run.
 #[derive(Debug, Clone, Copy)]
@@ -67,31 +70,65 @@ pub struct Scale {
 impl Scale {
     /// The paper-length experiments (the `repro` binary's default).
     pub fn full() -> Self {
-        Scale { fraction: 1.0, seed: 1994 }
+        Scale {
+            fraction: 1.0,
+            seed: 1994,
+        }
     }
 
     /// An abbreviated scale for unit tests and debug builds.
     pub fn quick() -> Self {
-        Scale { fraction: 0.02, seed: 1994 }
+        Scale {
+            fraction: 0.02,
+            seed: 1994,
+        }
     }
 
     /// A medium scale for benches.
     pub fn medium() -> Self {
-        Scale { fraction: 0.2, seed: 1994 }
+        Scale {
+            fraction: 0.2,
+            seed: 1994,
+        }
     }
 }
 
+/// Fetches `workload` at this scale through the process-wide
+/// [`mobistore_workload::cache`], so every runner shares one generation
+/// of each trace per `repro` invocation.
+pub fn shared_trace(workload: Workload, scale: Scale) -> Arc<Trace> {
+    mobistore_workload::cache::trace(workload, scale.fraction, scale.seed)
+}
+
 /// Counts the distinct blocks a trace touches (its flash working set).
+///
+/// Works on merged `(start, end)` block ranges rather than materializing
+/// one entry per block, so a multi-megabyte op costs O(1) here and the
+/// whole computation is O(ops log ops) — not O(blocks).
 pub fn working_set_blocks(trace: &Trace) -> u64 {
-    let mut blocks: Vec<u64> = trace
+    let mut ranges: Vec<(u64, u64)> = trace
         .ops
         .iter()
         .filter(|op| op.kind != DiskOpKind::Trim)
-        .flat_map(|op| op.lbn..op.lbn + u64::from(op.blocks))
+        .map(|op| (op.lbn, op.lbn + u64::from(op.blocks)))
         .collect();
-    blocks.sort_unstable();
-    blocks.dedup();
-    blocks.len() as u64
+    ranges.sort_unstable();
+    let mut total = 0u64;
+    let mut current: Option<(u64, u64)> = None;
+    for (start, end) in ranges {
+        match &mut current {
+            Some((_, cur_end)) if start <= *cur_end => *cur_end = (*cur_end).max(end),
+            _ => {
+                if let Some((s, e)) = current.replace((start, end)) {
+                    total += e - s;
+                }
+            }
+        }
+    }
+    if let Some((s, e)) = current {
+        total += e - s;
+    }
+    total
 }
 
 /// Builds a flash-card configuration whose capacity can hold `trace`'s
@@ -134,9 +171,27 @@ mod tests {
     #[test]
     fn working_set_ignores_trims_and_dedups() {
         let mut t = Trace::new(1024);
-        t.push(DiskOp { time: SimTime::ZERO, kind: DiskOpKind::Write, lbn: 0, blocks: 4, file: FileId(0) });
-        t.push(DiskOp { time: SimTime::ZERO, kind: DiskOpKind::Read, lbn: 2, blocks: 4, file: FileId(0) });
-        t.push(DiskOp { time: SimTime::ZERO, kind: DiskOpKind::Trim, lbn: 100, blocks: 4, file: FileId(0) });
+        t.push(DiskOp {
+            time: SimTime::ZERO,
+            kind: DiskOpKind::Write,
+            lbn: 0,
+            blocks: 4,
+            file: FileId(0),
+        });
+        t.push(DiskOp {
+            time: SimTime::ZERO,
+            kind: DiskOpKind::Read,
+            lbn: 2,
+            blocks: 4,
+            file: FileId(0),
+        });
+        t.push(DiskOp {
+            time: SimTime::ZERO,
+            kind: DiskOpKind::Trim,
+            lbn: 100,
+            blocks: 4,
+            file: FileId(0),
+        });
         assert_eq!(working_set_blocks(&t), 6);
     }
 

@@ -21,9 +21,10 @@ use mobistore_core::metrics::Metrics;
 use mobistore_core::simulator::simulate;
 use mobistore_device::params::{intel_datasheet, intel_series2plus_datasheet, FlashCardParams};
 use mobistore_flash::store::VictimPolicy;
+use mobistore_sim::exec::parallel_map;
 use mobistore_workload::Workload;
 
-use crate::{flash_card_config, Scale};
+use crate::{flash_card_config, shared_trace, Scale};
 
 /// One generation × utilization point.
 #[derive(Debug, Clone)]
@@ -48,21 +49,34 @@ pub struct Series2Plus {
 /// Utilizations where the Series 2's cleaning becomes visible.
 pub const SWEEP: [f64; 3] = [0.80, 0.90, 0.95];
 
-/// Runs both card generations at high utilizations.
+/// Runs both card generations at high utilizations — the full
+/// generation × utilization grid as one parallel batch.
 pub fn series2plus(workload: Workload, scale: Scale) -> Series2Plus {
-    let trace = workload.generate_scaled(scale.fraction, scale.seed);
-    let dram = if workload.below_buffer_cache() { 0 } else { 2 * 1024 * 1024 };
-    let mut points = Vec::new();
-    for (generation, params) in
-        [("Series 2 (1.6s erase)", intel_datasheet()), ("Series 2+ (300ms erase)", intel_series2plus_datasheet())]
-    {
-        for utilization in SWEEP {
-            let cfg = flash_card_config(params.clone(), &trace, utilization).with_dram(dram);
-            let mut metrics = simulate(&cfg, &trace);
-            metrics.name = format!("{generation} @{:.0}%", utilization * 100.0);
-            points.push(GenPoint { generation, utilization, metrics });
+    let trace = shared_trace(workload, scale);
+    let dram = if workload.below_buffer_cache() {
+        0
+    } else {
+        2 * 1024 * 1024
+    };
+    let grid: Vec<(&'static str, FlashCardParams, f64)> = [
+        ("Series 2 (1.6s erase)", intel_datasheet()),
+        ("Series 2+ (300ms erase)", intel_series2plus_datasheet()),
+    ]
+    .into_iter()
+    .flat_map(|(generation, params)| {
+        SWEEP.map(|utilization| (generation, params.clone(), utilization))
+    })
+    .collect();
+    let points = parallel_map(&grid, |(generation, params, utilization)| {
+        let cfg = flash_card_config(params.clone(), &trace, *utilization).with_dram(dram);
+        let mut metrics = simulate(&cfg, &trace);
+        metrics.name = format!("{generation} @{:.0}%", *utilization * 100.0);
+        GenPoint {
+            generation,
+            utilization: *utilization,
+            metrics,
         }
-    }
+    });
     Series2Plus { workload, points }
 }
 
@@ -105,20 +119,24 @@ pub struct WearLeveling {
 /// Compares greedy and wear-aware victim selection on the hot-and-cold
 /// synthetic workload.
 pub fn wear_leveling(scale: Scale) -> WearLeveling {
-    let trace = Workload::Synth.generate_scaled(scale.fraction, scale.seed);
-    let rows = [("greedy (MFFS)", VictimPolicy::GreedyMinLive), ("wear-aware", VictimPolicy::WearAware)]
-        .into_iter()
-        .map(|(label, policy)| {
-            let cfg = flash_card_config(intel_datasheet(), &trace, 0.90).with_victim_policy(policy);
-            (label, simulate(&cfg, &trace))
-        })
-        .collect();
+    let trace = shared_trace(Workload::Synth, scale);
+    let variants = [
+        ("greedy (MFFS)", VictimPolicy::GreedyMinLive),
+        ("wear-aware", VictimPolicy::WearAware),
+    ];
+    let rows = parallel_map(&variants, |&(label, policy)| {
+        let cfg = flash_card_config(intel_datasheet(), &trace, 0.90).with_victim_policy(policy);
+        (label, simulate(&cfg, &trace))
+    });
     WearLeveling { rows }
 }
 
 impl fmt::Display for WearLeveling {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Wear leveling (synth, 90% utilized; endurance limit 100k cycles)")?;
+        writeln!(
+            f,
+            "Wear leveling (synth, 90% utilized; endurance limit 100k cycles)"
+        )?;
         writeln!(
             f,
             "{:<16} {:>10} {:>11} {:>11} {:>12} {:>11}",
@@ -159,33 +177,62 @@ pub struct LifetimeRow {
 /// Computes projected lifetimes for both generations over the Table 4
 /// traces at the default 80% utilization.
 pub fn lifetime(scale: Scale) -> Vec<LifetimeRow> {
-    let mut rows = Vec::new();
-    for workload in Workload::TABLE4 {
-        let trace = workload.generate_scaled(scale.fraction, scale.seed);
-        let dram = if workload.below_buffer_cache() { 0 } else { 2 * 1024 * 1024 };
-        for (generation, params, budget) in [
-            ("Series 2", intel_datasheet(), 100_000.0),
-            ("Series 2+", intel_series2plus_datasheet(), 1_000_000.0),
-        ] {
-            let p: FlashCardParams = params;
-            let cfg = flash_card_config(p, &trace, 0.80).with_dram(dram);
-            let m = simulate(&cfg, &trace);
-            let hours = m.duration.as_secs_f64() / 3600.0;
-            let worst_per_hour = if hours > 0.0 { f64::from(m.wear.expect("wear").max_erase) / hours } else { 0.0 };
-            let projected_days =
-                if worst_per_hour > 0.0 { budget / worst_per_hour / 24.0 } else { f64::INFINITY };
-            rows.push(LifetimeRow { workload, generation, worst_per_hour, projected_days });
+    let grid: Vec<(Workload, &'static str, FlashCardParams, f64)> = Workload::TABLE4
+        .into_iter()
+        .flat_map(|workload| {
+            [
+                (workload, "Series 2", intel_datasheet(), 100_000.0),
+                (
+                    workload,
+                    "Series 2+",
+                    intel_series2plus_datasheet(),
+                    1_000_000.0,
+                ),
+            ]
+        })
+        .collect();
+    parallel_map(&grid, |(workload, generation, params, budget)| {
+        let trace = shared_trace(*workload, scale);
+        let dram = if workload.below_buffer_cache() {
+            0
+        } else {
+            2 * 1024 * 1024
+        };
+        let cfg = flash_card_config(params.clone(), &trace, 0.80).with_dram(dram);
+        let m = simulate(&cfg, &trace);
+        let hours = m.duration.as_secs_f64() / 3600.0;
+        let worst_per_hour = if hours > 0.0 {
+            f64::from(m.wear.expect("wear").max_erase) / hours
+        } else {
+            0.0
+        };
+        let projected_days = if worst_per_hour > 0.0 {
+            *budget / worst_per_hour / 24.0
+        } else {
+            f64::INFINITY
+        };
+        LifetimeRow {
+            workload: *workload,
+            generation,
+            worst_per_hour,
+            projected_days,
         }
-    }
-    rows
+    })
 }
 
 /// Renders the lifetime table.
 pub fn render_lifetime(rows: &[LifetimeRow]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "Projected card lifetime at 80% utilization (worst-segment extrapolation)");
-    let _ = writeln!(out, "{:<8} {:<12} {:>18} {:>16}", "trace", "generation", "worst erases/hour", "projected days");
+    let _ = writeln!(
+        out,
+        "Projected card lifetime at 80% utilization (worst-segment extrapolation)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:<12} {:>18} {:>16}",
+        "trace", "generation", "worst erases/hour", "projected days"
+    );
     for r in rows {
         let _ = writeln!(
             out,
@@ -231,7 +278,10 @@ mod tests {
         let wl = wear_leveling(Scale::quick());
         let greedy = wl.rows[0].1.wear.unwrap();
         let aware = wl.rows[1].1.wear.unwrap();
-        assert!(aware.max_erase <= greedy.max_erase, "aware {aware:?} greedy {greedy:?}");
+        assert!(
+            aware.max_erase <= greedy.max_erase,
+            "aware {aware:?} greedy {greedy:?}"
+        );
         assert!(wl.to_string().contains("wear-aware"));
     }
 

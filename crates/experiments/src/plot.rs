@@ -34,13 +34,23 @@ const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
 /// assert!(out.contains("demo"));
 /// assert!(out.contains('*'));
 /// ```
-pub fn render(title: &str, x_label: &str, y_label: &str, series: &[Series], width: usize, height: usize) -> String {
+pub fn render(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+) -> String {
     assert!(width >= 8 && height >= 8, "canvas too small");
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
 
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         out.push_str("(no data)\n");
         return out;
@@ -98,7 +108,12 @@ pub fn render(title: &str, x_label: &str, y_label: &str, series: &[Series], widt
     ));
     out.push_str(&format!("{:>margin$}  ({x_label})\n", ""));
     for (si, s) in series.iter().enumerate() {
-        out.push_str(&format!("{:>margin$}  {} {}\n", "", GLYPHS[si % GLYPHS.len()], s.label));
+        out.push_str(&format!(
+            "{:>margin$}  {} {}\n",
+            "",
+            GLYPHS[si % GLYPHS.len()],
+            s.label
+        ));
     }
     out
 }
@@ -123,13 +138,22 @@ mod tests {
     fn line(label: &str, slope: f64) -> Series {
         Series {
             label: label.into(),
-            points: (0..20).map(|i| (f64::from(i), slope * f64::from(i))).collect(),
+            points: (0..20)
+                .map(|i| (f64::from(i), slope * f64::from(i)))
+                .collect(),
         }
     }
 
     #[test]
     fn renders_axes_and_legend() {
-        let out = render("t", "cumulative KB", "ms", &[line("a", 1.0), line("b", 2.0)], 50, 12);
+        let out = render(
+            "t",
+            "cumulative KB",
+            "ms",
+            &[line("a", 1.0), line("b", 2.0)],
+            50,
+            12,
+        );
         assert!(out.starts_with("t\n"));
         assert!(out.contains("(cumulative KB)"));
         assert!(out.contains("* a"));
@@ -155,7 +179,10 @@ mod tests {
 
     #[test]
     fn constant_series_does_not_divide_by_zero() {
-        let s = Series { label: "flat".into(), points: vec![(0.0, 5.0), (1.0, 5.0)] };
+        let s = Series {
+            label: "flat".into(),
+            points: vec![(0.0, 5.0), (1.0, 5.0)],
+        };
         let out = render("t", "x", "y", &[s], 40, 10);
         assert!(out.contains('*'));
     }

@@ -97,7 +97,10 @@ impl fmt::Display for EnvyCheck {
             f,
             "Section 6 cross-check (eNVy): uniform-overwrite transactions on the flash card"
         )?;
-        writeln!(f, "(eNVy: at 80% utilization, 45% of time erasing/copying; worse above)")?;
+        writeln!(
+            f,
+            "(eNVy: at 80% utilization, 45% of time erasing/copying; worse above)"
+        )?;
         writeln!(
             f,
             "{:>6} {:>18} {:>14} {:>12}",
@@ -133,7 +136,11 @@ mod tests {
         };
         // The eNVy shape: substantial cleaning share at 80%, far more at
         // 95%, with severe write degradation.
-        assert!(at(0.80).cleaning_fraction > 0.3, "{}", at(0.80).cleaning_fraction);
+        assert!(
+            at(0.80).cleaning_fraction > 0.3,
+            "{}",
+            at(0.80).cleaning_fraction
+        );
         assert!(at(0.95).cleaning_fraction > at(0.80).cleaning_fraction);
         assert!(at(0.95).write_mean_ms > 2.0 * at(0.60).write_mean_ms);
         // Cleaning share is a fraction.

@@ -13,10 +13,11 @@ use mobistore_core::config::SystemConfig;
 use mobistore_core::simulator::simulate;
 use mobistore_device::params::{cu140_datasheet, intel_datasheet, sdp5_datasheet};
 use mobistore_sim::energy::Watts;
+use mobistore_sim::exec::parallel_map;
 use mobistore_sim::time::SimDuration;
 use mobistore_workload::Workload;
 
-use crate::{flash_card_config, Scale};
+use crate::{flash_card_config, shared_trace, Scale};
 
 /// One perturbation's outcome.
 #[derive(Debug, Clone)]
@@ -40,51 +41,67 @@ pub struct Sensitivity {
     pub rows: Vec<SensitivityRow>,
 }
 
-/// Runs the perturbations on the `mac` workload.
+/// Runs the perturbations on the `mac` workload, one variant per worker.
 pub fn run(scale: Scale) -> Sensitivity {
-    let trace = Workload::Mac.generate_scaled(scale.fraction, scale.seed);
+    let trace = shared_trace(Workload::Mac, scale);
 
-    let evaluate = |variant: String, disk_cfg: SystemConfig| {
-        let disk = simulate(&disk_cfg, &trace).energy.get();
-        let fdisk = simulate(&SystemConfig::flash_disk(sdp5_datasheet()), &trace).energy.get();
-        let card =
-            simulate(&flash_card_config(intel_datasheet(), &trace, 0.80), &trace).energy.get();
-        SensitivityRow {
-            variant,
-            disk_energy: disk,
-            flash_disk_energy: fdisk,
-            flash_card_energy: card,
-            ordering_holds: disk > 2.0 * fdisk && disk > 1.5 * card,
-        }
-    };
-
-    let mut rows = vec![evaluate("baseline".into(), SystemConfig::disk(cu140_datasheet()))];
-
+    let mut variants = vec![("baseline".to_owned(), SystemConfig::disk(cu140_datasheet()))];
     // Disk standby power x5 and /5 around the documented 15 mW.
     for factor in [0.2, 5.0] {
         let mut params = cu140_datasheet();
         params.standby_power = Watts(params.standby_power.get() * factor);
-        rows.push(evaluate(format!("disk standby power x{factor}"), SystemConfig::disk(params)));
+        variants.push((
+            format!("disk standby power x{factor}"),
+            SystemConfig::disk(params),
+        ));
     }
     // Spin-down duration halved and doubled around the documented 2.5 s.
     for (label, millis) in [("1.25s", 1_250u64), ("5s", 5_000)] {
         let mut params = cu140_datasheet();
         params.spin_down_time = SimDuration::from_millis(millis);
-        rows.push(evaluate(format!("disk wind-down {label}"), SystemConfig::disk(params)));
+        variants.push((
+            format!("disk wind-down {label}"),
+            SystemConfig::disk(params),
+        ));
     }
     // Spin-up power +-50% around the Table 2 value of 3 W.
     for factor in [0.5, 1.5] {
         let mut params = cu140_datasheet();
         params.spin_up_power = Watts(params.spin_up_power.get() * factor);
-        rows.push(evaluate(format!("disk spin-up power x{factor}"), SystemConfig::disk(params)));
+        variants.push((
+            format!("disk spin-up power x{factor}"),
+            SystemConfig::disk(params),
+        ));
     }
+
+    // The flash baselines do not vary across disk perturbations; simulate
+    // them once each, alongside the disk variants, in the same batch.
+    let fdisk = simulate(&SystemConfig::flash_disk(sdp5_datasheet()), &trace)
+        .energy
+        .get();
+    let card = simulate(&flash_card_config(intel_datasheet(), &trace, 0.80), &trace)
+        .energy
+        .get();
+    let rows = parallel_map(&variants, |(variant, disk_cfg)| {
+        let disk = simulate(disk_cfg, &trace).energy.get();
+        SensitivityRow {
+            variant: variant.clone(),
+            disk_energy: disk,
+            flash_disk_energy: fdisk,
+            flash_card_energy: card,
+            ordering_holds: disk > 2.0 * fdisk && disk > 1.5 * card,
+        }
+    });
 
     Sensitivity { rows }
 }
 
 impl fmt::Display for Sensitivity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Sensitivity of the flash-vs-disk ordering to undocumented constants (mac)")?;
+        writeln!(
+            f,
+            "Sensitivity of the flash-vs-disk ordering to undocumented constants (mac)"
+        )?;
         writeln!(
             f,
             "{:<28} {:>11} {:>13} {:>13} {:>10}",
@@ -114,8 +131,11 @@ mod tests {
         let s = run(Scale::quick());
         assert!(s.rows.len() >= 7);
         for row in &s.rows {
-            assert!(row.ordering_holds, "{}: disk {} fdisk {} card {}",
-                row.variant, row.disk_energy, row.flash_disk_energy, row.flash_card_energy);
+            assert!(
+                row.ordering_holds,
+                "{}: disk {} fdisk {} card {}",
+                row.variant, row.disk_energy, row.flash_disk_energy, row.flash_card_energy
+            );
         }
     }
 

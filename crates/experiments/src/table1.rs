@@ -52,19 +52,35 @@ pub fn run() -> Table1 {
     rows.push(Table1Row {
         device: "Caviar Ultralite cu140",
         operation: "Read",
-        uncompressed_4k: raw.read_file(4 * KIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
-        uncompressed_1m: raw.read_file(MIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
-        compressed_4k: dbl.read_file(4 * KIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
-        compressed_1m: dbl.read_file(MIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        uncompressed_4k: raw
+            .read_file(4 * KIB, CHUNK, DataClass::Compressible)
+            .throughput_kib_s(),
+        uncompressed_1m: raw
+            .read_file(MIB, CHUNK, DataClass::Compressible)
+            .throughput_kib_s(),
+        compressed_4k: dbl
+            .read_file(4 * KIB, CHUNK, DataClass::Compressible)
+            .throughput_kib_s(),
+        compressed_1m: dbl
+            .read_file(MIB, CHUNK, DataClass::Compressible)
+            .throughput_kib_s(),
         paper: [116.0, 543.0, 64.0, 543.0],
     });
     rows.push(Table1Row {
         device: "Caviar Ultralite cu140",
         operation: "Write",
-        uncompressed_4k: raw.write_file(4 * KIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
-        uncompressed_1m: raw.write_file(MIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
-        compressed_4k: dbl.write_file(4 * KIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
-        compressed_1m: dbl.write_file(MIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        uncompressed_4k: raw
+            .write_file(4 * KIB, CHUNK, DataClass::Compressible)
+            .throughput_kib_s(),
+        uncompressed_1m: raw
+            .write_file(MIB, CHUNK, DataClass::Compressible)
+            .throughput_kib_s(),
+        compressed_4k: dbl
+            .write_file(4 * KIB, CHUNK, DataClass::Compressible)
+            .throughput_kib_s(),
+        compressed_1m: dbl
+            .write_file(MIB, CHUNK, DataClass::Compressible)
+            .throughput_kib_s(),
         paper: [76.0, 231.0, 289.0, 146.0],
     });
 
@@ -74,19 +90,35 @@ pub fn run() -> Table1 {
     rows.push(Table1Row {
         device: "SunDisk sdp10",
         operation: "Read",
-        uncompressed_4k: raw.read_file(4 * KIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
-        uncompressed_1m: raw.read_file(MIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
-        compressed_4k: stk.read_file(4 * KIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
-        compressed_1m: stk.read_file(MIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        uncompressed_4k: raw
+            .read_file(4 * KIB, CHUNK, DataClass::Compressible)
+            .throughput_kib_s(),
+        uncompressed_1m: raw
+            .read_file(MIB, CHUNK, DataClass::Compressible)
+            .throughput_kib_s(),
+        compressed_4k: stk
+            .read_file(4 * KIB, CHUNK, DataClass::Compressible)
+            .throughput_kib_s(),
+        compressed_1m: stk
+            .read_file(MIB, CHUNK, DataClass::Compressible)
+            .throughput_kib_s(),
         paper: [280.0, 410.0, 218.0, 246.0],
     });
     rows.push(Table1Row {
         device: "SunDisk sdp10",
         operation: "Write",
-        uncompressed_4k: raw.write_file(4 * KIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
-        uncompressed_1m: raw.write_file(MIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
-        compressed_4k: stk.write_file(4 * KIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
-        compressed_1m: stk.write_file(MIB, CHUNK, DataClass::Compressible).throughput_kib_s(),
+        uncompressed_4k: raw
+            .write_file(4 * KIB, CHUNK, DataClass::Compressible)
+            .throughput_kib_s(),
+        uncompressed_1m: raw
+            .write_file(MIB, CHUNK, DataClass::Compressible)
+            .throughput_kib_s(),
+        compressed_4k: stk
+            .write_file(4 * KIB, CHUNK, DataClass::Compressible)
+            .throughput_kib_s(),
+        compressed_1m: stk
+            .write_file(MIB, CHUNK, DataClass::Compressible)
+            .throughput_kib_s(),
         paper: [39.0, 40.0, 225.0, 35.0],
     });
 
@@ -131,7 +163,10 @@ pub fn run() -> Table1 {
 
 impl fmt::Display for Table1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 1: micro-benchmark throughput, Kbytes/s (ours | paper)")?;
+        writeln!(
+            f,
+            "Table 1: micro-benchmark throughput, Kbytes/s (ours | paper)"
+        )?;
         writeln!(
             f,
             "{:<24} {:<6} {:>15} {:>15} {:>15} {:>15}",

@@ -103,8 +103,15 @@ fn card_row(p: &FlashCardParams, op: &'static str, tput: f64) -> SpecRow {
 
 impl fmt::Display for Table2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 2: device specifications (from the parameter database)")?;
-        writeln!(f, "{:<28} {:<10} {:>12} {:>18} {:>8}", "Device", "Operation", "Latency(ms)", "Throughput(KB/s)", "Power(W)")?;
+        writeln!(
+            f,
+            "Table 2: device specifications (from the parameter database)"
+        )?;
+        writeln!(
+            f,
+            "{:<28} {:<10} {:>12} {:>18} {:>8}",
+            "Device", "Operation", "Latency(ms)", "Throughput(KB/s)", "Power(W)"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,

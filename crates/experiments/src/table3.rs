@@ -10,7 +10,7 @@ use std::fmt;
 use mobistore_trace::stats::{split_warm, TraceStats};
 use mobistore_workload::Workload;
 
-use crate::Scale;
+use crate::{shared_trace, Scale};
 
 /// Paper targets for one trace (the Table 3 column).
 #[derive(Debug, Clone, Copy)]
@@ -86,9 +86,13 @@ pub fn run(scale: Scale) -> Table3 {
         .iter()
         .zip(PAPER.iter())
         .map(|(&w, &paper)| {
-            let trace = w.generate_scaled(scale.fraction, scale.seed);
+            let trace = shared_trace(w, scale);
             let (_, measured) = split_warm(&trace, 10);
-            Table3Row { name: w.name(), stats: TraceStats::measure(&measured), paper }
+            Table3Row {
+                name: w.name(),
+                stats: TraceStats::measure(&measured),
+                paper,
+            }
         })
         .collect();
     Table3 { rows }
@@ -112,14 +116,59 @@ impl fmt::Display for Table3 {
                     cell(o, p)
                 })
                 .collect();
-            format!("{:<24} {:>14} {:>14} {:>14}", label, cells[0], cells[1], cells[2])
+            format!(
+                "{:<24} {:>14} {:>14} {:>14}",
+                label, cells[0], cells[1], cells[2]
+            )
         };
-        writeln!(f, "{}", row("distinct Kbytes", &|r| (r.stats.distinct_kbytes as f64, r.paper.distinct_kbytes as f64)))?;
-        writeln!(f, "{}", row("fraction reads", &|r| (r.stats.fraction_reads, r.paper.fraction_reads)))?;
-        writeln!(f, "{}", row("block size (KB)", &|r| (r.stats.block_size_kbytes, r.paper.block_kbytes)))?;
-        writeln!(f, "{}", row("mean read (blocks)", &|r| (r.stats.mean_read_blocks, r.paper.mean_read_blocks)))?;
-        writeln!(f, "{}", row("mean write (blocks)", &|r| (r.stats.mean_write_blocks, r.paper.mean_write_blocks)))?;
-        writeln!(f, "{}", row("interarrival mean (s)", &|r| (r.stats.interarrival.mean, r.paper.interarrival_mean_s)))?;
+        writeln!(
+            f,
+            "{}",
+            row("distinct Kbytes", &|r| (
+                r.stats.distinct_kbytes as f64,
+                r.paper.distinct_kbytes as f64
+            ))
+        )?;
+        writeln!(
+            f,
+            "{}",
+            row("fraction reads", &|r| (
+                r.stats.fraction_reads,
+                r.paper.fraction_reads
+            ))
+        )?;
+        writeln!(
+            f,
+            "{}",
+            row("block size (KB)", &|r| (
+                r.stats.block_size_kbytes,
+                r.paper.block_kbytes
+            ))
+        )?;
+        writeln!(
+            f,
+            "{}",
+            row("mean read (blocks)", &|r| (
+                r.stats.mean_read_blocks,
+                r.paper.mean_read_blocks
+            ))
+        )?;
+        writeln!(
+            f,
+            "{}",
+            row("mean write (blocks)", &|r| (
+                r.stats.mean_write_blocks,
+                r.paper.mean_write_blocks
+            ))
+        )?;
+        writeln!(
+            f,
+            "{}",
+            row("interarrival mean (s)", &|r| (
+                r.stats.interarrival.mean,
+                r.paper.interarrival_mean_s
+            ))
+        )?;
         Ok(())
     }
 }
@@ -133,9 +182,14 @@ mod tests {
         let t = run(Scale::quick());
         assert_eq!(t.rows.len(), 3);
         for row in &t.rows {
-            let rel = (row.stats.fraction_reads - row.paper.fraction_reads).abs() / row.paper.fraction_reads;
+            let rel = (row.stats.fraction_reads - row.paper.fraction_reads).abs()
+                / row.paper.fraction_reads;
             assert!(rel < 0.25, "{}: read fraction off by {rel:.2}", row.name);
-            assert_eq!(row.stats.block_size_kbytes, row.paper.block_kbytes, "{}", row.name);
+            assert_eq!(
+                row.stats.block_size_kbytes, row.paper.block_kbytes,
+                "{}",
+                row.name
+            );
         }
     }
 

@@ -27,10 +27,11 @@ use mobistore_device::params::{
     cu140_datasheet, cu140_measured, intel_datasheet, intel_measured, kh_datasheet, sdp10_measured,
     sdp5_datasheet,
 };
+use mobistore_sim::exec::parallel_map;
 use mobistore_trace::record::Trace;
 use mobistore_workload::Workload;
 
-use crate::{flash_card_config, Scale};
+use crate::{flash_card_config, shared_trace, Scale};
 
 /// Which of the seven Table 4 configurations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,26 +104,32 @@ pub struct Table4 {
     pub parts: Vec<Table4Part>,
 }
 
-/// Runs one sub-table.
+/// Runs one sub-table, the seven device rows in parallel.
 pub fn run_part(workload: Workload, scale: Scale) -> Table4Part {
-    let trace = workload.generate_scaled(scale.fraction, scale.seed);
+    let trace = shared_trace(workload, scale);
     // §4.1/§4.2: 2-Mbyte DRAM for mac and dos, none for hp.
-    let dram = if workload.below_buffer_cache() { 0 } else { 2 * 1024 * 1024 };
-    let rows = DeviceConfig::ALL
-        .iter()
-        .map(|&dev| {
-            let cfg = dev.system(&trace, dram);
-            let mut m = simulate(&cfg, &trace);
-            m.name = cfg.name.clone();
-            m
-        })
-        .collect();
+    let dram = if workload.below_buffer_cache() {
+        0
+    } else {
+        2 * 1024 * 1024
+    };
+    let rows = parallel_map(&DeviceConfig::ALL, |&dev| {
+        let cfg = dev.system(&trace, dram);
+        let mut m = simulate(&cfg, &trace);
+        m.name = cfg.name.clone();
+        m
+    });
     Table4Part { workload, rows }
 }
 
 /// Runs all three sub-tables.
 pub fn run(scale: Scale) -> Table4 {
-    Table4 { parts: Workload::TABLE4.iter().map(|&w| run_part(w, scale)).collect() }
+    Table4 {
+        parts: Workload::TABLE4
+            .iter()
+            .map(|&w| run_part(w, scale))
+            .collect(),
+    }
 }
 
 impl fmt::Display for Table4 {
@@ -142,7 +149,10 @@ impl fmt::Display for Table4 {
 impl Table4Part {
     /// Returns the row for one device configuration.
     pub fn row(&self, dev: DeviceConfig) -> &Metrics {
-        let idx = DeviceConfig::ALL.iter().position(|&d| d == dev).expect("known config");
+        let idx = DeviceConfig::ALL
+            .iter()
+            .position(|&d| d == dev)
+            .expect("known config");
         &self.rows[idx]
     }
 }
@@ -170,8 +180,18 @@ mod tests {
         // locality than in the full trace, so we assert the card beats the
         // disks rather than every flash disk; the full-scale run in
         // EXPERIMENTS.md shows the paper's complete ordering.)
-        assert!(sdp.energy.get() * 3.0 < disk.energy.get(), "sdp {:?} disk {:?}", sdp.energy, disk.energy);
-        assert!(card.energy.get() * 2.0 < disk.energy.get(), "card {:?} disk {:?}", card.energy, disk.energy);
+        assert!(
+            sdp.energy.get() * 3.0 < disk.energy.get(),
+            "sdp {:?} disk {:?}",
+            sdp.energy,
+            disk.energy
+        );
+        assert!(
+            card.energy.get() * 2.0 < disk.energy.get(),
+            "card {:?} disk {:?}",
+            card.energy,
+            disk.energy
+        );
         // Kittyhawk consumes at least as much as the cu140 and responds
         // more slowly.
         assert!(kh.energy.get() >= disk.energy.get() * 0.9);
@@ -209,7 +229,9 @@ mod tests {
 
     #[test]
     fn renders_three_parts() {
-        let t = Table4 { parts: vec![mac_part()] };
+        let t = Table4 {
+            parts: vec![mac_part()],
+        };
         let text = t.to_string();
         assert!(text.contains("mac trace"));
         assert!(text.contains("cu140 datasheet"));

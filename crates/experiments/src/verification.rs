@@ -78,10 +78,15 @@ pub fn run(scale: Scale) -> Verification {
 
     // Simulator side: measured parameters, no DRAM cache (the OmniBook ran
     // DOS with no buffer cache), no warm-up (the testbed has none either).
-    let no_warm = RunOptions { warm_percent: 0, ..RunOptions::default() };
+    let no_warm = RunOptions {
+        warm_percent: 0,
+        ..RunOptions::default()
+    };
     let sim = |cfg: SystemConfig| simulate_with(&cfg.with_dram(0), &trace, no_warm);
     // §3: the disk spun throughout the benchmarks; no SRAM on the OmniBook.
-    let disk_sim = sim(SystemConfig::disk(cu140_measured()).with_sram(0).with_spin_down(None));
+    let disk_sim = sim(SystemConfig::disk(cu140_measured())
+        .with_sram(0)
+        .with_spin_down(None));
     let fdisk_sim = sim(SystemConfig::flash_disk(sdp10_measured()));
     let card_sim = sim(flash_card_config(intel_measured(), &trace, 0.60));
 
@@ -121,10 +126,7 @@ pub fn run(scale: Scale) -> Verification {
 /// Replays the records against the DOS-over-cu140 testbed: every access
 /// pays file-system overhead plus a real seek (the testbed has no
 /// same-file optimism).
-fn replay_disk(
-    _spec: &SynthSpec,
-    records: &[mobistore_trace::record::FileRecord],
-) -> (f64, f64) {
+fn replay_disk(_spec: &SynthSpec, records: &[mobistore_trace::record::FileRecord]) -> (f64, f64) {
     use mobistore_fsmodel::dosfs::DosFsParams;
     let p = cu140_measured();
     let fs = DosFsParams::disk();
@@ -190,10 +192,7 @@ fn replay_flash_disk(
 
 /// Replays against the MFFS-over-Intel testbed, with real cleaning,
 /// compression, and the file-size anomaly.
-fn replay_card(
-    spec: &SynthSpec,
-    records: &[mobistore_trace::record::FileRecord],
-) -> (f64, f64) {
+fn replay_card(spec: &SynthSpec, records: &[mobistore_trace::record::FileRecord]) -> (f64, f64) {
     let mut tb = FlashCardTestbed::new(intel_measured(), 10 * MIB, MffsParams::mffs2());
     // Install the whole 6-Mbyte dataset up front, as §4.1's workload
     // defines it; deletions release files and rewrites re-install them.
@@ -208,7 +207,12 @@ fn replay_card(
         match rec.op {
             Op::Read => {
                 if let Some(&h) = handles.get(&rec.file) {
-                    let t = tb.read_chunk(h, rec.offset.min(spec.file_bytes - rec.size.max(512)), rec.size.max(512), class);
+                    let t = tb.read_chunk(
+                        h,
+                        rec.offset.min(spec.file_bytes - rec.size.max(512)),
+                        rec.size.max(512),
+                        class,
+                    );
                     reads.record(t.as_millis_f64());
                 }
             }
@@ -241,7 +245,10 @@ fn replay_card(
 
 impl fmt::Display for Verification {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Section 5.1: simulator vs testbed model on the synth workload")?;
+        writeln!(
+            f,
+            "Section 5.1: simulator vs testbed model on the synth workload"
+        )?;
         writeln!(
             f,
             "{:<24} {:>10} {:>10} {:>7} {:>10} {:>10} {:>7}",
@@ -275,11 +282,23 @@ mod tests {
         // (testbed ~2x slower, the simulator's optimistic seeks).
         let v = run(Scale::quick());
         let fdisk = &v.rows[1];
-        assert!((0.5..2.0).contains(&fdisk.write_ratio()), "sdp10 writes {}", fdisk.write_ratio());
+        assert!(
+            (0.5..2.0).contains(&fdisk.write_ratio()),
+            "sdp10 writes {}",
+            fdisk.write_ratio()
+        );
         let disk = &v.rows[0];
-        assert!(disk.write_ratio() > 1.2, "cu140 writes should diverge: {}", disk.write_ratio());
+        assert!(
+            disk.write_ratio() > 1.2,
+            "cu140 writes should diverge: {}",
+            disk.write_ratio()
+        );
         let card = &v.rows[2];
-        assert!(card.read_ratio() > 1.5, "card reads should diverge: {}", card.read_ratio());
+        assert!(
+            card.read_ratio() > 1.5,
+            "card reads should diverge: {}",
+            card.read_ratio()
+        );
     }
 
     #[test]

@@ -13,4 +13,6 @@
 
 pub mod store;
 
-pub use store::{CleanerMode, FlashCardConfig, FlashCardCounters, FlashCardStore, VictimPolicy, WearStats};
+pub use store::{
+    CleanerMode, FlashCardConfig, FlashCardCounters, FlashCardStore, VictimPolicy, WearStats,
+};

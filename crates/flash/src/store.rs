@@ -184,9 +184,15 @@ impl FlashCardStore {
     /// segment smaller than one block.
     pub fn new(config: FlashCardConfig) -> Self {
         let seg_size = config.params.segment_size;
-        assert!(seg_size >= config.block_size, "segment smaller than a block");
+        assert!(
+            seg_size >= config.block_size,
+            "segment smaller than a block"
+        );
         let num_segments = (config.capacity_bytes / seg_size) as u32;
-        assert!(num_segments >= 2, "need at least two segments, got {num_segments}");
+        assert!(
+            num_segments >= 2,
+            "need at least two segments, got {num_segments}"
+        );
         let blocks_per_segment = (seg_size / config.block_size) as u32;
 
         let mut segments = vec![
@@ -241,7 +247,8 @@ impl FlashCardStore {
     /// Returns free (erased, writable) blocks across the frontier and the
     /// erased-segment pool.
     pub fn free_blocks(&self) -> u64 {
-        let frontier_free = u64::from(self.blocks_per_segment - self.segments[self.frontier as usize].used);
+        let frontier_free =
+            u64::from(self.blocks_per_segment - self.segments[self.frontier as usize].used);
         frontier_free + self.erased.len() as u64 * u64::from(self.blocks_per_segment)
     }
 
@@ -262,7 +269,12 @@ impl FlashCardStore {
 
     /// Returns per-segment endurance statistics.
     pub fn wear(&self) -> WearStats {
-        let max = self.segments.iter().map(|s| s.erase_count).max().unwrap_or(0);
+        let max = self
+            .segments
+            .iter()
+            .map(|s| s.erase_count)
+            .max()
+            .unwrap_or(0);
         let sum: u64 = self.segments.iter().map(|s| u64::from(s.erase_count)).sum();
         WearStats {
             max_erase: max,
@@ -363,9 +375,11 @@ impl FlashCardStore {
     pub fn read(&mut self, now: SimTime, _lbn: u64, blocks: u32) -> Service {
         let start = self.settle(now);
         let bytes = u64::from(blocks) * self.config.block_size;
-        let dur = self.config.params.access_latency + self.config.params.read_bandwidth.transfer_time(bytes);
+        let dur = self.config.params.access_latency
+            + self.config.params.read_bandwidth.transfer_time(bytes);
         let end = start + dur;
-        self.meter.charge_for("active", self.config.params.active_power, dur);
+        self.meter
+            .charge_for("active", self.config.params.active_power, dur);
         self.counters.ops += 1;
         self.counters.bytes_read += bytes;
         self.free_at = self.free_at.max(end);
@@ -432,9 +446,11 @@ impl FlashCardStore {
             self.counters.cleaning_waits += 1;
         }
         let bytes = u64::from(blocks) * self.config.block_size;
-        let dur = self.config.params.access_latency + self.config.params.write_bandwidth.transfer_time(bytes);
+        let dur = self.config.params.access_latency
+            + self.config.params.write_bandwidth.transfer_time(bytes);
         let end = start + wait + dur;
-        self.meter.charge_for("active", self.config.params.active_power, dur);
+        self.meter
+            .charge_for("active", self.config.params.active_power, dur);
         self.counters.ops += 1;
         self.counters.bytes_written += bytes;
         self.free_at = self.free_at.max(end);
@@ -465,7 +481,9 @@ impl FlashCardStore {
 
     /// Moves the frontier to an erased segment; returns false if none.
     fn advance_frontier(&mut self) -> bool {
-        let Some(next) = self.erased.pop() else { return false };
+        let Some(next) = self.erased.pop() else {
+            return false;
+        };
         self.segments[self.frontier as usize].state = SegState::Full;
         self.segments[next as usize].state = SegState::Frontier;
         self.segments[next as usize].opened_at_seq = self.open_seq;
@@ -504,16 +522,31 @@ impl FlashCardStore {
             // Cleaning a fully-live segment frees nothing.
             .filter(|(_, s)| s.live < self.blocks_per_segment);
         match self.config.victim_policy {
-            VictimPolicy::GreedyMinLive => candidates.min_by_key(|(i, s)| (s.live, *i)).map(|(i, _)| i as u32),
-            VictimPolicy::Fifo => candidates.min_by_key(|(i, s)| (s.opened_at_seq, *i)).map(|(i, _)| i as u32),
+            VictimPolicy::GreedyMinLive => candidates
+                .min_by_key(|(i, s)| (s.live, *i))
+                .map(|(i, _)| i as u32),
+            VictimPolicy::Fifo => candidates
+                .min_by_key(|(i, s)| (s.opened_at_seq, *i))
+                .map(|(i, _)| i as u32),
             VictimPolicy::WearAware => {
-                let min_wear = self.segments.iter().map(|s| s.erase_count).min().unwrap_or(0);
+                let min_wear = self
+                    .segments
+                    .iter()
+                    .map(|s| s.erase_count)
+                    .min()
+                    .unwrap_or(0);
                 // Each erase above the card minimum costs as much as 1/32
                 // of a segment of extra live data — enough to bound the
                 // wear spread without constantly recycling cold segments.
                 let penalty = (self.blocks_per_segment / 32).max(1);
                 candidates
-                    .min_by_key(|(i, s)| (u64::from(s.live) + u64::from(s.erase_count - min_wear) * u64::from(penalty), *i))
+                    .min_by_key(|(i, s)| {
+                        (
+                            u64::from(s.live)
+                                + u64::from(s.erase_count - min_wear) * u64::from(penalty),
+                            *i,
+                        )
+                    })
                     .map(|(i, _)| i as u32)
             }
             VictimPolicy::CostBenefit => candidates
@@ -525,7 +558,10 @@ impl FlashCardStore {
                         let age = (self.open_seq - s.opened_at_seq) as f64;
                         -((1.0 - u) * age / (1.0 + u))
                     };
-                    score(a).partial_cmp(&score(b)).expect("scores are finite").then(ia.cmp(ib))
+                    score(a)
+                        .partial_cmp(&score(b))
+                        .expect("scores are finite")
+                        .then(ia.cmp(ib))
                 })
                 .map(|(i, _)| i as u32),
         }
@@ -534,7 +570,10 @@ impl FlashCardStore {
     /// Starts a background job if the erased pool is empty and cleaning is
     /// possible.
     fn maybe_start_job(&mut self) {
-        if self.config.mode != CleanerMode::Background || self.job.is_some() || !self.erased.is_empty() {
+        if self.config.mode != CleanerMode::Background
+            || self.job.is_some()
+            || !self.erased.is_empty()
+        {
             return;
         }
         self.start_job();
@@ -542,7 +581,9 @@ impl FlashCardStore {
 
     /// Starts a cleaning job regardless of mode; returns false if no victim.
     fn start_job(&mut self) -> bool {
-        let Some(victim) = self.select_victim() else { return false };
+        let Some(victim) = self.select_victim() else {
+            return false;
+        };
         // Logically relocate live data now (map + space bookkeeping); the
         // *time* of copying plus erasure is paid by the job as it runs.
         let live: Vec<u64> = self
@@ -563,8 +604,16 @@ impl FlashCardStore {
         let copy_bytes = copy_blocks * self.config.block_size;
         // Copies are internal to the card: they run at raw speeds even
         // when the foreground path carries file-system software costs.
-        let copy_time = self.config.params.copy_read_bandwidth.transfer_time(copy_bytes)
-            + self.config.params.copy_write_bandwidth.transfer_time(copy_bytes);
+        let copy_time = self
+            .config
+            .params
+            .copy_read_bandwidth
+            .transfer_time(copy_bytes)
+            + self
+                .config
+                .params
+                .copy_write_bandwidth
+                .transfer_time(copy_bytes);
         self.job = Some(CleanJob {
             victim,
             remaining: copy_time + self.config.params.erase_time,
@@ -580,7 +629,8 @@ impl FlashCardStore {
             return None;
         }
         let job = self.job.take().expect("job exists");
-        self.meter.charge_for("clean", self.config.params.active_power, job.remaining);
+        self.meter
+            .charge_for("clean", self.config.params.active_power, job.remaining);
         let spent = job.remaining;
         self.finish_job(job.victim);
         Some(spent)
@@ -618,7 +668,8 @@ impl FlashCardStore {
             let Some(job) = self.job.as_mut() else { break };
             let slice = job.remaining.min(now - t);
             job.remaining -= slice;
-            self.meter.charge_for("clean", self.config.params.active_power, slice);
+            self.meter
+                .charge_for("clean", self.config.params.active_power, slice);
             t += slice;
             if self.job.as_ref().expect("job exists").remaining.is_zero() {
                 let victim = self.job.take().expect("job exists").victim;
@@ -626,7 +677,8 @@ impl FlashCardStore {
             }
         }
         if t < now {
-            self.meter.charge_for("idle", self.config.params.idle_power, now - t);
+            self.meter
+                .charge_for("idle", self.config.params.idle_power, now - t);
         }
         self.free_at = now;
         now
@@ -641,7 +693,11 @@ impl FlashCardStore {
     pub fn check_invariants(&self) {
         let live_sum: u64 = self.segments.iter().map(|s| u64::from(s.live)).sum();
         assert_eq!(live_sum, self.live_blocks, "segment live counts vs total");
-        assert_eq!(self.map.len() as u64, self.live_blocks, "map size vs live blocks");
+        assert_eq!(
+            self.map.len() as u64,
+            self.live_blocks,
+            "map size vs live blocks"
+        );
         assert!(self.live_blocks <= self.capacity_blocks());
         let frontier = &self.segments[self.frontier as usize];
         assert_eq!(frontier.state, SegState::Frontier);
@@ -651,7 +707,8 @@ impl FlashCardStore {
             if s.state == SegState::Erased {
                 assert_eq!(s.live, 0, "erased segment {i} has live data");
                 assert!(
-                    self.erased.contains(&(i as u32)) || self.job.as_ref().is_some_and(|j| j.victim == i as u32),
+                    self.erased.contains(&(i as u32))
+                        || self.job.as_ref().is_some_and(|j| j.victim == i as u32),
                     "erased segment {i} missing from pool"
                 );
             }
@@ -946,13 +1003,26 @@ mod tests {
                 lbn += 7; // Stride spreads overwrites across segments.
             }
             card.check_invariants();
-            (card.counters().blocks_copied, card.counters().erasures, card.energy().get())
+            (
+                card.counters().blocks_copied,
+                card.counters().erasures,
+                card.energy().get(),
+            )
         };
         let (copied_low, erase_low, energy_low) = run(820); // 40%
         let (copied_high, erase_high, energy_high) = run(1845); // 90%
-        assert!(copied_high > copied_low, "copies: {copied_high} vs {copied_low}");
-        assert!(erase_high >= erase_low, "erasures: {erase_high} vs {erase_low}");
-        assert!(energy_high > energy_low, "energy: {energy_high} vs {energy_low}");
+        assert!(
+            copied_high > copied_low,
+            "copies: {copied_high} vs {copied_low}"
+        );
+        assert!(
+            erase_high >= erase_low,
+            "erasures: {erase_high} vs {erase_low}"
+        );
+        assert!(
+            energy_high > energy_low,
+            "energy: {energy_high} vs {energy_low}"
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ impl Compressor {
     /// Panics if `ratio` is outside `(0, 1]`.
     pub fn new(ratio: f64, compress_bw: Bandwidth, decompress_bw: Bandwidth) -> Self {
         assert!(ratio > 0.0 && ratio <= 1.0, "ratio out of range: {ratio}");
-        Compressor { ratio, compress_bw, decompress_bw }
+        Compressor {
+            ratio,
+            compress_bw,
+            decompress_bw,
+        }
     }
 
     /// Bytes that reach the device after compression.
@@ -71,7 +75,11 @@ mod tests {
     use super::*;
 
     fn comp() -> Compressor {
-        Compressor::new(0.5, Bandwidth::from_kib_per_s(250.0), Bandwidth::from_kib_per_s(500.0))
+        Compressor::new(
+            0.5,
+            Bandwidth::from_kib_per_s(250.0),
+            Bandwidth::from_kib_per_s(500.0),
+        )
     }
 
     #[test]
@@ -85,7 +93,10 @@ mod tests {
     #[test]
     fn random_reads_skip_decompression() {
         let c = comp();
-        assert_eq!(c.decompress_time(4096, DataClass::Random), SimDuration::ZERO);
+        assert_eq!(
+            c.decompress_time(4096, DataClass::Random),
+            SimDuration::ZERO
+        );
         assert!(c.decompress_time(4096, DataClass::Compressible) > SimDuration::ZERO);
     }
 
@@ -99,6 +110,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn bad_ratio_rejected() {
-        let _ = Compressor::new(1.5, Bandwidth::from_kib_per_s(1.0), Bandwidth::from_kib_per_s(1.0));
+        let _ = Compressor::new(
+            1.5,
+            Bandwidth::from_kib_per_s(1.0),
+            Bandwidth::from_kib_per_s(1.0),
+        );
     }
 }

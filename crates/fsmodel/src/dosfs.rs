@@ -119,8 +119,8 @@ impl DiskTestbed {
                     self.fs.batch_cpu + comp.compress_time(bytes)
                 }
                 Some(comp) => {
-                    let stored =
-                        (comp.stored_bytes(bytes, class) as f64 * self.fs.write_amplification) as u64;
+                    let stored = (comp.stored_bytes(bytes, class) as f64
+                        * self.fs.write_amplification) as u64;
                     base + comp.compress_time(bytes) + self.device_time(stored, i == 0, Dir::Write)
                 }
                 None => base + self.device_time(bytes, i == 0, Dir::Write),
@@ -143,7 +143,8 @@ impl DiskTestbed {
             match &self.compression {
                 Some(comp) => {
                     let stored = comp.stored_bytes(bytes, class);
-                    latency += self.device_time(stored, i == 0, Dir::Read) + comp.decompress_time(bytes, class);
+                    latency += self.device_time(stored, i == 0, Dir::Read)
+                        + comp.decompress_time(bytes, class);
                 }
                 None => latency += self.device_time(bytes, i == 0, Dir::Read),
             }
@@ -162,7 +163,9 @@ impl DiskTestbed {
         let positioning = if first {
             self.disk.avg_seek + self.disk.avg_rotation
         } else {
-            self.disk.avg_rotation.mul_f64(self.sequential_rotation_fraction)
+            self.disk
+                .avg_rotation
+                .mul_f64(self.sequential_rotation_fraction)
         };
         positioning + bw.transfer_time(bytes)
     }
@@ -206,8 +209,8 @@ impl FlashDiskTestbed {
                     self.fs.batch_cpu + comp.compress_time(bytes)
                 }
                 Some(comp) => {
-                    let stored =
-                        (comp.stored_bytes(bytes, class) as f64 * self.fs.write_amplification) as u64;
+                    let stored = (comp.stored_bytes(bytes, class) as f64
+                        * self.fs.write_amplification) as u64;
                     base + comp.compress_time(bytes) + self.device_write(stored)
                 }
                 None => base + self.device_write(bytes),
@@ -349,8 +352,16 @@ mod tests {
         let mut tb = FlashDiskTestbed::new(sdp10_datasheet(), Some(stacker()));
         let small = tb.read_file(4 * KIB, 4 * KIB, DataClass::Compressible);
         let large = tb.read_file(1024 * KIB, 4 * KIB, DataClass::Compressible);
-        assert!((100.0..350.0).contains(&small.throughput_kib_s()), "{}", small.throughput_kib_s());
-        assert!((150.0..350.0).contains(&large.throughput_kib_s()), "{}", large.throughput_kib_s());
+        assert!(
+            (100.0..350.0).contains(&small.throughput_kib_s()),
+            "{}",
+            small.throughput_kib_s()
+        );
+        assert!(
+            (150.0..350.0).contains(&large.throughput_kib_s()),
+            "{}",
+            large.throughput_kib_s()
+        );
     }
 
     #[test]

@@ -35,20 +35,32 @@ use mobistore_sim::units::Bandwidth;
 /// The DoubleSpace compressor on the OmniBook's 386SXLV (calibrated to
 /// Table 1's cu140 compressed columns).
 pub fn doublespace() -> Compressor {
-    Compressor::new(0.5, Bandwidth::from_kib_per_s(290.0), Bandwidth::from_kib_per_s(400.0))
+    Compressor::new(
+        0.5,
+        Bandwidth::from_kib_per_s(290.0),
+        Bandwidth::from_kib_per_s(400.0),
+    )
 }
 
 /// The Stacker compressor (calibrated to Table 1's sdp10 compressed
 /// columns).
 pub fn stacker() -> Compressor {
-    Compressor::new(0.5, Bandwidth::from_kib_per_s(225.0), Bandwidth::from_kib_per_s(400.0))
+    Compressor::new(
+        0.5,
+        Bandwidth::from_kib_per_s(225.0),
+        Bandwidth::from_kib_per_s(400.0),
+    )
 }
 
 /// MFFS 2.00's built-in compressor (calibrated to Table 1's Intel
 /// columns; its decompressor is quick, giving the 2x random-vs-compressed
 /// read gap).
 pub fn mffs_compressor() -> Compressor {
-    Compressor::new(0.5, Bandwidth::from_kib_per_s(225.0), Bandwidth::from_kib_per_s(750.0))
+    Compressor::new(
+        0.5,
+        Bandwidth::from_kib_per_s(225.0),
+        Bandwidth::from_kib_per_s(750.0),
+    )
 }
 
 /// One micro-benchmark run: per-request latencies plus totals.
@@ -65,7 +77,11 @@ pub struct BenchRun {
 impl BenchRun {
     /// Creates an empty run expecting `bytes` in total.
     pub fn new(bytes: u64) -> Self {
-        BenchRun { chunk_latencies_ms: Vec::new(), total: SimDuration::ZERO, bytes }
+        BenchRun {
+            chunk_latencies_ms: Vec::new(),
+            total: SimDuration::ZERO,
+            bytes,
+        }
     }
 
     /// Records one request.

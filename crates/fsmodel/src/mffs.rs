@@ -164,13 +164,24 @@ impl FlashCardTestbed {
     pub fn create_file(&mut self) -> FileHandle {
         let handle = FileHandle(self.next_handle);
         self.next_handle += 1;
-        self.files.insert(handle, FileEntry { base_lbn: u64::MAX, bytes: 0 });
+        self.files.insert(
+            handle,
+            FileEntry {
+                base_lbn: u64::MAX,
+                bytes: 0,
+            },
+        );
         handle
     }
 
     /// Appends one benchmark request to a file, returning its latency.
     /// This is Figure 1's inner loop.
-    pub fn append_chunk(&mut self, handle: FileHandle, bytes: u64, class: DataClass) -> SimDuration {
+    pub fn append_chunk(
+        &mut self,
+        handle: FileHandle,
+        bytes: u64,
+        class: DataClass,
+    ) -> SimDuration {
         let entry = *self.files.get(&handle).expect("unknown file");
         let stored = self.mffs.compressor.stored_bytes(bytes, class);
         let blocks = stored.div_ceil(BLOCK).max(1) as u32;
@@ -184,7 +195,8 @@ impl FlashCardTestbed {
         );
         let svc = self.card.write(self.clock, lbn, blocks);
         let device = svc.response(self.clock);
-        self.clock = svc.end + anomaly + self.mffs.base_write + self.mffs.compressor.compress_time(bytes);
+        self.clock =
+            svc.end + anomaly + self.mffs.base_write + self.mffs.compressor.compress_time(bytes);
 
         let mut entry = entry;
         if entry.base_lbn == u64::MAX {
@@ -199,7 +211,13 @@ impl FlashCardTestbed {
 
     /// Overwrites one request inside an existing file (Figure 3's inner
     /// loop), returning its latency.
-    pub fn overwrite_chunk(&mut self, handle: FileHandle, offset: u64, bytes: u64, class: DataClass) -> SimDuration {
+    pub fn overwrite_chunk(
+        &mut self,
+        handle: FileHandle,
+        offset: u64,
+        bytes: u64,
+        class: DataClass,
+    ) -> SimDuration {
         let entry = *self.files.get(&handle).expect("unknown file");
         assert!(offset + bytes <= entry.bytes, "overwrite past EOF");
         let stored = self.mffs.compressor.stored_bytes(bytes, class);
@@ -212,7 +230,8 @@ impl FlashCardTestbed {
         );
         let svc = self.card.write(self.clock, lbn, blocks);
         let device = svc.response(self.clock);
-        self.clock = svc.end + anomaly + self.mffs.base_write + self.mffs.compressor.compress_time(bytes);
+        self.clock =
+            svc.end + anomaly + self.mffs.base_write + self.mffs.compressor.compress_time(bytes);
         self.cumulative_written += bytes;
 
         self.mffs.base_write + self.mffs.compressor.compress_time(bytes) + anomaly + device
@@ -235,7 +254,12 @@ impl FlashCardTestbed {
     /// Reads a whole file in `chunk_bytes` requests (the Table 1 read
     /// benchmark). The §3 read anomaly charges work proportional to file
     /// size on every request.
-    pub fn read_file(&mut self, handle: FileHandle, chunk_bytes: u64, class: DataClass) -> BenchRun {
+    pub fn read_file(
+        &mut self,
+        handle: FileHandle,
+        chunk_bytes: u64,
+        class: DataClass,
+    ) -> BenchRun {
         let entry = *self.files.get(&handle).expect("unknown file");
         let mut run = BenchRun::new(entry.bytes);
         let chunks = entry.bytes.div_ceil(chunk_bytes);
@@ -243,11 +267,16 @@ impl FlashCardTestbed {
             let bytes = chunk_bytes.min(entry.bytes - i * chunk_bytes);
             let stored = self.mffs.compressor.stored_bytes(bytes, class);
             let blocks = stored.div_ceil(BLOCK).max(1) as u32;
-            let svc = self.card.read(self.clock, entry.base_lbn + i * chunk_bytes / BLOCK, blocks);
+            let svc = self
+                .card
+                .read(self.clock, entry.base_lbn + i * chunk_bytes / BLOCK, blocks);
             let device = svc.response(self.clock);
-            let anomaly = SimDuration::from_secs_f64(entry.bytes as f64 * self.mffs.read_file_coeff);
-            let latency =
-                self.mffs.base_read + device + anomaly + self.mffs.compressor.decompress_time(bytes, class);
+            let anomaly =
+                SimDuration::from_secs_f64(entry.bytes as f64 * self.mffs.read_file_coeff);
+            let latency = self.mffs.base_read
+                + device
+                + anomaly
+                + self.mffs.compressor.decompress_time(bytes, class);
             self.clock = svc.end + self.mffs.base_read + anomaly;
             run.push(latency, bytes);
         }
@@ -256,12 +285,20 @@ impl FlashCardTestbed {
 
     /// Reads one request from within a file, returning its latency (used
     /// by the §5.1 verification replay).
-    pub fn read_chunk(&mut self, handle: FileHandle, offset: u64, bytes: u64, class: DataClass) -> SimDuration {
+    pub fn read_chunk(
+        &mut self,
+        handle: FileHandle,
+        offset: u64,
+        bytes: u64,
+        class: DataClass,
+    ) -> SimDuration {
         let entry = *self.files.get(&handle).expect("unknown file");
         assert!(offset + bytes <= entry.bytes, "read past EOF");
         let stored = self.mffs.compressor.stored_bytes(bytes, class);
         let blocks = stored.div_ceil(BLOCK).max(1) as u32;
-        let svc = self.card.read(self.clock, entry.base_lbn + offset / BLOCK, blocks);
+        let svc = self
+            .card
+            .read(self.clock, entry.base_lbn + offset / BLOCK, blocks);
         let device = svc.response(self.clock);
         let anomaly = SimDuration::from_secs_f64(entry.bytes as f64 * self.mffs.read_file_coeff);
         self.clock = svc.end + self.mffs.base_read + anomaly;
@@ -287,7 +324,13 @@ impl FlashCardTestbed {
         self.card.preload(lbn..lbn + blocks);
         let handle = FileHandle(self.next_handle);
         self.next_handle += 1;
-        self.files.insert(handle, FileEntry { base_lbn: lbn, bytes });
+        self.files.insert(
+            handle,
+            FileEntry {
+                base_lbn: lbn,
+                bytes,
+            },
+        );
         handle
     }
 

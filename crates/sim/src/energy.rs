@@ -209,7 +209,9 @@ impl EnergyMeter {
 
     /// Iterates over `(category, energy, attributed time)` triples in
     /// declaration order.
-    pub fn breakdown_timed(&self) -> impl Iterator<Item = (&'static str, Joules, SimDuration)> + '_ {
+    pub fn breakdown_timed(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, Joules, SimDuration)> + '_ {
         self.categories.iter().copied()
     }
 }

@@ -12,7 +12,10 @@
 //! * [`stats`] — streaming mean/max/σ ([`stats::OnlineStats`]) matching the
 //!   columns of the paper's Table 4;
 //! * [`rng`] — a deterministic PCG32 generator and the distribution samplers
-//!   (exponential, log-normal, Zipf) used by the workload generators.
+//!   (exponential, log-normal, Zipf) used by the workload generators;
+//! * [`exec`] — a scoped-thread worker pool ([`exec::parallel_map`]) that
+//!   fans independent simulation points out across cores while preserving
+//!   input order, so parallel results are bit-identical to serial ones.
 //!
 //! Everything is deterministic: integer time plus a seeded RNG make each
 //! experiment reproducible bit-for-bit.
@@ -21,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod energy;
+pub mod exec;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -73,7 +73,10 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is non-finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.f64()
     }
 
@@ -121,7 +124,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is not finite and positive.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "mean must be positive: {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive: {mean}"
+        );
         // Inverse-CDF; (1 - f64()) avoids ln(0).
         -mean * (1.0 - self.f64()).ln()
     }
@@ -143,7 +149,10 @@ impl SimRng {
     ///
     /// Panics if `mean` or `std` is not finite and positive.
     pub fn lognormal_mean_std(&mut self, mean: f64, std: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "mean must be positive: {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive: {mean}"
+        );
         assert!(std.is_finite() && std > 0.0, "std must be positive: {std}");
         let variance_ratio = (std / mean).powi(2);
         let sigma2 = (1.0 + variance_ratio).ln();
@@ -207,7 +216,10 @@ impl Zipf {
     /// Draws a rank in `0..n`.
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let u = rng.f64();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("NaN in CDF")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("NaN in CDF"))
+        {
             Ok(i) => (i + 1).min(self.cdf.len() - 1),
             Err(i) => i.min(self.cdf.len() - 1),
         }

@@ -230,7 +230,10 @@ fn ns_from_secs_f64(secs: f64) -> u64 {
         "time must be finite and non-negative, got {secs}"
     );
     let ns = secs * 1e9;
-    assert!(ns <= u64::MAX as f64, "time overflows the simulated clock: {secs}s");
+    assert!(
+        ns <= u64::MAX as f64,
+        "time overflows the simulated clock: {secs}s"
+    );
     ns.round() as u64
 }
 
@@ -250,7 +253,11 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.0).expect("simulated clock underflow"))
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("simulated clock underflow"),
+        )
     }
 }
 
@@ -450,7 +457,10 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration = [1u64, 2, 3].iter().map(|&s| SimDuration::from_secs(s)).sum();
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&s| SimDuration::from_secs(s))
+            .sum();
         assert_eq!(total, SimDuration::from_secs(6));
     }
 }

@@ -31,7 +31,11 @@ pub struct ParseError {
 
 impl core::fmt::Display for ParseError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -47,7 +51,15 @@ pub fn write_text(trace: &Trace) -> String {
             DiskOpKind::Write => "write",
             DiskOpKind::Trim => "trim",
         };
-        let _ = writeln!(out, "{} {} {} {} {}", op.time.as_nanos(), kind, op.lbn, op.blocks, op.file.0);
+        let _ = writeln!(
+            out,
+            "{} {} {} {} {}",
+            op.time.as_nanos(),
+            kind,
+            op.lbn,
+            op.blocks,
+            op.file.0
+        );
     }
     out
 }
@@ -60,9 +72,10 @@ pub fn write_text(trace: &Trace) -> String {
 /// input, missing header, or out-of-order timestamps.
 pub fn read_text(text: &str) -> Result<Trace, ParseError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| ParseError { line: 1, message: "empty input".into() })?;
+    let (_, header) = lines.next().ok_or_else(|| ParseError {
+        line: 1,
+        message: "empty input".into(),
+    })?;
     let block_size = parse_header(header).ok_or_else(|| ParseError {
         line: 1,
         message: format!("bad header: {header:?}"),
@@ -91,12 +104,24 @@ pub fn read_text(text: &str) -> Result<Trace, ParseError> {
             if fields.next().is_some() {
                 return None;
             }
-            Some(DiskOp { time: SimTime::from_nanos(time), kind, lbn, blocks, file: FileId(file) })
+            Some(DiskOp {
+                time: SimTime::from_nanos(time),
+                kind,
+                lbn,
+                blocks,
+                file: FileId(file),
+            })
         })()
-        .ok_or_else(|| ParseError { line: lineno, message: format!("malformed record: {line:?}") })?;
+        .ok_or_else(|| ParseError {
+            line: lineno,
+            message: format!("malformed record: {line:?}"),
+        })?;
 
         if op.time.as_nanos() < last_time {
-            return Err(ParseError { line: lineno, message: "timestamps not sorted".into() });
+            return Err(ParseError {
+                line: lineno,
+                message: "timestamps not sorted".into(),
+            });
         }
         last_time = op.time.as_nanos();
         trace.push(op);

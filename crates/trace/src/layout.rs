@@ -127,7 +127,10 @@ impl FileLayout {
     }
 
     /// Converts a whole file-level trace into a disk-level [`Trace`].
-    pub fn convert<'a>(block_size: u64, records: impl IntoIterator<Item = &'a FileRecord>) -> Trace {
+    pub fn convert<'a>(
+        block_size: u64,
+        records: impl IntoIterator<Item = &'a FileRecord>,
+    ) -> Trace {
         let mut layout = FileLayout::new(block_size);
         let mut trace = Trace::new(block_size);
         for rec in records {
@@ -144,7 +147,11 @@ impl FileLayout {
 
     fn access(&mut self, rec: &FileRecord) -> Vec<DiskOp> {
         let needed_end = self.blocks_for(rec.offset + rec.size.max(1));
-        assert!(needed_end <= MAX_FILE_BLOCKS, "file too large: {} blocks", needed_end);
+        assert!(
+            needed_end <= MAX_FILE_BLOCKS,
+            "file too large: {} blocks",
+            needed_end
+        );
 
         let mut out = Vec::with_capacity(2);
         let extent = match self.extents.get(&rec.file).copied() {
@@ -174,7 +181,11 @@ impl FileLayout {
 
         let first = rec.offset / self.block_size;
         let last = self.blocks_for(rec.offset + rec.size.max(1));
-        let kind = if rec.op == Op::Read { DiskOpKind::Read } else { DiskOpKind::Write };
+        let kind = if rec.op == Op::Read {
+            DiskOpKind::Read
+        } else {
+            DiskOpKind::Write
+        };
         out.push(DiskOp {
             time: rec.time,
             kind,
@@ -208,11 +219,20 @@ impl FileLayout {
             if slot.blocks == blocks {
                 self.free.remove(i);
             } else {
-                self.free[i] = Extent { start: slot.start + blocks, blocks: slot.blocks - blocks };
+                self.free[i] = Extent {
+                    start: slot.start + blocks,
+                    blocks: slot.blocks - blocks,
+                };
             }
-            return Extent { start: slot.start, blocks };
+            return Extent {
+                start: slot.start,
+                blocks,
+            };
         }
-        let ext = Extent { start: self.next_block, blocks };
+        let ext = Extent {
+            start: self.next_block,
+            blocks,
+        };
         self.next_block += blocks;
         ext
     }
@@ -223,7 +243,9 @@ impl FileLayout {
         self.free.insert(pos, ext);
         // Coalesce with successor first (indices stay valid), then
         // predecessor.
-        if pos + 1 < self.free.len() && self.free[pos].start + self.free[pos].blocks == self.free[pos + 1].start {
+        if pos + 1 < self.free.len()
+            && self.free[pos].start + self.free[pos].blocks == self.free[pos + 1].start
+        {
             self.free[pos].blocks += self.free[pos + 1].blocks;
             self.free.remove(pos + 1);
         }
@@ -244,7 +266,13 @@ mod tests {
     use mobistore_sim::time::SimTime;
 
     fn rec(op: Op, file: u64, offset: u64, size: u64) -> FileRecord {
-        FileRecord { time: SimTime::ZERO, op, file: FileId(file), offset, size }
+        FileRecord {
+            time: SimTime::ZERO,
+            op,
+            file: FileId(file),
+            offset,
+            size,
+        }
     }
 
     #[test]
@@ -335,7 +363,7 @@ mod tests {
         l.apply(&rec(Op::Delete, 1, 0, 0));
         l.apply(&rec(Op::Delete, 3, 0, 0));
         l.apply(&rec(Op::Delete, 2, 0, 0)); // bridges 0 and 2
-        // All three blocks are one free extent now; a 3-block file fits at 0.
+                                            // All three blocks are one free extent now; a 3-block file fits at 0.
         let ops = l.apply(&rec(Op::Write, 4, 0, 3072));
         assert_eq!(ops[0].lbn, 0);
         assert_eq!(l.blocks_used(), 3);
@@ -370,9 +398,27 @@ mod tests {
     #[test]
     fn convert_builds_time_ordered_trace() {
         let recs = vec![
-            FileRecord { time: SimTime::from_nanos(1), op: Op::Write, file: FileId(1), offset: 0, size: 2048 },
-            FileRecord { time: SimTime::from_nanos(2), op: Op::Read, file: FileId(1), offset: 0, size: 1024 },
-            FileRecord { time: SimTime::from_nanos(3), op: Op::Delete, file: FileId(1), offset: 0, size: 0 },
+            FileRecord {
+                time: SimTime::from_nanos(1),
+                op: Op::Write,
+                file: FileId(1),
+                offset: 0,
+                size: 2048,
+            },
+            FileRecord {
+                time: SimTime::from_nanos(2),
+                op: Op::Read,
+                file: FileId(1),
+                offset: 0,
+                size: 1024,
+            },
+            FileRecord {
+                time: SimTime::from_nanos(3),
+                op: Op::Delete,
+                file: FileId(1),
+                offset: 0,
+                size: 0,
+            },
         ];
         let trace = FileLayout::convert(1024, &recs);
         assert_eq!(trace.len(), 3);

@@ -123,7 +123,10 @@ impl Trace {
     /// Panics if `block_size` is zero.
     pub fn new(block_size: u64) -> Self {
         assert!(block_size > 0, "block size must be positive");
-        Trace { block_size, ops: Vec::new() }
+        Trace {
+            block_size,
+            ops: Vec::new(),
+        }
     }
 
     /// Appends an operation, checking time monotonicity.
@@ -203,15 +206,33 @@ mod tests {
         let mut t = Trace::new(512);
         assert_eq!(t.duration().as_nanos(), 0);
         assert_eq!(t.blocks_spanned(), 0);
-        t.push(DiskOp { time: SimTime::from_nanos(10), kind: DiskOpKind::Write, lbn: 4, blocks: 3, file: FileId(0) });
-        t.push(DiskOp { time: SimTime::from_nanos(30), kind: DiskOpKind::Read, lbn: 0, blocks: 2, file: FileId(0) });
+        t.push(DiskOp {
+            time: SimTime::from_nanos(10),
+            kind: DiskOpKind::Write,
+            lbn: 4,
+            blocks: 3,
+            file: FileId(0),
+        });
+        t.push(DiskOp {
+            time: SimTime::from_nanos(30),
+            kind: DiskOpKind::Read,
+            lbn: 0,
+            blocks: 2,
+            file: FileId(0),
+        });
         assert_eq!(t.duration().as_nanos(), 20);
         assert_eq!(t.blocks_spanned(), 7);
     }
 
     #[test]
     fn disk_op_bytes() {
-        let op = DiskOp { time: SimTime::ZERO, kind: DiskOpKind::Read, lbn: 0, blocks: 4, file: FileId(0) };
+        let op = DiskOp {
+            time: SimTime::ZERO,
+            kind: DiskOpKind::Read,
+            lbn: 0,
+            blocks: 4,
+            file: FileId(0),
+        };
         assert_eq!(op.bytes(512), 2048);
     }
 

@@ -72,7 +72,11 @@ impl TraceStats {
         TraceStats {
             duration: trace.duration(),
             distinct_kbytes: distinct.len() as u64 * trace.block_size / 1024,
-            fraction_reads: if accesses == 0 { 0.0 } else { reads as f64 / accesses as f64 },
+            fraction_reads: if accesses == 0 {
+                0.0
+            } else {
+                reads as f64 / accesses as f64
+            },
             block_size_kbytes: trace.block_size as f64 / 1024.0,
             mean_read_blocks: read_blocks.mean(),
             mean_write_blocks: write_blocks.mean(),
@@ -102,8 +106,14 @@ impl TraceStats {
 pub fn split_warm(trace: &Trace, warm_percent: u32) -> (Trace, Trace) {
     assert!(warm_percent <= 100, "warm percentage out of range");
     let boundary = (trace.ops.len() * warm_percent as usize) / 100;
-    let warm = Trace { block_size: trace.block_size, ops: trace.ops[..boundary].to_vec() };
-    let measured = Trace { block_size: trace.block_size, ops: trace.ops[boundary..].to_vec() };
+    let warm = Trace {
+        block_size: trace.block_size,
+        ops: trace.ops[..boundary].to_vec(),
+    };
+    let measured = Trace {
+        block_size: trace.block_size,
+        ops: trace.ops[boundary..].to_vec(),
+    };
     (warm, measured)
 }
 
@@ -114,7 +124,13 @@ mod tests {
     use mobistore_sim::time::SimTime;
 
     fn mk(kind: DiskOpKind, ns: u64, lbn: u64, blocks: u32) -> DiskOp {
-        DiskOp { time: SimTime::from_nanos(ns), kind, lbn, blocks, file: FileId(0) }
+        DiskOp {
+            time: SimTime::from_nanos(ns),
+            kind,
+            lbn,
+            blocks,
+            file: FileId(0),
+        }
     }
 
     fn sample_trace() -> Trace {

@@ -10,11 +10,13 @@
 //!   (see `DESIGN.md` for the substitution argument).
 //!
 //! [`Workload`] is the convenience enum the experiment harness iterates
-//! over.
+//! over, and [`cache`] memoizes generated traces process-wide so the ~17
+//! experiment runners share one generation of each trace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod synth;
 pub mod tracegen;
 

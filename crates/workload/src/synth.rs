@@ -95,7 +95,12 @@ pub fn generate(spec: &SynthSpec, seed: u64) -> Trace {
     trace
 }
 
-fn generate_inner(spec: &SynthSpec, files: u64, hot_files: u64, rng: &mut SimRng) -> Vec<FileRecord> {
+fn generate_inner(
+    spec: &SynthSpec,
+    files: u64,
+    hot_files: u64,
+    rng: &mut SimRng,
+) -> Vec<FileRecord> {
     let mut records = Vec::with_capacity(spec.operations);
     let mut deleted = vec![false; files as usize];
     let mut now = SimTime::ZERO;
@@ -113,7 +118,13 @@ fn generate_inner(spec: &SynthSpec, files: u64, hot_files: u64, rng: &mut SimRng
         if op_draw < spec.erase_fraction {
             if !deleted[file as usize] {
                 deleted[file as usize] = true;
-                records.push(FileRecord { time: now, op: Op::Delete, file: FileId(file), offset: 0, size: 0 });
+                records.push(FileRecord {
+                    time: now,
+                    op: Op::Delete,
+                    file: FileId(file),
+                    offset: 0,
+                    size: 0,
+                });
             }
             continue;
         }
@@ -286,7 +297,11 @@ mod tests {
         // §4.1: the synthetic dataset fits the 10-Mbyte flash devices.
         let trace = generate(&SynthSpec::paper(30_000), 6);
         let stats = TraceStats::measure(&trace);
-        assert!(stats.distinct_kbytes <= 7 * 1024, "{} KB", stats.distinct_kbytes);
+        assert!(
+            stats.distinct_kbytes <= 7 * 1024,
+            "{} KB",
+            stats.distinct_kbytes
+        );
         assert!(trace.blocks_spanned() * 512 <= 10 * 1024 * KIB);
     }
 }

@@ -59,10 +59,18 @@ impl Interarrival {
     /// Draws one gap in seconds.
     pub fn sample(&self, rng: &mut SimRng) -> f64 {
         match *self {
-            Interarrival::Lognormal { mean_s, std_s, max_s } => {
-                rng.lognormal_mean_std(mean_s, std_s).min(max_s)
-            }
-            Interarrival::Bursty { short_mean_s, long_prob, long_mean_s, long_std_s, max_s } => {
+            Interarrival::Lognormal {
+                mean_s,
+                std_s,
+                max_s,
+            } => rng.lognormal_mean_std(mean_s, std_s).min(max_s),
+            Interarrival::Bursty {
+                short_mean_s,
+                long_prob,
+                long_mean_s,
+                long_std_s,
+                max_s,
+            } => {
                 if rng.chance(long_prob) {
                     rng.lognormal_mean_std(long_mean_s, long_std_s).min(max_s)
                 } else {
@@ -76,9 +84,12 @@ impl Interarrival {
     pub fn mean_s(&self) -> f64 {
         match *self {
             Interarrival::Lognormal { mean_s, .. } => mean_s,
-            Interarrival::Bursty { short_mean_s, long_prob, long_mean_s, .. } => {
-                (1.0 - long_prob) * short_mean_s + long_prob * long_mean_s
-            }
+            Interarrival::Bursty {
+                short_mean_s,
+                long_prob,
+                long_mean_s,
+                ..
+            } => (1.0 - long_prob) * short_mean_s + long_prob * long_mean_s,
         }
     }
 }
@@ -137,7 +148,11 @@ impl TraceSpec {
             fraction_reads: 0.50,
             mean_read_blocks: 1.3,
             mean_write_blocks: 1.2,
-            interarrival: Interarrival::Lognormal { mean_s: 0.078, std_s: 0.57, max_s: 90.8 },
+            interarrival: Interarrival::Lognormal {
+                mean_s: 0.078,
+                std_s: 0.57,
+                max_s: 90.8,
+            },
             delete_fraction: 0.0,
             mean_file_bytes: 24 * KIB,
             zipf_exponent: 0.80,
@@ -251,7 +266,9 @@ pub fn generate_records(spec: &TraceSpec, seed: u64) -> GeneratedRecords {
     // File sizes: exponential-ish around the mean, at least one block.
     let sizes: Vec<u64> = (0..files)
         .map(|_| {
-            let bytes = rng.exponential(spec.mean_file_bytes as f64).max(spec.block_size as f64);
+            let bytes = rng
+                .exponential(spec.mean_file_bytes as f64)
+                .max(spec.block_size as f64);
             (bytes / spec.block_size as f64).ceil() as u64 * spec.block_size
         })
         .collect();
@@ -278,7 +295,13 @@ pub fn generate_records(spec: &TraceSpec, seed: u64) -> GeneratedRecords {
             let file = zipf.sample(&mut rng) as u64;
             if !deleted[file as usize] {
                 deleted[file as usize] = true;
-                records.push(FileRecord { time: now, op: Op::Delete, file: FileId(file), offset: 0, size: 0 });
+                records.push(FileRecord {
+                    time: now,
+                    op: Op::Delete,
+                    file: FileId(file),
+                    offset: 0,
+                    size: 0,
+                });
             }
             continue;
         }
@@ -289,7 +312,11 @@ pub fn generate_records(spec: &TraceSpec, seed: u64) -> GeneratedRecords {
         // re-reference heavily (the source of the traces' DRAM hit rates);
         // writes mostly produce fresh data (the source of Table 3's
         // distinct bytes).
-        let rerun_p = if is_read { spec.rerun_read_probability } else { spec.rerun_write_probability };
+        let rerun_p = if is_read {
+            spec.rerun_read_probability
+        } else {
+            spec.rerun_write_probability
+        };
         let mut target: Option<(FileId, u64, u64)> = None;
         if !history.is_empty() && rng.chance(rerun_p) {
             let entry = history[rng.below(history.len() as u64) as usize];
@@ -311,14 +338,34 @@ pub fn generate_records(spec: &TraceSpec, seed: u64) -> GeneratedRecords {
                     deleted[f as usize] = false;
                 }
                 let file_blocks = sizes[f as usize] / spec.block_size;
-                let mean_blocks = if is_read { spec.mean_read_blocks } else { spec.mean_write_blocks };
-                let size_blocks = geometric_blocks(&mut rng, mean_blocks).min(file_blocks).max(1);
+                let mean_blocks = if is_read {
+                    spec.mean_read_blocks
+                } else {
+                    spec.mean_write_blocks
+                };
+                let size_blocks = geometric_blocks(&mut rng, mean_blocks)
+                    .min(file_blocks)
+                    .max(1);
                 let max_off_blocks = file_blocks - size_blocks;
-                let offset_blocks = if max_off_blocks == 0 { 0 } else { rng.below(max_off_blocks + 1) };
-                (FileId(f), offset_blocks * spec.block_size, size_blocks * spec.block_size)
+                let offset_blocks = if max_off_blocks == 0 {
+                    0
+                } else {
+                    rng.below(max_off_blocks + 1)
+                };
+                (
+                    FileId(f),
+                    offset_blocks * spec.block_size,
+                    size_blocks * spec.block_size,
+                )
             }
         };
-        records.push(FileRecord { time: now, op, file, offset, size });
+        records.push(FileRecord {
+            time: now,
+            op,
+            file,
+            offset,
+            size,
+        });
         // Keep a bounded window of rerun candidates.
         if history.len() < HISTORY {
             history.push((file, offset, size));
@@ -401,7 +448,10 @@ mod tests {
     /// Shared tolerance check: |actual - target| / target < tol.
     fn close(actual: f64, target: f64, tol: f64, what: &str) {
         let rel = (actual - target).abs() / target;
-        assert!(rel < tol, "{what}: actual {actual:.4}, target {target:.4}, rel err {rel:.2}");
+        assert!(
+            rel < tol,
+            "{what}: actual {actual:.4}, target {target:.4}, rel err {rel:.2}"
+        );
     }
 
     #[test]
@@ -456,7 +506,12 @@ mod tests {
         let spec = TraceSpec::mac().scaled(0.10);
         let trace = generate(&spec, 14);
         let s = TraceStats::measure(&trace);
-        close(s.distinct_kbytes as f64, spec.distinct_kbytes as f64, 0.5, "mac distinct KB");
+        close(
+            s.distinct_kbytes as f64,
+            spec.distinct_kbytes as f64,
+            0.5,
+            "mac distinct KB",
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! ```
 
 use mobistore::core::simulator::simulate;
-use mobistore::experiments::flash_card_config;
 use mobistore::device::params::intel_datasheet;
+use mobistore::experiments::flash_card_config;
 use mobistore::flash::store::VictimPolicy;
 use mobistore::Workload;
 
@@ -25,9 +25,17 @@ fn main() {
     };
     let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.05);
 
-    println!("Workload: {} at {:.0}% scale\n", workload.name(), scale * 100.0);
+    println!(
+        "Workload: {} at {:.0}% scale\n",
+        workload.name(),
+        scale * 100.0
+    );
     let trace = workload.generate_scaled(scale, 7);
-    let dram = if workload.below_buffer_cache() { 0 } else { 2 * 1024 * 1024 };
+    let dram = if workload.below_buffer_cache() {
+        0
+    } else {
+        2 * 1024 * 1024
+    };
 
     println!("-- Utilization sweep (greedy cleaning) --");
     println!(
@@ -51,7 +59,10 @@ fn main() {
     }
 
     println!("\n-- Cleaning policy at 90% utilization --");
-    println!("{:>26} {:>11} {:>13} {:>10}", "policy", "energy(J)", "wr mean(ms)", "erasures");
+    println!(
+        "{:>26} {:>11} {:>13} {:>10}",
+        "policy", "energy(J)", "wr mean(ms)", "erasures"
+    );
     for (name, policy) in [
         ("greedy min-utilization", VictimPolicy::GreedyMinLive),
         ("FIFO", VictimPolicy::Fifo),

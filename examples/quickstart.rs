@@ -17,8 +17,14 @@ use mobistore::Metrics;
 use mobistore::Workload;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
-    println!("Generating a mac-like workload at {:.0}% of the paper's 3.5 hours...", scale * 100.0);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    println!(
+        "Generating a mac-like workload at {:.0}% of the paper's 3.5 hours...",
+        scale * 100.0
+    );
     let trace = Workload::Mac.generate_scaled(scale, 1994);
     println!("  {} disk-level operations\n", trace.len());
 

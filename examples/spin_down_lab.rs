@@ -25,15 +25,32 @@ fn main() {
     };
     let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
 
-    println!("Workload: {} at {:.0}% scale", workload.name(), scale * 100.0);
+    println!(
+        "Workload: {} at {:.0}% scale",
+        workload.name(),
+        scale * 100.0
+    );
     let trace = workload.generate_scaled(scale, 3);
-    let dram = if workload.below_buffer_cache() { 0 } else { 2 * 1024 * 1024 };
+    let dram = if workload.below_buffer_cache() {
+        0
+    } else {
+        2 * 1024 * 1024
+    };
 
-    for (label, sram) in [("with 32-KB SRAM write buffer", 32 * 1024), ("without SRAM", 0)] {
+    for (label, sram) in [
+        ("with 32-KB SRAM write buffer", 32 * 1024),
+        ("without SRAM", 0),
+    ] {
         println!("\n-- {label} --");
         println!(
             "{:>12} {:>11} {:>12} {:>12} {:>10} {:>10} {:>10}",
-            "threshold", "energy(J)", "rd mean(ms)", "rd max(ms)", "spin-ups", "mean W", "% standby"
+            "threshold",
+            "energy(J)",
+            "rd mean(ms)",
+            "rd max(ms)",
+            "spin-ups",
+            "mean W",
+            "% standby"
         );
         for threshold in [
             Some(SimDuration::from_secs(1)),

@@ -33,14 +33,24 @@ fn main() {
     let (_, measured) = split_warm(&trace, 10);
     let stats = TraceStats::measure(&measured);
 
-    println!("Workload {} at {:.0}% scale:", workload.name(), scale * 100.0);
+    println!(
+        "Workload {} at {:.0}% scale:",
+        workload.name(),
+        scale * 100.0
+    );
     println!("  operations          : {}", trace.len());
     println!("  duration            : {}", trace.duration());
     println!("  block size          : {} bytes", trace.block_size);
     println!("  distinct Kbytes     : {}", stats.distinct_kbytes);
     println!("  fraction of reads   : {:.2}", stats.fraction_reads);
-    println!("  mean read           : {:.2} blocks", stats.mean_read_blocks);
-    println!("  mean write          : {:.2} blocks", stats.mean_write_blocks);
+    println!(
+        "  mean read           : {:.2} blocks",
+        stats.mean_read_blocks
+    );
+    println!(
+        "  mean write          : {:.2} blocks",
+        stats.mean_write_blocks
+    );
     println!(
         "  interarrival        : mean {:.3}s, sigma {:.1}s, max {:.1}s",
         stats.interarrival.mean, stats.interarrival.std, stats.interarrival.max

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Times the full repro pipeline serial (--jobs 1) vs parallel (all cores)
+# and writes the results to BENCH_repro.json in the repo root.
+#
+# Usage: scripts/bench_repro.sh [scale] [seed]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-0.05}"
+SEED="${2:-1994}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+
+cargo build --release --workspace >/dev/null
+REPRO=target/release/repro
+
+now_ms() { date +%s%3N; }
+
+run() { # run <jobs> <outfile> -> prints elapsed ms
+    local jobs="$1" out="$2"
+    local t0 t1
+    t0=$(now_ms)
+    "$REPRO" --scale "$SCALE" --seed "$SEED" --jobs "$jobs" >"$out" 2>/dev/null
+    t1=$(now_ms)
+    echo $((t1 - t0))
+}
+
+echo "benching repro --scale $SCALE --seed $SEED (parallel jobs=$JOBS)..." >&2
+
+SERIAL_OUT="$(mktemp)"
+PARALLEL_OUT="$(mktemp)"
+SERIAL_MS=$(run 1 "$SERIAL_OUT")
+PARALLEL_MS=$(run "$JOBS" "$PARALLEL_OUT")
+
+if cmp -s "$SERIAL_OUT" "$PARALLEL_OUT"; then
+    IDENTICAL=true
+else
+    IDENTICAL=false
+fi
+rm -f "$SERIAL_OUT" "$PARALLEL_OUT"
+
+SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $SERIAL_MS / $PARALLEL_MS }")
+
+cat > BENCH_repro.json <<EOF
+{
+  "benchmark": "repro --scale $SCALE --seed $SEED",
+  "cores": $JOBS,
+  "serial_ms": $SERIAL_MS,
+  "parallel_ms": $PARALLEL_MS,
+  "speedup": $SPEEDUP,
+  "output_identical": $IDENTICAL
+}
+EOF
+
+cat BENCH_repro.json

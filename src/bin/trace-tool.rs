@@ -25,7 +25,12 @@ fn main() -> ExitCode {
         Some("stats") => with_trace(&args[1..], print_stats),
         Some("head") => head(&args[1..]),
         Some("validate") => with_trace(&args[1..], |t| {
-            println!("ok: {} operations, block size {}, span {} blocks", t.len(), t.block_size, t.blocks_spanned());
+            println!(
+                "ok: {} operations, block size {}, span {} blocks",
+                t.len(),
+                t.block_size,
+                t.blocks_spanned()
+            );
         }),
         _ => usage(),
     }
@@ -40,7 +45,9 @@ fn usage() -> ExitCode {
 }
 
 fn gen(args: &[String]) -> ExitCode {
-    let Some(name) = args.first() else { return usage() };
+    let Some(name) = args.first() else {
+        return usage();
+    };
     let workload = match name.as_str() {
         "mac" => Workload::Mac,
         "dos" => Workload::Dos,
@@ -88,7 +95,9 @@ fn gen(args: &[String]) -> ExitCode {
 }
 
 fn with_trace(args: &[String], f: impl FnOnce(&Trace)) -> ExitCode {
-    let Some(path) = args.first() else { return usage() };
+    let Some(path) = args.first() else {
+        return usage();
+    };
     let text = match fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {

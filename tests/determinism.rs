@@ -1,0 +1,47 @@
+//! Parallel execution must not change results: every experiment is a pure
+//! function evaluated at independent points, and `parallel_map` preserves
+//! input order, so a `--jobs 4` run must be indistinguishable from
+//! `--jobs 1`.
+//!
+//! This is one `#[test]` on purpose: `exec::set_jobs` is process-global,
+//! and the default test harness runs tests concurrently — splitting the
+//! serial and parallel halves into separate tests would race on the
+//! worker-count override.
+
+use mobistore::experiments::{figure4, table4, Scale};
+use mobistore::sim::exec;
+
+#[test]
+fn parallel_runs_match_serial_runs() {
+    let scale = Scale::quick();
+
+    exec::set_jobs(1);
+    let fig4_serial = figure4::run(scale);
+    let tab4_serial = table4::run(scale);
+
+    exec::set_jobs(4);
+    let fig4_parallel = figure4::run(scale);
+    let tab4_parallel = table4::run(scale);
+
+    // Rendered output is the acceptance surface of `repro` — it must be
+    // byte-identical.
+    assert_eq!(fig4_serial.to_string(), fig4_parallel.to_string());
+    assert_eq!(tab4_serial.to_string(), tab4_parallel.to_string());
+
+    // And the underlying floats must match exactly, not just after
+    // formatting truncates them.
+    for (s, p) in fig4_serial.curves.iter().zip(&fig4_parallel.curves) {
+        assert_eq!(s.label, p.label);
+        for (a, b) in s.points.iter().zip(&p.points) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.energy.get(), b.energy.get(), "{}", s.label);
+            assert_eq!(a.read_response_ms.mean, b.read_response_ms.mean);
+        }
+    }
+    for (s, p) in tab4_serial.parts.iter().zip(&tab4_parallel.parts) {
+        for (a, b) in s.rows.iter().zip(&p.rows) {
+            assert_eq!(a.energy.get(), b.energy.get(), "{}", a.name);
+            assert_eq!(a.write_response_ms.mean, b.write_response_ms.mean);
+        }
+    }
+}

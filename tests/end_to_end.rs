@@ -4,7 +4,9 @@
 use mobistore::cache::dram::WritePolicy;
 use mobistore::core::config::SystemConfig;
 use mobistore::core::simulator::{simulate, simulate_with, RunOptions};
-use mobistore::device::params::{cu140_datasheet, intel_datasheet, sdp5_datasheet, sdp5a_datasheet};
+use mobistore::device::params::{
+    cu140_datasheet, intel_datasheet, sdp5_datasheet, sdp5a_datasheet,
+};
 use mobistore::device::QueueDiscipline;
 use mobistore::experiments::flash_card_config;
 use mobistore::trace::io::{read_text, write_text};
@@ -19,7 +21,11 @@ const SEED: u64 = 99;
 fn all_workloads_all_backends() {
     for workload in Workload::ALL {
         let trace = workload.generate_scaled(SCALE, SEED);
-        let dram = if workload.below_buffer_cache() { 0 } else { 2 * 1024 * 1024 };
+        let dram = if workload.below_buffer_cache() {
+            0
+        } else {
+            2 * 1024 * 1024
+        };
         let configs = [
             SystemConfig::disk(cu140_datasheet()).with_dram(dram),
             SystemConfig::flash_disk(sdp5_datasheet()).with_dram(dram),
@@ -35,7 +41,12 @@ fn all_workloads_all_backends() {
             assert!(m.overall_response_ms.count >= m.read_response_ms.count);
             // Mean power must be bounded by the sum of plausible device
             // draws (disk spin-up 3 W + DRAM + SRAM < 4 W).
-            assert!(m.mean_power_w() < 4.0, "{}: {} W", cfg.name, m.mean_power_w());
+            assert!(
+                m.mean_power_w() < 4.0,
+                "{}: {} W",
+                cfg.name,
+                m.mean_power_w()
+            );
         }
     }
 }
@@ -87,12 +98,29 @@ fn archived_trace_replays_identically() {
 fn warm_up_shrinks_sample_and_warms_cache() {
     let trace = Workload::Mac.generate_scaled(SCALE, SEED);
     let cfg = SystemConfig::disk(cu140_datasheet());
-    let warm = simulate_with(&cfg, &trace, RunOptions { warm_percent: 10, ..Default::default() });
-    let cold = simulate_with(&cfg, &trace, RunOptions { warm_percent: 0, ..Default::default() });
+    let warm = simulate_with(
+        &cfg,
+        &trace,
+        RunOptions {
+            warm_percent: 10,
+            ..Default::default()
+        },
+    );
+    let cold = simulate_with(
+        &cfg,
+        &trace,
+        RunOptions {
+            warm_percent: 0,
+            ..Default::default()
+        },
+    );
     assert!(warm.overall_response_ms.count < cold.overall_response_ms.count);
     let hit_warm = warm.read_hit_ratio().expect("cache");
     let hit_cold = cold.read_hit_ratio().expect("cache");
-    assert!(hit_warm >= hit_cold * 0.95, "warm {hit_warm} vs cold {hit_cold}");
+    assert!(
+        hit_warm >= hit_cold * 0.95,
+        "warm {hit_warm} vs cold {hit_cold}"
+    );
 }
 
 /// FIFO queueing can only increase response times relative to the paper's
@@ -117,12 +145,21 @@ fn write_back_reduces_device_writes_everywhere() {
         let trace = workload.generate_scaled(SCALE, SEED);
         let wt = simulate(&flash_card_config(intel_datasheet(), &trace, 0.8), &trace);
         let wb = simulate(
-            &flash_card_config(intel_datasheet(), &trace, 0.8).with_write_policy(WritePolicy::WriteBack),
+            &flash_card_config(intel_datasheet(), &trace, 0.8)
+                .with_write_policy(WritePolicy::WriteBack),
             &trace,
         );
-        let (wt_bytes, wb_bytes) =
-            (wt.flash_card.unwrap().bytes_written, wb.flash_card.unwrap().bytes_written);
-        assert!(wb_bytes < wt_bytes, "{}: {} vs {}", workload.name(), wb_bytes, wt_bytes);
+        let (wt_bytes, wb_bytes) = (
+            wt.flash_card.unwrap().bytes_written,
+            wb.flash_card.unwrap().bytes_written,
+        );
+        assert!(
+            wb_bytes < wt_bytes,
+            "{}: {} vs {}",
+            workload.name(),
+            wb_bytes,
+            wt_bytes
+        );
     }
 }
 
@@ -149,10 +186,17 @@ fn energy_components_sum_to_total() {
 fn disk_state_times_tile_the_timeline() {
     let trace = Workload::Hp.generate_scaled(SCALE, SEED);
     let m = simulate(&SystemConfig::disk(cu140_datasheet()).with_dram(0), &trace);
-    let state_sum: f64 = m.backend_states.iter().map(|(_, _, d)| d.as_secs_f64()).sum();
+    let state_sum: f64 = m
+        .backend_states
+        .iter()
+        .map(|(_, _, d)| d.as_secs_f64())
+        .sum();
     let span = m.duration.as_secs_f64();
     let ratio = state_sum / span;
-    assert!((0.9..1.1).contains(&ratio), "states {state_sum}s vs span {span}s");
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "states {state_sum}s vs span {span}s"
+    );
     // And every state's energy is non-negative and finite.
     for (name, j, d) in &m.backend_states {
         assert!(j.get() >= 0.0 && j.get().is_finite(), "{name}");

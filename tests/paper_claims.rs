@@ -2,10 +2,14 @@
 //! scale (10% of each trace). Full-scale values are recorded in
 //! `EXPERIMENTS.md`; these tests keep the claims from regressing.
 
-use mobistore::core::battery::{battery_extension, savings_fraction, STORAGE_SHARE_HIGH, STORAGE_SHARE_LOW};
+use mobistore::core::battery::{
+    battery_extension, savings_fraction, STORAGE_SHARE_HIGH, STORAGE_SHARE_LOW,
+};
 use mobistore::core::config::SystemConfig;
 use mobistore::core::simulator::simulate;
-use mobistore::device::params::{cu140_datasheet, intel_datasheet, sdp5_datasheet, sdp5a_datasheet};
+use mobistore::device::params::{
+    cu140_datasheet, intel_datasheet, sdp5_datasheet, sdp5a_datasheet,
+};
 use mobistore::experiments::flash_card_config;
 use mobistore::Workload;
 
@@ -28,8 +32,14 @@ fn flash_saves_energy_by_large_factor() {
     for workload in Workload::TABLE4 {
         let trace = workload.generate_scaled(SCALE, SEED);
         let dram = dram_for(workload);
-        let disk = simulate(&SystemConfig::disk(cu140_datasheet()).with_dram(dram), &trace);
-        let sdp = simulate(&SystemConfig::flash_disk(sdp5_datasheet()).with_dram(dram), &trace);
+        let disk = simulate(
+            &SystemConfig::disk(cu140_datasheet()).with_dram(dram),
+            &trace,
+        );
+        let sdp = simulate(
+            &SystemConfig::flash_disk(sdp5_datasheet()).with_dram(dram),
+            &trace,
+        );
         let ratio = disk.energy.get() / sdp.energy.get();
         // §7: "the flash disk file system can save 59-86% of the energy of
         // the disk file system" — i.e. a 2.4-7x ratio; DRAM baseline
@@ -45,8 +55,14 @@ fn read_and_write_orderings() {
     for workload in Workload::TABLE4 {
         let trace = workload.generate_scaled(SCALE, SEED);
         let dram = dram_for(workload);
-        let disk = simulate(&SystemConfig::disk(cu140_datasheet()).with_dram(dram), &trace);
-        let sdp = simulate(&SystemConfig::flash_disk(sdp5_datasheet()).with_dram(dram), &trace);
+        let disk = simulate(
+            &SystemConfig::disk(cu140_datasheet()).with_dram(dram),
+            &trace,
+        );
+        let sdp = simulate(
+            &SystemConfig::flash_disk(sdp5_datasheet()).with_dram(dram),
+            &trace,
+        );
         assert!(
             sdp.read_response_ms.mean * 2.0 < disk.read_response_ms.mean,
             "{}: flash reads {} vs disk {}",
@@ -70,8 +86,14 @@ fn read_and_write_orderings() {
 fn utilization_effects_on_mac() {
     let trace = Workload::Mac.generate_scaled(SCALE, SEED);
     let dram = dram_for(Workload::Mac);
-    let low = simulate(&flash_card_config(intel_datasheet(), &trace, 0.40).with_dram(dram), &trace);
-    let high = simulate(&flash_card_config(intel_datasheet(), &trace, 0.95).with_dram(dram), &trace);
+    let low = simulate(
+        &flash_card_config(intel_datasheet(), &trace, 0.40).with_dram(dram),
+        &trace,
+    );
+    let high = simulate(
+        &flash_card_config(intel_datasheet(), &trace, 0.95).with_dram(dram),
+        &trace,
+    );
     assert!(
         high.energy.get() > low.energy.get() * 1.5,
         "energy {} -> {}",
@@ -80,7 +102,12 @@ fn utilization_effects_on_mac() {
     );
     assert!(high.write_response_ms.mean > low.write_response_ms.mean);
     let (wl, wh) = (low.wear.unwrap(), high.wear.unwrap());
-    assert!(wh.total > wl.total * 2, "erasures {} -> {}", wl.total, wh.total);
+    assert!(
+        wh.total > wl.total * 2,
+        "erasures {} -> {}",
+        wl.total,
+        wh.total
+    );
     assert!(wh.max_erase > wl.max_erase);
 }
 
@@ -91,8 +118,14 @@ fn asynchronous_cleaning_claim() {
     for workload in Workload::TABLE4 {
         let trace = workload.generate_scaled(SCALE, SEED);
         let dram = dram_for(workload);
-        let sync = simulate(&SystemConfig::flash_disk(sdp5_datasheet()).with_dram(dram), &trace);
-        let asynch = simulate(&SystemConfig::flash_disk(sdp5a_datasheet()).with_dram(dram), &trace);
+        let sync = simulate(
+            &SystemConfig::flash_disk(sdp5_datasheet()).with_dram(dram),
+            &trace,
+        );
+        let asynch = simulate(
+            &SystemConfig::flash_disk(sdp5a_datasheet()).with_dram(dram),
+            &trace,
+        );
         let speedup = sync.write_response_ms.mean / asynch.write_response_ms.mean;
         assert!(
             (1.8..4.5).contains(&speedup),
@@ -100,7 +133,11 @@ fn asynchronous_cleaning_claim() {
             workload.name()
         );
         let energy_change = (asynch.energy.get() / sync.energy.get() - 1.0).abs();
-        assert!(energy_change < 0.05, "{}: energy changed {energy_change:.3}", workload.name());
+        assert!(
+            energy_change < 0.05,
+            "{}: energy changed {energy_change:.3}",
+            workload.name()
+        );
     }
 }
 
@@ -115,7 +152,10 @@ fn battery_life_claim() {
     assert!(savings > 0.5, "savings {savings:.2}");
     let low = battery_extension(STORAGE_SHARE_LOW, savings);
     let high = battery_extension(STORAGE_SHARE_HIGH, savings);
-    assert!((0.08..0.30).contains(&low), "extension at 20% share: {low:.2}");
+    assert!(
+        (0.08..0.30).contains(&low),
+        "extension at 20% share: {low:.2}"
+    );
     assert!(high > low * 2.0, "extension at 54% share: {high:.2}");
 }
 
@@ -127,13 +167,22 @@ fn sram_write_buffer_claim() {
         let trace = workload.generate_scaled(SCALE, SEED);
         let dram = dram_for(workload);
         let without = simulate(
-            &SystemConfig::disk(cu140_datasheet()).with_dram(dram).with_sram(0),
+            &SystemConfig::disk(cu140_datasheet())
+                .with_dram(dram)
+                .with_sram(0),
             &trace,
         );
-        let with = simulate(&SystemConfig::disk(cu140_datasheet()).with_dram(dram), &trace);
+        let with = simulate(
+            &SystemConfig::disk(cu140_datasheet()).with_dram(dram),
+            &trace,
+        );
         let speedup = without.write_response_ms.mean / with.write_response_ms.mean;
         assert!(speedup > 20.0, "{}: speedup {speedup:.1}", workload.name());
-        assert!(with.energy.get() < without.energy.get(), "{}", workload.name());
+        assert!(
+            with.energy.get() < without.energy.get(),
+            "{}",
+            workload.name()
+        );
     }
 }
 
@@ -142,7 +191,10 @@ fn sram_write_buffer_claim() {
 #[test]
 fn dram_does_not_pay_off_on_flash() {
     let trace = Workload::Dos.generate_scaled(SCALE, SEED);
-    let none = simulate(&flash_card_config(intel_datasheet(), &trace, 0.85).with_dram(0), &trace);
+    let none = simulate(
+        &flash_card_config(intel_datasheet(), &trace, 0.85).with_dram(0),
+        &trace,
+    );
     let big = simulate(
         &flash_card_config(intel_datasheet(), &trace, 0.85).with_dram(4 * 1024 * 1024),
         &trace,
