@@ -190,6 +190,15 @@ impl BufferCache {
         self.lru.remove(lbn)
     }
 
+    /// Drops every cached block, as a power failure does to volatile DRAM;
+    /// returns the number of dirty (write-back) blocks that were lost.
+    pub fn power_fail_clear(&mut self) -> u64 {
+        let lost = self.dirty.len() as u64;
+        self.dirty.clear();
+        while self.lru.pop_lru().is_some() {}
+        lost
+    }
+
     /// Removes and returns every dirty block (used to flush a write-back
     /// cache at the end of a run).
     pub fn drain_dirty(&mut self) -> Vec<u64> {
@@ -259,6 +268,17 @@ mod tests {
         let flushes = c.write(&[1, 2, 3, 4]);
         assert!(flushes.is_empty());
         assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn power_fail_clear_empties_and_counts_lost_dirt() {
+        let mut c = cache(4, WritePolicy::WriteBack);
+        c.write(&[1, 2]);
+        c.insert(3, false);
+        assert_eq!(c.power_fail_clear(), 2, "two dirty blocks lost");
+        // Everything is gone: all three blocks now miss.
+        assert_eq!(c.read_probe(&[1, 2, 3]), vec![1, 2, 3]);
+        assert!(c.drain_dirty().is_empty());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use mobistore_device::params::{
 };
 use mobistore_device::QueueDiscipline;
 use mobistore_flash::store::{CleanerMode, VictimPolicy};
+use mobistore_sim::fault::FaultConfig;
 use mobistore_sim::time::SimDuration;
 use mobistore_sim::units::MIB;
 
@@ -79,6 +80,10 @@ pub struct SystemConfig {
     pub sram_bytes: u64,
     /// SRAM chip parameters.
     pub sram_params: SramParams,
+    /// Fault-injection configuration (the reliability study); defaults to
+    /// [`FaultConfig::none`], which injects nothing and reproduces the
+    /// fault-free simulator byte for byte.
+    pub fault: FaultConfig,
     /// The non-volatile backend.
     pub backend: BackendConfig,
 }
@@ -110,6 +115,7 @@ impl SystemConfig {
             queueing: QueueDiscipline::OpenLoop,
             sram_bytes: DEFAULT_SRAM_BYTES,
             sram_params: sram_nec(),
+            fault: FaultConfig::none(),
             backend: BackendConfig::Disk {
                 params,
                 spin_down: SpinDownPolicy::Fixed(DEFAULT_SPIN_DOWN),
@@ -128,6 +134,7 @@ impl SystemConfig {
             queueing: QueueDiscipline::OpenLoop,
             sram_bytes: 0,
             sram_params: sram_nec(),
+            fault: FaultConfig::none(),
             backend: BackendConfig::FlashDisk { params },
         }
     }
@@ -143,6 +150,7 @@ impl SystemConfig {
             queueing: QueueDiscipline::OpenLoop,
             sram_bytes: 0,
             sram_params: sram_nec(),
+            fault: FaultConfig::none(),
             backend: BackendConfig::FlashCard {
                 params,
                 capacity_bytes: DEFAULT_FLASH_CAPACITY,
@@ -182,6 +190,14 @@ impl SystemConfig {
     /// Sets the SRAM write-buffer size for any backend (0 disables).
     pub fn with_sram(mut self, bytes: u64) -> Self {
         self.sram_bytes = bytes;
+        self
+    }
+
+    /// Sets the fault-injection configuration (applies to any backend;
+    /// write/erase faults only affect the flash card, power failures
+    /// affect the flash card and the magnetic disk).
+    pub fn with_faults(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
         self
     }
 

@@ -48,6 +48,29 @@ pub struct Metrics {
     pub flash_card: Option<FlashCardCounters>,
     /// Flash-card endurance statistics (§5.2), for flash-card backends.
     pub wear: Option<WearStats>,
+    /// Dirty write-back blocks lost to injected power failures (volatile
+    /// DRAM contents do not survive an outage).
+    pub lost_dirty_blocks: u64,
+}
+
+/// Fault-injection and recovery totals, combined across backends so a
+/// reliability report reads one shape whether the run was on the disk or
+/// the flash card.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTotals {
+    /// Transient write failures retried.
+    pub write_retries: u64,
+    /// Transient erase-pulse failures retried (flash card only).
+    pub erase_retries: u64,
+    /// Segments permanently retired into the bad-block map (flash card
+    /// only).
+    pub segments_retired: u64,
+    /// Power failures survived.
+    pub power_failures: u64,
+    /// Total simulated time spent in recovery scans.
+    pub recovery_time: SimDuration,
+    /// Dirty write-back blocks lost to power failures.
+    pub lost_dirty_blocks: u64,
 }
 
 impl Metrics {
@@ -84,6 +107,26 @@ impl Metrics {
         } else {
             Some(c.read_hits as f64 / total as f64)
         }
+    }
+
+    /// Collects the fault/recovery counters from whichever backend ran.
+    pub fn fault_totals(&self) -> FaultTotals {
+        let mut t = FaultTotals {
+            lost_dirty_blocks: self.lost_dirty_blocks,
+            ..FaultTotals::default()
+        };
+        if let Some(d) = self.disk {
+            t.power_failures += d.power_failures;
+            t.recovery_time += d.recovery_time;
+        }
+        if let Some(c) = self.flash_card {
+            t.write_retries += c.write_retries;
+            t.erase_retries += c.erase_retries;
+            t.segments_retired += c.segments_retired;
+            t.power_failures += c.power_failures;
+            t.recovery_time += c.recovery_time;
+        }
+        t
     }
 
     /// Renders the Table 4 row: energy, read mean/max/σ, write mean/max/σ.
@@ -163,7 +206,24 @@ mod tests {
             flash_disk: None,
             flash_card: None,
             wear: None,
+            lost_dirty_blocks: 0,
         }
+    }
+
+    #[test]
+    fn fault_totals_combine_backends() {
+        let mut m = dummy();
+        assert_eq!(m.fault_totals(), FaultTotals::default());
+        m.lost_dirty_blocks = 3;
+        m.disk = Some(DiskCounters {
+            power_failures: 2,
+            recovery_time: SimDuration::from_secs(1),
+            ..DiskCounters::default()
+        });
+        let t = m.fault_totals();
+        assert_eq!(t.power_failures, 2);
+        assert_eq!(t.lost_dirty_blocks, 3);
+        assert_eq!(t.recovery_time, SimDuration::from_secs(1));
     }
 
     #[test]

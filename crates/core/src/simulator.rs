@@ -19,6 +19,7 @@ use mobistore_device::disk::MagneticDisk;
 use mobistore_device::flashdisk::FlashDisk;
 use mobistore_device::{Dir, Service};
 use mobistore_flash::store::{FlashCardConfig, FlashCardStore};
+use mobistore_sim::fault::PowerFailSchedule;
 use mobistore_sim::stats::OnlineStats;
 use mobistore_sim::time::{SimDuration, SimTime};
 use mobistore_trace::record::{DiskOp, DiskOpKind, Trace};
@@ -212,6 +213,13 @@ struct Simulator {
     write_ms: OnlineStats,
     all_ms: OnlineStats,
     last_completion: SimTime,
+    /// Pending power-failure instants (fault injection); `None` when the
+    /// configuration disables them.
+    power_fails: Option<PowerFailSchedule>,
+    /// FAT metadata rescanned by the magnetic disk after a power failure.
+    fat_scan_bytes: u64,
+    /// Dirty write-back blocks lost to power failures (volatile DRAM).
+    lost_dirty_blocks: u64,
 }
 
 impl Simulator {
@@ -264,7 +272,8 @@ impl Simulator {
                     mode: *mode,
                     victim_policy: *victim_policy,
                     queueing: config.queueing,
-                });
+                })
+                .with_faults(config.fault);
                 preload_card(&mut card, trace, *utilization);
                 Backend::FlashCard(card)
             }
@@ -280,6 +289,9 @@ impl Simulator {
             write_ms: OnlineStats::new(),
             all_ms: OnlineStats::new(),
             last_completion: SimTime::ZERO,
+            power_fails: PowerFailSchedule::from_config(&config.fault),
+            fat_scan_bytes: config.fault.fat_scan_bytes,
+            lost_dirty_blocks: 0,
         }
     }
 
@@ -292,6 +304,9 @@ impl Simulator {
 
         let mut measure_start = SimTime::ZERO;
         for (i, op) in trace.ops.iter().enumerate() {
+            // Failures due before this operation strike first, so the op
+            // sees the post-recovery device (and a cold DRAM cache).
+            self.inject_power_failures(op.time);
             if i == warm_count {
                 measure_start = op.time;
                 self.reset_at_boundary(op.time, options.reset_wear_at_warm);
@@ -528,6 +543,41 @@ impl Simulator {
         self.last_completion = self.last_completion.max(svc.end);
     }
 
+    /// Fires every scheduled power failure due at or before `until`.
+    fn inject_power_failures(&mut self, until: SimTime) {
+        loop {
+            let Some(sched) = self.power_fails.as_mut() else {
+                return;
+            };
+            let at = SimTime::from_secs_f64(sched.next_at_secs());
+            if at > until {
+                return;
+            }
+            sched.advance();
+            self.power_fail(at);
+        }
+    }
+
+    /// Applies one whole-system power failure at `at`: volatile DRAM
+    /// contents are lost (the battery-backed SRAM buffer survives, §5.5),
+    /// and the backend runs its recovery scan — synchronous-FAT replay on
+    /// the magnetic disk, log scan plus orphaned-segment reclaim on the
+    /// flash card. The flash disk hides recovery inside its emulation
+    /// layer, so it contributes no simulated scan.
+    fn power_fail(&mut self, at: SimTime) {
+        if let Some(cache) = self.dram.as_mut() {
+            self.lost_dirty_blocks += cache.power_fail_clear();
+        }
+        let svc = match &mut self.backend {
+            Backend::Disk(disk) => Some(disk.power_fail(at, self.fat_scan_bytes)),
+            Backend::FlashDisk(_) => None,
+            Backend::FlashCard(card) => Some(card.power_fail(at)),
+        };
+        if let Some(svc) = svc {
+            self.last_completion = self.last_completion.max(svc.end);
+        }
+    }
+
     fn do_trim(&mut self, op: &DiskOp) {
         for lbn in op.lbn..op.lbn + u64::from(op.blocks) {
             if let Some(cache) = self.dram.as_mut() {
@@ -638,6 +688,7 @@ impl Simulator {
             flash_disk: fd_c,
             flash_card: card_c,
             wear,
+            lost_dirty_blocks: self.lost_dirty_blocks,
         }
     }
 }
@@ -889,5 +940,62 @@ mod tests {
         let b = simulate(&cfg, &trace);
         assert_eq!(a.energy.get(), b.energy.get());
         assert_eq!(a.write_response_ms, b.write_response_ms);
+    }
+
+    #[test]
+    fn power_failures_force_recovery_on_card_and_disk() {
+        use mobistore_sim::fault::FaultConfig;
+        let trace = small_trace(300, 1000);
+        let fault = FaultConfig::with_rate(0.0, 9).with_power_failures(SimDuration::from_secs(30));
+        for cfg in [
+            SystemConfig::disk(cu140_datasheet()).with_faults(fault),
+            SystemConfig::flash_card(intel_datasheet())
+                .with_flash_capacity(4 * MIB)
+                .with_faults(fault),
+        ] {
+            let a = simulate(&cfg, &trace);
+            let t = a.fault_totals();
+            assert!(t.power_failures > 0, "{}: no failures fired", cfg.name);
+            assert!(t.recovery_time > SimDuration::ZERO, "{}", cfg.name);
+            // Same seed, same schedule: the run is fully reproducible.
+            let b = simulate(&cfg, &trace);
+            assert_eq!(a.energy.get(), b.energy.get(), "{}", cfg.name);
+            assert_eq!(a.fault_totals(), b.fault_totals(), "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn zero_rate_faults_change_nothing() {
+        use mobistore_sim::fault::FaultConfig;
+        let trace = small_trace(300, 50);
+        let base = SystemConfig::flash_card(intel_datasheet()).with_flash_capacity(4 * MIB);
+        // A quiet plan with a non-zero seed draws nothing, so the run is
+        // bit-identical to the fault-free default.
+        let quiet = base.clone().with_faults(FaultConfig::with_rate(0.0, 77));
+        let a = simulate(&base, &trace);
+        let b = simulate(&quiet, &trace);
+        assert_eq!(a.energy.get(), b.energy.get());
+        assert_eq!(a.write_response_ms, b.write_response_ms);
+        assert_eq!(a.fault_totals(), b.fault_totals());
+    }
+
+    #[test]
+    fn transient_faults_slow_writes_and_count() {
+        use mobistore_sim::fault::FaultConfig;
+        let trace = miss_trace(400, 100);
+        let base = SystemConfig::flash_card(intel_datasheet())
+            .with_flash_capacity(16 * MIB)
+            .with_dram(0);
+        let faulty = base.clone().with_faults(FaultConfig::with_rate(0.2, 5));
+        let clean = simulate(&base, &trace);
+        let hit = simulate(&faulty, &trace);
+        let t = hit.fault_totals();
+        assert!(t.write_retries > 0, "retries {t:?}");
+        assert!(
+            hit.write_response_ms.mean > clean.write_response_ms.mean,
+            "faulty {} vs clean {}",
+            hit.write_response_ms.mean,
+            clean.write_response_ms.mean
+        );
     }
 }

@@ -115,6 +115,10 @@ pub struct DiskCounters {
     pub bytes_read: u64,
     /// Bytes written to the media.
     pub bytes_written: u64,
+    /// Power failures survived (each forcing a FAT replay scan).
+    pub power_failures: u64,
+    /// Total time spent in post-power-fail recovery scans.
+    pub recovery_time: SimDuration,
 }
 
 /// A simulated magnetic hard disk with spin-down power management.
@@ -151,7 +155,7 @@ pub struct MagneticDisk {
     head_lbn: u64,
 }
 
-const CATEGORIES: &[&str] = &["active", "idle", "spinup", "spindown", "standby"];
+const CATEGORIES: &[&str] = &["active", "idle", "spinup", "spindown", "standby", "recover"];
 
 impl MagneticDisk {
     /// Creates a disk that spins down after `spin_down_timeout` of
@@ -346,6 +350,43 @@ impl MagneticDisk {
         self.last_file = file;
         // Open-loop accesses may overlap; keep the last-activity marker
         // monotone so spin-down timing stays well defined.
+        self.free_at = self.free_at.max(end);
+        Service { start: ready, end }
+    }
+
+    /// Simulates a power failure at `now` followed by the recovery scan the
+    /// paper's DOS model implies: with the FAT written synchronously the
+    /// on-disk metadata is consistent, but the reboot still re-reads the
+    /// FAT and root directory (`fat_bytes`) before the volume is usable.
+    ///
+    /// The disk loses spindle state, so recovery always pays a spin-up,
+    /// then one average seek + rotation and the FAT transfer. The scan is
+    /// charged to the `"recover"` energy category at active power.
+    pub fn power_fail(&mut self, now: SimTime, fat_bytes: u64) -> Service {
+        // Settle history up to the failure instant; whatever state the
+        // platters were in, the outage leaves them stopped.
+        let ready = self.settle(now).max(now);
+        let spun_up = ready + self.params.spin_up_time;
+        self.meter.charge_for(
+            "spinup",
+            self.params.spin_up_power,
+            self.params.spin_up_time,
+        );
+        self.counters.spin_ups += 1;
+
+        let scan = self.params.avg_seek
+            + self.params.avg_rotation
+            + self.params.read_bandwidth.transfer_time(fat_bytes);
+        let end = spun_up + scan;
+        self.meter
+            .charge_for("recover", self.params.active_power, scan);
+
+        self.counters.power_failures += 1;
+        self.counters.recovery_time += end - ready;
+        self.counters.bytes_read += fat_bytes;
+        // The scan moved the head; the same-file heuristic must re-seek.
+        self.last_file = None;
+        self.head_lbn = 0;
         self.free_at = self.free_at.max(end);
         Service { start: ready, end }
     }
@@ -725,6 +766,23 @@ mod tests {
         let svc = d.access_at(SimTime::ZERO, Dir::Read, 0, Some(1), Some(1_000_000));
         let ms = (svc.end - svc.start).as_millis_f64();
         assert!((ms - (2.0 * 17.4 + 8.3)).abs() < 0.1, "{ms}");
+    }
+
+    #[test]
+    fn power_fail_replays_fat_after_spin_up() {
+        let mut d = disk();
+        let first = d.access(SimTime::ZERO, Dir::Read, 0, Some(1));
+        let svc = d.power_fail(first.end, 128 * KIB);
+        let c = d.counters();
+        assert_eq!(c.power_failures, 1);
+        assert_eq!(c.spin_ups, 1);
+        assert_eq!(c.recovery_time, svc.end - svc.start);
+        assert!(d.meter().category("recover").get() > 0.0);
+        // Recovery pays the 1 s spin-up before the 25.7 ms scan starts.
+        assert!((svc.end - svc.start).as_secs_f64() > 1.0257);
+        // The scan moved the head: the same-file heuristic seeks again.
+        let next = d.access(svc.end, Dir::Read, 0, Some(1));
+        assert_eq!((next.end - next.start).as_millis_f64(), 25.7);
     }
 
     #[test]

@@ -6,7 +6,13 @@
 //!
 //! Targets: `table1 table2 table3 table4 figure1 figure2 figure3 figure4
 //! figure5 async endurance verify battery ablations nextgen sensitivity
-//! related` (default: all).
+//! related reliability` (default: all).
+//!
+//! The `reliability` target takes extra flags: `--fault-rates <a,b,c>`
+//! (transient write/erase fault rates to sweep), `--fault-power-interval
+//! <secs>` (mean seconds between power failures; 0 disables them), and
+//! `--fault-seed <n>` (the fault streams' seed, independent of the
+//! workload seed).
 //!
 //! Targets run **concurrently** on a worker pool (`--jobs N`, the
 //! `MOBISTORE_JOBS` environment variable, or all available cores), with
@@ -17,37 +23,19 @@
 //! wall-clock and the cache's hit/miss summary on stderr.
 
 use std::env;
-use std::fmt::Display;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use mobistore_experiments as exp;
+use mobistore_experiments::render::{render_target, RenderOptions, TARGETS};
 use mobistore_experiments::Scale;
 use mobistore_sim::exec;
+use mobistore_sim::time::SimDuration;
 
-/// Every known target, in the default (paper) order.
-const ALL_TARGETS: [&str; 17] = [
-    "table1",
-    "table2",
-    "table3",
-    "table4",
-    "figure1",
-    "figure2",
-    "figure3",
-    "figure4",
-    "figure5",
-    "async",
-    "endurance",
-    "verify",
-    "battery",
-    "ablations",
-    "nextgen",
-    "sensitivity",
-    "related",
-];
+/// One finished target: rendered text, CSV exports, and wall-clock time.
+type TargetOutput = (String, Vec<(&'static str, String)>, Duration);
 
 fn main() -> ExitCode {
     let started = Instant::now();
@@ -55,6 +43,7 @@ fn main() -> ExitCode {
     let mut targets: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
     let mut timings = false;
+    let mut render = RenderOptions::default();
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -75,15 +64,32 @@ fn main() -> ExitCode {
                 Some(dir) => csv_dir = Some(PathBuf::from(dir)),
                 None => return usage("--csv needs a directory"),
             },
+            "--fault-rates" => match args.next().map(|v| parse_rates(&v)) {
+                Some(Some(rates)) => render.reliability.rates = rates,
+                _ => {
+                    return usage("--fault-rates needs comma-separated rates in [0, 1]");
+                }
+            },
+            "--fault-power-interval" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(secs) if secs >= 0.0 => {
+                    render.reliability.power_interval =
+                        (secs > 0.0).then(|| SimDuration::from_secs_f64(secs));
+                }
+                _ => return usage("--fault-power-interval needs seconds (0 disables)"),
+            },
+            "--fault-seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => render.reliability.fault_seed = v,
+                None => return usage("--fault-seed needs an integer"),
+            },
             "--help" | "-h" => return usage(""),
             t if !t.starts_with('-') => targets.push(t.to_owned()),
             other => return usage(&format!("unknown flag {other}")),
         }
     }
     if targets.is_empty() {
-        targets = ALL_TARGETS.iter().map(|s| (*s).to_owned()).collect();
+        targets = TARGETS.iter().map(|s| (*s).to_owned()).collect();
     }
-    if let Some(bad) = targets.iter().find(|t| !ALL_TARGETS.contains(&t.as_str())) {
+    if let Some(bad) = targets.iter().find(|t| !TARGETS.contains(&t.as_str())) {
         return usage(&format!("unknown target {bad}"));
     }
 
@@ -97,25 +103,28 @@ fn main() -> ExitCode {
     // Run all requested targets concurrently, buffering each target's
     // stdout; flushing in request order keeps the combined output
     // byte-identical to a serial run.
-    let results: Vec<(String, Duration)> = exec::parallel_map(&targets, |target| {
+    let results: Vec<TargetOutput> = exec::parallel_map(&targets, |target| {
         eprintln!("# running {target}...");
         let t0 = Instant::now();
-        let out = render_target(target, scale, &csv_dir);
-        (out, t0.elapsed())
+        let r = render_target(target, scale, &render);
+        (r.text, r.csvs, t0.elapsed())
     });
 
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
-    for (out, _) in &results {
+    for (out, csvs, _) in &results {
         if lock.write_all(out.as_bytes()).is_err() {
             return ExitCode::from(1);
+        }
+        for (name, contents) in csvs {
+            write_csv(&csv_dir, name, contents);
         }
     }
     drop(lock);
 
     if timings {
         eprintln!("# timings (jobs={}):", exec::jobs());
-        for (target, (_, elapsed)) in targets.iter().zip(&results) {
+        for (target, (_, _, elapsed)) in targets.iter().zip(&results) {
             eprintln!("#   {target:<12} {:>9.3}s", elapsed.as_secs_f64());
         }
         let c = mobistore_workload::cache::summary();
@@ -134,73 +143,16 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Runs one target and returns exactly the bytes the serial version
-/// printed to stdout for it.
-fn render_target(target: &str, scale: Scale, csv_dir: &Option<PathBuf>) -> String {
-    let mut out = String::new();
-    // Mirrors the old `println!("{}\n", x)`: the value, then a blank line.
-    fn p(out: &mut String, x: impl Display) {
-        out.push_str(&format!("{x}\n\n"));
-    }
-    match target {
-        "table1" => p(&mut out, exp::table1::run()),
-        "table2" => p(&mut out, exp::table2::run()),
-        "table3" => p(&mut out, exp::table3::run(scale)),
-        "table4" => {
-            let t = exp::table4::run(scale);
-            p(&mut out, &t);
-            write_csv(csv_dir, "table4.csv", &exp::csv::table4_csv(&t));
-        }
-        "figure1" => {
-            let fig = exp::figure1::run();
-            p(&mut out, format_args!("{fig}\n{}", fig.plot()));
-        }
-        "figure2" => {
-            let fig = exp::figure2::run(scale);
-            p(&mut out, format_args!("{fig}\n{}", fig.plot()));
-            write_csv(csv_dir, "figure2.csv", &exp::csv::figure2_csv(&fig));
-        }
-        "figure3" => {
-            let fig = exp::figure3::run();
-            p(&mut out, format_args!("{fig}\n{}", fig.plot()));
-        }
-        "figure4" => {
-            let fig = exp::figure4::run(scale);
-            p(&mut out, &fig);
-            write_csv(csv_dir, "figure4.csv", &exp::csv::figure4_csv(&fig));
-        }
-        "figure5" => {
-            let fig = exp::figure5::run(scale);
-            p(&mut out, &fig);
-            write_csv(csv_dir, "figure5.csv", &exp::csv::figure5_csv(&fig));
-        }
-        "async" => p(&mut out, exp::async_cleaning::run(scale)),
-        "endurance" => p(&mut out, exp::endurance::run(scale)),
-        "verify" => p(&mut out, exp::verification::run(scale)),
-        "battery" => p(&mut out, exp::battery::run(scale)),
-        "ablations" => {
-            p(&mut out, exp::ablations::cleaning_policies(scale));
-            p(&mut out, exp::ablations::write_back_cache(scale));
-            p(&mut out, exp::ablations::spin_down_sweep(scale));
-            p(&mut out, exp::ablations::flash_with_sram(scale));
-            p(&mut out, exp::ablations::seek_models(scale));
-        }
-        "nextgen" => {
-            p(
-                &mut out,
-                exp::next_gen::series2plus(mobistore_workload::Workload::Dos, scale),
-            );
-            p(&mut out, exp::next_gen::wear_leveling(scale));
-            p(
-                &mut out,
-                exp::next_gen::render_lifetime(&exp::next_gen::lifetime(scale)),
-            );
-        }
-        "sensitivity" => p(&mut out, exp::sensitivity::run(scale)),
-        "related" => p(&mut out, exp::related::run(scale)),
-        other => unreachable!("target {other} validated in main"),
-    }
-    out
+/// Parses `--fault-rates`: comma-separated probabilities in `[0, 1]`.
+fn parse_rates(s: &str) -> Option<Vec<f64>> {
+    let rates: Option<Vec<f64>> = s
+        .split(',')
+        .map(|part| match part.trim().parse::<f64>() {
+            Ok(r) if r.is_finite() && (0.0..=1.0).contains(&r) => Some(r),
+            _ => None,
+        })
+        .collect();
+    rates.filter(|r| !r.is_empty())
 }
 
 /// Writes one CSV file into the `--csv` directory, if one was given.
@@ -223,8 +175,9 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: repro [--scale <0..1]] [--seed <n>] [--jobs <n>] [--timings] [--csv <dir>] \
+         [--fault-rates <a,b,c>] [--fault-power-interval <secs>] [--fault-seed <n>] \
          [table1|table2|table3|table4|figure1|figure2|figure3|figure4|figure5|async|endurance|\
-         verify|battery|ablations|nextgen|sensitivity|related ...]"
+         verify|battery|ablations|nextgen|sensitivity|related|reliability ...]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -23,6 +23,10 @@
 //! | [`next_gen`] | Series 2+ projection, wear leveling, card lifetime |
 //! | [`sensitivity`] | undocumented-constant perturbations |
 //! | [`related`] | §6 eNVy cleaning-duty-cycle cross-check |
+//! | [`reliability`] | fault-rate sweep with crash recovery (beyond the paper) |
+//!
+//! [`render`] turns any named target into its exact stdout bytes, shared
+//! by the `repro` binary and the golden snapshot tests.
 //!
 //! Every runner takes a [`Scale`], so tests can run abbreviated versions
 //! while the `repro` binary regenerates the full-length experiments.
@@ -43,6 +47,8 @@ pub mod figure5;
 pub mod next_gen;
 pub mod plot;
 pub mod related;
+pub mod reliability;
+pub mod render;
 pub mod sensitivity;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,144 @@
+//! Shared target renderer.
+//!
+//! [`render_target`] produces, for one named target, exactly the bytes
+//! the `repro` binary prints to stdout for it (plus any CSV side files).
+//! Living in the library rather than the binary lets the golden snapshot
+//! tests compare the rendered output against committed fixtures — any
+//! refactor that silently shifts a paper number fails the suite.
+
+use std::fmt::Display;
+
+use crate::reliability::ReliabilityOptions;
+use crate::{reliability, Scale};
+
+/// Every known target, in the default (paper) order.
+pub const TARGETS: [&str; 18] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "async",
+    "endurance",
+    "verify",
+    "battery",
+    "ablations",
+    "nextgen",
+    "sensitivity",
+    "related",
+    "reliability",
+];
+
+/// Options a target may consume beyond the [`Scale`].
+#[derive(Debug, Clone, Default)]
+pub struct RenderOptions {
+    /// The `reliability` target's fault sweep parameters.
+    pub reliability: ReliabilityOptions,
+}
+
+/// One rendered target: its stdout bytes and any CSV side files.
+#[derive(Debug, Clone)]
+pub struct RenderedTarget {
+    /// Exactly what the serial `repro` binary prints to stdout.
+    pub text: String,
+    /// `(file name, contents)` pairs for the `--csv` directory.
+    pub csvs: Vec<(&'static str, String)>,
+}
+
+/// Renders one target.
+///
+/// # Panics
+///
+/// Panics on a target name not in [`TARGETS`].
+pub fn render_target(target: &str, scale: Scale, options: &RenderOptions) -> RenderedTarget {
+    let mut out = String::new();
+    let mut csvs: Vec<(&'static str, String)> = Vec::new();
+    // Mirrors the old `println!("{}\n", x)`: the value, then a blank line.
+    fn p(out: &mut String, x: impl Display) {
+        out.push_str(&format!("{x}\n\n"));
+    }
+    match target {
+        "table1" => p(&mut out, crate::table1::run()),
+        "table2" => p(&mut out, crate::table2::run()),
+        "table3" => p(&mut out, crate::table3::run(scale)),
+        "table4" => {
+            let t = crate::table4::run(scale);
+            p(&mut out, &t);
+            csvs.push(("table4.csv", crate::csv::table4_csv(&t)));
+        }
+        "figure1" => {
+            let fig = crate::figure1::run();
+            p(&mut out, format_args!("{fig}\n{}", fig.plot()));
+        }
+        "figure2" => {
+            let fig = crate::figure2::run(scale);
+            p(&mut out, format_args!("{fig}\n{}", fig.plot()));
+            csvs.push(("figure2.csv", crate::csv::figure2_csv(&fig)));
+        }
+        "figure3" => {
+            let fig = crate::figure3::run();
+            p(&mut out, format_args!("{fig}\n{}", fig.plot()));
+        }
+        "figure4" => {
+            let fig = crate::figure4::run(scale);
+            p(&mut out, &fig);
+            csvs.push(("figure4.csv", crate::csv::figure4_csv(&fig)));
+        }
+        "figure5" => {
+            let fig = crate::figure5::run(scale);
+            p(&mut out, &fig);
+            csvs.push(("figure5.csv", crate::csv::figure5_csv(&fig)));
+        }
+        "async" => p(&mut out, crate::async_cleaning::run(scale)),
+        "endurance" => p(&mut out, crate::endurance::run(scale)),
+        "verify" => p(&mut out, crate::verification::run(scale)),
+        "battery" => p(&mut out, crate::battery::run(scale)),
+        "ablations" => {
+            p(&mut out, crate::ablations::cleaning_policies(scale));
+            p(&mut out, crate::ablations::write_back_cache(scale));
+            p(&mut out, crate::ablations::spin_down_sweep(scale));
+            p(&mut out, crate::ablations::flash_with_sram(scale));
+            p(&mut out, crate::ablations::seek_models(scale));
+        }
+        "nextgen" => {
+            p(
+                &mut out,
+                crate::next_gen::series2plus(mobistore_workload::Workload::Dos, scale),
+            );
+            p(&mut out, crate::next_gen::wear_leveling(scale));
+            p(
+                &mut out,
+                crate::next_gen::render_lifetime(&crate::next_gen::lifetime(scale)),
+            );
+        }
+        "sensitivity" => p(&mut out, crate::sensitivity::run(scale)),
+        "related" => p(&mut out, crate::related::run(scale)),
+        "reliability" => p(&mut out, reliability::run(scale, &options.reliability)),
+        other => panic!("unknown target {other}"),
+    }
+    RenderedTarget { text: out, csvs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_targets_render_nonempty() {
+        for target in ["table1", "table2"] {
+            let r = render_target(target, Scale::quick(), &RenderOptions::default());
+            assert!(r.text.ends_with("\n\n"), "{target} missing separator");
+            assert!(r.text.len() > 40, "{target} suspiciously short");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown target")]
+    fn unknown_target_panics() {
+        let _ = render_target("warp", Scale::quick(), &RenderOptions::default());
+    }
+}

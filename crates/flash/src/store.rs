@@ -27,7 +27,14 @@ use std::collections::HashMap;
 use mobistore_device::params::FlashCardParams;
 use mobistore_device::Service;
 use mobistore_sim::energy::{EnergyMeter, Joules};
+use mobistore_sim::fault::{EraseOutcome, FaultConfig, FaultPlan};
 use mobistore_sim::time::{SimDuration, SimTime};
+
+/// Bytes of per-block metadata (logical block number, state bits) the
+/// recovery scan reads back per occupied slot when rebuilding the block
+/// map after a power failure — the MFFS log-scan cost, not a full data
+/// read.
+const RECOVERY_HEADER_BYTES: u64 = 32;
 
 /// When the cleaner runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +89,9 @@ enum SegState {
     Erased,
     Frontier,
     Full,
+    /// Permanently failed; retired into the bad-block map and never
+    /// written again (the Series 2 cards shipped with exactly such maps).
+    Bad,
 }
 
 #[derive(Debug, Clone)]
@@ -103,6 +113,10 @@ struct CleanJob {
     victim: u32,
     /// Work remaining before the victim is erased and usable.
     remaining: SimDuration,
+    /// Drawn at job start from the fault plan: if true, the final erase
+    /// pulse fails permanently and the victim is retired instead of
+    /// rejoining the erased pool.
+    retire: bool,
 }
 
 /// Counters the store maintains alongside energy.
@@ -120,6 +134,37 @@ pub struct FlashCardCounters {
     pub blocks_copied: u64,
     /// Writes that had to wait for the cleaner.
     pub cleaning_waits: u64,
+    /// Transient write failures that were retried.
+    pub write_retries: u64,
+    /// Transient erase failures that were retried.
+    pub erase_retries: u64,
+    /// Segments permanently retired into the bad-block map.
+    pub segments_retired: u64,
+    /// Power failures survived.
+    pub power_failures: u64,
+    /// Total time spent in post-power-failure recovery scans.
+    pub recovery_time: SimDuration,
+}
+
+/// A full accounting of every block slot on the card. The four classes
+/// partition capacity: `live + free + dead + retired == capacity`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockCensus {
+    /// Mapped, live data blocks.
+    pub live: u64,
+    /// Erased, writable slots (frontier remainder + erased pool).
+    pub free: u64,
+    /// Written slots whose data has been superseded or trimmed.
+    pub dead: u64,
+    /// Slots lost to permanently-failed (retired) segments.
+    pub retired: u64,
+}
+
+impl BlockCensus {
+    /// Sum of all four classes; always equals the card capacity.
+    pub fn total(&self) -> u64 {
+        self.live + self.free + self.dead + self.retired
+    }
 }
 
 /// Endurance statistics (§5.2).
@@ -165,7 +210,11 @@ pub struct FlashCardStore {
     frontier: u32,
     /// Fully-erased segments ready to become the frontier.
     erased: Vec<u32>,
+    /// Permanently-failed segments (the bad-block map). Their slots are
+    /// gone: effective capacity shrinks and cleaner pressure rises.
+    bad: Vec<u32>,
     job: Option<CleanJob>,
+    plan: FaultPlan,
     meter: EnergyMeter,
     counters: FlashCardCounters,
     free_at: SimTime,
@@ -173,7 +222,7 @@ pub struct FlashCardStore {
     open_seq: u64,
 }
 
-const CATEGORIES: &[&str] = &["active", "clean", "idle"];
+const CATEGORIES: &[&str] = &["active", "clean", "idle", "recover"];
 
 impl FlashCardStore {
     /// Creates an empty card.
@@ -215,13 +264,27 @@ impl FlashCardStore {
             map: HashMap::new(),
             frontier: 0,
             erased,
+            bad: Vec::new(),
             job: None,
+            plan: FaultPlan::quiet(),
             meter: EnergyMeter::new(CATEGORIES),
             counters: FlashCardCounters::default(),
             free_at: SimTime::ZERO,
             live_blocks: 0,
             open_seq: 1,
         }
+    }
+
+    /// Installs a fault-injection plan built from `fault`. A zero-rate
+    /// configuration (the default) injects nothing and leaves behaviour
+    /// bit-identical to a card without a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate in `fault` is outside `[0, 1]`.
+    pub fn with_faults(mut self, fault: FaultConfig) -> Self {
+        self.plan = FaultPlan::new(fault);
+        self
     }
 
     /// Returns the configuration.
@@ -239,9 +302,38 @@ impl FlashCardStore {
         self.live_blocks
     }
 
-    /// Returns current storage utilization in `[0, 1]`.
+    /// Returns the blocks lost to the bad-block map.
+    pub fn retired_blocks(&self) -> u64 {
+        self.bad.len() as u64 * u64::from(self.blocks_per_segment)
+    }
+
+    /// Returns the usable (non-retired) capacity in blocks.
+    pub fn usable_blocks(&self) -> u64 {
+        self.capacity_blocks() - self.retired_blocks()
+    }
+
+    /// Returns current storage utilization in `[0, 1]`, relative to the
+    /// usable (non-retired) capacity — retiring segments raises effective
+    /// utilization and with it cleaner pressure.
     pub fn utilization(&self) -> f64 {
-        self.live_blocks as f64 / self.capacity_blocks() as f64
+        self.live_blocks as f64 / self.usable_blocks() as f64
+    }
+
+    /// Returns the four-way block census; its classes always partition
+    /// [`capacity_blocks`](Self::capacity_blocks).
+    pub fn census(&self) -> BlockCensus {
+        let dead: u64 = self
+            .segments
+            .iter()
+            .filter(|s| matches!(s.state, SegState::Frontier | SegState::Full))
+            .map(|s| u64::from(s.used - s.live))
+            .sum();
+        BlockCensus {
+            live: self.live_blocks,
+            free: self.free_blocks(),
+            dead,
+            retired: self.retired_blocks(),
+        }
     }
 
     /// Returns free (erased, writable) blocks across the frontier and the
@@ -316,6 +408,7 @@ impl FlashCardStore {
             }
             self.place_block(lbn);
         }
+        self.debug_check();
     }
 
     /// Instantly installs `lbns` as live data on an *aged* card: every
@@ -366,6 +459,7 @@ impl FlashCardStore {
             s.used = self.blocks_per_segment;
         }
         self.erased = vec![reserve];
+        self.debug_check();
     }
 
     /// Serves a read of `blocks` logical blocks issued at `now`.
@@ -383,6 +477,7 @@ impl FlashCardStore {
         self.counters.ops += 1;
         self.counters.bytes_read += bytes;
         self.free_at = self.free_at.max(end);
+        self.debug_check();
         Service { start, end }
     }
 
@@ -405,24 +500,24 @@ impl FlashCardStore {
         let mut wait = SimDuration::ZERO;
         let mut waited = false;
         for i in 0..u64::from(blocks) {
-            if self.frontier_full() && !self.advance_frontier() {
-                // The background job has not produced an erased segment in
-                // time: the write stalls for its remaining work.
+            // The background job may not have produced an erased segment
+            // in time: the write stalls for its remaining work. Looping
+            // covers a cleaning whose victim was retired (no erased
+            // segment produced) — the next victim is cleaned immediately.
+            while self.frontier_full() && !self.advance_frontier() {
                 match self.run_cleaning_foreground() {
                     Some(spent) => {
                         wait += spent;
                         waited = true;
                     }
                     None => panic!(
-                        "flash card full: {} live of {} blocks and nothing cleanable",
+                        "flash card full: {} live of {} usable blocks ({} retired) \
+                         and nothing cleanable",
                         self.live_blocks,
-                        self.capacity_blocks()
+                        self.usable_blocks(),
+                        self.retired_blocks()
                     ),
                 }
-                assert!(
-                    !self.frontier_full() || self.advance_frontier(),
-                    "cleaner failed to free space (utilization too high for segment size)"
-                );
             }
             self.place_block(lbn + i);
             if self.erased.is_empty() && self.job.is_none() {
@@ -446,14 +541,22 @@ impl FlashCardStore {
             self.counters.cleaning_waits += 1;
         }
         let bytes = u64::from(blocks) * self.config.block_size;
-        let dur = self.config.params.access_latency
+        let mut dur = self.config.params.access_latency
             + self.config.params.write_bandwidth.transfer_time(bytes);
+        // Transient program failures: the controller backs off and re-runs
+        // the whole transfer, charging active power for the extra passes.
+        let retries = self.plan.write_retries();
+        if retries > 0 {
+            self.counters.write_retries += u64::from(retries);
+            dur += (self.plan.config().retry_backoff + dur) * u64::from(retries);
+        }
         let end = start + wait + dur;
         self.meter
             .charge_for("active", self.config.params.active_power, dur);
         self.counters.ops += 1;
         self.counters.bytes_written += bytes;
         self.free_at = self.free_at.max(end);
+        self.debug_check();
         Service { start, end }
     }
 
@@ -467,12 +570,55 @@ impl FlashCardStore {
             }
         }
         self.maybe_start_job();
+        self.debug_check();
     }
 
     /// Accounts for the trailing idle period (and any final background
     /// cleaning) at the end of a simulation.
     pub fn finish(&mut self, end: SimTime) {
         let _ = self.settle(end);
+    }
+
+    /// Simulates a power failure at `at` followed by crash recovery.
+    ///
+    /// The power loss truncates any in-flight cleaning: the victim's live
+    /// data was already relocated (copy-before-erase, as MFFS compaction
+    /// does), so no data is lost, but the victim is left un-erased — an
+    /// *orphaned* fully-dead segment. Recovery then runs the MFFS log
+    /// scan: every occupied slot's block header is read back to rebuild
+    /// the logical-to-physical map, and the orphaned segment (detected by
+    /// the scan) is reclaimed with a fresh erase. The card is busy for the
+    /// whole recovery; time and energy are charged to the `"recover"`
+    /// state and [`FlashCardCounters::recovery_time`].
+    pub fn power_fail(&mut self, at: SimTime) -> Service {
+        // Background cleaning progressed until the lights went out.
+        let start = self.settle(at);
+        let orphan = self.job.take().map(|j| j.victim);
+
+        // Log scan: header read per occupied (live or dead) slot.
+        let census = self.census();
+        let scan_bytes = (census.live + census.dead) * RECOVERY_HEADER_BYTES;
+        let mut dur = self.config.params.access_latency
+            + self
+                .config
+                .params
+                .copy_read_bandwidth
+                .transfer_time(scan_bytes);
+        // Orphaned-segment reclaim: the interrupted victim is re-erased.
+        if let Some(victim) = orphan {
+            dur += self.config.params.erase_time;
+            self.finish_job(victim, false);
+        }
+        let end = start + dur;
+        self.meter
+            .charge_for("recover", self.config.params.active_power, dur);
+        self.counters.power_failures += 1;
+        self.counters.recovery_time += dur;
+        self.free_at = self.free_at.max(end);
+        // Recovered-state invariants: the map, segment states, and census
+        // must all be consistent after replay.
+        self.check_invariants();
+        Service { start, end }
     }
 
     fn frontier_full(&self) -> bool {
@@ -614,9 +760,35 @@ impl FlashCardStore {
                 .params
                 .copy_write_bandwidth
                 .transfer_time(copy_bytes);
+        // Draw the erase outcome now so the job's total duration is fixed
+        // at start (transient retries re-run the 1.6 s pulse; a permanent
+        // failure pays one failed pulse, then retires the segment). The
+        // draw order is the card's op order, so it is deterministic.
+        let mut erase_time = self.config.params.erase_time;
+        let mut retire = false;
+        match self.plan.erase_outcome() {
+            EraseOutcome::Clean => {}
+            EraseOutcome::Retried(n) => {
+                self.counters.erase_retries += u64::from(n);
+                erase_time += self.config.params.erase_time * u64::from(n);
+            }
+            EraseOutcome::Permanent => {
+                // Never retire below frontier + erased reserve + one
+                // cleanable segment: a controller out of spares fails the
+                // erase transiently instead (and a real card would go
+                // read-only).
+                if self.segments.len() - self.bad.len() > 3 {
+                    retire = true;
+                } else {
+                    self.counters.erase_retries += 1;
+                    erase_time += self.config.params.erase_time;
+                }
+            }
+        }
         self.job = Some(CleanJob {
             victim,
-            remaining: copy_time + self.config.params.erase_time,
+            remaining: copy_time + erase_time,
+            retire,
         });
         true
     }
@@ -632,18 +804,26 @@ impl FlashCardStore {
         self.meter
             .charge_for("clean", self.config.params.active_power, job.remaining);
         let spent = job.remaining;
-        self.finish_job(job.victim);
+        self.finish_job(job.victim, job.retire);
         Some(spent)
     }
 
-    /// Applies job completion: the victim becomes erased.
-    fn finish_job(&mut self, victim: u32) {
+    /// Applies job completion: the victim becomes erased, or — when its
+    /// final erase pulse failed permanently — is retired into the
+    /// bad-block map, shrinking usable capacity.
+    fn finish_job(&mut self, victim: u32, retire: bool) {
         let seg = &mut self.segments[victim as usize];
-        seg.state = SegState::Erased;
         seg.live = 0;
         seg.used = 0;
         seg.erase_count += 1;
-        self.erased.push(victim);
+        if retire {
+            seg.state = SegState::Bad;
+            self.bad.push(victim);
+            self.counters.segments_retired += 1;
+        } else {
+            seg.state = SegState::Erased;
+            self.erased.push(victim);
+        }
         self.counters.erasures += 1;
     }
 
@@ -672,8 +852,8 @@ impl FlashCardStore {
                 .charge_for("clean", self.config.params.active_power, slice);
             t += slice;
             if self.job.as_ref().expect("job exists").remaining.is_zero() {
-                let victim = self.job.take().expect("job exists").victim;
-                self.finish_job(victim);
+                let job = self.job.take().expect("job exists");
+                self.finish_job(job.victim, job.retire);
             }
         }
         if t < now {
@@ -698,7 +878,7 @@ impl FlashCardStore {
             self.live_blocks,
             "map size vs live blocks"
         );
-        assert!(self.live_blocks <= self.capacity_blocks());
+        assert!(self.live_blocks <= self.usable_blocks());
         let frontier = &self.segments[self.frontier as usize];
         assert_eq!(frontier.state, SegState::Frontier);
         assert!(frontier.used <= self.blocks_per_segment);
@@ -712,10 +892,35 @@ impl FlashCardStore {
                     "erased segment {i} missing from pool"
                 );
             }
+            if s.state == SegState::Bad {
+                assert_eq!(s.live, 0, "retired segment {i} has live data");
+                assert!(
+                    self.bad.contains(&(i as u32)),
+                    "retired segment {i} missing from bad-block map"
+                );
+            }
             assert!(s.live <= self.blocks_per_segment);
         }
         for &e in &self.erased {
             assert_eq!(self.segments[e as usize].state, SegState::Erased);
+        }
+        for &b in &self.bad {
+            assert_eq!(self.segments[b as usize].state, SegState::Bad);
+        }
+        let census = self.census();
+        assert_eq!(
+            census.total(),
+            self.capacity_blocks(),
+            "census {census:?} does not partition capacity"
+        );
+    }
+
+    /// Runs [`check_invariants`](Self::check_invariants) after every
+    /// mutating operation in debug builds (tests); compiled out of release
+    /// binaries.
+    fn debug_check(&self) {
+        if cfg!(debug_assertions) {
+            self.check_invariants();
         }
     }
 }
@@ -1107,5 +1312,140 @@ mod tests {
         assert!(card.wear().total > 0, "wear preserved");
         card.reset_metrics(true);
         assert_eq!(card.wear().total, 0);
+    }
+
+    #[test]
+    fn trim_past_eof_and_double_trim_are_noops() {
+        let mut card = small_card(CleanerMode::Background);
+        card.write(SimTime::ZERO, 0, 8);
+        // The range extends far past the last mapped block: only the
+        // mapped tail is dropped, the rest is silently ignored.
+        card.trim(4, 1000);
+        assert_eq!(card.live_blocks(), 4);
+        let census = card.census();
+        assert_eq!(census.dead, 4);
+        // Trimming the same (now dead) range again changes nothing — no
+        // double-decrement of live counts.
+        card.trim(4, 1000);
+        assert_eq!(card.live_blocks(), 4);
+        assert_eq!(card.census(), census);
+        // A trim entirely past EOF is a pure no-op.
+        card.trim(1 << 40, 16);
+        assert_eq!(card.census(), census);
+        assert_eq!(census.total(), card.capacity_blocks());
+        card.check_invariants();
+    }
+
+    #[test]
+    fn aged_preload_fills_every_fillable_slot() {
+        let mut card = small_card(CleanerMode::Background);
+        // 2 fillable segments x 128 blocks: utilization 1.0 of the
+        // fillable region — the documented ceiling (one more panics, see
+        // aged_preload_rejects_overfill).
+        card.preload_aged(0..256);
+        assert_eq!(card.live_blocks(), 256);
+        let census = card.census();
+        assert_eq!(census.dead, 0, "an aged-but-full card has no dead blocks");
+        assert_eq!(census.free, 256, "frontier + reserve stay free");
+        card.check_invariants();
+        // Overwrites at this utilization still make progress: dead blocks
+        // accumulate in the preloaded segments and cleaning reclaims them.
+        let mut t = SimTime::ZERO;
+        let mut lbn = 0u64;
+        while card.counters().erasures == 0 {
+            t = card.write(t, lbn % 256, 1).end;
+            lbn += 1;
+            assert!(lbn < 2000, "cleaning never triggered");
+            assert_eq!(card.live_blocks(), 256, "overwrites keep live constant");
+            card.check_invariants();
+        }
+    }
+
+    #[test]
+    fn transient_write_faults_add_retries_and_latency() {
+        let fault = FaultConfig {
+            write_fail_rate: 1.0,
+            ..FaultConfig::none()
+        };
+        let mut clean = small_card(CleanerMode::Background);
+        let mut faulty = small_card(CleanerMode::Background).with_faults(fault);
+        let ok = clean.write(SimTime::ZERO, 0, 8);
+        let slow = faulty.write(SimTime::ZERO, 0, 8);
+        // At rate 1.0 every attempt fails until the controller gives up,
+        // so each write pays exactly max_retries retries.
+        assert_eq!(
+            faulty.counters().write_retries,
+            u64::from(fault.max_retries)
+        );
+        assert_eq!(clean.counters().write_retries, 0);
+        // Each retry re-runs the transfer plus a fixed backoff, so the
+        // faulty write is strictly slower than the clean one.
+        assert!(slow.end - slow.start > ok.end - ok.start);
+        faulty.check_invariants();
+    }
+
+    #[test]
+    fn permanent_erase_failure_retires_one_segment_until_spares_run_low() {
+        let fault = FaultConfig {
+            erase_fail_rate: 1.0,
+            permanent_rate: 1.0,
+            ..FaultConfig::none()
+        };
+        let mut card = small_card(CleanerMode::OnDemand).with_faults(fault);
+        card.preload(0..100);
+        let mut t = SimTime::ZERO;
+        let mut n = 0u64;
+        while card.counters().segments_retired == 0 {
+            t = card.write(t, n % 100, 1).end;
+            n += 1;
+            assert!(n < 4000, "no segment was ever retired");
+        }
+        // The first erase failure retires its victim; capacity shrinks by
+        // one segment and the census still partitions raw capacity.
+        assert_eq!(card.counters().segments_retired, 1);
+        assert_eq!(card.retired_blocks(), 128);
+        assert_eq!(card.usable_blocks(), 512 - 128);
+        let census = card.census();
+        assert_eq!(census.retired, 128);
+        assert_eq!(census.total(), card.capacity_blocks());
+        card.check_invariants();
+        // Down to 3 usable segments the spare guard refuses further
+        // retirements: permanent failures degrade to transient retries and
+        // the card keeps serving writes.
+        let before = card.counters().erase_retries;
+        for _ in 0..600 {
+            t = card.write(t, n % 100, 1).end;
+            n += 1;
+        }
+        assert_eq!(card.counters().segments_retired, 1, "spare guard held");
+        assert!(card.counters().erase_retries > before);
+        assert_eq!(card.live_blocks(), 100, "no data lost to retirement");
+        card.check_invariants();
+    }
+
+    #[test]
+    fn power_fail_reclaims_an_orphaned_cleaning_job() {
+        let mut card = small_card(CleanerMode::Background);
+        // Same setup as background_cleaning_runs_in_idle_gaps: draining
+        // the erased pool launches a job whose victim is fully dead.
+        let mut t = card.write(SimTime::ZERO, 0, 128).end;
+        t = card.write(t, 128, 128).end;
+        card.trim(0, 128);
+        t = card.write(t, 256, 129).end;
+        assert_eq!(card.counters().erasures, 0, "erase still in flight");
+        // The failure lands 10 ms into a ~1.6 s erase, orphaning the
+        // victim; recovery's log scan detects the un-erased fully-dead
+        // segment and reclaims it with a fresh erase.
+        let svc = card.power_fail(t + SimDuration::from_millis(10));
+        assert_eq!(card.counters().power_failures, 1);
+        assert_eq!(card.counters().erasures, 1, "orphan re-erased by recovery");
+        assert!(card.counters().recovery_time > SimDuration::ZERO);
+        assert!(card.meter().category("recover").get() > 0.0);
+        assert!(svc.end > svc.start);
+        card.check_invariants();
+        // The reclaimed segment is writable again.
+        let free = card.free_blocks();
+        card.write(svc.end, 600, 8);
+        assert_eq!(card.free_blocks(), free - 8);
     }
 }

@@ -15,7 +15,10 @@
 //!   (exponential, log-normal, Zipf) used by the workload generators;
 //! * [`exec`] — a scoped-thread worker pool ([`exec::parallel_map`]) that
 //!   fans independent simulation points out across cores while preserving
-//!   input order, so parallel results are bit-identical to serial ones.
+//!   input order, so parallel results are bit-identical to serial ones;
+//! * [`fault`] — seeded, deterministic fault injection ([`fault::FaultPlan`])
+//!   for transient write/erase failures, permanent bad blocks, and
+//!   power-failure schedules.
 //!
 //! Everything is deterministic: integer time plus a seeded RNG make each
 //! experiment reproducible bit-for-bit.
@@ -25,12 +28,14 @@
 
 pub mod energy;
 pub mod exec;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod units;
 
 pub use energy::{EnergyMeter, Joules, Watts};
+pub use fault::{FaultConfig, FaultPlan};
 pub use rng::SimRng;
 pub use stats::{OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Regenerates the golden snapshot fixtures under tests/golden/.
+#
+# Run after an *intentional* output change, then review the diff:
+#   scripts/update_golden.sh && git diff tests/golden
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+
+for target in table1 table2 table3 table4 figure1 figure2 figure3 figure4 figure5; do
+    echo "# rendering $target" >&2
+    ./target/release/repro --scale 0.02 --seed 1994 "$target" \
+        2>/dev/null > "tests/golden/$target.txt"
+done
+
+echo "# fixtures updated; review with: git diff tests/golden" >&2

@@ -8,20 +8,29 @@
 //! serial and parallel halves into separate tests would race on the
 //! worker-count override.
 
+use mobistore::experiments::reliability::{self, ReliabilityOptions};
 use mobistore::experiments::{figure4, table4, Scale};
 use mobistore::sim::exec;
+use mobistore::sim::time::SimDuration;
 
 #[test]
 fn parallel_runs_match_serial_runs() {
     let scale = Scale::quick();
+    let fault_opts = ReliabilityOptions {
+        rates: vec![0.0, 1e-3],
+        power_interval: Some(SimDuration::from_secs(300)),
+        fault_seed: 1994,
+    };
 
     exec::set_jobs(1);
     let fig4_serial = figure4::run(scale);
     let tab4_serial = table4::run(scale);
+    let rel_serial = reliability::run(scale, &fault_opts);
 
     exec::set_jobs(4);
     let fig4_parallel = figure4::run(scale);
     let tab4_parallel = table4::run(scale);
+    let rel_parallel = reliability::run(scale, &fault_opts);
 
     // Rendered output is the acceptance surface of `repro` — it must be
     // byte-identical.
@@ -43,5 +52,26 @@ fn parallel_runs_match_serial_runs() {
             assert_eq!(a.energy.get(), b.energy.get(), "{}", a.name);
             assert_eq!(a.write_response_ms.mean, b.write_response_ms.mean);
         }
+    }
+
+    // Fault-injected runs: the same seed and fault plan must inject the
+    // same schedule at any worker count.
+    assert_eq!(rel_serial.to_string(), rel_parallel.to_string());
+    for (a, b) in rel_serial.card.iter().zip(&rel_parallel.card) {
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.rate, b.rate);
+        assert_eq!(
+            a.energy.get(),
+            b.energy.get(),
+            "{:?}@{}",
+            a.workload,
+            a.rate
+        );
+        assert_eq!(a.faults, b.faults, "{:?}@{}", a.workload, a.rate);
+        assert_eq!(a.erasures, b.erasures);
+    }
+    for (a, b) in rel_serial.disk.iter().zip(&rel_parallel.disk) {
+        assert_eq!(a.energy.get(), b.energy.get(), "{:?}", a.workload);
+        assert_eq!(a.faults, b.faults, "{:?}", a.workload);
     }
 }

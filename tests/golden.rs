@@ -1,0 +1,58 @@
+//! Golden snapshot tests: the rendered output of every table and figure
+//! at `--scale 0.02 --seed 1994` is committed under `tests/golden/`, so a
+//! refactor that silently shifts a paper number fails here instead of
+//! landing unnoticed. A zero-rate fault plan must reproduce these bytes
+//! exactly — the fixtures double as the fault-injection no-op proof.
+//!
+//! After an intentional output change, regenerate the fixtures with
+//! `scripts/update_golden.sh` and review the diff like any other code.
+
+use mobistore::experiments::render::{render_target, RenderOptions};
+use mobistore::experiments::Scale;
+
+/// The targets with committed fixtures (the paper's tables and figures).
+const GOLDEN_TARGETS: [&str; 9] = [
+    "table1", "table2", "table3", "table4", "figure1", "figure2", "figure3", "figure4", "figure5",
+];
+
+fn fixture_path(target: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{target}.txt"))
+}
+
+#[test]
+fn rendered_targets_match_golden_fixtures() {
+    let opts = RenderOptions::default();
+    let mut failures = Vec::new();
+    for target in GOLDEN_TARGETS {
+        let path = fixture_path(target);
+        let expect = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+        let got = render_target(target, Scale::quick(), &opts).text;
+        if got != expect {
+            failures.push(target);
+            // Print a small diff context for the first mismatching line.
+            for (i, (g, e)) in got.lines().zip(expect.lines()).enumerate() {
+                if g != e {
+                    eprintln!("{target}: first mismatch at line {}:", i + 1);
+                    eprintln!("  expected: {e}");
+                    eprintln!("  rendered: {g}");
+                    break;
+                }
+            }
+            if got.lines().count() != expect.lines().count() {
+                eprintln!(
+                    "{target}: line count {} vs fixture {}",
+                    got.lines().count(),
+                    expect.lines().count()
+                );
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "output drifted from tests/golden fixtures for {failures:?}; if the \
+         change is intentional, run scripts/update_golden.sh and commit the diff"
+    );
+}

@@ -199,6 +199,93 @@ fn flash_card_invariants_hold() {
 }
 
 // ---------------------------------------------------------------------
+// Flash card under fault injection: random fault schedules (transient
+// retries, permanent segment retirement, power failures mid-cleaning)
+// never break the internal invariants, never lose live data, and the
+// block census always tiles the capacity:
+// live + free + dead + retired == capacity.
+// ---------------------------------------------------------------------
+
+#[test]
+fn flash_card_invariants_hold_under_faults() {
+    use mobistore::sim::fault::FaultConfig;
+
+    for case in 0..48u64 {
+        let mut rng = case_rng(9, case);
+        let rate = match rng.below(3) {
+            0 => 0.0,
+            1 => 1e-3,
+            _ => 0.05,
+        };
+        let fault = FaultConfig {
+            write_fail_rate: rate,
+            erase_fail_rate: rate,
+            permanent_rate: 0.2,
+            seed: case,
+            ..FaultConfig::none()
+        };
+        let preload = rng.below(600);
+        let n_ops = rng.below(150);
+        let mut card = FlashCardStore::new(FlashCardConfig {
+            params: intel_datasheet(),
+            block_size: 1024,
+            capacity_bytes: 2 * 1024 * 1024,
+            mode: CleanerMode::Background,
+            victim_policy: VictimPolicy::GreedyMinLive,
+            queueing: QueueDiscipline::Fifo,
+        })
+        .with_faults(fault);
+        card.preload_aged(1000..1000 + preload);
+        let mut model: HashSet<u64> = (1000..1000 + preload).collect();
+
+        let mut now = SimTime::ZERO;
+        for _ in 0..n_ops {
+            match card_op(&mut rng) {
+                CardOp::Write { lbn, blocks } => {
+                    let svc = card.write(now, lbn, blocks);
+                    now = now.max(svc.end);
+                    model.extend(lbn..lbn + u64::from(blocks));
+                }
+                CardOp::Trim { lbn, blocks } => {
+                    card.trim(lbn, blocks);
+                    for b in lbn..lbn + u64::from(blocks) {
+                        model.remove(&b);
+                    }
+                }
+                CardOp::Read { lbn, blocks } => {
+                    let svc = card.read(now, lbn, blocks);
+                    now = now.max(svc.end);
+                }
+                CardOp::Idle { ms } => now += SimDuration::from_millis(ms),
+            }
+            // Occasionally yank the power mid-whatever-was-happening.
+            if rng.chance(0.1) {
+                let svc = card.power_fail(now);
+                now = now.max(svc.end);
+            }
+            card.check_invariants();
+            let census = card.census();
+            assert_eq!(
+                census.live + census.free + census.dead + census.retired,
+                card.capacity_blocks(),
+                "census does not tile capacity (case {case})"
+            );
+            assert_eq!(census.retired, card.retired_blocks(), "case {case}");
+            // Faults never lose live data: retries eventually succeed and
+            // only segments holding no live blocks are retired.
+            assert_eq!(card.live_blocks(), model.len() as u64, "case {case}");
+            assert!(card.live_blocks() <= card.usable_blocks(), "case {case}");
+        }
+        let c = card.counters();
+        if rate == 0.0 {
+            assert_eq!(c.write_retries + c.erase_retries, 0, "case {case}");
+            assert_eq!(c.segments_retired, 0, "case {case}");
+        }
+        assert!(card.energy().get().is_finite(), "case {case}");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Flash disk: the asynchronous cleaner conserves sectors — everything
 // written becomes garbage, and garbage only ever turns into pre-erased
 // pool space.
