@@ -15,7 +15,8 @@ use std::collections::HashSet;
 
 use mobistore_device::params::DramParams;
 use mobistore_sim::energy::{EnergyMeter, Joules, Watts};
-use mobistore_sim::time::SimDuration;
+use mobistore_sim::obs::{Event, Observer};
+use mobistore_sim::time::{SimDuration, SimTime};
 use mobistore_sim::units::MIB;
 
 use crate::lru::LruSet;
@@ -145,6 +146,23 @@ impl BufferCache {
         misses
     }
 
+    /// [`read_probe`](Self::read_probe), reporting the hit/miss split to
+    /// an observer as a [`Event::CacheRead`] stamped `now`.
+    pub fn read_probe_obs<O: Observer>(
+        &mut self,
+        now: SimTime,
+        lbns: &[u64],
+        obs: &mut O,
+    ) -> Vec<u64> {
+        let misses = self.read_probe(lbns);
+        obs.record(&Event::CacheRead {
+            t: now,
+            hits: (lbns.len() - misses.len()) as u32,
+            misses: misses.len() as u32,
+        });
+        misses
+    }
+
     /// Inserts a block (`dirty` marks unwritten data under write-back);
     /// returns an eviction the caller may need to flush.
     pub fn insert(&mut self, lbn: u64, dirty: bool) -> Option<Evicted> {
@@ -181,6 +199,23 @@ impl BufferCache {
                 }
             }
         }
+        out
+    }
+
+    /// [`write`](Self::write), reporting the absorbed blocks and dirty
+    /// evictions to an observer as a [`Event::CacheWrite`] stamped `now`.
+    pub fn write_obs<O: Observer>(
+        &mut self,
+        now: SimTime,
+        lbns: &[u64],
+        obs: &mut O,
+    ) -> Vec<Evicted> {
+        let out = self.write(lbns);
+        obs.record(&Event::CacheWrite {
+            t: now,
+            blocks: lbns.len() as u32,
+            dirty_evictions: out.len() as u32,
+        });
         out
     }
 

@@ -17,7 +17,8 @@ use std::collections::HashSet;
 
 use mobistore_device::params::SramParams;
 use mobistore_sim::energy::{EnergyMeter, Joules, Watts};
-use mobistore_sim::time::SimDuration;
+use mobistore_sim::obs::{Event, Observer};
+use mobistore_sim::time::{SimDuration, SimTime};
 
 /// Counters the buffer maintains alongside energy.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -139,6 +140,20 @@ impl SramWriteBuffer {
         self.stats.absorbed += 1;
     }
 
+    /// [`absorb`](Self::absorb), reporting a [`Event::SramAbsorb`] stamped
+    /// `now` to an observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks do not fit, like [`absorb`](Self::absorb).
+    pub fn absorb_obs<O: Observer>(&mut self, now: SimTime, lbns: &[u64], obs: &mut O) {
+        self.absorb(lbns);
+        obs.record(&Event::SramAbsorb {
+            t: now,
+            blocks: lbns.len() as u32,
+        });
+    }
+
     /// True if the block is buffered (a read of it needs no disk access).
     pub fn contains(&self, lbn: u64) -> bool {
         self.blocks.contains(&lbn)
@@ -147,6 +162,13 @@ impl SramWriteBuffer {
     /// Records a read served from the buffer.
     pub fn note_read_hit(&mut self) {
         self.stats.read_hits += 1;
+    }
+
+    /// [`note_read_hit`](Self::note_read_hit), reporting a
+    /// [`Event::SramReadHit`] stamped `now` to an observer.
+    pub fn note_read_hit_obs<O: Observer>(&mut self, now: SimTime, obs: &mut O) {
+        self.note_read_hit();
+        obs.record(&Event::SramReadHit { t: now, blocks: 1 });
     }
 
     /// Empties the buffer for a flush, returning the bytes to write to the
@@ -163,6 +185,19 @@ impl SramWriteBuffer {
         blocks.sort_unstable();
         if !blocks.is_empty() {
             self.stats.flushes += 1;
+        }
+        blocks
+    }
+
+    /// [`drain_blocks`](Self::drain_blocks), reporting a non-empty drain to
+    /// an observer as a [`Event::SramFlush`] stamped `now`.
+    pub fn drain_blocks_obs<O: Observer>(&mut self, now: SimTime, obs: &mut O) -> Vec<u64> {
+        let blocks = self.drain_blocks();
+        if !blocks.is_empty() {
+            obs.record(&Event::SramFlush {
+                t: now,
+                blocks: blocks.len() as u32,
+            });
         }
         blocks
     }

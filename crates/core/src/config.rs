@@ -54,6 +54,17 @@ pub enum BackendConfig {
     },
 }
 
+impl BackendConfig {
+    /// Stable lowercase backend name, used in diagnostics and exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BackendConfig::Disk { .. } => "magnetic-disk",
+            BackendConfig::FlashDisk { .. } => "flash-disk",
+            BackendConfig::FlashCard { .. } => "flash-card",
+        }
+    }
+}
+
 /// A complete storage-system configuration.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -222,7 +233,12 @@ impl SystemConfig {
     pub fn with_spin_down_policy(mut self, policy: SpinDownPolicy) -> Self {
         match &mut self.backend {
             BackendConfig::Disk { spin_down, .. } => *spin_down = policy,
-            _ => panic!("spin-down applies to disk backends"),
+            other => panic!(
+                "config '{}': spin-down applies only to magnetic-disk backends, \
+                 not the {} backend",
+                self.name,
+                other.kind()
+            ),
         }
         self
     }
@@ -235,7 +251,12 @@ impl SystemConfig {
     pub fn with_seek_model(mut self, model: SeekModel) -> Self {
         match &mut self.backend {
             BackendConfig::Disk { seek_model, .. } => *seek_model = model,
-            _ => panic!("seek model applies to disk backends"),
+            other => panic!(
+                "config '{}': seek model applies only to magnetic-disk backends, \
+                 not the {} backend",
+                self.name,
+                other.kind()
+            ),
         }
         self
     }
@@ -252,7 +273,12 @@ impl SystemConfig {
         );
         match &mut self.backend {
             BackendConfig::FlashCard { utilization, .. } => *utilization = Some(fraction),
-            _ => panic!("utilization applies to flash-card backends"),
+            other => panic!(
+                "config '{}': utilization applies only to flash-card backends, \
+                 not the {} backend",
+                self.name,
+                other.kind()
+            ),
         }
         self
     }
@@ -265,7 +291,12 @@ impl SystemConfig {
     pub fn with_flash_capacity(mut self, bytes: u64) -> Self {
         match &mut self.backend {
             BackendConfig::FlashCard { capacity_bytes, .. } => *capacity_bytes = bytes,
-            _ => panic!("flash capacity applies to flash-card backends"),
+            other => panic!(
+                "config '{}': flash capacity applies only to flash-card backends, \
+                 not the {} backend",
+                self.name,
+                other.kind()
+            ),
         }
         self
     }
@@ -278,7 +309,12 @@ impl SystemConfig {
     pub fn with_cleaner_mode(mut self, new_mode: CleanerMode) -> Self {
         match &mut self.backend {
             BackendConfig::FlashCard { mode, .. } => *mode = new_mode,
-            _ => panic!("cleaner mode applies to flash-card backends"),
+            other => panic!(
+                "config '{}': cleaner mode applies only to flash-card backends, \
+                 not the {} backend",
+                self.name,
+                other.kind()
+            ),
         }
         self
     }
@@ -291,7 +327,12 @@ impl SystemConfig {
     pub fn with_victim_policy(mut self, policy: VictimPolicy) -> Self {
         match &mut self.backend {
             BackendConfig::FlashCard { victim_policy, .. } => *victim_policy = policy,
-            _ => panic!("victim policy applies to flash-card backends"),
+            other => panic!(
+                "config '{}': victim policy applies only to flash-card backends, \
+                 not the {} backend",
+                self.name,
+                other.kind()
+            ),
         }
         self
     }
@@ -371,5 +412,81 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn utilization_must_be_fraction() {
         let _ = SystemConfig::flash_card(intel_datasheet()).with_utilization(1.5);
+    }
+
+    #[test]
+    fn backend_kinds_are_stable() {
+        assert_eq!(
+            SystemConfig::disk(cu140_datasheet()).backend.kind(),
+            "magnetic-disk"
+        );
+        assert_eq!(
+            SystemConfig::flash_disk(sdp5_datasheet()).backend.kind(),
+            "flash-disk"
+        );
+        assert_eq!(
+            SystemConfig::flash_card(intel_datasheet()).backend.kind(),
+            "flash-card"
+        );
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "config 'sdp5': spin-down applies only to magnetic-disk backends, not the flash-disk backend"
+    )]
+    fn spin_down_mismatch_names_field_and_backend() {
+        let _ = SystemConfig::flash_disk(sdp5_datasheet())
+            .named("sdp5")
+            .with_spin_down(None);
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "config 'intel': seek model applies only to magnetic-disk backends, not the flash-card backend"
+    )]
+    fn seek_model_mismatch_names_field_and_backend() {
+        let _ = SystemConfig::flash_card(intel_datasheet())
+            .named("intel")
+            .with_seek_model(SeekModel::AlwaysAverage);
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "config 'cu140': utilization applies only to flash-card backends, not the magnetic-disk backend"
+    )]
+    fn utilization_mismatch_names_field_and_backend() {
+        let _ = SystemConfig::disk(cu140_datasheet())
+            .named("cu140")
+            .with_utilization(0.5);
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "config 'cu140': flash capacity applies only to flash-card backends, not the magnetic-disk backend"
+    )]
+    fn capacity_mismatch_names_field_and_backend() {
+        let _ = SystemConfig::disk(cu140_datasheet())
+            .named("cu140")
+            .with_flash_capacity(MIB);
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "config 'sdp5': cleaner mode applies only to flash-card backends, not the flash-disk backend"
+    )]
+    fn cleaner_mode_mismatch_names_field_and_backend() {
+        let _ = SystemConfig::flash_disk(sdp5_datasheet())
+            .named("sdp5")
+            .with_cleaner_mode(CleanerMode::OnDemand);
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "config 'sdp5': victim policy applies only to flash-card backends, not the flash-disk backend"
+    )]
+    fn victim_policy_mismatch_names_field_and_backend() {
+        let _ = SystemConfig::flash_disk(sdp5_datasheet())
+            .named("sdp5")
+            .with_victim_policy(VictimPolicy::GreedyMinLive);
     }
 }

@@ -11,6 +11,8 @@ use mobistore_device::disk::DiskCounters;
 use mobistore_device::flashdisk::FlashDiskCounters;
 use mobistore_flash::store::{FlashCardCounters, WearStats};
 use mobistore_sim::energy::Joules;
+use mobistore_sim::hist::{Histogram, Percentiles};
+use mobistore_sim::obs::CounterRegistry;
 use mobistore_sim::stats::Summary;
 use mobistore_sim::time::SimDuration;
 
@@ -34,6 +36,12 @@ pub struct Metrics {
     /// All operations' response times in milliseconds (Figure 4 reports
     /// "average over-all response time").
     pub overall_response_ms: Summary,
+    /// Log-bucketed read response-time distribution (for percentiles).
+    pub read_latency: Histogram,
+    /// Log-bucketed write response-time distribution.
+    pub write_latency: Histogram,
+    /// Log-bucketed response-time distribution over all operations.
+    pub overall_latency: Histogram,
     /// Wall-clock span of the measured portion.
     pub duration: SimDuration,
     /// DRAM cache behaviour, if a cache was configured.
@@ -129,6 +137,71 @@ impl Metrics {
         t
     }
 
+    /// Read response-time percentiles (p50/p90/p99/p99.9, milliseconds)
+    /// from the log-bucketed histogram.
+    pub fn read_percentiles(&self) -> Percentiles {
+        self.read_latency.percentiles_ms()
+    }
+
+    /// Write response-time percentiles in milliseconds.
+    pub fn write_percentiles(&self) -> Percentiles {
+        self.write_latency.percentiles_ms()
+    }
+
+    /// Percentiles over all operations' response times, in milliseconds.
+    pub fn overall_percentiles(&self) -> Percentiles {
+        self.overall_latency.percentiles_ms()
+    }
+
+    /// Flattens every component counter into one sorted name→value
+    /// registry (`"dram.read_hits"`, `"card.erasures"`, …) for
+    /// machine-readable export. Only the components that ran appear.
+    pub fn counters(&self) -> CounterRegistry {
+        let mut reg = CounterRegistry::new();
+        if let Some(c) = self.cache {
+            reg.add("dram.read_hits", c.read_hits);
+            reg.add("dram.read_misses", c.read_misses);
+            reg.add("dram.writes", c.writes);
+            reg.add("dram.writebacks", c.writebacks);
+        }
+        if let Some(s) = self.sram {
+            reg.add("sram.absorbed", s.absorbed);
+            reg.add("sram.flushes", s.flushes);
+            reg.add("sram.read_hits", s.read_hits);
+        }
+        if let Some(d) = self.disk {
+            reg.add("disk.ops", d.ops);
+            reg.add("disk.spin_ups", d.spin_ups);
+            reg.add("disk.spin_downs", d.spin_downs);
+            reg.add("disk.bytes_read", d.bytes_read);
+            reg.add("disk.bytes_written", d.bytes_written);
+            reg.add("disk.power_failures", d.power_failures);
+            reg.add("disk.recovery_ns", d.recovery_time.as_nanos());
+        }
+        if let Some(f) = self.flash_disk {
+            reg.add("flashdisk.ops", f.ops);
+            reg.add("flashdisk.bytes_read", f.bytes_read);
+            reg.add("flashdisk.bytes_written", f.bytes_written);
+            reg.add("flashdisk.bytes_pre_erased", f.bytes_pre_erased);
+            reg.add("flashdisk.bytes_erased_on_demand", f.bytes_erased_on_demand);
+        }
+        if let Some(c) = self.flash_card {
+            reg.add("card.ops", c.ops);
+            reg.add("card.bytes_read", c.bytes_read);
+            reg.add("card.bytes_written", c.bytes_written);
+            reg.add("card.erasures", c.erasures);
+            reg.add("card.blocks_copied", c.blocks_copied);
+            reg.add("card.cleaning_waits", c.cleaning_waits);
+            reg.add("card.write_retries", c.write_retries);
+            reg.add("card.erase_retries", c.erase_retries);
+            reg.add("card.segments_retired", c.segments_retired);
+            reg.add("card.power_failures", c.power_failures);
+            reg.add("card.recovery_ns", c.recovery_time.as_nanos());
+        }
+        reg.add("lost_dirty_blocks", self.lost_dirty_blocks);
+        reg
+    }
+
     /// Renders the Table 4 row: energy, read mean/max/σ, write mean/max/σ.
     pub fn table4_row(&self) -> String {
         format!(
@@ -194,6 +267,9 @@ mod tests {
                 std: 4.0,
                 sum: 25.0,
             },
+            read_latency: Histogram::new(),
+            write_latency: Histogram::new(),
+            overall_latency: Histogram::new(),
             duration: SimDuration::from_secs(50),
             cache: Some(CacheStats {
                 read_hits: 80,

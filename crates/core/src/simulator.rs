@@ -20,7 +20,8 @@ use mobistore_device::flashdisk::FlashDisk;
 use mobistore_device::{Dir, Service};
 use mobistore_flash::store::{FlashCardConfig, FlashCardStore};
 use mobistore_sim::fault::PowerFailSchedule;
-use mobistore_sim::stats::OnlineStats;
+use mobistore_sim::hist::LatencyRecorder;
+use mobistore_sim::obs::{Event, NoopObserver, Observer, OpKind};
 use mobistore_sim::time::{SimDuration, SimTime};
 use mobistore_trace::record::{DiskOp, DiskOpKind, Trace};
 
@@ -89,9 +90,28 @@ pub fn simulate(config: &SystemConfig, trace: &Trace) -> Metrics {
 /// fit within the preallocated bound), or if the warm-up consumes the
 /// whole trace. Use [`try_simulate`] for a fallible variant.
 pub fn simulate_with(config: &SystemConfig, trace: &Trace, options: RunOptions) -> Metrics {
-    match try_simulate(config, trace, options) {
+    simulate_observed(config, trace, options, &mut NoopObserver)
+}
+
+/// [`simulate_with`], streaming structured [`Event`]s to `obs` as the
+/// simulation progresses.
+///
+/// The observer is monomorphised into the run: with [`NoopObserver`] this
+/// is exactly [`simulate_with`] at zero cost.
+///
+/// # Panics
+///
+/// Panics like [`simulate_with`], naming the offending configuration. Use
+/// [`try_simulate_observed`] for a fallible variant.
+pub fn simulate_observed<O: Observer>(
+    config: &SystemConfig,
+    trace: &Trace,
+    options: RunOptions,
+    obs: &mut O,
+) -> Metrics {
+    match try_simulate_observed(config, trace, options, obs) {
         Ok(metrics) => metrics,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("cannot simulate configuration '{}': {e}", config.name),
     }
 }
 
@@ -165,6 +185,17 @@ pub fn try_simulate(
     trace: &Trace,
     options: RunOptions,
 ) -> Result<Metrics, ConfigError> {
+    try_simulate_observed(config, trace, options, &mut NoopObserver)
+}
+
+/// [`try_simulate`], streaming structured [`Event`]s to `obs` as the
+/// simulation progresses.
+pub fn try_simulate_observed<O: Observer>(
+    config: &SystemConfig,
+    trace: &Trace,
+    options: RunOptions,
+    obs: &mut O,
+) -> Result<Metrics, ConfigError> {
     if options.warm_percent >= 100 {
         return Err(ConfigError::NothingToMeasure);
     }
@@ -186,7 +217,7 @@ pub fn try_simulate(
             });
         }
     }
-    Ok(Simulator::new(config, trace).run(trace, options))
+    Ok(Simulator::new(config, trace, obs).run(trace, options))
 }
 
 /// Counts distinct non-trim blocks in the trace.
@@ -202,16 +233,16 @@ fn working_set(trace: &Trace) -> u64 {
     blocks.len() as u64
 }
 
-struct Simulator {
+struct Simulator<'o, O: Observer> {
     dram: Option<BufferCache>,
     sram: Option<SramWriteBuffer>,
     write_policy: WritePolicy,
     queueing: mobistore_device::QueueDiscipline,
     backend: Backend,
     block_size: u64,
-    read_ms: OnlineStats,
-    write_ms: OnlineStats,
-    all_ms: OnlineStats,
+    read_ms: LatencyRecorder,
+    write_ms: LatencyRecorder,
+    all_ms: LatencyRecorder,
     last_completion: SimTime,
     /// Pending power-failure instants (fault injection); `None` when the
     /// configuration disables them.
@@ -220,10 +251,16 @@ struct Simulator {
     fat_scan_bytes: u64,
     /// Dirty write-back blocks lost to power failures (volatile DRAM).
     lost_dirty_blocks: u64,
+    /// Critical-path queueing delay accumulated by the current operation.
+    op_queue: SimDuration,
+    /// Critical-path device service time accumulated by the current
+    /// operation.
+    op_service: SimDuration,
+    obs: &'o mut O,
 }
 
-impl Simulator {
-    fn new(config: &SystemConfig, trace: &Trace) -> Self {
+impl<'o, O: Observer> Simulator<'o, O> {
+    fn new(config: &SystemConfig, trace: &Trace, obs: &'o mut O) -> Self {
         let block_size = trace.block_size;
         let dram = if config.dram_bytes >= block_size {
             Some(BufferCache::new(
@@ -285,13 +322,16 @@ impl Simulator {
             queueing: config.queueing,
             backend,
             block_size,
-            read_ms: OnlineStats::new(),
-            write_ms: OnlineStats::new(),
-            all_ms: OnlineStats::new(),
+            read_ms: LatencyRecorder::new(),
+            write_ms: LatencyRecorder::new(),
+            all_ms: LatencyRecorder::new(),
             last_completion: SimTime::ZERO,
             power_fails: PowerFailSchedule::from_config(&config.fault),
             fat_scan_bytes: config.fault.fat_scan_bytes,
             lost_dirty_blocks: 0,
+            op_queue: SimDuration::ZERO,
+            op_service: SimDuration::ZERO,
+            obs,
         }
     }
 
@@ -322,23 +362,50 @@ impl Simulator {
     }
 
     fn step(&mut self, op: &DiskOp, record: bool) {
-        match op.kind {
+        let kind = match op.kind {
+            DiskOpKind::Read => OpKind::Read,
+            DiskOpKind::Write => OpKind::Write,
+            DiskOpKind::Trim => OpKind::Trim,
+        };
+        self.op_queue = SimDuration::ZERO;
+        self.op_service = SimDuration::ZERO;
+        self.obs.record(&Event::OpIssued {
+            t: op.time,
+            kind,
+            lbn: op.lbn,
+            blocks: op.blocks,
+        });
+        let response = match op.kind {
             DiskOpKind::Read => {
                 let response = self.do_read(op);
                 if record {
-                    self.read_ms.record(response.as_millis_f64());
-                    self.all_ms.record(response.as_millis_f64());
+                    self.read_ms.record(response);
+                    self.all_ms.record(response);
                 }
+                response
             }
             DiskOpKind::Write => {
                 let response = self.do_write(op);
                 if record {
-                    self.write_ms.record(response.as_millis_f64());
-                    self.all_ms.record(response.as_millis_f64());
+                    self.write_ms.record(response);
+                    self.all_ms.record(response);
                 }
+                response
             }
-            DiskOpKind::Trim => self.do_trim(op),
-        }
+            DiskOpKind::Trim => {
+                self.do_trim(op);
+                SimDuration::ZERO
+            }
+        };
+        self.obs.record(&Event::OpCompleted {
+            t: op.time + response,
+            kind,
+            lbn: op.lbn,
+            blocks: op.blocks,
+            queue: self.op_queue,
+            service: self.op_service,
+            response,
+        });
     }
 
     fn do_read(&mut self, op: &DiskOp) -> SimDuration {
@@ -348,7 +415,7 @@ impl Simulator {
 
         let misses = match self.dram.as_mut() {
             Some(cache) => {
-                let misses = cache.read_probe(&lbns);
+                let misses = cache.read_probe_obs(now, &lbns, self.obs);
                 cache.charge_access(bytes);
                 misses
             }
@@ -387,7 +454,7 @@ impl Simulator {
         for &lbn in misses {
             match self.sram.as_mut() {
                 Some(buf) if buf.contains(lbn) => {
-                    buf.note_read_hit();
+                    buf.note_read_hit_obs(now, self.obs);
                     sram_blocks += 1;
                 }
                 _ => device_blocks += 1,
@@ -405,14 +472,30 @@ impl Simulator {
         }
         let bytes = device_blocks * block_size;
         let svc = match &mut self.backend {
-            Backend::Disk(disk) => {
-                disk.access_at(now, Dir::Read, bytes, Some(op.file.0), Some(op.lbn))
+            Backend::Disk(disk) => disk.access_at_obs(
+                now,
+                Dir::Read,
+                bytes,
+                Some(op.file.0),
+                Some(op.lbn),
+                self.obs,
+            ),
+            Backend::FlashDisk(fd) => fd.access_obs(now, Dir::Read, bytes, self.obs),
+            Backend::FlashCard(card) => {
+                card.read_obs(now, misses[0], device_blocks as u32, self.obs)
             }
-            Backend::FlashDisk(fd) => fd.access(now, Dir::Read, bytes),
-            Backend::FlashCard(card) => card.read(now, misses[0], device_blocks as u32),
         };
+        self.note_critical_service(now, &svc);
         self.last_completion = self.last_completion.max(svc.end);
         resp + svc.response(now)
+    }
+
+    /// Folds a critical-path device service interval into the current
+    /// operation's queue/service breakdown (reported on
+    /// [`Event::OpCompleted`]).
+    fn note_critical_service(&mut self, issued: SimTime, svc: &Service) {
+        self.op_queue += svc.start.saturating_since(issued);
+        self.op_service += svc.end.saturating_since(svc.start);
     }
 
     fn do_write(&mut self, op: &DiskOp) -> SimDuration {
@@ -423,7 +506,7 @@ impl Simulator {
         let mut dram_time = SimDuration::ZERO;
         let mut writeback_evictions = Vec::new();
         if let Some(cache) = self.dram.as_mut() {
-            let flushed = cache.write(&lbns);
+            let flushed = cache.write_obs(now, &lbns, self.obs);
             cache.charge_access(bytes);
             dram_time = cache.access_time(bytes);
             writeback_evictions = flushed.into_iter().map(|e| e.lbn).collect();
@@ -456,14 +539,15 @@ impl Simulator {
             Some(mut buf) if lbns.len() <= buf.capacity_blocks() => {
                 let mut resp = SimDuration::ZERO;
                 if !buf.fits(lbns) {
-                    let blocks = buf.drain_blocks();
+                    let blocks = buf.drain_blocks_obs(now, self.obs);
                     let svc = self.flush_blocks(now, &blocks);
                     self.last_completion = self.last_completion.max(svc.end);
                     if self.queueing == mobistore_device::QueueDiscipline::Fifo {
                         resp += svc.response(now);
+                        self.note_critical_service(now, &svc);
                     }
                 }
-                buf.absorb(lbns);
+                buf.absorb_obs(now, lbns, self.obs);
                 buf.charge_access(bytes);
                 let out = resp + buf.access_time(bytes);
                 self.sram = Some(buf);
@@ -474,12 +558,20 @@ impl Simulator {
                 // straight to the device.
                 self.sram = other;
                 let svc = match &mut self.backend {
-                    Backend::Disk(disk) => {
-                        disk.access_at(now, Dir::Write, bytes, Some(op.file.0), Some(op.lbn))
+                    Backend::Disk(disk) => disk.access_at_obs(
+                        now,
+                        Dir::Write,
+                        bytes,
+                        Some(op.file.0),
+                        Some(op.lbn),
+                        self.obs,
+                    ),
+                    Backend::FlashDisk(fd) => fd.access_obs(now, Dir::Write, bytes, self.obs),
+                    Backend::FlashCard(card) => {
+                        card.write_obs(now, op.lbn, lbns.len() as u32, self.obs)
                     }
-                    Backend::FlashDisk(fd) => fd.access(now, Dir::Write, bytes),
-                    Backend::FlashCard(card) => card.write(now, op.lbn, lbns.len() as u32),
                 };
+                self.note_critical_service(now, &svc);
                 self.last_completion = self.last_completion.max(svc.end);
                 svc.response(now)
             }
@@ -492,8 +584,8 @@ impl Simulator {
         let block_size = self.block_size;
         let bytes = blocks.len() as u64 * block_size;
         match &mut self.backend {
-            Backend::Disk(disk) => disk.access(now, Dir::Write, bytes, None),
-            Backend::FlashDisk(fd) => fd.access(now, Dir::Write, bytes),
+            Backend::Disk(disk) => disk.access_obs(now, Dir::Write, bytes, None, self.obs),
+            Backend::FlashDisk(fd) => fd.access_obs(now, Dir::Write, bytes, self.obs),
             Backend::FlashCard(card) => {
                 let mut start = None;
                 let mut end = now;
@@ -503,7 +595,7 @@ impl Simulator {
                     if run_ends {
                         let lbn = blocks[run_start];
                         let count = (i - run_start) as u32;
-                        let svc = card.write(end, lbn, count);
+                        let svc = card.write_obs(end, lbn, count, self.obs);
                         start.get_or_insert(svc.start);
                         end = svc.end;
                         run_start = i;
@@ -526,13 +618,13 @@ impl Simulator {
         let block_size = self.block_size;
         let bytes = lbns.len() as u64 * block_size;
         let svc: Service = match &mut self.backend {
-            Backend::Disk(disk) => disk.access(now, Dir::Write, bytes, None),
-            Backend::FlashDisk(fd) => fd.access(now, Dir::Write, bytes),
+            Backend::Disk(disk) => disk.access_obs(now, Dir::Write, bytes, None, self.obs),
+            Backend::FlashDisk(fd) => fd.access_obs(now, Dir::Write, bytes, self.obs),
             Backend::FlashCard(card) => {
                 let mut end = now;
                 let mut start = now;
                 for &lbn in lbns {
-                    let svc = card.write(end, lbn, 1);
+                    let svc = card.write_obs(end, lbn, 1, self.obs);
                     start = start.min(svc.start);
                     end = svc.end;
                 }
@@ -565,15 +657,25 @@ impl Simulator {
     /// flash card. The flash disk hides recovery inside its emulation
     /// layer, so it contributes no simulated scan.
     fn power_fail(&mut self, at: SimTime) {
+        let mut lost = 0;
         if let Some(cache) = self.dram.as_mut() {
-            self.lost_dirty_blocks += cache.power_fail_clear();
+            lost = cache.power_fail_clear();
+            self.lost_dirty_blocks += lost;
         }
+        self.obs.record(&Event::PowerFail {
+            t: at,
+            lost_dirty_blocks: lost,
+        });
         let svc = match &mut self.backend {
-            Backend::Disk(disk) => Some(disk.power_fail(at, self.fat_scan_bytes)),
+            Backend::Disk(disk) => Some(disk.power_fail_obs(at, self.fat_scan_bytes, self.obs)),
             Backend::FlashDisk(_) => None,
-            Backend::FlashCard(card) => Some(card.power_fail(at)),
+            Backend::FlashCard(card) => Some(card.power_fail_obs(at, self.obs)),
         };
         if let Some(svc) = svc {
+            self.obs.record(&Event::RecoveryEnd {
+                t: svc.end,
+                duration: svc.end.saturating_since(at),
+            });
             self.last_completion = self.last_completion.max(svc.end);
         }
     }
@@ -587,7 +689,7 @@ impl Simulator {
                 buf.invalidate(lbn);
             }
             if let Backend::FlashCard(card) = &mut self.backend {
-                card.trim(lbn, 1);
+                card.trim_obs(op.time, lbn, 1, self.obs);
             }
         }
     }
@@ -595,15 +697,15 @@ impl Simulator {
     fn reset_at_boundary(&mut self, at: SimTime, reset_wear: bool) {
         match &mut self.backend {
             Backend::Disk(disk) => {
-                disk.finish(at);
+                disk.finish_obs(at, self.obs);
                 disk.reset_metrics();
             }
             Backend::FlashDisk(fd) => {
-                fd.finish(at);
+                fd.finish_obs(at, self.obs);
                 fd.reset_metrics();
             }
             Backend::FlashCard(card) => {
-                card.finish(at);
+                card.finish_obs(at, self.obs);
                 card.reset_metrics(reset_wear);
             }
         }
@@ -613,9 +715,9 @@ impl Simulator {
         if let Some(cache) = self.dram.as_mut() {
             cache.reset_metrics();
         }
-        self.read_ms = OnlineStats::new();
-        self.write_ms = OnlineStats::new();
-        self.all_ms = OnlineStats::new();
+        self.read_ms = LatencyRecorder::new();
+        self.write_ms = LatencyRecorder::new();
+        self.all_ms = LatencyRecorder::new();
     }
 
     fn finalize(mut self, measure_start: SimTime, end: SimTime) -> Metrics {
@@ -643,19 +745,19 @@ impl Simulator {
         let mut components: Vec<(&'static str, mobistore_sim::energy::Joules)> = Vec::new();
         let (disk_c, fd_c, card_c, wear, backend_states) = match &mut self.backend {
             Backend::Disk(disk) => {
-                disk.finish(end);
+                disk.finish_obs(end, self.obs);
                 components.push(("disk", disk.energy()));
                 let states = disk.meter().breakdown_timed().collect();
                 (Some(disk.counters()), None, None, None, states)
             }
             Backend::FlashDisk(fd) => {
-                fd.finish(end);
+                fd.finish_obs(end, self.obs);
                 components.push(("flash", fd.energy()));
                 let states = fd.meter().breakdown_timed().collect();
                 (None, Some(fd.counters()), None, None, states)
             }
             Backend::FlashCard(card) => {
-                card.finish(end);
+                card.finish_obs(end, self.obs);
                 components.push(("flash", card.energy()));
                 let states = card.meter().breakdown_timed().collect();
                 (None, None, Some(card.counters()), Some(card.wear()), states)
@@ -681,6 +783,9 @@ impl Simulator {
             read_response_ms: self.read_ms.summary(),
             write_response_ms: self.write_ms.summary(),
             overall_response_ms: self.all_ms.summary(),
+            read_latency: std::mem::take(&mut self.read_ms).into_histogram(),
+            write_latency: std::mem::take(&mut self.write_ms).into_histogram(),
+            overall_latency: std::mem::take(&mut self.all_ms).into_histogram(),
             duration: span,
             cache: self.dram.as_ref().map(|c| c.stats()),
             sram: sram_stats,
@@ -930,6 +1035,68 @@ mod tests {
             .with_flash_capacity(MIB)
             .with_utilization(0.01);
         let _ = simulate(&cfg, &trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot simulate configuration 'tiny-card'")]
+    fn rejection_names_the_configuration() {
+        let trace = small_trace(100, 10);
+        let cfg = SystemConfig::flash_card(intel_datasheet())
+            .named("tiny-card")
+            .with_flash_capacity(MIB)
+            .with_utilization(0.01);
+        let _ = simulate(&cfg, &trace);
+    }
+
+    #[test]
+    fn observer_sees_ops_and_matches_unobserved_run() {
+        use mobistore_sim::obs::CountingObserver;
+        let trace = small_trace(300, 50);
+        let cfg = SystemConfig::disk(cu140_datasheet());
+        let plain = simulate(&cfg, &trace);
+        let mut obs = CountingObserver::default();
+        let observed = simulate_observed(&cfg, &trace, RunOptions::default(), &mut obs);
+        // The observer is passive: results are bit-identical with and
+        // without it.
+        assert_eq!(plain.energy.get(), observed.energy.get());
+        assert_eq!(plain.read_response_ms, observed.read_response_ms);
+        // Every trace op produces an issue and a completion.
+        let n = trace.ops.len() as u64;
+        assert_eq!(obs.counts.get("op_issued"), n);
+        assert_eq!(obs.counts.get("op_completed"), n);
+        assert!(obs.counts.get("cache_read") > 0);
+        assert!(obs.counts.get("cache_write") > 0);
+        assert!(obs.counts.get("sram_absorb") > 0);
+    }
+
+    #[test]
+    fn observed_latency_breakdown_is_consistent() {
+        use mobistore_sim::obs::RecordingObserver;
+        let trace = miss_trace(200, 100);
+        let cfg = SystemConfig::flash_card(intel_datasheet()).with_flash_capacity(16 * MIB);
+        let mut obs = RecordingObserver::default();
+        let m = simulate_observed(&cfg, &trace, RunOptions::default(), &mut obs);
+        let mut completions = 0u64;
+        for e in &obs.events {
+            if let Event::OpCompleted {
+                queue,
+                service,
+                response,
+                ..
+            } = e
+            {
+                completions += 1;
+                assert!(
+                    *queue + *service <= *response || *response == SimDuration::ZERO,
+                    "queue {queue:?} + service {service:?} exceeds response {response:?}"
+                );
+            }
+        }
+        assert_eq!(completions, trace.ops.len() as u64);
+        // The histograms cover the measured (post-warm-up) ops.
+        let measured = m.read_response_ms.count + m.write_response_ms.count;
+        assert_eq!(m.overall_latency.count(), measured);
+        assert_eq!(m.read_latency.count() + m.write_latency.count(), measured);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! `mobistore-cache`; this model only serves raw accesses.
 
 use mobistore_sim::energy::{EnergyMeter, Joules};
+use mobistore_sim::obs::{Event, NoopObserver, Observer};
 use mobistore_sim::time::{SimDuration, SimTime};
 
 use crate::params::DiskParams;
@@ -302,6 +303,19 @@ impl MagneticDisk {
         self.access_at(now, dir, bytes, file, None)
     }
 
+    /// [`access`](Self::access), reporting spin-state transitions to an
+    /// observer.
+    pub fn access_obs<O: Observer>(
+        &mut self,
+        now: SimTime,
+        dir: Dir,
+        bytes: u64,
+        file: Option<FileTag>,
+        obs: &mut O,
+    ) -> Service {
+        self.access_at_obs(now, dir, bytes, file, None, obs)
+    }
+
     /// Serves one access issued at `now`, with an optional target block
     /// address for the distance-based seek model ([`SeekModel`]); `lbn` is
     /// ignored under the default model.
@@ -313,7 +327,21 @@ impl MagneticDisk {
         file: Option<FileTag>,
         lbn: Option<u64>,
     ) -> Service {
-        let ready = self.settle(now);
+        self.access_at_obs(now, dir, bytes, file, lbn, &mut NoopObserver)
+    }
+
+    /// [`access_at`](Self::access_at), reporting spin-state transitions
+    /// ([`Event::DiskSpinUp`]/[`Event::DiskSpinDown`]) to an observer.
+    pub fn access_at_obs<O: Observer>(
+        &mut self,
+        now: SimTime,
+        dir: Dir,
+        bytes: u64,
+        file: Option<FileTag>,
+        lbn: Option<u64>,
+        obs: &mut O,
+    ) -> Service {
+        let ready = self.settle(now, obs);
 
         let seek = match self.seek_model {
             SeekModel::SameFileAverage => match (file, self.last_file) {
@@ -363,9 +391,21 @@ impl MagneticDisk {
     /// then one average seek + rotation and the FAT transfer. The scan is
     /// charged to the `"recover"` energy category at active power.
     pub fn power_fail(&mut self, now: SimTime, fat_bytes: u64) -> Service {
+        self.power_fail_obs(now, fat_bytes, &mut NoopObserver)
+    }
+
+    /// [`power_fail`](Self::power_fail), reporting spin-state transitions
+    /// to an observer (the recovery spin-up is a [`Event::DiskSpinUp`]).
+    pub fn power_fail_obs<O: Observer>(
+        &mut self,
+        now: SimTime,
+        fat_bytes: u64,
+        obs: &mut O,
+    ) -> Service {
         // Settle history up to the failure instant; whatever state the
         // platters were in, the outage leaves them stopped.
-        let ready = self.settle(now).max(now);
+        let ready = self.settle(now, obs).max(now);
+        obs.record(&Event::DiskSpinUp { t: ready });
         let spun_up = ready + self.params.spin_up_time;
         self.meter.charge_for(
             "spinup",
@@ -394,12 +434,18 @@ impl MagneticDisk {
     /// Accounts for the trailing idle period at the end of a simulation so
     /// the energy integral covers `[0, end_of_trace]`.
     pub fn finish(&mut self, end: SimTime) {
-        self.settle_idle_only(end);
+        self.finish_obs(end, &mut NoopObserver);
+    }
+
+    /// [`finish`](Self::finish), reporting a trailing spin-down, if any,
+    /// to an observer.
+    pub fn finish_obs<O: Observer>(&mut self, end: SimTime, obs: &mut O) {
+        self.settle_idle_only(end, obs);
     }
 
     /// Settles the idle gap before a request arriving at `now` and returns
     /// the time at which the platters are ready to serve it.
-    fn settle(&mut self, now: SimTime) -> SimTime {
+    fn settle<O: Observer>(&mut self, now: SimTime, obs: &mut O) -> SimTime {
         if now <= self.free_at {
             // The disk never went idle, so no state change and no idle
             // energy to account. Under FIFO the request queues; open-loop
@@ -425,6 +471,9 @@ impl MagneticDisk {
         // The disk began spinning down `timeout` after it went idle.
         self.meter
             .charge_for("idle", self.params.idle_power, timeout);
+        obs.record(&Event::DiskSpinDown {
+            t: self.free_at + timeout,
+        });
         let down_complete = self.free_at + timeout + self.params.spin_down_time;
         self.counters.spin_downs += 1;
         let spin_up_start = if now < down_complete {
@@ -445,6 +494,7 @@ impl MagneticDisk {
                 .charge_for("standby", self.params.standby_power, now - down_complete);
             now
         };
+        obs.record(&Event::DiskSpinUp { t: spin_up_start });
         self.meter.charge_for(
             "spinup",
             self.params.spin_up_power,
@@ -456,7 +506,7 @@ impl MagneticDisk {
 
     /// Settles idle time up to `end` without serving a request (end of
     /// simulation).
-    fn settle_idle_only(&mut self, end: SimTime) {
+    fn settle_idle_only<O: Observer>(&mut self, end: SimTime, obs: &mut O) {
         if end <= self.free_at {
             return;
         }
@@ -475,6 +525,9 @@ impl MagneticDisk {
                     .charge_for("spindown", self.params.spin_down_power, down);
                 if after > self.params.spin_down_time {
                     self.counters.spin_downs += 1;
+                    obs.record(&Event::DiskSpinDown {
+                        t: self.free_at + timeout,
+                    });
                     self.meter.charge_for(
                         "standby",
                         self.params.standby_power,
@@ -783,6 +836,21 @@ mod tests {
         // The scan moved the head: the same-file heuristic seeks again.
         let next = d.access(svc.end, Dir::Read, 0, Some(1));
         assert_eq!((next.end - next.start).as_millis_f64(), 25.7);
+    }
+
+    #[test]
+    fn observer_sees_spin_transitions() {
+        use mobistore_sim::obs::CountingObserver;
+        let mut d = disk();
+        let mut obs = CountingObserver::default();
+        let first = d.access_obs(SimTime::ZERO, Dir::Read, 0, Some(1), &mut obs);
+        let later = first.end + SimDuration::from_secs(60);
+        let _ = d.access_obs(later, Dir::Read, 0, Some(1), &mut obs);
+        assert_eq!(obs.counts.get("disk_spin_down"), 1);
+        assert_eq!(obs.counts.get("disk_spin_up"), 1);
+        // The observed run's counters match the unobserved model's.
+        assert_eq!(d.counters().spin_downs, 1);
+        assert_eq!(d.counters().spin_ups, 1);
     }
 
     #[test]

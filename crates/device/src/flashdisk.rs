@@ -14,6 +14,7 @@
 //!   suspended while the device serves requests.
 
 use mobistore_sim::energy::{EnergyMeter, Joules};
+use mobistore_sim::obs::{Event, NoopObserver, Observer};
 use mobistore_sim::time::SimTime;
 
 use crate::params::{ErasePolicy, FlashDiskParams};
@@ -123,7 +124,19 @@ impl FlashDisk {
 
     /// Serves one access issued at `now`.
     pub fn access(&mut self, now: SimTime, dir: Dir, bytes: u64) -> Service {
-        let start = self.settle(now);
+        self.access_obs(now, dir, bytes, &mut NoopObserver)
+    }
+
+    /// [`access`](Self::access), reporting background pre-erasure
+    /// ([`Event::FlashPreErase`]) to an observer.
+    pub fn access_obs<O: Observer>(
+        &mut self,
+        now: SimTime,
+        dir: Dir,
+        bytes: u64,
+        obs: &mut O,
+    ) -> Service {
+        let start = self.settle(now, obs);
         let service = match dir {
             Dir::Read => self.params.read_bandwidth.transfer_time(bytes),
             Dir::Write => self.write_time(bytes),
@@ -146,7 +159,13 @@ impl FlashDisk {
     /// Accounts for the trailing idle period (and any final background
     /// erasure) at the end of a simulation.
     pub fn finish(&mut self, end: SimTime) {
-        let settled = self.settle(end);
+        self.finish_obs(end, &mut NoopObserver);
+    }
+
+    /// [`finish`](Self::finish), reporting trailing background erasure to
+    /// an observer.
+    pub fn finish_obs<O: Observer>(&mut self, end: SimTime, obs: &mut O) {
+        let settled = self.settle(end, obs);
         debug_assert!(settled >= end || settled == end.max(settled));
     }
 
@@ -177,7 +196,7 @@ impl FlashDisk {
     /// Settles the gap `[free_at, now]`: background erasure first (if the
     /// policy is asynchronous and there is garbage), idle power for the
     /// remainder. Returns when the device can start a new request.
-    fn settle(&mut self, now: SimTime) -> SimTime {
+    fn settle<O: Observer>(&mut self, now: SimTime, obs: &mut O) -> SimTime {
         if now <= self.free_at {
             // No idle gap to account; FIFO queues, open-loop serves at
             // arrival (the paper's independent-operation model).
@@ -201,6 +220,12 @@ impl FlashDisk {
             };
             self.garbage -= erased;
             self.erased_pool += erased;
+            if erased > 0 {
+                obs.record(&Event::FlashPreErase {
+                    t: self.free_at,
+                    bytes: erased,
+                });
+            }
             self.meter
                 .charge_for("erase", self.params.active_power, spent);
             idle = gap - spent;

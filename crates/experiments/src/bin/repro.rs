@@ -6,13 +6,22 @@
 //!
 //! Targets: `table1 table2 table3 table4 figure1 figure2 figure3 figure4
 //! figure5 async endurance verify battery ablations nextgen sensitivity
-//! related reliability` (default: all).
+//! related reliability observe` (default: all).
 //!
 //! The `reliability` target takes extra flags: `--fault-rates <a,b,c>`
 //! (transient write/erase fault rates to sweep), `--fault-power-interval
 //! <secs>` (mean seconds between power failures; 0 disables them), and
 //! `--fault-seed <n>` (the fault streams' seed, independent of the
 //! workload seed).
+//!
+//! Observability exports: `--events-out <path>` writes the JSONL event
+//! stream produced by observing targets (`observe`), and `--metrics-out
+//! <path>` writes a versioned JSON document with every rendered target's
+//! full metrics rows (latency percentiles included). Both artifacts carry
+//! sim time only, so they are byte-identical at any `--jobs` count.
+//! `--timings-json <path>` writes the per-target wall-clock profile as
+//! JSON (the `BENCH_repro.json` feed); unlike the sim-time exports it
+//! measures the host and is *not* deterministic.
 //!
 //! Targets run **concurrently** on a worker pool (`--jobs N`, the
 //! `MOBISTORE_JOBS` environment variable, or all available cores), with
@@ -23,19 +32,27 @@
 //! wall-clock and the cache's hit/miss summary on stderr.
 
 use std::env;
+use std::fmt::Write as _;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use mobistore_core::metrics::Metrics;
 use mobistore_experiments::render::{render_target, RenderOptions, TARGETS};
-use mobistore_experiments::Scale;
+use mobistore_experiments::{export, Scale};
 use mobistore_sim::exec;
 use mobistore_sim::time::SimDuration;
 
-/// One finished target: rendered text, CSV exports, and wall-clock time.
-type TargetOutput = (String, Vec<(&'static str, String)>, Duration);
+/// One finished target: rendered output plus its wall-clock time.
+struct TargetOutput {
+    text: String,
+    csvs: Vec<(&'static str, String)>,
+    metrics: Vec<Metrics>,
+    events_jsonl: Option<String>,
+    elapsed: Duration,
+}
 
 fn main() -> ExitCode {
     let started = Instant::now();
@@ -43,6 +60,9 @@ fn main() -> ExitCode {
     let mut targets: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
     let mut timings = false;
+    let mut events_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut timings_json: Option<PathBuf> = None;
     let mut render = RenderOptions::default();
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,6 +83,21 @@ fn main() -> ExitCode {
             "--csv" => match args.next() {
                 Some(dir) => csv_dir = Some(PathBuf::from(dir)),
                 None => return usage("--csv needs a directory"),
+            },
+            "--events-out" => match args.next() {
+                Some(path) => {
+                    events_out = Some(PathBuf::from(path));
+                    render.collect_events = true;
+                }
+                None => return usage("--events-out needs a file path"),
+            },
+            "--metrics-out" => match args.next() {
+                Some(path) => metrics_out = Some(PathBuf::from(path)),
+                None => return usage("--metrics-out needs a file path"),
+            },
+            "--timings-json" => match args.next() {
+                Some(path) => timings_json = Some(PathBuf::from(path)),
+                None => return usage("--timings-json needs a file path"),
             },
             "--fault-rates" => match args.next().map(|v| parse_rates(&v)) {
                 Some(Some(rates)) => render.reliability.rates = rates,
@@ -107,25 +142,56 @@ fn main() -> ExitCode {
         eprintln!("# running {target}...");
         let t0 = Instant::now();
         let r = render_target(target, scale, &render);
-        (r.text, r.csvs, t0.elapsed())
+        TargetOutput {
+            text: r.text,
+            csvs: r.csvs,
+            metrics: r.metrics,
+            events_jsonl: r.events_jsonl,
+            elapsed: t0.elapsed(),
+        }
     });
 
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
-    for (out, csvs, _) in &results {
-        if lock.write_all(out.as_bytes()).is_err() {
+    for r in &results {
+        if lock.write_all(r.text.as_bytes()).is_err() {
             return ExitCode::from(1);
         }
-        for (name, contents) in csvs {
+        for (name, contents) in &r.csvs {
             write_csv(&csv_dir, name, contents);
         }
     }
     drop(lock);
 
+    if let Some(path) = &events_out {
+        let mut stream = String::new();
+        for r in &results {
+            if let Some(events) = &r.events_jsonl {
+                stream.push_str(events);
+            }
+        }
+        write_artifact(path, &stream, "events");
+    }
+    if let Some(path) = &metrics_out {
+        let per_target: Vec<(&str, &[Metrics])> = targets
+            .iter()
+            .zip(&results)
+            .map(|(t, r)| (t.as_str(), r.metrics.as_slice()))
+            .collect();
+        write_artifact(path, &export::metrics_json(scale, &per_target), "metrics");
+    }
+    if let Some(path) = &timings_json {
+        write_artifact(
+            path,
+            &timings_json_doc(&targets, &results, started.elapsed()),
+            "timings",
+        );
+    }
+
     if timings {
         eprintln!("# timings (jobs={}):", exec::jobs());
-        for (target, (_, _, elapsed)) in targets.iter().zip(&results) {
-            eprintln!("#   {target:<12} {:>9.3}s", elapsed.as_secs_f64());
+        for (target, r) in targets.iter().zip(&results) {
+            eprintln!("#   {target:<12} {:>9.3}s", r.elapsed.as_secs_f64());
         }
         let c = mobistore_workload::cache::summary();
         eprintln!(
@@ -141,6 +207,35 @@ fn main() -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// Renders the `--timings-json` document: wall-clock per target plus the
+/// trace-cache summary (host profiling — not deterministic).
+fn timings_json_doc(targets: &[String], results: &[TargetOutput], total: Duration) -> String {
+    let mut s = String::from("{\"schema\":\"mobistore-timings/1\"");
+    let _ = write!(s, ",\"jobs\":{}", exec::jobs());
+    s.push_str(",\"targets\":[");
+    for (i, (target, r)) in targets.iter().zip(results).enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"target\":\"{target}\",\"seconds\":{:.6}}}",
+            r.elapsed.as_secs_f64()
+        );
+    }
+    let c = mobistore_workload::cache::summary();
+    let _ = write!(
+        s,
+        "],\"trace_cache\":{{\"generated\":{},\"hits\":{},\"entries\":{}}},\
+         \"total_seconds\":{:.6}}}",
+        c.misses,
+        c.hits,
+        c.entries,
+        total.as_secs_f64()
+    );
+    s
 }
 
 /// Parses `--fault-rates`: comma-separated probabilities in `[0, 1]`.
@@ -169,15 +264,32 @@ fn write_csv(dir: &Option<PathBuf>, name: &str, contents: &str) {
     }
 }
 
+/// Writes one export artifact, logging like `write_csv`.
+fn write_artifact(path: &PathBuf, contents: &str, what: &str) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                return;
+            }
+        }
+    }
+    match fs::write(path, contents) {
+        Ok(()) => eprintln!("# wrote {what} to {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}
+
 fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
     eprintln!(
         "usage: repro [--scale <0..1]] [--seed <n>] [--jobs <n>] [--timings] [--csv <dir>] \
+         [--events-out <file>] [--metrics-out <file>] [--timings-json <file>] \
          [--fault-rates <a,b,c>] [--fault-power-interval <secs>] [--fault-seed <n>] \
          [table1|table2|table3|table4|figure1|figure2|figure3|figure4|figure5|async|endurance|\
-         verify|battery|ablations|nextgen|sensitivity|related|reliability ...]"
+         verify|battery|ablations|nextgen|sensitivity|related|reliability|observe ...]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -1,0 +1,214 @@
+//! Machine-readable metrics export (`repro --metrics-out`).
+//!
+//! Serializes the [`Metrics`] rows collected by the rendered targets into
+//! one versioned JSON document (schema tag [`METRICS_SCHEMA`]). The JSON
+//! is hand-rolled — the workspace is std-only — and deterministic: keys
+//! are emitted in a fixed order, counters come from a sorted
+//! [`CounterRegistry`](mobistore_sim::obs::CounterRegistry), every
+//! duration is integer sim-time nanoseconds, and floats go through one
+//! finite-guarded formatter. Targets run through
+//! [`parallel_map`](mobistore_sim::exec::parallel_map) in request order,
+//! so the document is byte-identical at any `--jobs` count.
+
+use std::fmt::Write as _;
+
+use mobistore_core::metrics::Metrics;
+use mobistore_sim::hist::{Histogram, Percentiles};
+use mobistore_sim::stats::Summary;
+
+use crate::Scale;
+
+/// Version tag carried in the document's `schema` field. Bump on any
+/// incompatible layout change.
+pub const METRICS_SCHEMA: &str = "mobistore-metrics/1";
+
+/// Formats a float for JSON: plain shortest-roundtrip decimal, with
+/// non-finite values clamped to 0 (JSON has no NaN/Infinity).
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// Escapes a string for a JSON string literal.
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One latency block: moments from the `Summary`, percentiles from the
+/// log-bucketed histogram.
+fn latency_json(summary: &Summary, hist: &Histogram) -> String {
+    let Percentiles {
+        p50,
+        p90,
+        p99,
+        p999,
+    } = hist.percentiles_ms();
+    let min = if summary.count == 0 { 0.0 } else { summary.min };
+    let max = if summary.count == 0 { 0.0 } else { summary.max };
+    format!(
+        "{{\"count\":{},\"mean_ms\":{},\"min_ms\":{},\"max_ms\":{},\"std_ms\":{},\
+         \"p50_ms\":{},\"p90_ms\":{},\"p99_ms\":{},\"p999_ms\":{}}}",
+        summary.count,
+        jnum(summary.mean),
+        jnum(min),
+        jnum(max),
+        jnum(summary.std),
+        jnum(p50),
+        jnum(p90),
+        jnum(p99),
+        jnum(p999),
+    )
+}
+
+/// Serializes one metrics row.
+fn row_json(m: &Metrics) -> String {
+    let mut s = String::with_capacity(512);
+    let _ = write!(
+        s,
+        "{{\"name\":{},\"energy_j\":{},\"duration_ns\":{},\"mean_power_w\":{}",
+        jstr(&m.name),
+        jnum(m.energy.get()),
+        m.duration.as_nanos(),
+        jnum(m.mean_power_w()),
+    );
+    let _ = write!(
+        s,
+        ",\"read\":{},\"write\":{},\"overall\":{}",
+        latency_json(&m.read_response_ms, &m.read_latency),
+        latency_json(&m.write_response_ms, &m.write_latency),
+        latency_json(&m.overall_response_ms, &m.overall_latency),
+    );
+    s.push_str(",\"states\":[");
+    for (i, (state, energy, dur)) in m.backend_states.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"state\":{},\"energy_j\":{},\"time_ns\":{}}}",
+            jstr(state),
+            jnum(energy.get()),
+            dur.as_nanos()
+        );
+    }
+    s.push(']');
+    let _ = write!(s, ",\"counters\":{}", m.counters().to_json());
+    s.push('}');
+    s
+}
+
+/// Serializes the whole document: one entry per rendered target, in
+/// request order, each carrying the metrics rows that target produced
+/// (empty for targets that report derived values only).
+pub fn metrics_json(scale: Scale, targets: &[(&str, &[Metrics])]) -> String {
+    let mut s = String::with_capacity(4096);
+    let _ = write!(
+        s,
+        "{{\"schema\":{},\"scale\":{},\"seed\":{},\"targets\":[",
+        jstr(METRICS_SCHEMA),
+        jnum(scale.fraction),
+        scale.seed
+    );
+    for (i, (target, rows)) in targets.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{{\"target\":{},\"rows\":[", jstr(target));
+        for (j, row) in rows.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&row_json(row));
+        }
+        s.push_str("]}");
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobistore_core::simulator::simulate;
+    use mobistore_device::params::sdp5_datasheet;
+    use mobistore_sim::time::SimTime;
+    use mobistore_trace::record::{DiskOp, DiskOpKind, FileId, Trace};
+
+    fn metrics() -> Metrics {
+        let mut trace = Trace::new(1024);
+        for i in 0..40 {
+            trace.push(DiskOp {
+                time: SimTime::from_secs_f64(i as f64 * 0.05),
+                kind: if i % 2 == 0 {
+                    DiskOpKind::Write
+                } else {
+                    DiskOpKind::Read
+                },
+                lbn: i % 8,
+                blocks: 1,
+                file: FileId(0),
+            });
+        }
+        let mut m = simulate(
+            &mobistore_core::config::SystemConfig::flash_disk(sdp5_datasheet()),
+            &trace,
+        );
+        m.name = "test/flash".into();
+        m
+    }
+
+    #[test]
+    fn document_carries_schema_rows_and_percentiles() {
+        let m = metrics();
+        let doc = metrics_json(Scale::quick(), &[("observe", std::slice::from_ref(&m))]);
+        assert!(doc.starts_with("{\"schema\":\"mobistore-metrics/1\""));
+        assert!(doc.contains("\"target\":\"observe\""));
+        assert!(doc.contains("\"name\":\"test/flash\""));
+        for field in [
+            "p50_ms", "p90_ms", "p99_ms", "p999_ms", "counters", "states",
+        ] {
+            assert!(doc.contains(field), "missing {field}");
+        }
+        // Balanced braces/brackets (cheap well-formedness check; the CI jq
+        // script does the real validation).
+        assert_eq!(
+            doc.matches('{').count(),
+            doc.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn strings_and_nonfinite_floats_are_sanitized() {
+        assert_eq!(jstr("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(jnum(f64::INFINITY), "0");
+        assert_eq!(jnum(f64::NAN), "0");
+        assert_eq!(jnum(1.5), "1.5");
+    }
+
+    #[test]
+    fn empty_target_list_is_valid() {
+        let doc = metrics_json(Scale::quick(), &[("table1", &[])]);
+        assert!(doc.contains("\"target\":\"table1\",\"rows\":[]"));
+    }
+}

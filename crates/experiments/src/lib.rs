@@ -24,6 +24,7 @@
 //! | [`sensitivity`] | undocumented-constant perturbations |
 //! | [`related`] | §6 eNVy cleaning-duty-cycle cross-check |
 //! | [`reliability`] | fault-rate sweep with crash recovery (beyond the paper) |
+//! | [`observe`] | state residency + latency percentiles per workload × device |
 //!
 //! [`render`] turns any named target into its exact stdout bytes, shared
 //! by the `repro` binary and the golden snapshot tests.
@@ -39,12 +40,14 @@ pub mod async_cleaning;
 pub mod battery;
 pub mod csv;
 pub mod endurance;
+pub mod export;
 pub mod figure1;
 pub mod figure2;
 pub mod figure3;
 pub mod figure4;
 pub mod figure5;
 pub mod next_gen;
+pub mod observe;
 pub mod plot;
 pub mod related;
 pub mod reliability;

@@ -8,11 +8,13 @@
 
 use std::fmt::Display;
 
+use mobistore_core::metrics::Metrics;
+
 use crate::reliability::ReliabilityOptions;
 use crate::{reliability, Scale};
 
 /// Every known target, in the default (paper) order.
-pub const TARGETS: [&str; 18] = [
+pub const TARGETS: [&str; 19] = [
     "table1",
     "table2",
     "table3",
@@ -31,6 +33,7 @@ pub const TARGETS: [&str; 18] = [
     "sensitivity",
     "related",
     "reliability",
+    "observe",
 ];
 
 /// Options a target may consume beyond the [`Scale`].
@@ -38,15 +41,25 @@ pub const TARGETS: [&str; 18] = [
 pub struct RenderOptions {
     /// The `reliability` target's fault sweep parameters.
     pub reliability: ReliabilityOptions,
+    /// Collect per-event JSONL streams (the `--events-out` payload) from
+    /// targets that observe their simulations. Off by default: rendering
+    /// with the default options is exactly the pre-observability output.
+    pub collect_events: bool,
 }
 
-/// One rendered target: its stdout bytes and any CSV side files.
+/// One rendered target: its stdout bytes and any side artifacts.
 #[derive(Debug, Clone)]
 pub struct RenderedTarget {
     /// Exactly what the serial `repro` binary prints to stdout.
     pub text: String,
     /// `(file name, contents)` pairs for the `--csv` directory.
     pub csvs: Vec<(&'static str, String)>,
+    /// Full metrics rows for the `--metrics-out` export (empty for targets
+    /// that report derived values only).
+    pub metrics: Vec<Metrics>,
+    /// The target's JSONL event stream, when
+    /// [`RenderOptions::collect_events`] was set and the target observes.
+    pub events_jsonl: Option<String>,
 }
 
 /// Renders one target.
@@ -57,6 +70,8 @@ pub struct RenderedTarget {
 pub fn render_target(target: &str, scale: Scale, options: &RenderOptions) -> RenderedTarget {
     let mut out = String::new();
     let mut csvs: Vec<(&'static str, String)> = Vec::new();
+    let mut metrics: Vec<Metrics> = Vec::new();
+    let mut events_jsonl: Option<String> = None;
     // Mirrors the old `println!("{}\n", x)`: the value, then a blank line.
     fn p(out: &mut String, x: impl Display) {
         out.push_str(&format!("{x}\n\n"));
@@ -69,6 +84,13 @@ pub fn render_target(target: &str, scale: Scale, options: &RenderOptions) -> Ren
             let t = crate::table4::run(scale);
             p(&mut out, &t);
             csvs.push(("table4.csv", crate::csv::table4_csv(&t)));
+            for part in &t.parts {
+                for row in &part.rows {
+                    let mut m = row.clone();
+                    m.name = format!("{}/{}", part.workload.name(), row.name);
+                    metrics.push(m);
+                }
+            }
         }
         "figure1" => {
             let fig = crate::figure1::run();
@@ -118,9 +140,20 @@ pub fn render_target(target: &str, scale: Scale, options: &RenderOptions) -> Ren
         "sensitivity" => p(&mut out, crate::sensitivity::run(scale)),
         "related" => p(&mut out, crate::related::run(scale)),
         "reliability" => p(&mut out, reliability::run(scale, &options.reliability)),
+        "observe" => {
+            let o = crate::observe::run(scale, options.collect_events);
+            p(&mut out, &o);
+            events_jsonl = o.events_jsonl();
+            metrics.extend(o.cells.into_iter().map(|c| c.metrics));
+        }
         other => panic!("unknown target {other}"),
     }
-    RenderedTarget { text: out, csvs }
+    RenderedTarget {
+        text: out,
+        csvs,
+        metrics,
+        events_jsonl,
+    }
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@ use mobistore_device::params::FlashCardParams;
 use mobistore_device::Service;
 use mobistore_sim::energy::{EnergyMeter, Joules};
 use mobistore_sim::fault::{EraseOutcome, FaultConfig, FaultPlan};
+use mobistore_sim::obs::{Event, FaultKind, NoopObserver, Observer};
 use mobistore_sim::time::{SimDuration, SimTime};
 
 /// Bytes of per-block metadata (logical block number, state bits) the
@@ -467,7 +468,19 @@ impl FlashCardStore {
     /// Reads never wait for cleaning (erasure is suspended during I/O), but
     /// do queue behind earlier requests.
     pub fn read(&mut self, now: SimTime, _lbn: u64, blocks: u32) -> Service {
-        let start = self.settle(now);
+        self.read_obs(now, _lbn, blocks, &mut NoopObserver)
+    }
+
+    /// [`read`](Self::read), reporting background-cleaning completions that
+    /// settle during the preceding idle gap to an observer.
+    pub fn read_obs<O: Observer>(
+        &mut self,
+        now: SimTime,
+        _lbn: u64,
+        blocks: u32,
+        obs: &mut O,
+    ) -> Service {
+        let start = self.settle(now, obs);
         let bytes = u64::from(blocks) * self.config.block_size;
         let dur = self.config.params.access_latency
             + self.config.params.read_bandwidth.transfer_time(bytes);
@@ -496,7 +509,24 @@ impl FlashCardStore {
     /// Panics if space is exhausted and nothing is cleanable (the working
     /// set exceeds usable capacity).
     pub fn write(&mut self, now: SimTime, lbn: u64, blocks: u32) -> Service {
-        let start = self.settle(now);
+        self.write_obs(now, lbn, blocks, &mut NoopObserver)
+    }
+
+    /// [`write`](Self::write), reporting cleaning activity
+    /// ([`Event::FlashCleanStart`]/[`Event::FlashCleanEnd`]) and injected
+    /// faults ([`Event::FaultInjected`]) to an observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when space is exhausted, like [`write`](Self::write).
+    pub fn write_obs<O: Observer>(
+        &mut self,
+        now: SimTime,
+        lbn: u64,
+        blocks: u32,
+        obs: &mut O,
+    ) -> Service {
+        let start = self.settle(now, obs);
         let mut wait = SimDuration::ZERO;
         let mut waited = false;
         for i in 0..u64::from(blocks) {
@@ -505,7 +535,7 @@ impl FlashCardStore {
             // covers a cleaning whose victim was retired (no erased
             // segment produced) — the next victim is cleaned immediately.
             while self.frontier_full() && !self.advance_frontier() {
-                match self.run_cleaning_foreground() {
+                match self.run_cleaning_foreground(start + wait, obs) {
                     Some(spent) => {
                         wait += spent;
                         waited = true;
@@ -526,10 +556,10 @@ impl FlashCardStore {
                 // data can be relocated.
                 match self.config.mode {
                     CleanerMode::Background => {
-                        self.start_job();
+                        self.start_job(start + wait, obs);
                     }
                     CleanerMode::OnDemand => {
-                        if let Some(spent) = self.run_cleaning_foreground() {
+                        if let Some(spent) = self.run_cleaning_foreground(start + wait, obs) {
                             wait += spent;
                             waited = true;
                         }
@@ -548,6 +578,10 @@ impl FlashCardStore {
         let retries = self.plan.write_retries();
         if retries > 0 {
             self.counters.write_retries += u64::from(retries);
+            obs.record(&Event::FaultInjected {
+                t: start + wait,
+                kind: FaultKind::WriteRetry { retries },
+            });
             dur += (self.plan.config().retry_backoff + dur) * u64::from(retries);
         }
         let end = start + wait + dur;
@@ -563,20 +597,34 @@ impl FlashCardStore {
     /// Marks `blocks` logical blocks starting at `lbn` dead (file deletion).
     /// Takes no device time.
     pub fn trim(&mut self, lbn: u64, blocks: u32) {
+        // The timestamp only labels observer events; NoopObserver drops it.
+        self.trim_obs(self.free_at, lbn, blocks, &mut NoopObserver);
+    }
+
+    /// [`trim`](Self::trim), with the trim's sim time (`now`) so any
+    /// cleaning job it triggers is reported to the observer with a correct
+    /// stamp.
+    pub fn trim_obs<O: Observer>(&mut self, now: SimTime, lbn: u64, blocks: u32, obs: &mut O) {
         for i in 0..u64::from(blocks) {
             if let Some(seg) = self.map.remove(&(lbn + i)) {
                 self.segments[seg as usize].live -= 1;
                 self.live_blocks -= 1;
             }
         }
-        self.maybe_start_job();
+        self.maybe_start_job(now, obs);
         self.debug_check();
     }
 
     /// Accounts for the trailing idle period (and any final background
     /// cleaning) at the end of a simulation.
     pub fn finish(&mut self, end: SimTime) {
-        let _ = self.settle(end);
+        self.finish_obs(end, &mut NoopObserver);
+    }
+
+    /// [`finish`](Self::finish), reporting trailing cleaning completions to
+    /// an observer.
+    pub fn finish_obs<O: Observer>(&mut self, end: SimTime, obs: &mut O) {
+        let _ = self.settle(end, obs);
     }
 
     /// Simulates a power failure at `at` followed by crash recovery.
@@ -591,8 +639,14 @@ impl FlashCardStore {
     /// whole recovery; time and energy are charged to the `"recover"`
     /// state and [`FlashCardCounters::recovery_time`].
     pub fn power_fail(&mut self, at: SimTime) -> Service {
+        self.power_fail_obs(at, &mut NoopObserver)
+    }
+
+    /// [`power_fail`](Self::power_fail), reporting the orphaned-job reclaim
+    /// (a [`Event::FlashCleanEnd`]) to an observer.
+    pub fn power_fail_obs<O: Observer>(&mut self, at: SimTime, obs: &mut O) -> Service {
         // Background cleaning progressed until the lights went out.
-        let start = self.settle(at);
+        let start = self.settle(at, obs);
         let orphan = self.job.take().map(|j| j.victim);
 
         // Log scan: header read per occupied (live or dead) slot.
@@ -607,7 +661,7 @@ impl FlashCardStore {
         // Orphaned-segment reclaim: the interrupted victim is re-erased.
         if let Some(victim) = orphan {
             dur += self.config.params.erase_time;
-            self.finish_job(victim, false);
+            self.finish_job(start + dur, victim, false, obs);
         }
         let end = start + dur;
         self.meter
@@ -714,19 +768,20 @@ impl FlashCardStore {
     }
 
     /// Starts a background job if the erased pool is empty and cleaning is
-    /// possible.
-    fn maybe_start_job(&mut self) {
+    /// possible. `at` stamps the observer event.
+    fn maybe_start_job<O: Observer>(&mut self, at: SimTime, obs: &mut O) {
         if self.config.mode != CleanerMode::Background
             || self.job.is_some()
             || !self.erased.is_empty()
         {
             return;
         }
-        self.start_job();
+        self.start_job(at, obs);
     }
 
     /// Starts a cleaning job regardless of mode; returns false if no victim.
-    fn start_job(&mut self) -> bool {
+    /// `at` stamps the observer events.
+    fn start_job<O: Observer>(&mut self, at: SimTime, obs: &mut O) -> bool {
         let Some(victim) = self.select_victim() else {
             return false;
         };
@@ -770,6 +825,10 @@ impl FlashCardStore {
             EraseOutcome::Clean => {}
             EraseOutcome::Retried(n) => {
                 self.counters.erase_retries += u64::from(n);
+                obs.record(&Event::FaultInjected {
+                    t: at,
+                    kind: FaultKind::EraseRetry { retries: n },
+                });
                 erase_time += self.config.params.erase_time * u64::from(n);
             }
             EraseOutcome::Permanent => {
@@ -781,10 +840,19 @@ impl FlashCardStore {
                     retire = true;
                 } else {
                     self.counters.erase_retries += 1;
+                    obs.record(&Event::FaultInjected {
+                        t: at,
+                        kind: FaultKind::EraseRetry { retries: 1 },
+                    });
                     erase_time += self.config.params.erase_time;
                 }
             }
         }
+        obs.record(&Event::FlashCleanStart {
+            t: at,
+            victim,
+            live_copied: copy_blocks as u32,
+        });
         self.job = Some(CleanJob {
             victim,
             remaining: copy_time + erase_time,
@@ -794,24 +862,29 @@ impl FlashCardStore {
     }
 
     /// Completes the current job's remaining work in the foreground (a
-    /// write is waiting); returns the time spent, or `None` if there is no
-    /// job and nothing is cleanable. Starts a job first if none is running.
-    fn run_cleaning_foreground(&mut self) -> Option<SimDuration> {
-        if self.job.is_none() && !self.start_job() {
+    /// write is waiting at sim time `at`); returns the time spent, or
+    /// `None` if there is no job and nothing is cleanable. Starts a job
+    /// first if none is running.
+    fn run_cleaning_foreground<O: Observer>(
+        &mut self,
+        at: SimTime,
+        obs: &mut O,
+    ) -> Option<SimDuration> {
+        if self.job.is_none() && !self.start_job(at, obs) {
             return None;
         }
         let job = self.job.take().expect("job exists");
         self.meter
             .charge_for("clean", self.config.params.active_power, job.remaining);
         let spent = job.remaining;
-        self.finish_job(job.victim, job.retire);
+        self.finish_job(at + spent, job.victim, job.retire, obs);
         Some(spent)
     }
 
-    /// Applies job completion: the victim becomes erased, or — when its
-    /// final erase pulse failed permanently — is retired into the
-    /// bad-block map, shrinking usable capacity.
-    fn finish_job(&mut self, victim: u32, retire: bool) {
+    /// Applies job completion at sim time `at`: the victim becomes erased,
+    /// or — when its final erase pulse failed permanently — is retired into
+    /// the bad-block map, shrinking usable capacity.
+    fn finish_job<O: Observer>(&mut self, at: SimTime, victim: u32, retire: bool, obs: &mut O) {
         let seg = &mut self.segments[victim as usize];
         seg.live = 0;
         seg.used = 0;
@@ -820,17 +893,26 @@ impl FlashCardStore {
             seg.state = SegState::Bad;
             self.bad.push(victim);
             self.counters.segments_retired += 1;
+            obs.record(&Event::FaultInjected {
+                t: at,
+                kind: FaultKind::SegmentRetired { segment: victim },
+            });
         } else {
             seg.state = SegState::Erased;
             self.erased.push(victim);
         }
+        obs.record(&Event::FlashCleanEnd {
+            t: at,
+            victim,
+            retired: retire,
+        });
         self.counters.erasures += 1;
     }
 
     /// Settles the gap `[free_at, now]`: background cleaning progresses
     /// during idle time (suspended during I/O, which is modeled by only
     /// advancing it here), idle power covers the remainder.
-    fn settle(&mut self, now: SimTime) -> SimTime {
+    fn settle<O: Observer>(&mut self, now: SimTime, obs: &mut O) -> SimTime {
         if now <= self.free_at {
             // No idle gap: FIFO queues, open-loop serves at arrival (the
             // paper's independent-operation model). Background cleaning
@@ -843,7 +925,7 @@ impl FlashCardStore {
         let mut t = self.free_at;
         while t < now {
             if self.job.is_none() {
-                self.maybe_start_job();
+                self.maybe_start_job(t, obs);
             }
             let Some(job) = self.job.as_mut() else { break };
             let slice = job.remaining.min(now - t);
@@ -853,7 +935,7 @@ impl FlashCardStore {
             t += slice;
             if self.job.as_ref().expect("job exists").remaining.is_zero() {
                 let job = self.job.take().expect("job exists");
-                self.finish_job(job.victim, job.retire);
+                self.finish_job(t, job.victim, job.retire, obs);
             }
         }
         if t < now {

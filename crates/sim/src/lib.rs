@@ -18,7 +18,12 @@
 //!   input order, so parallel results are bit-identical to serial ones;
 //! * [`fault`] — seeded, deterministic fault injection ([`fault::FaultPlan`])
 //!   for transient write/erase failures, permanent bad blocks, and
-//!   power-failure schedules.
+//!   power-failure schedules;
+//! * [`hist`] — log-bucketed latency histograms ([`hist::Histogram`]) with
+//!   deterministic p50/p90/p99/p99.9 queries;
+//! * [`obs`] — structured sim-time event tracing ([`obs::Event`],
+//!   [`obs::Observer`]); the default [`obs::NoopObserver`] monomorphises
+//!   away entirely.
 //!
 //! Everything is deterministic: integer time plus a seeded RNG make each
 //! experiment reproducible bit-for-bit.
@@ -29,6 +34,8 @@
 pub mod energy;
 pub mod exec;
 pub mod fault;
+pub mod hist;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -36,6 +43,8 @@ pub mod units;
 
 pub use energy::{EnergyMeter, Joules, Watts};
 pub use fault::{FaultConfig, FaultPlan};
+pub use hist::{Histogram, LatencyRecorder, Percentiles};
+pub use obs::{CounterRegistry, Event, NoopObserver, Observer};
 pub use rng::SimRng;
 pub use stats::{OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};

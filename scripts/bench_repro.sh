@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Times the full repro pipeline serial (--jobs 1) vs parallel (all cores)
-# and writes the results to BENCH_repro.json in the repo root.
+# and writes the results to BENCH_repro.json in the repo root. The
+# per-target wall-clock breakdown comes from repro's own --timings-json
+# self-profiling, so the benchmark records which targets dominate.
 #
 # Usage: scripts/bench_repro.sh [scale] [seed]
 set -euo pipefail
@@ -16,11 +18,12 @@ REPRO=target/release/repro
 
 now_ms() { date +%s%3N; }
 
-run() { # run <jobs> <outfile> -> prints elapsed ms
-    local jobs="$1" out="$2"
+run() { # run <jobs> <outfile> <timingsfile> -> prints elapsed ms
+    local jobs="$1" out="$2" timings="$3"
     local t0 t1
     t0=$(now_ms)
-    "$REPRO" --scale "$SCALE" --seed "$SEED" --jobs "$jobs" >"$out" 2>/dev/null
+    "$REPRO" --scale "$SCALE" --seed "$SEED" --jobs "$jobs" \
+        --timings-json "$timings" >"$out" 2>/dev/null
     t1=$(now_ms)
     echo $((t1 - t0))
 }
@@ -29,8 +32,10 @@ echo "benching repro --scale $SCALE --seed $SEED (parallel jobs=$JOBS)..." >&2
 
 SERIAL_OUT="$(mktemp)"
 PARALLEL_OUT="$(mktemp)"
-SERIAL_MS=$(run 1 "$SERIAL_OUT")
-PARALLEL_MS=$(run "$JOBS" "$PARALLEL_OUT")
+SERIAL_TIMINGS="$(mktemp)"
+PARALLEL_TIMINGS="$(mktemp)"
+SERIAL_MS=$(run 1 "$SERIAL_OUT" "$SERIAL_TIMINGS")
+PARALLEL_MS=$(run "$JOBS" "$PARALLEL_OUT" "$PARALLEL_TIMINGS")
 
 if cmp -s "$SERIAL_OUT" "$PARALLEL_OUT"; then
     IDENTICAL=true
@@ -41,7 +46,24 @@ rm -f "$SERIAL_OUT" "$PARALLEL_OUT"
 
 SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $SERIAL_MS / $PARALLEL_MS }")
 
-cat > BENCH_repro.json <<EOF
+if command -v jq >/dev/null; then
+    # Embed repro's own per-target profiles (mobistore-timings/1).
+    jq -n \
+        --arg bench "repro --scale $SCALE --seed $SEED" \
+        --argjson cores "$JOBS" \
+        --argjson serial_ms "$SERIAL_MS" \
+        --argjson parallel_ms "$PARALLEL_MS" \
+        --argjson speedup "$SPEEDUP" \
+        --argjson identical "$IDENTICAL" \
+        --slurpfile serial "$SERIAL_TIMINGS" \
+        --slurpfile parallel "$PARALLEL_TIMINGS" \
+        '{benchmark: $bench, cores: $cores, serial_ms: $serial_ms,
+          parallel_ms: $parallel_ms, speedup: $speedup,
+          output_identical: $identical,
+          serial_profile: $serial[0], parallel_profile: $parallel[0]}' \
+        > BENCH_repro.json
+else
+    cat > BENCH_repro.json <<EOF
 {
   "benchmark": "repro --scale $SCALE --seed $SEED",
   "cores": $JOBS,
@@ -51,5 +73,7 @@ cat > BENCH_repro.json <<EOF
   "output_identical": $IDENTICAL
 }
 EOF
+fi
+rm -f "$SERIAL_TIMINGS" "$PARALLEL_TIMINGS"
 
 cat BENCH_repro.json

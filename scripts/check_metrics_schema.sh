@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Validates the observability export artifacts with jq:
+#
+#   scripts/check_metrics_schema.sh <metrics.json> [events.jsonl]
+#
+# The metrics document must carry the mobistore-metrics/1 schema tag,
+# a targets array of {target, rows} objects, and every row must expose
+# the full latency-percentile set plus states and counters. The optional
+# JSONL event stream must parse line by line, with every line carrying a
+# sim-time stamp and an event name, and the required event families must
+# all appear at least once.
+set -euo pipefail
+
+METRICS="${1:?usage: check_metrics_schema.sh <metrics.json> [events.jsonl]}"
+EVENTS="${2:-}"
+
+command -v jq >/dev/null || { echo "jq is required" >&2; exit 1; }
+
+echo "checking $METRICS against mobistore-metrics/1..." >&2
+
+jq -e '.schema == "mobistore-metrics/1"' "$METRICS" >/dev/null \
+    || { echo "FAIL: schema tag is not mobistore-metrics/1" >&2; exit 1; }
+jq -e '(.scale | type == "number") and (.seed | type == "number")' \
+    "$METRICS" >/dev/null \
+    || { echo "FAIL: missing scale/seed" >&2; exit 1; }
+jq -e '.targets | type == "array" and length > 0' "$METRICS" >/dev/null \
+    || { echo "FAIL: targets must be a non-empty array" >&2; exit 1; }
+jq -e 'all(.targets[]; (.target | type == "string")
+           and (.rows | type == "array"))' "$METRICS" >/dev/null \
+    || { echo "FAIL: malformed target entry" >&2; exit 1; }
+
+# Every metrics row: name, energy, duration, the three latency blocks
+# (each with count/mean and the four percentiles), states, counters.
+jq -e '
+  all(.targets[].rows[];
+      (.name | type == "string")
+      and (.energy_j | type == "number")
+      and (.duration_ns | type == "number")
+      and (.states | type == "array")
+      and (.counters | type == "object")
+      and all(.read, .write, .overall;
+              (.count | type == "number")
+              and (.mean_ms | type == "number")
+              and has("p50_ms") and has("p90_ms")
+              and has("p99_ms") and has("p999_ms")))
+' "$METRICS" >/dev/null \
+    || { echo "FAIL: a metrics row is missing required fields" >&2; exit 1; }
+
+# At least one target must actually carry rows with observations.
+jq -e '[.targets[].rows[] | .overall.count] | add > 0' "$METRICS" >/dev/null \
+    || { echo "FAIL: no rows with observations" >&2; exit 1; }
+
+echo "ok: metrics document is well-formed" >&2
+
+if [ -n "$EVENTS" ]; then
+    echo "checking $EVENTS event stream..." >&2
+    # Every line parses as JSON and carries t_ns + event (+ context).
+    jq -e -s '
+      length > 0
+      and all(.[]; (.t_ns | type == "number")
+                   and (.event | type == "string")
+                   and (.workload | type == "string")
+                   and (.device | type == "string"))
+    ' "$EVENTS" >/dev/null \
+        || { echo "FAIL: malformed event line" >&2; exit 1; }
+    for family in op_issued op_completed cache_read disk_spin_up \
+                  disk_spin_down flash_clean_start flash_clean_end \
+                  fault_injected power_fail recovery_end; do
+        grep -q "\"event\":\"$family\"" "$EVENTS" \
+            || { echo "FAIL: no $family events" >&2; exit 1; }
+    done
+    echo "ok: event stream is well-formed ($(wc -l < "$EVENTS") events)" >&2
+fi
+
+echo "PASS" >&2

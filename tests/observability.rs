@@ -1,0 +1,121 @@
+//! The observability exports are part of `repro`'s deterministic output
+//! surface: the `observe` report, its JSONL event stream, and the
+//! versioned metrics JSON must all be byte-identical at any `--jobs`
+//! count, because every event is stamped with sim time only and
+//! `parallel_map` returns results in request order.
+//!
+//! The jobs-1-vs-jobs-4 comparison is one `#[test]` on purpose:
+//! `exec::set_jobs` is process-global and the default harness runs tests
+//! concurrently, so splitting the serial and parallel halves would race
+//! on the worker-count override. The content checks below don't touch
+//! the jobs setting — results are jobs-independent by construction.
+
+use mobistore::experiments::export::{metrics_json, METRICS_SCHEMA};
+use mobistore::experiments::render::{render_target, RenderOptions, TARGETS};
+use mobistore::experiments::Scale;
+use mobistore::sim::exec;
+
+fn observe_options() -> RenderOptions {
+    RenderOptions {
+        collect_events: true,
+        ..RenderOptions::default()
+    }
+}
+
+/// Renders `observe` with event collection on and serializes everything
+/// the `repro` flags would write: stdout text, `--events-out` JSONL, and
+/// the `--metrics-out` document.
+fn render_exports() -> (String, String, String) {
+    let r = render_target("observe", Scale::quick(), &observe_options());
+    let events = r.events_jsonl.expect("observe collects events");
+    let doc = metrics_json(Scale::quick(), &[("observe", &r.metrics)]);
+    (r.text, events, doc)
+}
+
+#[test]
+fn exports_are_byte_identical_across_job_counts() {
+    exec::set_jobs(1);
+    let (text1, events1, doc1) = render_exports();
+
+    exec::set_jobs(4);
+    let (text4, events4, doc4) = render_exports();
+
+    assert_eq!(text1, text4, "observe report differs across job counts");
+    assert_eq!(events1, events4, "event stream differs across job counts");
+    assert_eq!(doc1, doc4, "metrics export differs across job counts");
+}
+
+#[test]
+fn event_stream_is_well_formed_and_complete() {
+    let (text, events, _) = render_exports();
+
+    // The report shows all four tail percentiles per device cell.
+    for header in ["p50", "p90", "p99", "p99.9"] {
+        assert!(text.contains(header), "report missing {header}");
+    }
+
+    // The stream covers every required event family.
+    for needle in [
+        "\"event\":\"op_issued\"",
+        "\"event\":\"op_completed\"",
+        "\"event\":\"cache_read\"",
+        "\"event\":\"disk_spin_up\"",
+        "\"event\":\"disk_spin_down\"",
+        "\"event\":\"flash_clean_start\"",
+        "\"event\":\"flash_clean_end\"",
+        "\"event\":\"fault_injected\"",
+        "\"event\":\"power_fail\"",
+        "\"event\":\"recovery_end\"",
+    ] {
+        assert!(events.contains(needle), "missing {needle}");
+    }
+
+    // Every line is a braced object with cell context and a sim-time stamp.
+    for line in events.lines() {
+        assert!(
+            line.starts_with("{\"workload\":\"") && line.ends_with('}'),
+            "malformed line: {line}"
+        );
+        assert!(line.contains("\"device\":\""), "no device: {line}");
+        assert!(line.contains("\"t_ns\":"), "no timestamp: {line}");
+    }
+
+    // Completions carry the queue/service/response breakdown.
+    let completed = events
+        .lines()
+        .find(|l| l.contains("\"event\":\"op_completed\""))
+        .expect("at least one completion");
+    for field in ["\"queue_ns\":", "\"service_ns\":", "\"response_ns\":"] {
+        assert!(completed.contains(field), "completion missing {field}");
+    }
+}
+
+#[test]
+fn metrics_document_carries_schema_and_every_cell() {
+    let (_, _, doc) = render_exports();
+    assert!(doc.starts_with(&format!("{{\"schema\":\"{METRICS_SCHEMA}\"")));
+    // One row per workload × device cell, percentiles included.
+    for name in [
+        "\"name\":\"mac/cu140-disk\"",
+        "\"name\":\"mac/sdp5-flashdisk\"",
+        "\"name\":\"mac/intel-card\"",
+        "\"name\":\"dos/cu140-disk\"",
+        "\"name\":\"dos/sdp5-flashdisk\"",
+        "\"name\":\"dos/intel-card\"",
+    ] {
+        assert!(doc.contains(name), "missing row {name}");
+    }
+    for field in ["\"p50_ms\":", "\"p90_ms\":", "\"p99_ms\":", "\"p999_ms\":"] {
+        assert!(doc.contains(field), "missing {field}");
+    }
+}
+
+#[test]
+fn default_render_options_leave_targets_unobserved() {
+    // With observability off, non-observing targets expose no event
+    // stream — the goldens' rendered bytes can't pick up new output.
+    assert!(TARGETS.contains(&"observe"));
+    let r = render_target("table1", Scale::quick(), &RenderOptions::default());
+    assert!(r.events_jsonl.is_none());
+    assert!(r.metrics.is_empty());
+}

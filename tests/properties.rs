@@ -531,3 +531,41 @@ fn parallel_map_equals_serial_map() {
         assert_eq!(parallel_map(&items, f), serial, "case {case}");
     }
 }
+
+// ---------------------------------------------------------------------
+// Latency histogram percentiles vs an exact sorted-vector quantile.
+// ---------------------------------------------------------------------
+
+#[test]
+fn histogram_percentiles_track_exact_quantiles() {
+    use mobistore::sim::hist::Histogram;
+    for case in 0..200u64 {
+        let mut rng = case_rng(9, case);
+        let n = rng.range_inclusive(1, 400) as usize;
+        // Spread samples over many octaves so cases exercise sub-bucket
+        // resolution at very different magnitudes.
+        let mut samples: Vec<u64> = (0..n).map(|_| rng.next_u64() >> rng.below(55)).collect();
+        let mut hist = Histogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        samples.sort_unstable();
+        for q in [0.0, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            // The exact nearest-rank quantile of the raw samples...
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = samples[rank - 1];
+            let est = hist.percentile_nanos(q);
+            // ...must land in the same log-linear bucket: the estimate is
+            // that bucket's lower bound, so the error is below one bucket
+            // width (and the relative error below one sub-bucket step).
+            let (lo, hi) = Histogram::bucket_bounds(exact);
+            assert_eq!(est, lo, "case {case} q {q}: {est} vs {exact}");
+            // The topmost bucket's upper bound saturates at u64::MAX, so
+            // there (and only there) the exact value may sit on the bound.
+            assert!(
+                est <= exact && (exact - est < hi - lo || hi == u64::MAX),
+                "case {case} q {q}: {est} not within bucket of {exact}"
+            );
+        }
+    }
+}
