@@ -90,11 +90,31 @@ impl BufferCache {
         block_size: u64,
         policy: WritePolicy,
     ) -> Self {
-        assert!(block_size > 0, "block size must be positive");
+        match Self::try_new(params, capacity_bytes, block_size, policy) {
+            Ok(cache) => cache,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`new`](Self::new): returns a typed [`crate::CacheError`]
+    /// instead of panicking on bad geometry.
+    pub fn try_new(
+        params: DramParams,
+        capacity_bytes: u64,
+        block_size: u64,
+        policy: WritePolicy,
+    ) -> Result<Self, crate::CacheError> {
+        if block_size == 0 {
+            return Err(crate::CacheError::ZeroBlockSize);
+        }
         let blocks = (capacity_bytes / block_size) as usize;
-        assert!(blocks > 0, "cache smaller than one block");
-        let _ = block_size; // Geometry is fixed by `blocks` below.
-        BufferCache {
+        if blocks == 0 {
+            return Err(crate::CacheError::Undersized {
+                capacity_bytes,
+                block_size,
+            });
+        }
+        Ok(BufferCache {
             params,
             capacity_mib: capacity_bytes as f64 / MIB as f64,
             lru: LruSet::new(blocks),
@@ -102,7 +122,7 @@ impl BufferCache {
             policy,
             meter: EnergyMeter::new(CATEGORIES),
             stats: CacheStats::default(),
-        }
+        })
     }
 
     /// Returns the capacity in blocks.
@@ -373,5 +393,23 @@ mod tests {
     #[should_panic(expected = "smaller than one block")]
     fn undersized_cache_panics() {
         let _ = BufferCache::new(dram_nec(), 512, 1024, WritePolicy::WriteThrough);
+    }
+
+    #[test]
+    fn try_new_returns_typed_geometry_errors() {
+        use crate::CacheError;
+        let e = BufferCache::try_new(dram_nec(), 512, 1024, WritePolicy::WriteThrough)
+            .expect_err("undersized");
+        assert_eq!(
+            e,
+            CacheError::Undersized {
+                capacity_bytes: 512,
+                block_size: 1024
+            }
+        );
+        let e = BufferCache::try_new(dram_nec(), 512, 0, WritePolicy::WriteThrough)
+            .expect_err("zero block size");
+        assert_eq!(e, CacheError::ZeroBlockSize);
+        assert!(BufferCache::try_new(dram_nec(), 8192, 1024, WritePolicy::WriteBack).is_ok());
     }
 }

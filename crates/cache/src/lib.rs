@@ -17,3 +17,58 @@ pub mod sram;
 
 pub use dram::{BufferCache, CacheStats, Evicted, WritePolicy};
 pub use sram::{SramStats, SramWriteBuffer};
+
+/// A typed cache-layer failure, replacing the historical `panic!` paths.
+///
+/// The panicking constructors ([`BufferCache::new`],
+/// [`SramWriteBuffer::new`], [`SramWriteBuffer::absorb`]) remain as thin
+/// wrappers over the fallible `try_*` variants and format the same
+/// messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheError {
+    /// A cache was configured with a zero block size.
+    ZeroBlockSize,
+    /// The configured capacity cannot hold one complete block.
+    Undersized {
+        /// Configured capacity in bytes.
+        capacity_bytes: u64,
+        /// Configured block size in bytes.
+        block_size: u64,
+    },
+    /// An absorb would overflow the SRAM write buffer; callers must check
+    /// [`SramWriteBuffer::fits`] and flush first.
+    Overflow {
+        /// Blocks already buffered.
+        buffered: usize,
+        /// New blocks the absorb would add.
+        incoming: usize,
+        /// The buffer's capacity in blocks.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            CacheError::ZeroBlockSize => write!(f, "block size must be positive"),
+            CacheError::Undersized {
+                capacity_bytes,
+                block_size,
+            } => write!(
+                f,
+                "cache smaller than one block ({capacity_bytes} bytes, {block_size}-byte blocks)"
+            ),
+            CacheError::Overflow {
+                buffered,
+                incoming,
+                capacity,
+            } => write!(
+                f,
+                "SRAM overflow: flush before absorbing ({buffered} buffered + {incoming} \
+                 incoming > {capacity} capacity)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}

@@ -64,17 +64,37 @@ impl SramWriteBuffer {
     ///
     /// Panics if the capacity holds no complete block.
     pub fn new(params: SramParams, capacity_bytes: u64, block_size: u64) -> Self {
-        assert!(block_size > 0, "block size must be positive");
+        match Self::try_new(params, capacity_bytes, block_size) {
+            Ok(buf) => buf,
+            Err(e) => panic!("SRAM buffer {e}"),
+        }
+    }
+
+    /// Fallible [`new`](Self::new): returns a typed [`crate::CacheError`]
+    /// instead of panicking on bad geometry.
+    pub fn try_new(
+        params: SramParams,
+        capacity_bytes: u64,
+        block_size: u64,
+    ) -> Result<Self, crate::CacheError> {
+        if block_size == 0 {
+            return Err(crate::CacheError::ZeroBlockSize);
+        }
         let capacity_blocks = (capacity_bytes / block_size) as usize;
-        assert!(capacity_blocks > 0, "SRAM buffer smaller than one block");
-        SramWriteBuffer {
+        if capacity_blocks == 0 {
+            return Err(crate::CacheError::Undersized {
+                capacity_bytes,
+                block_size,
+            });
+        }
+        Ok(SramWriteBuffer {
             params,
             capacity_blocks,
             block_size,
             blocks: HashSet::new(),
             meter: EnergyMeter::new(CATEGORIES),
             stats: SramStats::default(),
-        }
+        })
     }
 
     /// Returns the capacity in blocks.
@@ -133,11 +153,28 @@ impl SramWriteBuffer {
     /// Panics if they do not fit; callers must check [`fits`](Self::fits)
     /// and flush first.
     pub fn absorb(&mut self, lbns: &[u64]) {
-        assert!(self.fits(lbns), "SRAM overflow: flush before absorbing");
+        if let Err(e) = self.try_absorb(lbns) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`absorb`](Self::absorb): returns
+    /// [`crate::CacheError::Overflow`] (buffering nothing) instead of
+    /// panicking when the blocks do not fit.
+    pub fn try_absorb(&mut self, lbns: &[u64]) -> Result<(), crate::CacheError> {
+        if !self.fits(lbns) {
+            let incoming = lbns.iter().filter(|lbn| !self.blocks.contains(lbn)).count();
+            return Err(crate::CacheError::Overflow {
+                buffered: self.blocks.len(),
+                incoming,
+                capacity: self.capacity_blocks,
+            });
+        }
         for &lbn in lbns {
             self.blocks.insert(lbn);
         }
         self.stats.absorbed += 1;
+        Ok(())
     }
 
     /// [`absorb`](Self::absorb), reporting a [`Event::SramAbsorb`] stamped
@@ -260,6 +297,24 @@ mod tests {
     fn absorb_past_capacity_panics() {
         let mut b = buf(1);
         b.absorb(&[1, 2]);
+    }
+
+    #[test]
+    fn try_absorb_rejects_overflow_without_buffering() {
+        use crate::CacheError;
+        let mut b = buf(1);
+        let e = b.try_absorb(&[1, 2]).expect_err("two blocks into one slot");
+        assert_eq!(
+            e,
+            CacheError::Overflow {
+                buffered: 0,
+                incoming: 2,
+                capacity: 1
+            }
+        );
+        assert!(b.is_empty(), "a rejected absorb buffers nothing");
+        assert!(b.try_absorb(&[1]).is_ok());
+        assert!(b.contains(1));
     }
 
     #[test]

@@ -1,0 +1,727 @@
+//! The crash-consistency torture driver.
+//!
+//! [`torture`] replays a trace prefix against a backend and injects a
+//! power failure at every selected operation boundary — plus torn
+//! mid-operation crashes on odd boundaries — then runs the device's
+//! recovery and checks the recovered state:
+//!
+//! * on the **flash card**, a differential [`ShadowModel`] mirrors every
+//!   write and trim; after each crash the recovered `(lbn, generation)`
+//!   mapping must be a legal post-crash state (acknowledged writes
+//!   survive, the in-flight write is old/new/absent, nothing is
+//!   resurrected), the block census must still partition capacity,
+//!   retired segments must stay retired, and an interrupted cleaning pass
+//!   must leave no block mapped into its victim segment (copy-before-
+//!   erase makes cleaning atomic);
+//! * on the **magnetic disk** and **flash disk**, which recover behind
+//!   their controllers, the driver checks the accounting story: every
+//!   crash is counted, recovery time accrues monotonically, and the
+//!   device serves requests again after the scan.
+//!
+//! Crash instants are drawn deterministically from the torture seed, one
+//! RNG stream per crash point, so a boundary crash lands anywhere in the
+//! inter-op gap — including mid-cleaning and mid-erase, because the
+//! card's `settle` truncates the background job at the crash instant.
+//! The whole sweep is pure simulation: same seed, same report.
+
+use std::collections::BTreeSet;
+
+use mobistore_device::disk::MagneticDisk;
+use mobistore_device::flashdisk::FlashDisk;
+use mobistore_device::{DeviceError, Dir};
+use mobistore_flash::store::{FlashCardConfig, FlashCardStore};
+use mobistore_sim::crashcheck::{ShadowModel, Violation};
+use mobistore_sim::obs::NoopObserver;
+use mobistore_sim::rng::SimRng;
+use mobistore_sim::time::{SimDuration, SimTime};
+use mobistore_trace::record::{DiskOp, DiskOpKind, Trace};
+
+use crate::config::{BackendConfig, SystemConfig};
+
+/// How many operation boundaries receive an injected crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoints {
+    /// Crash at every op boundary in the (capped) trace prefix.
+    Exhaustive,
+    /// Crash at this many boundaries, spread evenly across the prefix.
+    Sampled(usize),
+}
+
+/// Options controlling a torture sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct TortureOptions {
+    /// Cap on trace operations replayed per crash point (the flash-card
+    /// sweep rebuilds the device for every crash point, so the sweep is
+    /// O(crash points × ops)). Truncation is reported, never silent.
+    pub max_ops: usize,
+    /// Crash-point sweep density.
+    pub crash_points: CrashPoints,
+    /// Seed for the crash-instant jitter streams.
+    pub seed: u64,
+    /// Test-only: silently drop this logical block from the flash card's
+    /// map after every recovery — a deliberately broken recovery that the
+    /// device's own invariants cannot see. Exists to prove the shadow
+    /// model has teeth; leave `None` for real checking.
+    pub sabotage_lbn: Option<u64>,
+}
+
+impl Default for TortureOptions {
+    fn default() -> Self {
+        TortureOptions {
+            max_ops: 192,
+            crash_points: CrashPoints::Sampled(24),
+            seed: 0x1994,
+            sabotage_lbn: None,
+        }
+    }
+}
+
+/// The outcome of one torture sweep on one configuration.
+#[derive(Debug, Clone)]
+pub struct TortureReport {
+    /// The configuration's label.
+    pub name: String,
+    /// Which backend kind was tortured.
+    pub device: &'static str,
+    /// Crash points actually injected.
+    pub crashes: u64,
+    /// Crashes injected mid-write (the op was torn, never acknowledged).
+    pub mid_op_crashes: u64,
+    /// Crashes that struck while a cleaning job was in flight.
+    pub mid_cleaning_crashes: u64,
+    /// Recovery scans that completed.
+    pub recoveries: u64,
+    /// Total operations replayed across all crash points.
+    pub ops_replayed: u64,
+    /// Trace operations dropped by the `max_ops` cap.
+    pub truncated_ops: u64,
+    /// Every check failure, rendered with its crash-point context. Empty
+    /// means the device survived the sweep.
+    pub violations: Vec<String>,
+}
+
+impl TortureReport {
+    /// True if no check failed anywhere in the sweep.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs the torture sweep appropriate for `config`'s backend.
+pub fn torture(config: &SystemConfig, trace: &Trace, opts: &TortureOptions) -> TortureReport {
+    match &config.backend {
+        BackendConfig::Disk { .. } => torture_disk(config, trace, opts),
+        BackendConfig::FlashDisk { .. } => torture_flash_disk(config, trace, opts),
+        BackendConfig::FlashCard { .. } => torture_flash_card(config, trace, opts),
+    }
+}
+
+/// The op-boundary indices to crash at, in ascending order.
+fn select_points(n: usize, density: CrashPoints) -> Vec<usize> {
+    match density {
+        CrashPoints::Exhaustive => (0..n).collect(),
+        CrashPoints::Sampled(c) if c >= n => (0..n).collect(),
+        CrashPoints::Sampled(0) => Vec::new(),
+        CrashPoints::Sampled(c) => {
+            // Alternate the parity of consecutive samples: odd boundaries
+            // are where the driver tears writes mid-op, and an even stride
+            // (e.g. 24 samples of 192 ops) would otherwise never pick one.
+            let points: BTreeSet<usize> = (0..c)
+                .map(|i| {
+                    let p = i * n / c;
+                    if i % 2 == 1 && p.is_multiple_of(2) {
+                        (p + 1).min(n - 1)
+                    } else {
+                        p
+                    }
+                })
+                .collect();
+            points.into_iter().collect()
+        }
+    }
+}
+
+/// A crash instant strictly before op `k` issues, jittered uniformly into
+/// the gap after the previous op's issue time.
+fn boundary_crash_instant(ops: &[DiskOp], k: usize, rng: &mut SimRng) -> SimTime {
+    let prev = if k == 0 {
+        SimTime::ZERO
+    } else {
+        ops[k - 1].time
+    };
+    let gap = ops[k].time.saturating_since(prev).as_nanos();
+    if gap == 0 {
+        prev
+    } else {
+        prev + SimDuration::from_nanos(rng.below(gap))
+    }
+}
+
+fn working_set(ops: &[DiskOp]) -> Vec<u64> {
+    let mut blocks: Vec<u64> = ops
+        .iter()
+        .filter(|op| op.kind != DiskOpKind::Trim)
+        .flat_map(|op| op.lbn..op.lbn + u64::from(op.blocks))
+        .collect();
+    blocks.sort_unstable();
+    blocks.dedup();
+    blocks
+}
+
+/// The differential flash-card sweep: a fresh card (and shadow) per crash
+/// point, full replay to the boundary, crash, recovery, verification,
+/// then replay of the remainder with a final consistency check.
+pub fn torture_flash_card(
+    config: &SystemConfig,
+    trace: &Trace,
+    opts: &TortureOptions,
+) -> TortureReport {
+    let BackendConfig::FlashCard {
+        params,
+        capacity_bytes,
+        mode,
+        victim_policy,
+        ..
+    } = &config.backend
+    else {
+        panic!("torture_flash_card needs a flash-card configuration");
+    };
+    let card_config = FlashCardConfig {
+        params: params.clone(),
+        block_size: trace.block_size,
+        capacity_bytes: *capacity_bytes,
+        mode: *mode,
+        victim_policy: *victim_policy,
+        queueing: config.queueing,
+    };
+
+    let n = trace.ops.len().min(opts.max_ops);
+    let ops = &trace.ops[..n];
+    let working = working_set(ops);
+    let mut report = TortureReport {
+        name: config.name.clone(),
+        device: "flash card",
+        crashes: 0,
+        mid_op_crashes: 0,
+        mid_cleaning_crashes: 0,
+        recoveries: 0,
+        ops_replayed: 0,
+        truncated_ops: (trace.ops.len() - n) as u64,
+        violations: Vec::new(),
+    };
+
+    for k in select_points(n, opts.crash_points) {
+        let mut rng = SimRng::seed_with_stream(opts.seed, k as u64);
+        let mut obs = NoopObserver;
+        let mut card = match FlashCardStore::try_new(card_config.clone()) {
+            Ok(card) => card.with_faults(config.fault),
+            Err(e) => {
+                report.violations.push(format!("cannot build card: {e}"));
+                return report;
+            }
+        };
+        let mut shadow = ShadowModel::new();
+        if working.len() as u64 > card.capacity_blocks() {
+            report.violations.push(format!(
+                "working set ({} blocks) exceeds card capacity ({} blocks)",
+                working.len(),
+                card.capacity_blocks()
+            ));
+            return report;
+        }
+        // Mirror the aged preload: the card stamps generations in
+        // iteration order, and so does the shadow.
+        card.preload_aged(working.iter().copied());
+        for &lbn in &working {
+            shadow.write(lbn, 1);
+        }
+
+        // Replay everything before the crash point, fully acknowledged.
+        let mut aborted = false;
+        for op in &ops[..k] {
+            if !replay_card_op(&mut card, &mut shadow, op, &mut report, k) {
+                aborted = true;
+                break;
+            }
+            report.ops_replayed += 1;
+        }
+        if aborted {
+            continue;
+        }
+
+        // Crash: torn mid-write on odd boundaries (only a prefix of the
+        // op's blocks reaches media), otherwise jittered into the
+        // preceding inter-op gap — which lands some crashes mid-cleaning
+        // and mid-erase, since settle truncates the background job.
+        let mid_op = k % 2 == 1 && ops[k].kind == DiskOpKind::Write;
+        let crash_at = if mid_op {
+            let op = &ops[k];
+            shadow.begin_write(op.lbn, op.blocks);
+            let prefix = op.blocks / 2;
+            if prefix > 0 {
+                if let Err(e) = card.try_write_obs(op.time, op.lbn, prefix, &mut obs) {
+                    report
+                        .violations
+                        .push(format!("crash point {k}: unexpected write failure: {e}"));
+                    continue;
+                }
+            }
+            report.mid_op_crashes += 1;
+            op.time + SimDuration::from_nanos(1 + rng.below(1_000_000))
+        } else {
+            boundary_crash_instant(ops, k, &mut rng)
+        };
+
+        let bad_before = card.bad_segments();
+        let victim = card.cleaning_victim();
+        if victim.is_some() {
+            report.mid_cleaning_crashes += 1;
+        }
+        report.crashes += 1;
+        card.power_fail_obs(crash_at, &mut obs);
+        report.recoveries += 1;
+        if let Some(lbn) = opts.sabotage_lbn {
+            card.sabotage_lose_block(lbn);
+        }
+
+        // Verify the recovered state against the shadow and the device's
+        // structural invariants.
+        let snap: Vec<(u64, u64)> = card
+            .snapshot()
+            .iter()
+            .map(|e| (e.lbn, e.generation))
+            .collect();
+        let ctx = format!(
+            "crash point {k}{} at t={:.6}s",
+            if mid_op { " (mid-op)" } else { "" },
+            crash_at.as_secs_f64()
+        );
+        for v in shadow.verify(&snap) {
+            report.violations.push(format!("{ctx}: {v}"));
+        }
+        check_card_structure(
+            &card,
+            &shadow,
+            mid_op,
+            &bad_before,
+            victim,
+            &ctx,
+            &mut report.violations,
+        );
+
+        // Resolve the torn write from what actually survived, re-align
+        // the generation counters, and drain the rest of the trace.
+        shadow.observe_recovery(&snap);
+        shadow.resync_generations(card.next_generation());
+        let resume = k + usize::from(mid_op);
+        let mut aborted = false;
+        for op in &ops[resume..] {
+            if !replay_card_op(&mut card, &mut shadow, op, &mut report, k) {
+                aborted = true;
+                break;
+            }
+            report.ops_replayed += 1;
+        }
+        if aborted {
+            continue;
+        }
+
+        let snap: Vec<(u64, u64)> = card
+            .snapshot()
+            .iter()
+            .map(|e| (e.lbn, e.generation))
+            .collect();
+        let ctx = format!("crash point {k}, after draining the trace");
+        for v in shadow.verify(&snap) {
+            report.violations.push(format!("{ctx}: {v}"));
+        }
+        card.check_invariants();
+    }
+    report
+}
+
+/// Replays one fully-acknowledged op against card and shadow. Returns
+/// false (after recording a violation) if the device refused the write.
+fn replay_card_op(
+    card: &mut FlashCardStore,
+    shadow: &mut ShadowModel,
+    op: &DiskOp,
+    report: &mut TortureReport,
+    crash_point: usize,
+) -> bool {
+    let mut obs = NoopObserver;
+    match op.kind {
+        DiskOpKind::Read => {
+            card.read_obs(op.time, op.lbn, op.blocks, &mut obs);
+        }
+        DiskOpKind::Write => {
+            shadow.begin_write(op.lbn, op.blocks);
+            match card.try_write_obs(op.time, op.lbn, op.blocks, &mut obs) {
+                Ok(_) => shadow.ack_write(),
+                Err(e @ DeviceError::ReadOnly { .. }) => {
+                    report.violations.push(format!(
+                        "crash point {crash_point}: card refused a write during replay: {e}"
+                    ));
+                    return false;
+                }
+                Err(e) => {
+                    report
+                        .violations
+                        .push(format!("crash point {crash_point}: write failed: {e}"));
+                    return false;
+                }
+            }
+        }
+        DiskOpKind::Trim => {
+            card.trim_obs(op.time, op.lbn, op.blocks, &mut obs);
+            shadow.trim(op.lbn, op.blocks);
+        }
+    }
+    true
+}
+
+/// Structural post-recovery checks that go beyond per-block contents.
+fn check_card_structure(
+    card: &FlashCardStore,
+    shadow: &ShadowModel,
+    mid_op: bool,
+    bad_before: &[u32],
+    victim: Option<u32>,
+    ctx: &str,
+    violations: &mut Vec<String>,
+) {
+    let census = card.census();
+    if census.total() != card.capacity_blocks() {
+        violations.push(format!(
+            "{ctx}: {}",
+            Violation::CensusImbalance {
+                total: census.total(),
+                capacity: card.capacity_blocks(),
+            }
+        ));
+    }
+    // With a write in flight the recovered live count is legitimately
+    // ambiguous (never-acked blocks may or may not have reached media),
+    // so the exact comparison applies only to boundary crashes.
+    if !mid_op && census.live != shadow.live_blocks() {
+        violations.push(format!(
+            "{ctx}: {}",
+            Violation::LiveCountMismatch {
+                device: census.live,
+                shadow: shadow.live_blocks(),
+            }
+        ));
+    }
+    let bad_after = card.bad_segments();
+    for &seg in bad_before {
+        if !bad_after.contains(&seg) {
+            violations.push(format!(
+                "{ctx}: {}",
+                Violation::RetirementRegressed { segment: seg }
+            ));
+        }
+    }
+    // Copy-before-erase: recovery completes an interrupted cleaning pass,
+    // so no block may still map into the victim segment.
+    if let Some(victim) = victim {
+        let still = card
+            .snapshot()
+            .iter()
+            .filter(|e| e.segment == victim)
+            .count() as u64;
+        if still > 0 {
+            violations.push(format!(
+                "{ctx}: {}",
+                Violation::CleaningNotAtomic {
+                    victim,
+                    still_in_victim: still,
+                }
+            ));
+        }
+    }
+}
+
+/// The magnetic-disk sweep: one pass over the trace, crashing before each
+/// selected op; the disk recovers behind its controller (spin-up plus
+/// synchronous-FAT replay), so the checks are on the accounting story.
+pub fn torture_disk(config: &SystemConfig, trace: &Trace, opts: &TortureOptions) -> TortureReport {
+    let BackendConfig::Disk {
+        params,
+        spin_down,
+        seek_model,
+    } = &config.backend
+    else {
+        panic!("torture_disk needs a magnetic-disk configuration");
+    };
+    let mut disk = MagneticDisk::with_policy(params.clone(), *spin_down)
+        .with_queueing(config.queueing)
+        .with_seek_model(*seek_model);
+
+    let n = trace.ops.len().min(opts.max_ops);
+    let ops = &trace.ops[..n];
+    let points: BTreeSet<usize> = select_points(n, opts.crash_points).into_iter().collect();
+    let fat_bytes = config.fault.fat_scan_bytes;
+    let mut report = TortureReport {
+        name: config.name.clone(),
+        device: "magnetic disk",
+        crashes: 0,
+        mid_op_crashes: 0,
+        mid_cleaning_crashes: 0,
+        recoveries: 0,
+        ops_replayed: 0,
+        truncated_ops: (trace.ops.len() - n) as u64,
+        violations: Vec::new(),
+    };
+
+    let mut obs = NoopObserver;
+    for (i, op) in ops.iter().enumerate() {
+        if points.contains(&i) {
+            let mut rng = SimRng::seed_with_stream(opts.seed, i as u64);
+            let at = boundary_crash_instant(ops, i, &mut rng);
+            let before = disk.counters();
+            let svc = disk.power_fail_obs(at, fat_bytes, &mut obs);
+            report.crashes += 1;
+            report.recoveries += 1;
+            let after = disk.counters();
+            if after.power_failures != before.power_failures + 1 {
+                report
+                    .violations
+                    .push(format!("crash {i}: power failure not counted"));
+            }
+            if after.recovery_time < before.recovery_time {
+                report
+                    .violations
+                    .push(format!("crash {i}: recovery time went backwards"));
+            }
+            if fat_bytes > 0 && after.recovery_time == before.recovery_time {
+                report
+                    .violations
+                    .push(format!("crash {i}: FAT replay charged no recovery time"));
+            }
+            if svc.end < at {
+                report
+                    .violations
+                    .push(format!("crash {i}: recovery ended before the crash"));
+            }
+        }
+        let dir = match op.kind {
+            DiskOpKind::Read => Dir::Read,
+            DiskOpKind::Write => Dir::Write,
+            DiskOpKind::Trim => {
+                report.ops_replayed += 1;
+                continue;
+            }
+        };
+        let bytes = op.bytes(trace.block_size);
+        let svc = disk.access_at_obs(op.time, dir, bytes, Some(op.file.0), Some(op.lbn), &mut obs);
+        if svc.end < op.time {
+            report
+                .violations
+                .push(format!("op {i}: service ended before issue"));
+        }
+        report.ops_replayed += 1;
+    }
+    report
+}
+
+/// The flash-disk sweep: the controller rescans its spare-pool remap
+/// headers on recovery; the checks mirror [`torture_disk`]'s.
+pub fn torture_flash_disk(
+    config: &SystemConfig,
+    trace: &Trace,
+    opts: &TortureOptions,
+) -> TortureReport {
+    let BackendConfig::FlashDisk { params } = &config.backend else {
+        panic!("torture_flash_disk needs a flash-disk configuration");
+    };
+    let mut fd = FlashDisk::new(params.clone()).with_queueing(config.queueing);
+
+    let n = trace.ops.len().min(opts.max_ops);
+    let ops = &trace.ops[..n];
+    let points: BTreeSet<usize> = select_points(n, opts.crash_points).into_iter().collect();
+    let mut report = TortureReport {
+        name: config.name.clone(),
+        device: "flash disk",
+        crashes: 0,
+        mid_op_crashes: 0,
+        mid_cleaning_crashes: 0,
+        recoveries: 0,
+        ops_replayed: 0,
+        truncated_ops: (trace.ops.len() - n) as u64,
+        violations: Vec::new(),
+    };
+
+    let mut obs = NoopObserver;
+    for (i, op) in ops.iter().enumerate() {
+        if points.contains(&i) {
+            let mut rng = SimRng::seed_with_stream(opts.seed, i as u64);
+            let at = boundary_crash_instant(ops, i, &mut rng);
+            let before = fd.counters();
+            let svc = fd.power_fail_obs(at, &mut obs);
+            report.crashes += 1;
+            report.recoveries += 1;
+            let after = fd.counters();
+            if after.power_failures != before.power_failures + 1 {
+                report
+                    .violations
+                    .push(format!("crash {i}: power failure not counted"));
+            }
+            if after.recovery_time <= before.recovery_time {
+                report
+                    .violations
+                    .push(format!("crash {i}: remap rescan charged no recovery time"));
+            }
+            if svc.end <= at {
+                report
+                    .violations
+                    .push(format!("crash {i}: recovery ended before the crash"));
+            }
+        }
+        let dir = match op.kind {
+            DiskOpKind::Read => Dir::Read,
+            DiskOpKind::Write => Dir::Write,
+            DiskOpKind::Trim => {
+                report.ops_replayed += 1;
+                continue;
+            }
+        };
+        let bytes = op.bytes(trace.block_size);
+        let svc = fd.access_obs(op.time, dir, bytes, &mut obs);
+        if svc.end < op.time {
+            report
+                .violations
+                .push(format!("op {i}: service ended before issue"));
+        }
+        report.ops_replayed += 1;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobistore_device::params::{cu140_datasheet, intel_datasheet, sdp5_datasheet};
+    use mobistore_trace::record::FileId;
+
+    const KIB: u64 = 1024;
+
+    /// A write-heavy toy trace over a 36-block working set: enough write
+    /// traffic to fill the frontier of a small aged card and force
+    /// cleaning during the sweep.
+    fn toy_trace(n: u64) -> Trace {
+        let mut trace = Trace::new(1024);
+        for i in 0..n {
+            let (kind, lbn, blocks) = match i % 7 {
+                0 | 3 | 5 => (DiskOpKind::Write, (i * 5) % 32, 1 + (i % 4) as u32),
+                6 => (DiskOpKind::Trim, (i * 3) % 32, 1),
+                _ => (DiskOpKind::Read, (i * 11) % 32, 1),
+            };
+            trace.push(DiskOp {
+                time: SimTime::from_secs_f64(i as f64),
+                kind,
+                lbn,
+                blocks,
+                file: FileId(0),
+            });
+        }
+        trace
+    }
+
+    fn card_config() -> SystemConfig {
+        // 4 segments of 128 KiB: frontier + 2 aged-full + 1 erased
+        // reserve, so cleaning starts as soon as the frontier fills.
+        SystemConfig::flash_card(intel_datasheet()).with_flash_capacity(4 * 128 * KIB)
+    }
+
+    #[test]
+    fn exhaustive_card_sweep_finds_no_violations() {
+        let trace = toy_trace(160);
+        let opts = TortureOptions {
+            max_ops: 160,
+            crash_points: CrashPoints::Exhaustive,
+            ..TortureOptions::default()
+        };
+        let report = torture_flash_card(&card_config(), &trace, &opts);
+        assert!(
+            report.passed(),
+            "violations: {:#?}",
+            &report.violations[..report.violations.len().min(10)]
+        );
+        assert_eq!(report.crashes, 160);
+        assert_eq!(report.recoveries, 160);
+        assert!(report.mid_op_crashes > 0, "no torn writes exercised");
+        assert!(
+            report.mid_cleaning_crashes > 0,
+            "no crash struck mid-cleaning; grow the trace"
+        );
+        assert_eq!(report.truncated_ops, 0);
+    }
+
+    #[test]
+    fn sabotaged_recovery_is_caught_by_the_shadow() {
+        // Silently losing one mapped block after recovery is invisible to
+        // the card's own invariants but not to the differential check.
+        let trace = toy_trace(40);
+        let opts = TortureOptions {
+            max_ops: 40,
+            crash_points: CrashPoints::Sampled(4),
+            sabotage_lbn: Some(2),
+            ..TortureOptions::default()
+        };
+        let report = torture_flash_card(&card_config(), &trace, &opts);
+        assert!(!report.passed(), "sabotage went undetected");
+        assert!(
+            report.violations.iter().any(|v| v.contains("lost write")),
+            "wrong violation kind: {:?}",
+            report.violations.first()
+        );
+    }
+
+    #[test]
+    fn disk_sweep_accounts_every_crash() {
+        let trace = toy_trace(60);
+        let mut config = SystemConfig::disk(cu140_datasheet());
+        config.fault.fat_scan_bytes = 64 * KIB;
+        let opts = TortureOptions {
+            max_ops: 60,
+            crash_points: CrashPoints::Sampled(8),
+            ..TortureOptions::default()
+        };
+        let report = torture(&config, &trace, &opts);
+        assert_eq!(report.device, "magnetic disk");
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.crashes, 8);
+        assert_eq!(report.recoveries, 8);
+    }
+
+    #[test]
+    fn flash_disk_sweep_accounts_every_crash() {
+        let trace = toy_trace(60);
+        let config = SystemConfig::flash_disk(sdp5_datasheet());
+        let opts = TortureOptions {
+            max_ops: 60,
+            crash_points: CrashPoints::Sampled(8),
+            ..TortureOptions::default()
+        };
+        let report = torture(&config, &trace, &opts);
+        assert_eq!(report.device, "flash disk");
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.crashes, 8);
+    }
+
+    #[test]
+    fn sampled_points_are_spread_and_deduplicated() {
+        assert_eq!(select_points(4, CrashPoints::Exhaustive), vec![0, 1, 2, 3]);
+        assert_eq!(select_points(4, CrashPoints::Sampled(9)), vec![0, 1, 2, 3]);
+        assert_eq!(
+            select_points(100, CrashPoints::Sampled(4)),
+            vec![0, 25, 50, 75]
+        );
+        // Even strides still cover odd (mid-op) boundaries.
+        assert!(select_points(192, CrashPoints::Sampled(24))
+            .iter()
+            .any(|p| p % 2 == 1));
+        assert!(select_points(10, CrashPoints::Sampled(0)).is_empty());
+        assert!(select_points(0, CrashPoints::Exhaustive).is_empty());
+    }
+}

@@ -54,9 +54,10 @@
 
 pub mod battery;
 pub mod config;
+pub mod crashcheck;
 pub mod metrics;
 pub mod simulator;
 
 pub use config::{BackendConfig, SystemConfig};
 pub use metrics::Metrics;
-pub use simulator::{simulate, simulate_with, try_simulate, ConfigError, RunOptions};
+pub use simulator::{simulate, simulate_with, try_simulate, ConfigError, RunOptions, SimError};

@@ -59,6 +59,11 @@ pub struct Metrics {
     /// Dirty write-back blocks lost to injected power failures (volatile
     /// DRAM contents do not survive an outage).
     pub lost_dirty_blocks: u64,
+    /// Write operations refused by a backend in read-only end-of-life
+    /// mode (graceful degradation: the run drains instead of aborting).
+    pub rejected_writes: u64,
+    /// Blocks those refused writes covered.
+    pub rejected_blocks: u64,
 }
 
 /// Fault-injection and recovery totals, combined across backends so a
@@ -79,6 +84,9 @@ pub struct FaultTotals {
     pub recovery_time: SimDuration,
     /// Dirty write-back blocks lost to power failures.
     pub lost_dirty_blocks: u64,
+    /// Writes refused after a flash card degraded to read-only at end of
+    /// life.
+    pub rejected_writes: u64,
 }
 
 impl Metrics {
@@ -121,11 +129,16 @@ impl Metrics {
     pub fn fault_totals(&self) -> FaultTotals {
         let mut t = FaultTotals {
             lost_dirty_blocks: self.lost_dirty_blocks,
+            rejected_writes: self.rejected_writes,
             ..FaultTotals::default()
         };
         if let Some(d) = self.disk {
             t.power_failures += d.power_failures;
             t.recovery_time += d.recovery_time;
+        }
+        if let Some(f) = self.flash_disk {
+            t.power_failures += f.power_failures;
+            t.recovery_time += f.recovery_time;
         }
         if let Some(c) = self.flash_card {
             t.write_retries += c.write_retries;
@@ -184,6 +197,8 @@ impl Metrics {
             reg.add("flashdisk.bytes_written", f.bytes_written);
             reg.add("flashdisk.bytes_pre_erased", f.bytes_pre_erased);
             reg.add("flashdisk.bytes_erased_on_demand", f.bytes_erased_on_demand);
+            reg.add("flashdisk.power_failures", f.power_failures);
+            reg.add("flashdisk.recovery_ns", f.recovery_time.as_nanos());
         }
         if let Some(c) = self.flash_card {
             reg.add("card.ops", c.ops);
@@ -197,8 +212,11 @@ impl Metrics {
             reg.add("card.segments_retired", c.segments_retired);
             reg.add("card.power_failures", c.power_failures);
             reg.add("card.recovery_ns", c.recovery_time.as_nanos());
+            reg.add("card.eol_write_rejections", c.eol_write_rejections);
         }
         reg.add("lost_dirty_blocks", self.lost_dirty_blocks);
+        reg.add("rejected_writes", self.rejected_writes);
+        reg.add("rejected_blocks", self.rejected_blocks);
         reg
     }
 
@@ -283,6 +301,8 @@ mod tests {
             flash_card: None,
             wear: None,
             lost_dirty_blocks: 0,
+            rejected_writes: 0,
+            rejected_blocks: 0,
         }
     }
 

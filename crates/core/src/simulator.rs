@@ -47,6 +47,8 @@ impl Default for RunOptions {
     }
 }
 
+// One instance per simulation; the variant size skew costs nothing.
+#[allow(clippy::large_enum_variant)]
 enum Backend {
     Disk(MagneticDisk),
     FlashDisk(FlashDisk),
@@ -154,14 +156,74 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
-/// Runs `trace` against `config`, returning a [`ConfigError`] instead of
-/// panicking when the configuration cannot hold the trace.
+/// Any typed failure a simulation can report, spanning every layer: the
+/// configuration itself, the backing device, or the memory hierarchy.
+///
+/// The `repro` binary maps each variant to a distinct process exit code,
+/// so scripted sweeps can tell "bad flags" from "device went read-only"
+/// without parsing stderr.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configuration cannot run the trace at all.
+    Config(ConfigError),
+    /// A backing device refused an operation (e.g. a flash card at
+    /// end of life).
+    Device(mobistore_device::DeviceError),
+    /// A cache-layer invariant was violated.
+    Cache(mobistore_cache::CacheError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "configuration error: {e}"),
+            SimError::Device(e) => write!(f, "device error: {e}"),
+            SimError::Cache(e) => write!(f, "cache error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::Device(e) => Some(e),
+            SimError::Cache(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<mobistore_device::DeviceError> for SimError {
+    fn from(e: mobistore_device::DeviceError) -> Self {
+        SimError::Device(e)
+    }
+}
+
+impl From<mobistore_cache::CacheError> for SimError {
+    fn from(e: mobistore_cache::CacheError) -> Self {
+        SimError::Cache(e)
+    }
+}
+
+/// Runs `trace` against `config`, returning a typed [`SimError`] instead
+/// of panicking when the configuration cannot hold the trace.
+///
+/// A flash card that exhausts its capacity mid-run does *not* abort the
+/// simulation: it degrades to read-only, the remaining operations drain
+/// with per-op error accounting, and the rejections appear in
+/// [`Metrics::rejected_writes`]/[`Metrics::rejected_blocks`].
 ///
 /// # Examples
 ///
 /// ```
 /// use mobistore_core::config::SystemConfig;
-/// use mobistore_core::simulator::{try_simulate, ConfigError, RunOptions};
+/// use mobistore_core::simulator::{try_simulate, ConfigError, RunOptions, SimError};
 /// use mobistore_device::params::intel_datasheet;
 /// use mobistore_sim::time::SimTime;
 /// use mobistore_trace::record::{DiskOp, DiskOpKind, FileId, Trace};
@@ -177,14 +239,14 @@ impl std::error::Error for ConfigError {}
 /// let cfg = SystemConfig::flash_card(intel_datasheet());
 /// assert!(matches!(
 ///     try_simulate(&cfg, &trace, RunOptions::default()),
-///     Err(ConfigError::FlashOverfull { .. })
+///     Err(SimError::Config(ConfigError::FlashOverfull { .. }))
 /// ));
 /// ```
 pub fn try_simulate(
     config: &SystemConfig,
     trace: &Trace,
     options: RunOptions,
-) -> Result<Metrics, ConfigError> {
+) -> Result<Metrics, SimError> {
     try_simulate_observed(config, trace, options, &mut NoopObserver)
 }
 
@@ -195,9 +257,9 @@ pub fn try_simulate_observed<O: Observer>(
     trace: &Trace,
     options: RunOptions,
     obs: &mut O,
-) -> Result<Metrics, ConfigError> {
+) -> Result<Metrics, SimError> {
     if options.warm_percent >= 100 {
-        return Err(ConfigError::NothingToMeasure);
+        return Err(ConfigError::NothingToMeasure.into());
     }
     if let BackendConfig::FlashCard {
         params,
@@ -214,7 +276,8 @@ pub fn try_simulate_observed<O: Observer>(
             return Err(ConfigError::FlashOverfull {
                 working_set_blocks: working,
                 target_blocks: target,
-            });
+            }
+            .into());
         }
     }
     Ok(Simulator::new(config, trace, obs).run(trace, options))
@@ -251,6 +314,11 @@ struct Simulator<'o, O: Observer> {
     fat_scan_bytes: u64,
     /// Dirty write-back blocks lost to power failures (volatile DRAM).
     lost_dirty_blocks: u64,
+    /// Write operations the backend refused in read-only end-of-life
+    /// mode; the run drains instead of aborting.
+    rejected_writes: u64,
+    /// Blocks those refused writes covered.
+    rejected_blocks: u64,
     /// Critical-path queueing delay accumulated by the current operation.
     op_queue: SimDuration,
     /// Critical-path device service time accumulated by the current
@@ -329,6 +397,8 @@ impl<'o, O: Observer> Simulator<'o, O> {
             power_fails: PowerFailSchedule::from_config(&config.fault),
             fat_scan_bytes: config.fault.fat_scan_bytes,
             lost_dirty_blocks: 0,
+            rejected_writes: 0,
+            rejected_blocks: 0,
             op_queue: SimDuration::ZERO,
             op_service: SimDuration::ZERO,
             obs,
@@ -568,7 +638,17 @@ impl<'o, O: Observer> Simulator<'o, O> {
                     ),
                     Backend::FlashDisk(fd) => fd.access_obs(now, Dir::Write, bytes, self.obs),
                     Backend::FlashCard(card) => {
-                        card.write_obs(now, op.lbn, lbns.len() as u32, self.obs)
+                        match card.try_write_obs(now, op.lbn, lbns.len() as u32, self.obs) {
+                            Ok(svc) => svc,
+                            Err(_) => {
+                                // Read-only end of life: account for the
+                                // refused write and keep draining the
+                                // trace instead of aborting.
+                                self.rejected_writes += 1;
+                                self.rejected_blocks += lbns.len() as u64;
+                                return SimDuration::ZERO;
+                            }
+                        }
                     }
                 };
                 self.note_critical_service(now, &svc);
@@ -595,9 +675,18 @@ impl<'o, O: Observer> Simulator<'o, O> {
                     if run_ends {
                         let lbn = blocks[run_start];
                         let count = (i - run_start) as u32;
-                        let svc = card.write_obs(end, lbn, count, self.obs);
-                        start.get_or_insert(svc.start);
-                        end = svc.end;
+                        match card.try_write_obs(end, lbn, count, self.obs) {
+                            Ok(svc) => {
+                                start.get_or_insert(svc.start);
+                                end = svc.end;
+                            }
+                            Err(_) => {
+                                // Read-only: the run is dropped but
+                                // counted; later runs fail fast too.
+                                self.rejected_writes += 1;
+                                self.rejected_blocks += u64::from(count);
+                            }
+                        }
                         run_start = i;
                     }
                 }
@@ -624,9 +713,16 @@ impl<'o, O: Observer> Simulator<'o, O> {
                 let mut end = now;
                 let mut start = now;
                 for &lbn in lbns {
-                    let svc = card.write_obs(end, lbn, 1, self.obs);
-                    start = start.min(svc.start);
-                    end = svc.end;
+                    match card.try_write_obs(end, lbn, 1, self.obs) {
+                        Ok(svc) => {
+                            start = start.min(svc.start);
+                            end = svc.end;
+                        }
+                        Err(_) => {
+                            self.rejected_writes += 1;
+                            self.rejected_blocks += 1;
+                        }
+                    }
                 }
                 Service { start, end }
             }
@@ -654,8 +750,9 @@ impl<'o, O: Observer> Simulator<'o, O> {
     /// contents are lost (the battery-backed SRAM buffer survives, §5.5),
     /// and the backend runs its recovery scan — synchronous-FAT replay on
     /// the magnetic disk, log scan plus orphaned-segment reclaim on the
-    /// flash card. The flash disk hides recovery inside its emulation
-    /// layer, so it contributes no simulated scan.
+    /// flash card, and a spare-pool remap-header rescan on the flash disk
+    /// (its controller rebuilds the remap table behind the emulation
+    /// layer).
     fn power_fail(&mut self, at: SimTime) {
         let mut lost = 0;
         if let Some(cache) = self.dram.as_mut() {
@@ -668,7 +765,7 @@ impl<'o, O: Observer> Simulator<'o, O> {
         });
         let svc = match &mut self.backend {
             Backend::Disk(disk) => Some(disk.power_fail_obs(at, self.fat_scan_bytes, self.obs)),
-            Backend::FlashDisk(_) => None,
+            Backend::FlashDisk(fd) => Some(fd.power_fail_obs(at, self.obs)),
             Backend::FlashCard(card) => Some(card.power_fail_obs(at, self.obs)),
         };
         if let Some(svc) = svc {
@@ -794,6 +891,8 @@ impl<'o, O: Observer> Simulator<'o, O> {
             flash_card: card_c,
             wear,
             lost_dirty_blocks: self.lost_dirty_blocks,
+            rejected_writes: self.rejected_writes,
+            rejected_blocks: self.rejected_blocks,
         }
     }
 }

@@ -33,6 +33,10 @@ pub struct FlashDiskCounters {
     pub bytes_pre_erased: u64,
     /// Bytes whose erasure had to happen inline with the write.
     pub bytes_erased_on_demand: u64,
+    /// Power failures survived.
+    pub power_failures: u64,
+    /// Total sim time spent re-scanning remap metadata after power loss.
+    pub recovery_time: mobistore_sim::time::SimDuration,
 }
 
 /// A simulated flash disk emulator.
@@ -63,7 +67,14 @@ pub struct FlashDisk {
     garbage: u64,
 }
 
-const CATEGORIES: &[&str] = &["active", "erase", "idle"];
+const CATEGORIES: &[&str] = &["active", "erase", "idle", "recover"];
+
+/// Per-sector metadata the emulation layer re-reads after power loss (the
+/// SDP controller's remap/erase-state headers).
+const REMAP_HEADER_BYTES: u64 = 32;
+/// The emulated sector size (§2: the SDP erases one 512-byte sector at a
+/// time).
+const SECTOR_BYTES: u64 = 512;
 
 impl FlashDisk {
     /// Creates a flash disk; under [`ErasePolicy::Asynchronous`] the spare
@@ -167,6 +178,43 @@ impl FlashDisk {
     pub fn finish_obs<O: Observer>(&mut self, end: SimTime, obs: &mut O) {
         let settled = self.settle(end, obs);
         debug_assert!(settled >= end || settled == end.max(settled));
+    }
+
+    /// Loses power at `now` and recovers.
+    ///
+    /// Flash is non-volatile, so the pre-erased pool and pending garbage
+    /// survive; an in-flight access is abandoned. The emulation layer hides
+    /// recovery inside the controller: on power-up it re-reads the remap
+    /// and erase-state headers of its spare pool (one
+    /// [`REMAP_HEADER_BYTES`] header per [`SECTOR_BYTES`] sector) before
+    /// serving requests. Returns the recovery interval.
+    pub fn power_fail(&mut self, now: SimTime) -> Service {
+        self.power_fail_obs(now, &mut NoopObserver)
+    }
+
+    /// [`power_fail`](Self::power_fail), reporting background erasure cut
+    /// short by the crash to an observer.
+    pub fn power_fail_obs<O: Observer>(&mut self, now: SimTime, obs: &mut O) -> Service {
+        if now < self.free_at {
+            // The in-flight access dies with the power; the controller is
+            // free the instant power returns.
+            self.free_at = now;
+        } else {
+            let _ = self.settle(now, obs);
+        }
+        let sectors = self.params.spare_pool_bytes.div_ceil(SECTOR_BYTES);
+        let scan = self
+            .params
+            .read_bandwidth
+            .transfer_time(sectors * REMAP_HEADER_BYTES);
+        let total = self.params.access_latency + scan;
+        let end = now + total;
+        self.meter
+            .charge_for("recover", self.params.active_power, total);
+        self.counters.power_failures += 1;
+        self.counters.recovery_time += total;
+        self.free_at = end;
+        Service { start: now, end }
     }
 
     fn write_time(&mut self, bytes: u64) -> mobistore_sim::time::SimDuration {
@@ -354,6 +402,29 @@ mod tests {
         let w = fd.access(SimTime::ZERO, Dir::Write, 109 * KIB); // ~1 s
         let r = fd.access(SimTime::from_nanos(1_000_000), Dir::Read, KIB);
         assert_eq!(r.start, w.end);
+    }
+
+    #[test]
+    fn power_fail_preserves_pool_and_charges_recovery() {
+        let mut fd = FlashDisk::new(sdp5a_datasheet());
+        let first = fd.access(SimTime::ZERO, Dir::Write, 100 * KIB);
+        let pool = fd.erased_pool();
+        let svc = fd.power_fail(first.end);
+        assert!(svc.end > svc.start, "remap scan takes time");
+        assert_eq!(fd.erased_pool(), pool, "flash state is non-volatile");
+        assert_eq!(fd.counters().power_failures, 1);
+        assert_eq!(fd.counters().recovery_time, svc.end - svc.start);
+        assert!(fd.meter().category("recover").get() > 0.0);
+
+        // A crash mid-access abandons the in-flight request: the device is
+        // free for recovery at the crash instant, not at the access's
+        // would-be completion.
+        let w = fd.access(svc.end, Dir::Write, 100 * KIB);
+        let mid = w.start + SimDuration::from_nanos((w.end - w.start).as_nanos() / 2);
+        let svc2 = fd.power_fail(mid);
+        assert_eq!(svc2.start, mid);
+        let after = fd.access(svc2.end, Dir::Read, KIB);
+        assert_eq!(after.start, svc2.end, "device serves as soon as recovered");
     }
 
     #[test]

@@ -30,6 +30,68 @@ pub mod params;
 pub use disk::MagneticDisk;
 pub use flashdisk::FlashDisk;
 
+/// A typed, recoverable device failure.
+///
+/// These replace the library's historical `panic!` paths: callers that can
+/// degrade gracefully (the simulator's drain mode, the `repro` binary's
+/// exit-code mapping) match on the variant, while the old panicking entry
+/// points remain as thin wrappers that format the same message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The flash card has exhausted its cleanable capacity (spare guard
+    /// spent, nothing reclaimable) and is in read-only end-of-life mode.
+    /// Reads and trims still succeed; writes fail with this error.
+    ReadOnly {
+        /// Live blocks at the end-of-life transition.
+        live: u64,
+        /// Usable (non-retired) block capacity.
+        usable: u64,
+        /// Retired (bad-segment) blocks.
+        retired: u64,
+    },
+    /// A flash card was configured with too few segments to hold a
+    /// frontier plus an erased reserve.
+    TooFewSegments {
+        /// Segments the configuration would create.
+        segments: u64,
+    },
+    /// A flash card segment cannot hold even one logical block.
+    SegmentTooSmall {
+        /// Configured segment size in bytes.
+        segment_bytes: u64,
+        /// Configured block size in bytes.
+        block_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DeviceError::ReadOnly {
+                live,
+                usable,
+                retired,
+            } => write!(
+                f,
+                "flash card is read-only at end of life: {live} live of {usable} usable \
+                 blocks ({retired} retired) and nothing cleanable"
+            ),
+            DeviceError::TooFewSegments { segments } => {
+                write!(f, "flash card needs at least 2 segments, got {segments}")
+            }
+            DeviceError::SegmentTooSmall {
+                segment_bytes,
+                block_bytes,
+            } => write!(
+                f,
+                "flash segment of {segment_bytes} bytes cannot hold one {block_bytes}-byte block"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
 /// How a device treats a request that arrives while it is busy.
 ///
 /// The paper's simulator evaluates each operation independently ("all

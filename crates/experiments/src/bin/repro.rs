@@ -6,13 +6,21 @@
 //!
 //! Targets: `table1 table2 table3 table4 figure1 figure2 figure3 figure4
 //! figure5 async endurance verify battery ablations nextgen sensitivity
-//! related reliability observe` (default: all).
+//! related reliability observe crashcheck` (default: all).
 //!
 //! The `reliability` target takes extra flags: `--fault-rates <a,b,c>`
 //! (transient write/erase fault rates to sweep), `--fault-power-interval
 //! <secs>` (mean seconds between power failures; 0 disables them), and
 //! `--fault-seed <n>` (the fault streams' seed, independent of the
 //! workload seed).
+//!
+//! The `crashcheck` target takes `--crash-points <all|n>` (crash at every
+//! op boundary, or at `n` sampled boundaries per grid cell) and
+//! `--crash-seed <n>` (the crash-instant jitter seed).
+//!
+//! Exit codes are typed: `0` success, `1` I/O failure, `2` usage error,
+//! `3` configuration error ([`SimError::Config`]), `4` device error,
+//! `5` cache error.
 //!
 //! Observability exports: `--events-out <path>` writes the JSONL event
 //! stream produced by observing targets (`observe`), and `--metrics-out
@@ -39,8 +47,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use mobistore_core::crashcheck::CrashPoints;
 use mobistore_core::metrics::Metrics;
-use mobistore_experiments::render::{render_target, RenderOptions, TARGETS};
+use mobistore_core::simulator::SimError;
+use mobistore_experiments::render::{try_render_target, RenderOptions, TARGETS};
 use mobistore_experiments::{export, Scale};
 use mobistore_sim::exec;
 use mobistore_sim::time::SimDuration;
@@ -116,6 +126,14 @@ fn main() -> ExitCode {
                 Some(v) => render.reliability.fault_seed = v,
                 None => return usage("--fault-seed needs an integer"),
             },
+            "--crash-points" => match args.next().map(|v| parse_crash_points(&v)) {
+                Some(Some(points)) => render.crashcheck.points = points,
+                _ => return usage("--crash-points needs 'all' or a positive integer"),
+            },
+            "--crash-seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => render.crashcheck.seed = v,
+                None => return usage("--crash-seed needs an integer"),
+            },
             "--help" | "-h" => return usage(""),
             t if !t.starts_with('-') => targets.push(t.to_owned()),
             other => return usage(&format!("unknown flag {other}")),
@@ -138,18 +156,28 @@ fn main() -> ExitCode {
     // Run all requested targets concurrently, buffering each target's
     // stdout; flushing in request order keeps the combined output
     // byte-identical to a serial run.
-    let results: Vec<TargetOutput> = exec::parallel_map(&targets, |target| {
+    let rendered: Vec<Result<TargetOutput, SimError>> = exec::parallel_map(&targets, |target| {
         eprintln!("# running {target}...");
         let t0 = Instant::now();
-        let r = render_target(target, scale, &render);
-        TargetOutput {
+        let r = try_render_target(target, scale, &render)?;
+        Ok(TargetOutput {
             text: r.text,
             csvs: r.csvs,
             metrics: r.metrics,
             events_jsonl: r.events_jsonl,
             elapsed: t0.elapsed(),
-        }
+        })
     });
+    let mut results: Vec<TargetOutput> = Vec::with_capacity(rendered.len());
+    for (target, r) in targets.iter().zip(rendered) {
+        match r {
+            Ok(out) => results.push(out),
+            Err(e) => {
+                eprintln!("error: target {target}: {e}");
+                return sim_error_exit(&e);
+            }
+        }
+    }
 
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
@@ -238,6 +266,28 @@ fn timings_json_doc(targets: &[String], results: &[TargetOutput], total: Duratio
     s
 }
 
+/// Maps a [`SimError`] to its documented exit code: configuration errors
+/// exit 3, device errors 4, cache errors 5.
+fn sim_error_exit(e: &SimError) -> ExitCode {
+    ExitCode::from(match e {
+        SimError::Config(_) => 3,
+        SimError::Device(_) => 4,
+        SimError::Cache(_) => 5,
+    })
+}
+
+/// Parses `--crash-points`: `all` for the exhaustive boundary sweep, or a
+/// positive sample count.
+fn parse_crash_points(s: &str) -> Option<CrashPoints> {
+    if s.trim() == "all" {
+        return Some(CrashPoints::Exhaustive);
+    }
+    match s.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(CrashPoints::Sampled(n)),
+        _ => None,
+    }
+}
+
 /// Parses `--fault-rates`: comma-separated probabilities in `[0, 1]`.
 fn parse_rates(s: &str) -> Option<Vec<f64>> {
     let rates: Option<Vec<f64>> = s
@@ -288,8 +338,9 @@ fn usage(err: &str) -> ExitCode {
         "usage: repro [--scale <0..1]] [--seed <n>] [--jobs <n>] [--timings] [--csv <dir>] \
          [--events-out <file>] [--metrics-out <file>] [--timings-json <file>] \
          [--fault-rates <a,b,c>] [--fault-power-interval <secs>] [--fault-seed <n>] \
+         [--crash-points <all|n>] [--crash-seed <n>] \
          [table1|table2|table3|table4|figure1|figure2|figure3|figure4|figure5|async|endurance|\
-         verify|battery|ablations|nextgen|sensitivity|related|reliability|observe ...]"
+         verify|battery|ablations|nextgen|sensitivity|related|reliability|observe|crashcheck ...]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

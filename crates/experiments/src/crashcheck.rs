@@ -1,0 +1,309 @@
+//! Crash-consistency torture — the `repro crashcheck` target.
+//!
+//! Two sections, both deterministic at any `--jobs` count:
+//!
+//! 1. **Torture grid**: every workload × every device runs the
+//!    [`mobistore_core::crashcheck`] sweep — a power failure injected at
+//!    each selected op boundary (plus torn mid-write crashes on odd
+//!    boundaries), recovery, and verification. On the flash card the
+//!    differential shadow model checks every recovered block's
+//!    generation; on the disks the accounting story is checked. The
+//!    sweep density and jitter seed come from `--crash-points` and
+//!    `--crash-seed`.
+//! 2. **End-of-life degradation**: a deliberately tiny flash card is
+//!    driven through the *full simulator* under a permanent-erase-failure
+//!    plan until segment retirement squeezes out the last cleanable
+//!    victim. The card goes read-only instead of panicking, the run
+//!    drains with per-op error accounting, and the rejected writes land
+//!    in [`Metrics::rejected_writes`].
+//!
+//! [`Metrics::rejected_writes`]: mobistore_core::metrics::Metrics::rejected_writes
+
+use std::fmt;
+
+use mobistore_core::config::SystemConfig;
+use mobistore_core::crashcheck::{torture, CrashPoints, TortureOptions, TortureReport};
+use mobistore_core::simulator::{try_simulate, RunOptions, SimError};
+use mobistore_device::params::{cu140_datasheet, intel_datasheet, sdp5_datasheet};
+use mobistore_sim::exec::parallel_map;
+use mobistore_sim::fault::FaultConfig;
+use mobistore_sim::time::SimTime;
+use mobistore_sim::units::KIB;
+use mobistore_trace::record::{DiskOp, DiskOpKind, FileId, Trace};
+use mobistore_workload::Workload;
+
+use crate::{flash_card_config, shared_trace, Scale};
+
+/// Parameters of the torture sweep (the `--crash-*` flags).
+#[derive(Debug, Clone, Copy)]
+pub struct CrashCheckOptions {
+    /// Crash-point density per grid cell.
+    pub points: CrashPoints,
+    /// Trace-prefix cap per crash point (the flash-card sweep is
+    /// O(points × ops), so the prefix is bounded; truncation is
+    /// reported).
+    pub max_ops: usize,
+    /// Seed for the crash-instant jitter.
+    pub seed: u64,
+}
+
+impl Default for CrashCheckOptions {
+    fn default() -> Self {
+        CrashCheckOptions {
+            points: CrashPoints::Sampled(24),
+            max_ops: 192,
+            seed: 0x1994,
+        }
+    }
+}
+
+/// The end-of-life demonstration's outcome.
+#[derive(Debug, Clone)]
+pub struct EndOfLife {
+    /// Write ops the trace issued.
+    pub writes_issued: u64,
+    /// Write ops the read-only card refused (the run drained anyway).
+    pub rejected_writes: u64,
+    /// Blocks those writes covered.
+    pub rejected_blocks: u64,
+    /// Segments retired by permanent erase failures on the way down.
+    pub segments_retired: u64,
+    /// The card's own count of refused writes.
+    pub eol_write_rejections: u64,
+}
+
+/// The rendered experiment: the grid plus the degradation demo.
+#[derive(Debug, Clone)]
+pub struct CrashCheck {
+    /// The options the sweep ran with.
+    pub options: CrashCheckOptions,
+    /// One report per workload × device, workload-major.
+    pub reports: Vec<TortureReport>,
+    /// The end-of-life run.
+    pub eol: EndOfLife,
+}
+
+impl CrashCheck {
+    /// True if every grid cell passed every check.
+    pub fn passed(&self) -> bool {
+        self.reports.iter().all(TortureReport::passed)
+    }
+}
+
+/// Runs the torture grid and the end-of-life demonstration.
+///
+/// # Errors
+///
+/// Returns the [`SimError`] if a simulation cannot even be set up (the
+/// torture sweeps themselves never error — they record violations).
+pub fn run(scale: Scale, options: &CrashCheckOptions) -> Result<CrashCheck, SimError> {
+    let torture_opts = TortureOptions {
+        max_ops: options.max_ops,
+        crash_points: options.points,
+        seed: options.seed,
+        sabotage_lbn: None,
+    };
+    let mut cells: Vec<(Workload, u8)> = Vec::new();
+    for w in Workload::ALL {
+        for device in 0..3u8 {
+            cells.push((w, device));
+        }
+    }
+    let reports = parallel_map(&cells, |&(workload, device)| {
+        let trace = shared_trace(workload, scale);
+        let config = match device {
+            0 => {
+                let mut cfg = SystemConfig::disk(cu140_datasheet());
+                cfg.fault.fat_scan_bytes = 64 * KIB;
+                cfg
+            }
+            1 => SystemConfig::flash_disk(sdp5_datasheet()),
+            _ => flash_card_config(intel_datasheet(), &trace, 0.80),
+        };
+        let mut report = torture(&config, &trace, &torture_opts);
+        report.name = format!("{}/{}", workload.name(), report.device);
+        report
+    });
+    Ok(CrashCheck {
+        options: *options,
+        reports,
+        eol: end_of_life()?,
+    })
+}
+
+/// A rewrite-heavy trace that keeps the end-of-life card's cleaner busy,
+/// so every failed erase gets its chance to retire a segment.
+fn eol_trace() -> Trace {
+    let mut trace = Trace::new(1024);
+    for i in 0..2000u64 {
+        trace.push(DiskOp {
+            time: SimTime::from_secs_f64(i as f64 * 0.01),
+            kind: DiskOpKind::Write,
+            lbn: i % 250,
+            blocks: 1,
+            file: FileId(0),
+        });
+    }
+    trace
+}
+
+/// Drives a 10-segment card into read-only end of life through the full
+/// simulator: every erase fails permanently, so each cleaning pass
+/// retires its victim until the survivors are too full to clean.
+fn end_of_life() -> Result<EndOfLife, SimError> {
+    let trace = eol_trace();
+    let mut fault = FaultConfig::with_rate(0.0, 7);
+    fault.erase_fail_rate = 1.0;
+    fault.permanent_rate = 1.0;
+    let config = SystemConfig::flash_card(intel_datasheet())
+        .with_flash_capacity(10 * 128 * KIB)
+        .with_dram(0)
+        .with_faults(fault);
+    // No warm-up: the interesting events (retirement, the read-only
+    // transition) happen early, and the warm boundary would reset their
+    // counters.
+    let opts = RunOptions {
+        warm_percent: 0,
+        reset_wear_at_warm: false,
+    };
+    let m = try_simulate(&config, &trace, opts)?;
+    let card = m.flash_card.expect("flash-card backend");
+    Ok(EndOfLife {
+        writes_issued: trace
+            .ops
+            .iter()
+            .filter(|op| op.kind == DiskOpKind::Write)
+            .count() as u64,
+        rejected_writes: m.rejected_writes,
+        rejected_blocks: m.rejected_blocks,
+        segments_retired: card.segments_retired,
+        eol_write_rejections: card.eol_write_rejections,
+    })
+}
+
+impl fmt::Display for CrashCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let density = match self.options.points {
+            CrashPoints::Exhaustive => "every op boundary".to_owned(),
+            CrashPoints::Sampled(n) => format!("{n} sampled boundaries"),
+        };
+        writeln!(
+            f,
+            "Crash-consistency torture: power failure at {density} \
+             (max {} ops, crash seed {:#x}), recovery, then verification",
+            self.options.max_ops, self.options.seed
+        )?;
+        writeln!(
+            f,
+            "Flash-card recoveries are checked block-by-block against a \
+             differential shadow model; disk recoveries by accounting."
+        )?;
+        writeln!(
+            f,
+            "{:<20} {:>7} {:>7} {:>9} {:>7} {:>8} {:>6}",
+            "trace/device", "crashes", "mid-op", "mid-clean", "ops", "dropped", "result"
+        )?;
+        for r in &self.reports {
+            writeln!(
+                f,
+                "{:<20} {:>7} {:>7} {:>9} {:>7} {:>8} {:>6}",
+                r.name,
+                r.crashes,
+                r.mid_op_crashes,
+                r.mid_cleaning_crashes,
+                r.ops_replayed,
+                r.truncated_ops,
+                if r.passed() { "ok" } else { "FAIL" },
+            )?;
+        }
+        for r in self.reports.iter().filter(|r| !r.passed()) {
+            for v in r.violations.iter().take(5) {
+                writeln!(f, "  {}: {v}", r.name)?;
+            }
+            if r.violations.len() > 5 {
+                writeln!(f, "  {}: ... and {} more", r.name, r.violations.len() - 5)?;
+            }
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "End-of-life degradation: a 10-segment card under permanent erase \
+             failures goes read-only and drains the trace instead of panicking"
+        )?;
+        writeln!(
+            f,
+            "{:>7} {:>9} {:>9} {:>8} {:>10}",
+            "writes", "rejected", "blocks", "retired", "eol-rejects"
+        )?;
+        write!(
+            f,
+            "{:>7} {:>9} {:>9} {:>8} {:>10}",
+            self.eol.writes_issued,
+            self.eol.rejected_writes,
+            self.eol.rejected_blocks,
+            self.eol.segments_retired,
+            self.eol.eol_write_rejections,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_every_workload_and_device() {
+        let opts = CrashCheckOptions {
+            points: CrashPoints::Sampled(4),
+            max_ops: 48,
+            seed: 3,
+        };
+        let c = run(Scale::quick(), &opts).expect("crashcheck sets up");
+        assert_eq!(c.reports.len(), Workload::ALL.len() * 3);
+        assert!(
+            c.passed(),
+            "violations: {:?}",
+            c.reports
+                .iter()
+                .flat_map(|r| r.violations.iter().take(2))
+                .collect::<Vec<_>>()
+        );
+        let rendered = format!("{c}");
+        assert!(rendered.contains("mac/flash card"));
+        assert!(rendered.contains("synth/magnetic disk"));
+    }
+
+    #[test]
+    fn end_of_life_rejects_writes_but_completes() {
+        let eol = end_of_life().expect("the run degrades, it does not error out");
+        assert!(
+            eol.segments_retired >= 1,
+            "no segment ever retired: {eol:?}"
+        );
+        assert!(
+            eol.rejected_writes > 0,
+            "card never went read-only: {eol:?}"
+        );
+        assert_eq!(eol.rejected_writes, eol.rejected_blocks);
+        assert!(eol.eol_write_rejections >= eol.rejected_writes);
+        assert!(eol.rejected_writes < eol.writes_issued);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let opts = CrashCheckOptions {
+            points: CrashPoints::Sampled(3),
+            max_ops: 32,
+            seed: 11,
+        };
+        let a = format!(
+            "{}",
+            run(Scale::quick(), &opts).expect("crashcheck sets up")
+        );
+        let b = format!(
+            "{}",
+            run(Scale::quick(), &opts).expect("crashcheck sets up")
+        );
+        assert_eq!(a, b);
+    }
+}

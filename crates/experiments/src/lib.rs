@@ -25,6 +25,7 @@
 //! | [`related`] | §6 eNVy cleaning-duty-cycle cross-check |
 //! | [`reliability`] | fault-rate sweep with crash recovery (beyond the paper) |
 //! | [`observe`] | state residency + latency percentiles per workload × device |
+//! | [`crashcheck`] | crash-consistency torture sweep + end-of-life degradation |
 //!
 //! [`render`] turns any named target into its exact stdout bytes, shared
 //! by the `repro` binary and the golden snapshot tests.
@@ -38,6 +39,7 @@
 pub mod ablations;
 pub mod async_cleaning;
 pub mod battery;
+pub mod crashcheck;
 pub mod csv;
 pub mod endurance;
 pub mod export;

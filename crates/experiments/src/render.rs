@@ -9,12 +9,14 @@
 use std::fmt::Display;
 
 use mobistore_core::metrics::Metrics;
+use mobistore_core::simulator::SimError;
 
+use crate::crashcheck::CrashCheckOptions;
 use crate::reliability::ReliabilityOptions;
-use crate::{reliability, Scale};
+use crate::{crashcheck, reliability, Scale};
 
 /// Every known target, in the default (paper) order.
-pub const TARGETS: [&str; 19] = [
+pub const TARGETS: [&str; 20] = [
     "table1",
     "table2",
     "table3",
@@ -34,6 +36,7 @@ pub const TARGETS: [&str; 19] = [
     "related",
     "reliability",
     "observe",
+    "crashcheck",
 ];
 
 /// Options a target may consume beyond the [`Scale`].
@@ -41,6 +44,8 @@ pub const TARGETS: [&str; 19] = [
 pub struct RenderOptions {
     /// The `reliability` target's fault sweep parameters.
     pub reliability: ReliabilityOptions,
+    /// The `crashcheck` target's sweep density and jitter seed.
+    pub crashcheck: CrashCheckOptions,
     /// Collect per-event JSONL streams (the `--events-out` payload) from
     /// targets that observe their simulations. Off by default: rendering
     /// with the default options is exactly the pre-observability output.
@@ -62,12 +67,35 @@ pub struct RenderedTarget {
     pub events_jsonl: Option<String>,
 }
 
-/// Renders one target.
+/// Renders one target, panicking on any [`SimError`].
+///
+/// # Panics
+///
+/// Panics on a target name not in [`TARGETS`] or on a simulation that
+/// cannot be set up. The `repro` binary goes through
+/// [`try_render_target`] instead, mapping errors to exit codes.
+pub fn render_target(target: &str, scale: Scale, options: &RenderOptions) -> RenderedTarget {
+    match try_render_target(target, scale, options) {
+        Ok(r) => r,
+        Err(e) => panic!("target {target}: {e}"),
+    }
+}
+
+/// Renders one target, reporting simulation setup failures as typed
+/// errors.
+///
+/// # Errors
+///
+/// Returns the [`SimError`] a target's simulation setup reported.
 ///
 /// # Panics
 ///
 /// Panics on a target name not in [`TARGETS`].
-pub fn render_target(target: &str, scale: Scale, options: &RenderOptions) -> RenderedTarget {
+pub fn try_render_target(
+    target: &str,
+    scale: Scale,
+    options: &RenderOptions,
+) -> Result<RenderedTarget, SimError> {
     let mut out = String::new();
     let mut csvs: Vec<(&'static str, String)> = Vec::new();
     let mut metrics: Vec<Metrics> = Vec::new();
@@ -140,6 +168,7 @@ pub fn render_target(target: &str, scale: Scale, options: &RenderOptions) -> Ren
         "sensitivity" => p(&mut out, crate::sensitivity::run(scale)),
         "related" => p(&mut out, crate::related::run(scale)),
         "reliability" => p(&mut out, reliability::run(scale, &options.reliability)),
+        "crashcheck" => p(&mut out, crashcheck::run(scale, &options.crashcheck)?),
         "observe" => {
             let o = crate::observe::run(scale, options.collect_events);
             p(&mut out, &o);
@@ -148,12 +177,12 @@ pub fn render_target(target: &str, scale: Scale, options: &RenderOptions) -> Ren
         }
         other => panic!("unknown target {other}"),
     }
-    RenderedTarget {
+    Ok(RenderedTarget {
         text: out,
         csvs,
         metrics,
         events_jsonl,
-    }
+    })
 }
 
 #[cfg(test)]

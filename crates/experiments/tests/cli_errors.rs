@@ -1,0 +1,84 @@
+//! CLI robustness: malformed invocations exit with the typed usage code
+//! (2) and a clean `error:` line — never a panic or backtrace.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro spawns")
+}
+
+fn assert_usage_error(args: &[&str], expect_in_stderr: &str) {
+    let out = repro(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} should exit 2, got {:?}; stderr:\n{stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains("error:"),
+        "{args:?} stderr missing 'error:' line:\n{stderr}"
+    );
+    assert!(
+        stderr.contains(expect_in_stderr),
+        "{args:?} stderr missing {expect_in_stderr:?}:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "{args:?} panicked instead of reporting a usage error:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "{args:?} stderr missing the usage line:\n{stderr}"
+    );
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    assert_usage_error(&["--frobnicate"], "unknown flag --frobnicate");
+}
+
+#[test]
+fn unknown_target_is_a_usage_error() {
+    assert_usage_error(&["warp"], "unknown target warp");
+}
+
+#[test]
+fn malformed_fault_rates_are_usage_errors() {
+    assert_usage_error(&["--fault-rates", "0.1,banana"], "--fault-rates");
+    assert_usage_error(&["--fault-rates", "1.5"], "--fault-rates");
+    assert_usage_error(&["--fault-rates", ""], "--fault-rates");
+    assert_usage_error(&["--fault-rates"], "--fault-rates");
+}
+
+#[test]
+fn malformed_crash_seed_is_a_usage_error() {
+    assert_usage_error(&["--crash-seed", "banana"], "--crash-seed");
+    assert_usage_error(&["--crash-seed", "-1"], "--crash-seed");
+    assert_usage_error(&["--crash-seed"], "--crash-seed");
+}
+
+#[test]
+fn malformed_crash_points_is_a_usage_error() {
+    assert_usage_error(&["--crash-points", "0"], "--crash-points");
+    assert_usage_error(&["--crash-points", "some"], "--crash-points");
+}
+
+#[test]
+fn malformed_scale_is_a_usage_error() {
+    assert_usage_error(&["--scale", "2.0"], "--scale");
+    assert_usage_error(&["--scale", "nope"], "--scale");
+}
+
+#[test]
+fn help_exits_zero_with_usage() {
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "missing usage text:\n{stderr}");
+    assert!(stderr.contains("crashcheck"), "usage omits crashcheck");
+}

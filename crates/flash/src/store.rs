@@ -25,7 +25,8 @@
 use std::collections::HashMap;
 
 use mobistore_device::params::FlashCardParams;
-use mobistore_device::Service;
+use mobistore_device::{DeviceError, Service};
+use mobistore_sim::crashcheck::FIRST_GENERATION;
 use mobistore_sim::energy::{EnergyMeter, Joules};
 use mobistore_sim::fault::{EraseOutcome, FaultConfig, FaultPlan};
 use mobistore_sim::obs::{Event, FaultKind, NoopObserver, Observer};
@@ -145,6 +146,8 @@ pub struct FlashCardCounters {
     pub power_failures: u64,
     /// Total time spent in post-power-failure recovery scans.
     pub recovery_time: SimDuration,
+    /// Writes rejected because the card is in read-only end-of-life mode.
+    pub eol_write_rejections: u64,
 }
 
 /// A full accounting of every block slot on the card. The four classes
@@ -166,6 +169,30 @@ impl BlockCensus {
     pub fn total(&self) -> u64 {
         self.live + self.free + self.dead + self.retired
     }
+}
+
+/// Where one logical block lives on the card.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BlockLoc {
+    /// Segment holding the block's current copy.
+    seg: u32,
+    /// Monotone write generation stamped when the block's *data* was
+    /// written (cleaning relocates a block without changing its
+    /// generation). This is what the differential crash checker compares
+    /// against its shadow model.
+    gen: u64,
+}
+
+/// One row of [`FlashCardStore::snapshot`]: the recovered location and
+/// write generation of a live logical block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// Logical block number.
+    pub lbn: u64,
+    /// Segment holding the current copy.
+    pub segment: u32,
+    /// Write generation of the data (see the crash checker's shadow model).
+    pub generation: u64,
 }
 
 /// Endurance statistics (§5.2).
@@ -205,8 +232,8 @@ pub struct FlashCardStore {
     config: FlashCardConfig,
     blocks_per_segment: u32,
     segments: Vec<Segment>,
-    /// Logical block number → (segment, slot-irrelevant) location.
-    map: HashMap<u64, u32>,
+    /// Logical block number → location and write generation.
+    map: HashMap<u64, BlockLoc>,
     /// Segment currently accepting writes.
     frontier: u32,
     /// Fully-erased segments ready to become the frontier.
@@ -221,6 +248,11 @@ pub struct FlashCardStore {
     free_at: SimTime,
     live_blocks: u64,
     open_seq: u64,
+    /// Next write generation to stamp (see [`BlockLoc::gen`]).
+    write_gen: u64,
+    /// Sticky end-of-life flag: once the card finds nothing cleanable with
+    /// space exhausted it serves reads but rejects all further writes.
+    read_only: bool,
 }
 
 const CATEGORIES: &[&str] = &["active", "clean", "idle", "recover"];
@@ -233,16 +265,28 @@ impl FlashCardStore {
     /// Panics if the configuration yields fewer than two segments or a
     /// segment smaller than one block.
     pub fn new(config: FlashCardConfig) -> Self {
+        match Self::try_new(config) {
+            Ok(card) => card,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`new`](Self::new): returns a typed
+    /// [`DeviceError`] instead of panicking on bad geometry.
+    pub fn try_new(config: FlashCardConfig) -> Result<Self, DeviceError> {
         let seg_size = config.params.segment_size;
-        assert!(
-            seg_size >= config.block_size,
-            "segment smaller than a block"
-        );
+        if seg_size < config.block_size {
+            return Err(DeviceError::SegmentTooSmall {
+                segment_bytes: seg_size,
+                block_bytes: config.block_size,
+            });
+        }
         let num_segments = (config.capacity_bytes / seg_size) as u32;
-        assert!(
-            num_segments >= 2,
-            "need at least two segments, got {num_segments}"
-        );
+        if num_segments < 2 {
+            return Err(DeviceError::TooFewSegments {
+                segments: u64::from(num_segments),
+            });
+        }
         let blocks_per_segment = (seg_size / config.block_size) as u32;
 
         let mut segments = vec![
@@ -258,7 +302,7 @@ impl FlashCardStore {
         segments[0].state = SegState::Frontier;
         let erased = (1..num_segments).rev().collect();
 
-        FlashCardStore {
+        Ok(FlashCardStore {
             config,
             blocks_per_segment,
             segments,
@@ -273,7 +317,9 @@ impl FlashCardStore {
             free_at: SimTime::ZERO,
             live_blocks: 0,
             open_seq: 1,
-        }
+            write_gen: FIRST_GENERATION,
+            read_only: false,
+        })
     }
 
     /// Installs a fault-injection plan built from `fault`. A zero-rate
@@ -348,6 +394,68 @@ impl FlashCardStore {
     /// Returns the operation counters.
     pub fn counters(&self) -> FlashCardCounters {
         self.counters
+    }
+
+    /// True once the card has entered read-only end-of-life mode (see
+    /// [`try_write`](Self::try_write)). Sticky: reads and trims are still
+    /// served, writes fail with [`DeviceError::ReadOnly`].
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// The victim segment of the in-flight background cleaning job, if any
+    /// (the crash checker uses this to verify cleaning atomicity).
+    pub fn cleaning_victim(&self) -> Option<u32> {
+        self.job.as_ref().map(|j| j.victim)
+    }
+
+    /// The retired (bad) segments, sorted; retirement must be monotone
+    /// across crashes.
+    pub fn bad_segments(&self) -> Vec<u32> {
+        let mut bad = self.bad.clone();
+        bad.sort_unstable();
+        bad
+    }
+
+    /// The next write generation the card will stamp; mirrors
+    /// `ShadowModel::next_generation` in the differential checker.
+    pub fn next_generation(&self) -> u64 {
+        self.write_gen
+    }
+
+    /// The full live-block mapping — `(lbn, segment, generation)` sorted by
+    /// lbn — for differential comparison against a shadow model after
+    /// crash recovery.
+    pub fn snapshot(&self) -> Vec<BlockEntry> {
+        let mut rows: Vec<BlockEntry> = self
+            .map
+            .iter()
+            .map(|(&lbn, loc)| BlockEntry {
+                lbn,
+                segment: loc.seg,
+                generation: loc.gen,
+            })
+            .collect();
+        rows.sort_unstable_by_key(|r| r.lbn);
+        rows
+    }
+
+    /// Test-only sabotage hook: silently drops one live block while keeping
+    /// every internal count consistent, simulating a recovery bug that
+    /// loses data without tripping [`check_invariants`](Self::check_invariants).
+    /// Exists to prove the differential crash checker has teeth; never
+    /// called outside tests. Returns false if the block was not mapped.
+    #[doc(hidden)]
+    pub fn sabotage_lose_block(&mut self, lbn: u64) -> bool {
+        let Some(loc) = self.map.remove(&lbn) else {
+            return false;
+        };
+        // Internally consistent data loss: the slot becomes "dead", the
+        // census still partitions, live counts still agree — only the
+        // shadow model can tell the block should exist.
+        self.segments[loc.seg as usize].live -= 1;
+        self.live_blocks -= 1;
+        true
     }
 
     /// Returns total energy consumed so far.
@@ -448,7 +556,9 @@ impl FlashCardStore {
         let mut seg_live = vec![0u32; self.segments.len()];
         for (i, lbn) in lbns.into_iter().enumerate() {
             let seg = 1 + (i % fillable) as u32;
-            let old = self.map.insert(lbn, seg);
+            let gen = self.write_gen;
+            self.write_gen += 1;
+            let old = self.map.insert(lbn, BlockLoc { seg, gen });
             assert!(old.is_none(), "duplicate lbn in aged preload");
             self.live_blocks += 1;
             seg_live[seg as usize] += 1;
@@ -507,9 +617,22 @@ impl FlashCardStore {
     /// # Panics
     ///
     /// Panics if space is exhausted and nothing is cleanable (the working
-    /// set exceeds usable capacity).
+    /// set exceeds usable capacity); see [`try_write`](Self::try_write) for
+    /// the fallible path.
     pub fn write(&mut self, now: SimTime, lbn: u64, blocks: u32) -> Service {
         self.write_obs(now, lbn, blocks, &mut NoopObserver)
+    }
+
+    /// Fallible [`write`](Self::write): on capacity exhaustion the card
+    /// transitions to sticky read-only end-of-life mode and returns
+    /// [`DeviceError::ReadOnly`] instead of panicking.
+    pub fn try_write(
+        &mut self,
+        now: SimTime,
+        lbn: u64,
+        blocks: u32,
+    ) -> Result<Service, DeviceError> {
+        self.try_write_obs(now, lbn, blocks, &mut NoopObserver)
     }
 
     /// [`write`](Self::write), reporting cleaning activity
@@ -526,6 +649,36 @@ impl FlashCardStore {
         blocks: u32,
         obs: &mut O,
     ) -> Service {
+        match self.try_write_obs(now, lbn, blocks, obs) {
+            Ok(svc) => svc,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`try_write`](Self::try_write), reporting cleaning activity, faults,
+    /// and the end-of-life transition ([`Event::FlashEndOfLife`]) to an
+    /// observer.
+    ///
+    /// When a write finds the frontier full, the erased pool empty, and
+    /// nothing cleanable (the live working set has outgrown the usable
+    /// capacity — typically because permanent erase failures retired too
+    /// many segments), the card enters *read-only end-of-life mode*: this
+    /// and every later write fails fast with [`DeviceError::ReadOnly`],
+    /// while reads and trims continue to be served. A multi-block write
+    /// that hits end of life mid-transfer keeps the blocks already placed
+    /// (the transfer failed partway, as on a real device) and reports the
+    /// error for the whole operation.
+    pub fn try_write_obs<O: Observer>(
+        &mut self,
+        now: SimTime,
+        lbn: u64,
+        blocks: u32,
+        obs: &mut O,
+    ) -> Result<Service, DeviceError> {
+        if self.read_only {
+            self.counters.eol_write_rejections += 1;
+            return Err(self.read_only_error());
+        }
         let start = self.settle(now, obs);
         let mut wait = SimDuration::ZERO;
         let mut waited = false;
@@ -540,13 +693,18 @@ impl FlashCardStore {
                         wait += spent;
                         waited = true;
                     }
-                    None => panic!(
-                        "flash card full: {} live of {} usable blocks ({} retired) \
-                         and nothing cleanable",
-                        self.live_blocks,
-                        self.usable_blocks(),
-                        self.retired_blocks()
-                    ),
+                    None => {
+                        self.read_only = true;
+                        self.counters.eol_write_rejections += 1;
+                        obs.record(&Event::FlashEndOfLife {
+                            t: start + wait,
+                            live: self.live_blocks,
+                            usable: self.usable_blocks(),
+                            retired: self.retired_blocks(),
+                        });
+                        self.debug_check();
+                        return Err(self.read_only_error());
+                    }
                 }
             }
             self.place_block(lbn + i);
@@ -591,7 +749,16 @@ impl FlashCardStore {
         self.counters.bytes_written += bytes;
         self.free_at = self.free_at.max(end);
         self.debug_check();
-        Service { start, end }
+        Ok(Service { start, end })
+    }
+
+    /// The [`DeviceError::ReadOnly`] describing the card's current census.
+    fn read_only_error(&self) -> DeviceError {
+        DeviceError::ReadOnly {
+            live: self.live_blocks,
+            usable: self.usable_blocks(),
+            retired: self.retired_blocks(),
+        }
     }
 
     /// Marks `blocks` logical blocks starting at `lbn` dead (file deletion).
@@ -606,8 +773,8 @@ impl FlashCardStore {
     /// stamp.
     pub fn trim_obs<O: Observer>(&mut self, now: SimTime, lbn: u64, blocks: u32, obs: &mut O) {
         for i in 0..u64::from(blocks) {
-            if let Some(seg) = self.map.remove(&(lbn + i)) {
-                self.segments[seg as usize].live -= 1;
+            if let Some(loc) = self.map.remove(&(lbn + i)) {
+                self.segments[loc.seg as usize].live -= 1;
                 self.live_blocks -= 1;
             }
         }
@@ -692,15 +859,30 @@ impl FlashCardStore {
         true
     }
 
-    /// Writes one logical block at the frontier, retiring any old copy.
+    /// Writes one logical block at the frontier with a fresh write
+    /// generation, retiring any old copy.
     ///
     /// The caller must ensure the frontier has a free slot.
     fn place_block(&mut self, lbn: u64) {
+        let gen = self.write_gen;
+        self.write_gen += 1;
+        self.place_block_at(lbn, gen);
+    }
+
+    /// Places one logical block at the frontier carrying generation `gen`
+    /// (the cleaner relocates data without re-stamping it).
+    fn place_block_at(&mut self, lbn: u64, gen: u64) {
         if self.frontier_full() {
             assert!(self.advance_frontier(), "place_block with no space");
         }
-        if let Some(old) = self.map.insert(lbn, self.frontier) {
-            self.segments[old as usize].live -= 1;
+        if let Some(old) = self.map.insert(
+            lbn,
+            BlockLoc {
+                seg: self.frontier,
+                gen,
+            },
+        ) {
+            self.segments[old.seg as usize].live -= 1;
         } else {
             self.live_blocks += 1;
         }
@@ -787,17 +969,19 @@ impl FlashCardStore {
         };
         // Logically relocate live data now (map + space bookkeeping); the
         // *time* of copying plus erasure is paid by the job as it runs.
-        let live: Vec<u64> = self
+        // Relocation preserves each block's write generation: the cleaner
+        // moves data, it does not rewrite it.
+        let live: Vec<(u64, u64)> = self
             .map
             .iter()
-            .filter(|(_, &seg)| seg == victim)
-            .map(|(&lbn, _)| lbn)
+            .filter(|(_, loc)| loc.seg == victim)
+            .map(|(&lbn, loc)| (lbn, loc.gen))
             .collect();
         let copy_blocks = live.len() as u64;
         let mut lbns = live;
         lbns.sort_unstable(); // Determinism: HashMap iteration order varies.
-        for lbn in lbns {
-            self.place_block(lbn);
+        for (lbn, gen) in lbns {
+            self.place_block_at(lbn, gen);
         }
         self.counters.blocks_copied += copy_blocks;
         debug_assert_eq!(self.segments[victim as usize].live, 0);
@@ -1503,6 +1687,125 @@ mod tests {
         assert!(card.counters().erase_retries > before);
         assert_eq!(card.live_blocks(), 100, "no data lost to retirement");
         card.check_invariants();
+    }
+
+    #[test]
+    fn capacity_exhaustion_enters_read_only_end_of_life() {
+        use mobistore_sim::obs::CountingObserver;
+        let mut card = small_card(CleanerMode::Background);
+        let mut obs = CountingObserver::default();
+        let mut t = SimTime::ZERO;
+        let mut lbn = 0u64;
+        // Ever-growing working set: once every full segment is fully live
+        // nothing is cleanable and the card must go read-only, not panic.
+        let err = loop {
+            match card.try_write_obs(t, lbn, 1, &mut obs) {
+                Ok(svc) => {
+                    t = svc.end;
+                    lbn += 1;
+                }
+                Err(e) => break e,
+            }
+            assert!(lbn < 1000, "card never filled");
+        };
+        assert!(matches!(err, DeviceError::ReadOnly { .. }));
+        assert!(card.is_read_only());
+        assert_eq!(obs.counts.get("flash_end_of_life"), 1);
+        assert_eq!(card.counters().eol_write_rejections, 1);
+
+        // Later writes fail fast with the same typed error and count.
+        let e2 = card.try_write(t, 0, 1).expect_err("still read-only");
+        assert!(matches!(e2, DeviceError::ReadOnly { .. }));
+        assert_eq!(card.counters().eol_write_rejections, 2);
+
+        // Reads and trims are still served; state stays consistent.
+        let svc = card.read(t, 0, 1);
+        assert!(svc.end > svc.start);
+        let live = card.live_blocks();
+        card.trim(0, 1);
+        assert_eq!(card.live_blocks(), live - 1);
+        card.check_invariants();
+
+        // End of life is sticky: freed space does not resurrect the card.
+        assert!(card.try_write(t, 0, 1).is_err());
+
+        // The panicking wrapper reports the same condition.
+        let msg = e2.to_string();
+        assert!(msg.contains("read-only at end of life"), "{msg}");
+    }
+
+    #[test]
+    fn cleaning_preserves_write_generations() {
+        let mut card = small_card(CleanerMode::OnDemand);
+        card.preload(0..300); // generations 1..=300 in lbn order
+        let before: Vec<_> = card
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.lbn >= 200)
+            .collect();
+        assert_eq!(before.len(), 100);
+        // Overwrite the low lbns until cleaning has run several times; the
+        // untouched blocks 200..300 get relocated but never re-stamped.
+        let mut t = SimTime::ZERO;
+        for round in 0..3 {
+            for lbn in 0..200 {
+                t = card.write(t, lbn, 1).end;
+            }
+            let _ = round;
+        }
+        assert!(card.counters().erasures > 0, "cleaning never ran");
+        let after: Vec<_> = card
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.lbn >= 200)
+            .collect();
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(b.lbn, a.lbn);
+            assert_eq!(
+                b.generation, a.generation,
+                "lbn {} was re-stamped by the cleaner",
+                b.lbn
+            );
+        }
+        // Overwritten blocks carry fresh, monotonically larger generations.
+        let low = card.snapshot();
+        assert!(low
+            .iter()
+            .filter(|e| e.lbn < 200)
+            .all(|e| e.generation > 300));
+        assert_eq!(card.next_generation(), 1 + 300 + 600);
+    }
+
+    #[test]
+    fn sabotage_is_invisible_to_invariants_but_not_the_shadow() {
+        use mobistore_sim::crashcheck::ShadowModel;
+        let mut card = small_card(CleanerMode::Background);
+        let mut shadow = ShadowModel::new();
+        let mut t = SimTime::ZERO;
+        for lbn in 0..64 {
+            t = card.write(t, lbn, 1).end;
+            shadow.write(lbn, 1);
+        }
+        let observed: Vec<(u64, u64)> = card
+            .snapshot()
+            .into_iter()
+            .map(|e| (e.lbn, e.generation))
+            .collect();
+        assert!(shadow.verify(&observed).is_empty());
+
+        assert!(card.sabotage_lose_block(17));
+        card.check_invariants(); // the bug is internally consistent...
+        let observed: Vec<(u64, u64)> = card
+            .snapshot()
+            .into_iter()
+            .map(|e| (e.lbn, e.generation))
+            .collect();
+        let violations = shadow.verify(&observed);
+        assert_eq!(violations.len(), 1, "...but the shadow catches it");
+        assert!(matches!(
+            violations[0],
+            mobistore_sim::crashcheck::Violation::LostWrite { lbn: 17, .. }
+        ));
     }
 
     #[test]

@@ -1,0 +1,486 @@
+//! Differential crash-consistency checking: a shadow model of legal
+//! post-crash device contents.
+//!
+//! The [`ShadowModel`] is a minimal oracle that runs *alongside* a device
+//! under test. Every write the driver issues is mirrored into the shadow,
+//! which tracks — per logical block — the monotone *generation* number the
+//! device stamps on that block's data. After a simulated power failure and
+//! recovery, the driver hands the device's recovered `(lbn, generation)`
+//! mapping to [`ShadowModel::verify`], which checks it against the set of
+//! legal post-crash states:
+//!
+//! * a block whose last write was **durably acknowledged** must be present
+//!   with exactly that write's generation (acknowledged writes survive);
+//! * a block covered by the single **in-flight** write at the crash point
+//!   may legally hold either the previous acknowledged generation (the
+//!   write never reached media), the in-flight generation (it did), or —
+//!   if the block was never written before — be absent entirely;
+//! * a block the shadow never heard of must be absent (nothing is
+//!   resurrected by recovery);
+//! * the device's live-block count must equal the shadow's.
+//!
+//! Generations are assigned by the shadow in issue order, one per logical
+//! block written, exactly mirroring the device's own stamping (see
+//! `FlashCardStore`), so the comparison is differential: two independent
+//! implementations of the same bookkeeping must agree after every crash.
+//!
+//! Everything here is `std`-only, integer-valued, and deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// First generation number handed out by a fresh [`ShadowModel`] (and by a
+/// fresh device under differential test). Generation 0 is reserved for
+/// "never written".
+pub const FIRST_GENERATION: u64 = 1;
+
+/// A write that has been issued to the device but not yet durably
+/// acknowledged at the crash point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InFlight {
+    /// First logical block of the write.
+    lbn: u64,
+    /// Number of blocks covered.
+    blocks: u32,
+    /// Generation assigned to `lbn`; block `lbn + i` holds `first_gen + i`.
+    first_gen: u64,
+}
+
+/// The per-block oracle of legal post-crash contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShadowModel {
+    /// lbn → generation of the last durably-acknowledged write.
+    acked: BTreeMap<u64, u64>,
+    /// The at-most-one write in flight at the crash point.
+    in_flight: Option<InFlight>,
+    /// Next generation to hand out.
+    next_gen: u64,
+}
+
+impl ShadowModel {
+    /// Creates an empty shadow: no block has ever been written.
+    pub fn new() -> Self {
+        ShadowModel {
+            acked: BTreeMap::new(),
+            in_flight: None,
+            next_gen: FIRST_GENERATION,
+        }
+    }
+
+    /// Number of logical blocks with acknowledged contents.
+    pub fn live_blocks(&self) -> u64 {
+        self.acked.len() as u64
+    }
+
+    /// The next generation the shadow will assign (for cross-checking the
+    /// device's own counter).
+    pub fn next_generation(&self) -> u64 {
+        self.next_gen
+    }
+
+    /// Mirrors an acknowledged multi-block write: blocks `lbn..lbn+blocks`
+    /// receive consecutive fresh generations and become durable.
+    pub fn write(&mut self, lbn: u64, blocks: u32) {
+        self.begin_write(lbn, blocks);
+        self.ack_write();
+    }
+
+    /// Mirrors issuing a write that has *not* yet been acknowledged.
+    /// Generations are assigned now (the device stamps blocks at issue
+    /// time); call [`ack_write`](Self::ack_write) once the device
+    /// acknowledges, or crash with the write still in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a write is already in flight — the torture driver crashes
+    /// at op boundaries, so at most one op is ever outstanding.
+    pub fn begin_write(&mut self, lbn: u64, blocks: u32) {
+        assert!(
+            self.in_flight.is_none(),
+            "shadow model supports at most one in-flight write"
+        );
+        self.in_flight = Some(InFlight {
+            lbn,
+            blocks,
+            first_gen: self.next_gen,
+        });
+        self.next_gen += u64::from(blocks);
+    }
+
+    /// Marks the in-flight write durably acknowledged.
+    pub fn ack_write(&mut self) {
+        if let Some(w) = self.in_flight.take() {
+            for i in 0..u64::from(w.blocks) {
+                self.acked.insert(w.lbn + i, w.first_gen + i);
+            }
+        }
+    }
+
+    /// Resolves the in-flight write after a crash, from the device's
+    /// recovered `(lbn, generation)` mapping (call *after*
+    /// [`verify`](Self::verify) has checked it). Blocks the device
+    /// recovered with the in-flight generation become acknowledged — they
+    /// reached media, so they are now the legal contents; blocks it did
+    /// not keep their previous state. The shadow is then ready to mirror
+    /// post-recovery operations.
+    pub fn observe_recovery(&mut self, observed: &[(u64, u64)]) {
+        let Some(w) = self.in_flight.take() else {
+            return;
+        };
+        let found: BTreeMap<u64, u64> = observed.iter().copied().collect();
+        for i in 0..u64::from(w.blocks) {
+            let lbn = w.lbn + i;
+            let gen = w.first_gen + i;
+            if found.get(&lbn) == Some(&gen) {
+                self.acked.insert(lbn, gen);
+            }
+        }
+    }
+
+    /// Re-aligns the shadow's generation counter with the device's after
+    /// a crash. A write torn mid-op stamps only a prefix of its blocks, so
+    /// the device's counter can end up *behind* the shadow's (the shadow
+    /// assigned the whole range at issue); both sides must agree before
+    /// post-recovery writes are mirrored. The abandoned tail generations
+    /// were never acknowledged and map to nothing, so reusing them is
+    /// unambiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device's counter is *ahead* of the shadow's — the
+    /// device stamped generations the shadow never issued.
+    pub fn resync_generations(&mut self, device_next: u64) {
+        assert!(
+            device_next <= self.next_gen,
+            "device generation counter {device_next} ahead of shadow {}",
+            self.next_gen
+        );
+        self.next_gen = device_next;
+    }
+
+    /// Mirrors an acknowledged trim: blocks `lbn..lbn+blocks` no longer
+    /// have legal contents.
+    pub fn trim(&mut self, lbn: u64, blocks: u32) {
+        for i in 0..u64::from(blocks) {
+            self.acked.remove(&(lbn + i));
+        }
+    }
+
+    /// The set of generations block `lbn` may legally hold after a crash
+    /// (`0` in the returned pair encodes "absent is legal").
+    pub fn legal(&self, lbn: u64) -> LegalContents {
+        let acked = self.acked.get(&lbn).copied();
+        let in_flight = self.in_flight.as_ref().and_then(|w| {
+            (lbn >= w.lbn && lbn < w.lbn + u64::from(w.blocks)).then(|| w.first_gen + (lbn - w.lbn))
+        });
+        LegalContents { acked, in_flight }
+    }
+
+    /// Checks the device's recovered `(lbn, generation)` mapping against
+    /// the legal post-crash states. `observed` need not be sorted and must
+    /// contain each lbn at most once. Returns every violation found (empty
+    /// means the recovered state is legal).
+    pub fn verify(&self, observed: &[(u64, u64)]) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let mut seen: BTreeMap<u64, u64> = BTreeMap::new();
+        for &(lbn, gen) in observed {
+            if seen.insert(lbn, gen).is_some() {
+                violations.push(Violation::DuplicateMapping { lbn });
+            }
+        }
+
+        for (&lbn, &gen) in &self.acked {
+            let legal = self.legal(lbn);
+            match seen.get(&lbn) {
+                None => violations.push(Violation::LostWrite {
+                    lbn,
+                    expected_gen: gen,
+                }),
+                Some(&found) if !legal.permits(Some(found)) => {
+                    violations.push(Violation::StaleData {
+                        lbn,
+                        found_gen: found,
+                        legal,
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+
+        for (&lbn, &found) in &seen {
+            let legal = self.legal(lbn);
+            if legal.acked.is_none() && legal.in_flight.is_none() {
+                violations.push(Violation::Resurrected {
+                    lbn,
+                    found_gen: found,
+                });
+            } else if legal.acked.is_none() && !legal.permits(Some(found)) {
+                // Never-acked block covered only by the in-flight write:
+                // it may be absent or hold the in-flight generation, but
+                // nothing else.
+                violations.push(Violation::StaleData {
+                    lbn,
+                    found_gen: found,
+                    legal,
+                });
+            }
+        }
+
+        violations
+    }
+}
+
+/// The legal post-crash contents of one logical block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LegalContents {
+    /// Generation of the last acknowledged write, if any.
+    pub acked: Option<u64>,
+    /// Generation the in-flight write would stamp, if it covers the block.
+    pub in_flight: Option<u64>,
+}
+
+impl LegalContents {
+    /// Whether the observed contents (`None` = block absent) are legal.
+    pub fn permits(&self, observed: Option<u64>) -> bool {
+        match observed {
+            // Absent is legal only if there is no acknowledged write.
+            None => self.acked.is_none(),
+            Some(gen) => self.acked == Some(gen) || self.in_flight == Some(gen),
+        }
+    }
+}
+
+impl fmt::Display for LegalContents {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        match self.acked {
+            Some(g) => write!(f, "gen {g}")?,
+            None => write!(f, "absent")?,
+        }
+        if let Some(g) = self.in_flight {
+            write!(f, ", in-flight gen {g}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// One way a recovered device state can be illegal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A durably-acknowledged write is missing after recovery.
+    LostWrite {
+        /// The logical block whose contents vanished.
+        lbn: u64,
+        /// Generation of the acknowledged write that should be there.
+        expected_gen: u64,
+    },
+    /// A block holds a generation outside its legal set.
+    StaleData {
+        /// The logical block.
+        lbn: u64,
+        /// Generation actually recovered.
+        found_gen: u64,
+        /// The legal set it should be in.
+        legal: LegalContents,
+    },
+    /// Recovery produced contents for a block that was never written (or
+    /// was trimmed) — data rose from the dead.
+    Resurrected {
+        /// The logical block.
+        lbn: u64,
+        /// Generation that appeared.
+        found_gen: u64,
+    },
+    /// The device reported the same lbn twice in its recovered mapping.
+    DuplicateMapping {
+        /// The duplicated logical block.
+        lbn: u64,
+    },
+    /// Device and shadow disagree on the number of live blocks.
+    LiveCountMismatch {
+        /// Live blocks the device reports.
+        device: u64,
+        /// Live blocks the shadow expects (± the in-flight write).
+        shadow: u64,
+    },
+    /// The block census no longer partitions capacity.
+    CensusImbalance {
+        /// Sum of live + free + dead + retired reported by the device.
+        total: u64,
+        /// The device's block capacity.
+        capacity: u64,
+    },
+    /// A segment retired (marked bad) before the crash came back after it.
+    RetirementRegressed {
+        /// The segment that un-retired itself.
+        segment: u32,
+    },
+    /// A cleaning pass was torn: some of the victim segment's live blocks
+    /// still map into the victim while others were relocated.
+    CleaningNotAtomic {
+        /// The victim segment of the interrupted cleaning pass.
+        victim: u32,
+        /// Blocks still mapped into the victim after recovery.
+        still_in_victim: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::LostWrite { lbn, expected_gen } => write!(
+                f,
+                "lost write: lbn {lbn} (acknowledged gen {expected_gen}) missing after recovery"
+            ),
+            Violation::StaleData {
+                lbn,
+                found_gen,
+                legal,
+            } => write!(
+                f,
+                "stale data: lbn {lbn} recovered gen {found_gen}, legal set {legal}"
+            ),
+            Violation::Resurrected { lbn, found_gen } => write!(
+                f,
+                "resurrected: lbn {lbn} recovered gen {found_gen} but was never durably written"
+            ),
+            Violation::DuplicateMapping { lbn } => {
+                write!(f, "duplicate mapping: lbn {lbn} appears twice after recovery")
+            }
+            Violation::LiveCountMismatch { device, shadow } => write!(
+                f,
+                "live-count mismatch: device reports {device} live blocks, shadow expects {shadow}"
+            ),
+            Violation::CensusImbalance { total, capacity } => write!(
+                f,
+                "census imbalance: live+free+dead+retired = {total} != capacity {capacity}"
+            ),
+            Violation::RetirementRegressed { segment } => write!(
+                f,
+                "retirement regressed: segment {segment} was retired before the crash but not after"
+            ),
+            Violation::CleaningNotAtomic {
+                victim,
+                still_in_victim,
+            } => write!(
+                f,
+                "cleaning not atomic: {still_in_victim} blocks still map into victim segment {victim}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acked_writes_must_survive() {
+        let mut s = ShadowModel::new();
+        s.write(10, 2); // gens 1, 2
+        s.write(10, 1); // gen 3 overwrites lbn 10
+        assert_eq!(s.live_blocks(), 2);
+        assert!(s.verify(&[(10, 3), (11, 2)]).is_empty());
+
+        let v = s.verify(&[(11, 2)]);
+        assert_eq!(
+            v,
+            vec![Violation::LostWrite {
+                lbn: 10,
+                expected_gen: 3
+            }]
+        );
+
+        // An overwritten (stale) generation is not legal once acked.
+        let v = s.verify(&[(10, 1), (11, 2)]);
+        assert!(matches!(v[0], Violation::StaleData { lbn: 10, .. }));
+    }
+
+    #[test]
+    fn in_flight_write_permits_old_new_or_absent() {
+        let mut s = ShadowModel::new();
+        s.write(5, 1); // gen 1
+        s.begin_write(5, 2); // gens 2 (lbn 5), 3 (lbn 6, never acked)
+                             // Old contents for lbn 5, lbn 6 absent.
+        assert!(s.verify(&[(5, 1)]).is_empty());
+        // New contents reached media for both.
+        assert!(s.verify(&[(5, 2), (6, 3)]).is_empty());
+        // lbn 6 may hold only the in-flight generation.
+        let v = s.verify(&[(5, 1), (6, 99)]);
+        assert!(matches!(v[0], Violation::StaleData { lbn: 6, .. }));
+        // Once acked, the old generation stops being legal.
+        s.ack_write();
+        let v = s.verify(&[(5, 1), (6, 3)]);
+        assert!(matches!(v[0], Violation::StaleData { lbn: 5, .. }));
+    }
+
+    #[test]
+    fn observe_recovery_resolves_the_in_flight_write() {
+        // The write reached media: it becomes the acknowledged state.
+        let mut s = ShadowModel::new();
+        s.write(5, 1); // gen 1
+        s.begin_write(5, 1); // gen 2 in flight
+        s.observe_recovery(&[(5, 2)]);
+        assert!(s.verify(&[(5, 2)]).is_empty());
+        assert!(matches!(
+            s.verify(&[(5, 1)])[0],
+            Violation::StaleData { lbn: 5, .. }
+        ));
+
+        // The write never reached media: the old state stays legal, and
+        // the shadow accepts a fresh write afterwards.
+        let mut s = ShadowModel::new();
+        s.write(5, 1); // gen 1
+        s.begin_write(5, 1); // gen 2, lost in the crash
+        s.observe_recovery(&[(5, 1)]);
+        assert!(s.verify(&[(5, 1)]).is_empty());
+        s.write(5, 1); // gen 3: begin_write must not see an in-flight op
+        assert!(s.verify(&[(5, 3)]).is_empty());
+    }
+
+    #[test]
+    fn trimmed_and_unknown_blocks_must_stay_dead() {
+        let mut s = ShadowModel::new();
+        s.write(1, 1);
+        s.trim(1, 1);
+        let v = s.verify(&[(1, 1)]);
+        assert_eq!(
+            v,
+            vec![Violation::Resurrected {
+                lbn: 1,
+                found_gen: 1
+            }]
+        );
+        let v = s.verify(&[(42, 7)]);
+        assert!(matches!(v[0], Violation::Resurrected { lbn: 42, .. }));
+        assert!(s.verify(&[]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_mappings_are_flagged() {
+        let mut s = ShadowModel::new();
+        s.write(3, 1);
+        let v = s.verify(&[(3, 1), (3, 1)]);
+        assert!(v.contains(&Violation::DuplicateMapping { lbn: 3 }));
+    }
+
+    #[test]
+    fn violations_render_for_humans() {
+        let v = Violation::LostWrite {
+            lbn: 9,
+            expected_gen: 4,
+        };
+        assert_eq!(
+            v.to_string(),
+            "lost write: lbn 9 (acknowledged gen 4) missing after recovery"
+        );
+        let legal = LegalContents {
+            acked: None,
+            in_flight: Some(6),
+        };
+        assert_eq!(legal.to_string(), "{absent, in-flight gen 6}");
+        assert!(legal.permits(None));
+        assert!(legal.permits(Some(6)));
+        assert!(!legal.permits(Some(5)));
+    }
+}

@@ -291,6 +291,53 @@ mod tests {
     }
 
     #[test]
+    fn zero_duration_samples_land_in_the_first_bucket() {
+        let mut h = Histogram::new();
+        let zero = SimDuration::from_nanos(0);
+        for _ in 0..10 {
+            h.record(zero.as_nanos());
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(Histogram::bucket_bounds(0), (0, 1));
+        // Every quantile of an all-zero sample is zero.
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(h.percentile_nanos(q), 0, "p{q} of all-zero sample");
+        }
+        assert_eq!(h.percentile_ms(0.5), 0.0);
+        // Mixing in one real value keeps ranks consistent.
+        h.record(SimDuration::from_millis(5).as_nanos());
+        assert_eq!(h.percentile_nanos(0.5), 0);
+        assert!(h.percentile_nanos(1.0) > 0);
+    }
+
+    #[test]
+    fn max_adjacent_samples_stay_in_bounds() {
+        // The top octave is where PR 3's bucket_range overflow lived:
+        // exercise MAX itself and its nearest neighbours on both sides of
+        // the topmost bucket boundary.
+        let mut h = Histogram::new();
+        let (top_lo, top_hi) = Histogram::bucket_bounds(u64::MAX);
+        for v in [u64::MAX, u64::MAX - 1, top_lo, top_lo - 1, top_hi - 1] {
+            h.record(v);
+            let (lo, hi) = Histogram::bucket_bounds(v);
+            assert!(lo <= v && v < hi || (v == u64::MAX && hi == u64::MAX && lo <= v));
+        }
+        assert_eq!(h.count(), 5);
+        // All five land at or above the bucket just below the top one.
+        let p_max = h.percentile_nanos(1.0);
+        assert!(p_max >= Histogram::bucket_bounds(top_lo - 1).0);
+        // The top bucket's bounds never wrap.
+        assert!(top_lo < top_hi);
+        assert_eq!(top_hi, u64::MAX);
+        // Merging histograms holding MAX-adjacent samples is loss-free.
+        let mut other = Histogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.percentile_nanos(1.0), top_lo);
+    }
+
+    #[test]
     fn percentiles_are_monotone() {
         let mut h = Histogram::new();
         let mut x = 1u64;

@@ -23,7 +23,10 @@
 //!   deterministic p50/p90/p99/p99.9 queries;
 //! * [`obs`] — structured sim-time event tracing ([`obs::Event`],
 //!   [`obs::Observer`]); the default [`obs::NoopObserver`] monomorphises
-//!   away entirely.
+//!   away entirely;
+//! * [`crashcheck`] — the differential crash-consistency shadow model
+//!   ([`crashcheck::ShadowModel`]): a device-independent oracle of legal
+//!   post-crash block contents, with typed [`crashcheck::Violation`]s.
 //!
 //! Everything is deterministic: integer time plus a seeded RNG make each
 //! experiment reproducible bit-for-bit.
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crashcheck;
 pub mod energy;
 pub mod exec;
 pub mod fault;
@@ -41,6 +45,7 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
+pub use crashcheck::{ShadowModel, Violation};
 pub use energy::{EnergyMeter, Joules, Watts};
 pub use fault::{FaultConfig, FaultPlan};
 pub use hist::{Histogram, LatencyRecorder, Percentiles};

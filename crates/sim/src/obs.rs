@@ -191,6 +191,18 @@ pub enum Event {
         /// How long recovery took.
         duration: SimDuration,
     },
+    /// The flash card exhausted its cleanable capacity and entered
+    /// read-only end-of-life mode; further writes fail with a typed error.
+    FlashEndOfLife {
+        /// Transition time.
+        t: SimTime,
+        /// Live blocks at the transition.
+        live: u64,
+        /// Usable (non-retired) block capacity at the transition.
+        usable: u64,
+        /// Retired (bad-segment) blocks at the transition.
+        retired: u64,
+    },
 }
 
 impl Event {
@@ -213,6 +225,7 @@ impl Event {
             Event::FaultInjected { .. } => "fault_injected",
             Event::PowerFail { .. } => "power_fail",
             Event::RecoveryEnd { .. } => "recovery_end",
+            Event::FlashEndOfLife { .. } => "flash_end_of_life",
         }
     }
 
@@ -233,7 +246,8 @@ impl Event {
             | Event::FlashPreErase { t, .. }
             | Event::FaultInjected { t, .. }
             | Event::PowerFail { t, .. }
-            | Event::RecoveryEnd { t, .. } => t,
+            | Event::RecoveryEnd { t, .. }
+            | Event::FlashEndOfLife { t, .. } => t,
         }
     }
 
@@ -328,6 +342,17 @@ impl Event {
             }
             Event::RecoveryEnd { duration, .. } => {
                 let _ = write!(s, ",\"duration_ns\":{}", duration.as_nanos());
+            }
+            Event::FlashEndOfLife {
+                live,
+                usable,
+                retired,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"live\":{live},\"usable\":{usable},\"retired\":{retired}"
+                );
             }
         }
         s

@@ -10,9 +10,20 @@
 use mobistore::experiments::render::{render_target, RenderOptions};
 use mobistore::experiments::Scale;
 
-/// The targets with committed fixtures (the paper's tables and figures).
-const GOLDEN_TARGETS: [&str; 9] = [
-    "table1", "table2", "table3", "table4", "figure1", "figure2", "figure3", "figure4", "figure5",
+/// The targets with committed fixtures: the paper's tables and figures,
+/// plus the crash-consistency torture sweep (a quiet fault plan — its
+/// fixture doubles as proof the sweep is deterministic end to end).
+const GOLDEN_TARGETS: [&str; 10] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "crashcheck",
 ];
 
 fn fixture_path(target: &str) -> std::path::PathBuf {

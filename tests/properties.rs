@@ -569,3 +569,205 @@ fn histogram_percentiles_track_exact_quantiles() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Recovery idempotence: a second power_fail() at the same instant is a
+// pure re-scan — it changes no structural state (map, census, bad
+// segments, generations, read-only flag) and no counter other than the
+// recovery accounting itself. Cases with background cleaning running at
+// the failure instant exercise the orphaned-job reclaim path; the second
+// call must find nothing left to reclaim.
+// ---------------------------------------------------------------------
+
+#[test]
+fn flash_card_recovery_is_idempotent() {
+    use mobistore::sim::fault::FaultConfig;
+
+    for case in 0..48u64 {
+        let make_card = || {
+            let fault = FaultConfig {
+                write_fail_rate: if case % 3 == 0 { 0.05 } else { 0.0 },
+                erase_fail_rate: if case % 3 == 0 { 0.05 } else { 0.0 },
+                permanent_rate: 0.2,
+                seed: case,
+                ..FaultConfig::none()
+            };
+            FlashCardStore::new(FlashCardConfig {
+                params: intel_datasheet(),
+                block_size: 1024,
+                capacity_bytes: 2 * 1024 * 1024,
+                mode: CleanerMode::Background,
+                victim_policy: VictimPolicy::GreedyMinLive,
+                queueing: QueueDiscipline::Fifo,
+            })
+            .with_faults(fault)
+        };
+        let mut once = make_card();
+        let mut twice = make_card();
+
+        // Identical histories: same preload, same op stream.
+        let mut rng = case_rng(21, case);
+        let preload = rng.below(600);
+        once.preload_aged(1000..1000 + preload);
+        twice.preload_aged(1000..1000 + preload);
+        let n_ops = rng.range_inclusive(1, 120);
+        let mut now = SimTime::ZERO;
+        for _ in 0..n_ops {
+            let op = card_op(&mut rng);
+            for card in [&mut once, &mut twice] {
+                match op {
+                    CardOp::Write { lbn, blocks } => {
+                        now = now.max(card.write(now, lbn, blocks).end);
+                    }
+                    CardOp::Trim { lbn, blocks } => card.trim(lbn, blocks),
+                    CardOp::Read { lbn, blocks } => {
+                        now = now.max(card.read(now, lbn, blocks).end);
+                    }
+                    CardOp::Idle { ms } => now += SimDuration::from_millis(ms),
+                }
+            }
+        }
+
+        // Crash soon after the last op, while background cleaning may
+        // still be running (the short gap leaves jobs unfinished).
+        let at = now + SimDuration::from_millis(rng.below(20));
+        once.power_fail(at);
+        twice.power_fail(at);
+        twice.power_fail(at);
+        once.check_invariants();
+        twice.check_invariants();
+
+        assert_eq!(
+            once.snapshot(),
+            twice.snapshot(),
+            "case {case}: map diverged"
+        );
+        assert_eq!(
+            once.census(),
+            twice.census(),
+            "case {case}: census diverged"
+        );
+        assert_eq!(
+            once.bad_segments(),
+            twice.bad_segments(),
+            "case {case}: retirement diverged"
+        );
+        assert_eq!(
+            once.next_generation(),
+            twice.next_generation(),
+            "case {case}: generation counter diverged"
+        );
+        assert_eq!(
+            once.is_read_only(),
+            twice.is_read_only(),
+            "case {case}: read-only flag diverged"
+        );
+
+        // Only the recovery accounting itself may differ, by exactly one
+        // extra (empty) scan.
+        let a = once.counters();
+        let b = twice.counters();
+        assert_eq!(b.power_failures, a.power_failures + 1, "case {case}");
+        assert!(b.recovery_time >= a.recovery_time, "case {case}");
+        assert_eq!(
+            (
+                a.ops,
+                a.bytes_read,
+                a.bytes_written,
+                a.erasures,
+                a.blocks_copied
+            ),
+            (
+                b.ops,
+                b.bytes_read,
+                b.bytes_written,
+                b.erasures,
+                b.blocks_copied
+            ),
+            "case {case}: I/O counters diverged"
+        );
+        assert_eq!(
+            (
+                a.write_retries,
+                a.erase_retries,
+                a.segments_retired,
+                a.eol_write_rejections
+            ),
+            (
+                b.write_retries,
+                b.erase_retries,
+                b.segments_retired,
+                b.eol_write_rejections
+            ),
+            "case {case}: fault counters diverged"
+        );
+    }
+}
+
+#[test]
+fn magnetic_disk_recovery_is_idempotent() {
+    use mobistore::device::disk::SpinDownPolicy;
+    use mobistore::device::params::cu140_datasheet;
+    use mobistore::device::{Dir, MagneticDisk};
+
+    for case in 0..48u64 {
+        let mut rng = case_rng(22, case);
+        let policy = match rng.below(2) {
+            0 => SpinDownPolicy::Never,
+            _ => SpinDownPolicy::Fixed(SimDuration::from_secs_f64(2.0)),
+        };
+        let make_disk = || MagneticDisk::with_policy(cu140_datasheet(), policy);
+        let mut once = make_disk();
+        let mut twice = make_disk();
+
+        let n_ops = rng.range_inclusive(1, 40);
+        let mut now = SimTime::ZERO;
+        for _ in 0..n_ops {
+            let dir = if rng.below(2) == 0 {
+                Dir::Read
+            } else {
+                Dir::Write
+            };
+            let bytes = (1 + rng.below(64)) * 1024;
+            let file = rng.below(8);
+            let lbn = rng.below(10_000);
+            let op_end = now;
+            for disk in [&mut once, &mut twice] {
+                let svc = disk.access_at(now, dir, bytes, Some(file), Some(lbn));
+                assert!(svc.end >= svc.start, "case {case}");
+            }
+            now = op_end + SimDuration::from_millis(1 + rng.below(3000));
+        }
+
+        let fat_bytes = 64 * 1024;
+        let at = now;
+        once.power_fail(at, fat_bytes);
+        twice.power_fail(at, fat_bytes);
+        twice.power_fail(at, fat_bytes);
+
+        let a = once.counters();
+        let b = twice.counters();
+        assert_eq!(b.power_failures, a.power_failures + 1, "case {case}");
+        assert_eq!(a.ops, b.ops, "case {case}: op counters diverged");
+
+        // The doubled recovery must not change what the disk does next:
+        // an identical probe access long after both recoveries finished
+        // costs exactly the same and leaves identical counter deltas.
+        let probe_at = at + SimDuration::from_secs_f64(3600.0);
+        let pa = once.access_at(probe_at, Dir::Read, 8 * 1024, Some(3), Some(512));
+        let pb = twice.access_at(probe_at, Dir::Read, 8 * 1024, Some(3), Some(512));
+        assert_eq!(
+            pa.end - pa.start,
+            pb.end - pb.start,
+            "case {case}: probe service time diverged"
+        );
+        assert_eq!(pa.start, pb.start, "case {case}: probe start diverged");
+        let a2 = once.counters();
+        let b2 = twice.counters();
+        assert_eq!(
+            (a2.ops - a.ops, a2.bytes_read - a.bytes_read),
+            (b2.ops - b.ops, b2.bytes_read - b.bytes_read),
+            "case {case}: probe counter deltas diverged"
+        );
+    }
+}
