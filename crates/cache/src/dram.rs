@@ -41,6 +41,10 @@ pub struct CacheStats {
     pub writes: u64,
     /// Dirty blocks pushed out by eviction (write-back only).
     pub writebacks: u64,
+    /// Backend fills refused because the device reported the data
+    /// uncorrectable: the cache must never hold blocks the device could
+    /// not deliver intact.
+    pub fill_rejects: u64,
 }
 
 /// A block was evicted and, if dirty, must be flushed by the caller.
@@ -133,6 +137,12 @@ impl BufferCache {
     /// Returns the hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Notes `n` missed blocks whose backend fill was refused because the
+    /// read came back uncorrectable; the cache stays unfilled for them.
+    pub fn note_fill_rejects(&mut self, n: u64) {
+        self.stats.fill_rejects += n;
     }
 
     /// Returns total energy consumed so far.

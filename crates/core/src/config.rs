@@ -16,6 +16,7 @@ use mobistore_device::params::{
 use mobistore_device::QueueDiscipline;
 use mobistore_flash::store::{CleanerMode, VictimPolicy};
 use mobistore_sim::fault::FaultConfig;
+use mobistore_sim::integrity::IntegrityConfig;
 use mobistore_sim::time::SimDuration;
 use mobistore_sim::units::MIB;
 
@@ -95,6 +96,11 @@ pub struct SystemConfig {
     /// [`FaultConfig::none`], which injects nothing and reproduces the
     /// fault-free simulator byte for byte.
     pub fault: FaultConfig,
+    /// Bit-error/ECC configuration (the data-integrity study); defaults
+    /// to [`IntegrityConfig::none`], which draws nothing and reproduces
+    /// the integrity-free simulator byte for byte. Applies to the flash
+    /// backends (card and disk); the magnetic disk ignores it.
+    pub integrity: IntegrityConfig,
     /// The non-volatile backend.
     pub backend: BackendConfig,
 }
@@ -127,6 +133,7 @@ impl SystemConfig {
             sram_bytes: DEFAULT_SRAM_BYTES,
             sram_params: sram_nec(),
             fault: FaultConfig::none(),
+            integrity: IntegrityConfig::none(),
             backend: BackendConfig::Disk {
                 params,
                 spin_down: SpinDownPolicy::Fixed(DEFAULT_SPIN_DOWN),
@@ -146,6 +153,7 @@ impl SystemConfig {
             sram_bytes: 0,
             sram_params: sram_nec(),
             fault: FaultConfig::none(),
+            integrity: IntegrityConfig::none(),
             backend: BackendConfig::FlashDisk { params },
         }
     }
@@ -162,6 +170,7 @@ impl SystemConfig {
             sram_bytes: 0,
             sram_params: sram_nec(),
             fault: FaultConfig::none(),
+            integrity: IntegrityConfig::none(),
             backend: BackendConfig::FlashCard {
                 params,
                 capacity_bytes: DEFAULT_FLASH_CAPACITY,
@@ -209,6 +218,13 @@ impl SystemConfig {
     /// affect the flash card and the magnetic disk).
     pub fn with_faults(mut self, fault: FaultConfig) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Sets the bit-error/ECC configuration (applies to the flash card and
+    /// the flash disk; the magnetic disk ignores it).
+    pub fn with_integrity(mut self, integrity: IntegrityConfig) -> Self {
+        self.integrity = integrity;
         self
     }
 

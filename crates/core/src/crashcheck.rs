@@ -31,7 +31,7 @@ use mobistore_device::flashdisk::FlashDisk;
 use mobistore_device::{DeviceError, Dir};
 use mobistore_flash::store::{FlashCardConfig, FlashCardStore};
 use mobistore_sim::crashcheck::{ShadowModel, Violation};
-use mobistore_sim::obs::NoopObserver;
+use mobistore_sim::obs::{Event, NoopObserver, Observer};
 use mobistore_sim::rng::SimRng;
 use mobistore_sim::time::{SimDuration, SimTime};
 use mobistore_trace::record::{DiskOp, DiskOpKind, Trace};
@@ -95,6 +95,10 @@ pub struct TortureReport {
     pub ops_replayed: u64,
     /// Trace operations dropped by the `max_ops` cap.
     pub truncated_ops: u64,
+    /// Blocks the device reported uncorrectable during the sweep (the
+    /// integrity model's one permitted loss: typed, never silent). The
+    /// shadow excuses exactly these blocks and no others.
+    pub uncorrectable_blocks: u64,
     /// Every check failure, rendered with its crash-point context. Empty
     /// means the device survived the sweep.
     pub violations: Vec<String>,
@@ -157,6 +161,40 @@ fn boundary_crash_instant(ops: &[DiskOp], k: usize, rng: &mut SimRng) -> SimTime
     }
 }
 
+/// Collects every block the flash card reports uncorrectable (via the
+/// typed [`Event::UncorrectableRead`] stream), so the driver can mirror
+/// the *reported* loss into the shadow model. Reported loss is a legal
+/// outcome of the integrity model; silent loss never is.
+#[derive(Default)]
+struct UncorrectableCollector {
+    fresh: Vec<u64>,
+}
+
+impl Observer for UncorrectableCollector {
+    fn record(&mut self, event: &Event) {
+        if let Event::UncorrectableRead { lbn, .. } = event {
+            self.fresh.push(*lbn);
+        }
+    }
+}
+
+/// Applies every freshly-reported uncorrectable block to the shadow (the
+/// host was told the data is gone, so its absence is now expected) and
+/// the excused set used by the verifier.
+fn drain_reported(
+    obs: &mut UncorrectableCollector,
+    shadow: &mut ShadowModel,
+    reported: &mut BTreeSet<u64>,
+    report: &mut TortureReport,
+) {
+    for lbn in obs.fresh.drain(..) {
+        if reported.insert(lbn) {
+            report.uncorrectable_blocks += 1;
+        }
+        shadow.trim(lbn, 1);
+    }
+}
+
 fn working_set(ops: &[DiskOp]) -> Vec<u64> {
     let mut blocks: Vec<u64> = ops
         .iter()
@@ -207,14 +245,18 @@ pub fn torture_flash_card(
         recoveries: 0,
         ops_replayed: 0,
         truncated_ops: (trace.ops.len() - n) as u64,
+        uncorrectable_blocks: 0,
         violations: Vec::new(),
     };
 
     for k in select_points(n, opts.crash_points) {
         let mut rng = SimRng::seed_with_stream(opts.seed, k as u64);
-        let mut obs = NoopObserver;
+        let mut obs = UncorrectableCollector::default();
+        let mut reported: BTreeSet<u64> = BTreeSet::new();
         let mut card = match FlashCardStore::try_new(card_config.clone()) {
-            Ok(card) => card.with_faults(config.fault),
+            Ok(card) => card
+                .with_faults(config.fault)
+                .with_integrity(config.integrity),
             Err(e) => {
                 report.violations.push(format!("cannot build card: {e}"));
                 return report;
@@ -239,7 +281,15 @@ pub fn torture_flash_card(
         // Replay everything before the crash point, fully acknowledged.
         let mut aborted = false;
         for op in &ops[..k] {
-            if !replay_card_op(&mut card, &mut shadow, op, &mut report, k) {
+            if !replay_card_op(
+                &mut card,
+                &mut shadow,
+                &mut obs,
+                &mut reported,
+                op,
+                &mut report,
+                k,
+            ) {
                 aborted = true;
                 break;
             }
@@ -259,7 +309,9 @@ pub fn torture_flash_card(
             shadow.begin_write(op.lbn, op.blocks);
             let prefix = op.blocks / 2;
             if prefix > 0 {
-                if let Err(e) = card.try_write_obs(op.time, op.lbn, prefix, &mut obs) {
+                let torn = card.try_write_obs(op.time, op.lbn, prefix, &mut obs);
+                drain_reported(&mut obs, &mut shadow, &mut reported, &mut report);
+                if let Err(e) = torn {
                     report
                         .violations
                         .push(format!("crash point {k}: unexpected write failure: {e}"));
@@ -279,6 +331,7 @@ pub fn torture_flash_card(
         }
         report.crashes += 1;
         card.power_fail_obs(crash_at, &mut obs);
+        drain_reported(&mut obs, &mut shadow, &mut reported, &mut report);
         report.recoveries += 1;
         if let Some(lbn) = opts.sabotage_lbn {
             card.sabotage_lose_block(lbn);
@@ -296,7 +349,7 @@ pub fn torture_flash_card(
             if mid_op { " (mid-op)" } else { "" },
             crash_at.as_secs_f64()
         );
-        for v in shadow.verify(&snap) {
+        for v in shadow.verify_with_uncorrectable(&snap, &reported) {
             report.violations.push(format!("{ctx}: {v}"));
         }
         check_card_structure(
@@ -316,7 +369,15 @@ pub fn torture_flash_card(
         let resume = k + usize::from(mid_op);
         let mut aborted = false;
         for op in &ops[resume..] {
-            if !replay_card_op(&mut card, &mut shadow, op, &mut report, k) {
+            if !replay_card_op(
+                &mut card,
+                &mut shadow,
+                &mut obs,
+                &mut reported,
+                op,
+                &mut report,
+                k,
+            ) {
                 aborted = true;
                 break;
             }
@@ -332,7 +393,7 @@ pub fn torture_flash_card(
             .map(|e| (e.lbn, e.generation))
             .collect();
         let ctx = format!("crash point {k}, after draining the trace");
-        for v in shadow.verify(&snap) {
+        for v in shadow.verify_with_uncorrectable(&snap, &reported) {
             report.violations.push(format!("{ctx}: {v}"));
         }
         card.check_invariants();
@@ -340,23 +401,33 @@ pub fn torture_flash_card(
     report
 }
 
-/// Replays one fully-acknowledged op against card and shadow. Returns
-/// false (after recording a violation) if the device refused the write.
+/// Replays one fully-acknowledged op against card and shadow, mirroring
+/// any uncorrectable blocks the card reports along the way (scrub passes
+/// and read-path drops surface through `obs`). Returns false (after
+/// recording a violation) if the device refused the write.
 fn replay_card_op(
     card: &mut FlashCardStore,
     shadow: &mut ShadowModel,
+    obs: &mut UncorrectableCollector,
+    reported: &mut BTreeSet<u64>,
     op: &DiskOp,
     report: &mut TortureReport,
     crash_point: usize,
 ) -> bool {
-    let mut obs = NoopObserver;
     match op.kind {
         DiskOpKind::Read => {
-            card.read_obs(op.time, op.lbn, op.blocks, &mut obs);
+            // An uncorrectable result is a *reported* loss: legal, and
+            // already mirrored into the shadow by the drain below.
+            let _ = card.try_read_obs(op.time, op.lbn, op.blocks, obs);
+            drain_reported(obs, shadow, reported, report);
         }
         DiskOpKind::Write => {
             shadow.begin_write(op.lbn, op.blocks);
-            match card.try_write_obs(op.time, op.lbn, op.blocks, &mut obs) {
+            let res = card.try_write_obs(op.time, op.lbn, op.blocks, obs);
+            // Scrubbing during the write's settle may have dropped old
+            // copies; apply those before acknowledging the new write.
+            drain_reported(obs, shadow, reported, report);
+            match res {
                 Ok(_) => shadow.ack_write(),
                 Err(e @ DeviceError::ReadOnly { .. }) => {
                     report.violations.push(format!(
@@ -373,7 +444,8 @@ fn replay_card_op(
             }
         }
         DiskOpKind::Trim => {
-            card.trim_obs(op.time, op.lbn, op.blocks, &mut obs);
+            card.trim_obs(op.time, op.lbn, op.blocks, obs);
+            drain_reported(obs, shadow, reported, report);
             shadow.trim(op.lbn, op.blocks);
         }
     }
@@ -470,6 +542,7 @@ pub fn torture_disk(config: &SystemConfig, trace: &Trace, opts: &TortureOptions)
         recoveries: 0,
         ops_replayed: 0,
         truncated_ops: (trace.ops.len() - n) as u64,
+        uncorrectable_blocks: 0,
         violations: Vec::new(),
     };
 
@@ -548,6 +621,7 @@ pub fn torture_flash_disk(
         recoveries: 0,
         ops_replayed: 0,
         truncated_ops: (trace.ops.len() - n) as u64,
+        uncorrectable_blocks: 0,
         violations: Vec::new(),
     };
 
@@ -674,6 +748,62 @@ mod tests {
             report.violations.iter().any(|v| v.contains("lost write")),
             "wrong violation kind: {:?}",
             report.violations.first()
+        );
+    }
+
+    #[test]
+    fn integrity_enabled_sweep_reports_loss_never_silence() {
+        use mobistore_sim::integrity::IntegrityConfig;
+        // Wear-coupled bit errors, retention decay, and a fast scrubber,
+        // all on top of the crash sweep: blocks get dropped, but every
+        // drop is reported, so the shadow finds nothing silent.
+        let trace = toy_trace(160);
+        let config = card_config().with_integrity(IntegrityConfig {
+            base_errors: 7.0,
+            retention_per_hour: 4.0,
+            scrub_interval: Some(SimDuration::from_secs(20)),
+            seed: 7,
+            ..IntegrityConfig::none()
+        });
+        let opts = TortureOptions {
+            max_ops: 160,
+            crash_points: CrashPoints::Sampled(12),
+            ..TortureOptions::default()
+        };
+        let report = torture_flash_card(&config, &trace, &opts);
+        assert!(
+            report.passed(),
+            "violations: {:#?}",
+            &report.violations[..report.violations.len().min(10)]
+        );
+        assert!(
+            report.uncorrectable_blocks > 0,
+            "integrity model never dropped a block; raise the rates"
+        );
+    }
+
+    #[test]
+    fn sabotage_is_still_caught_with_integrity_enabled() {
+        use mobistore_sim::integrity::IntegrityConfig;
+        // The excused set covers exactly the *reported* losses: a block
+        // silently dropped by the sabotage hook stays a violation even
+        // when the integrity model is live.
+        let trace = toy_trace(40);
+        let config = card_config().with_integrity(IntegrityConfig {
+            base_errors: 2.0,
+            seed: 7,
+            ..IntegrityConfig::none()
+        });
+        let opts = TortureOptions {
+            max_ops: 40,
+            crash_points: CrashPoints::Sampled(4),
+            sabotage_lbn: Some(2),
+            ..TortureOptions::default()
+        };
+        let report = torture_flash_card(&config, &trace, &opts);
+        assert!(
+            !report.passed(),
+            "sabotage went undetected with integrity enabled"
         );
     }
 

@@ -42,6 +42,12 @@ pub struct Metrics {
     pub write_latency: Histogram,
     /// Log-bucketed response-time distribution over all operations.
     pub overall_latency: Histogram,
+    /// Retry-backoff episodes (write retries, erase-pulse retries, and
+    /// ECC read retries on the flash card), in milliseconds per episode.
+    pub backoff_ms: Summary,
+    /// Log-bucketed distribution of those backoff episodes (for
+    /// percentiles).
+    pub backoff_latency: Histogram,
     /// Wall-clock span of the measured portion.
     pub duration: SimDuration,
     /// DRAM cache behaviour, if a cache was configured.
@@ -64,6 +70,9 @@ pub struct Metrics {
     pub rejected_writes: u64,
     /// Blocks those refused writes covered.
     pub rejected_blocks: u64,
+    /// Backend read accesses that came back uncorrectable (the integrity
+    /// study's one permitted data-loss outcome: reported, never silent).
+    pub uncorrectable_reads: u64,
 }
 
 /// Fault-injection and recovery totals, combined across backends so a
@@ -176,6 +185,7 @@ impl Metrics {
             reg.add("dram.read_misses", c.read_misses);
             reg.add("dram.writes", c.writes);
             reg.add("dram.writebacks", c.writebacks);
+            reg.add("dram.fill_rejects", c.fill_rejects);
         }
         if let Some(s) = self.sram {
             reg.add("sram.absorbed", s.absorbed);
@@ -199,6 +209,9 @@ impl Metrics {
             reg.add("flashdisk.bytes_erased_on_demand", f.bytes_erased_on_demand);
             reg.add("flashdisk.power_failures", f.power_failures);
             reg.add("flashdisk.recovery_ns", f.recovery_time.as_nanos());
+            reg.add("flashdisk.ecc_corrected", f.ecc_corrected);
+            reg.add("flashdisk.read_retries", f.read_retries);
+            reg.add("flashdisk.uncorrectable_reads", f.uncorrectable_reads);
         }
         if let Some(c) = self.flash_card {
             reg.add("card.ops", c.ops);
@@ -213,10 +226,25 @@ impl Metrics {
             reg.add("card.power_failures", c.power_failures);
             reg.add("card.recovery_ns", c.recovery_time.as_nanos());
             reg.add("card.eol_write_rejections", c.eol_write_rejections);
+            reg.add("card.ecc_corrected", c.ecc_corrected);
+            reg.add("card.read_retries", c.read_retries);
+            reg.add("card.uncorrectable_reads", c.uncorrectable_reads);
+            reg.add("card.blocks_relocated", c.blocks_relocated);
+            reg.add("card.scrub_passes", c.scrub_passes);
+            reg.add("card.scrub_reads", c.scrub_reads);
+            reg.add(
+                "card.write_retry_backoff_ns",
+                c.write_retry_backoff.as_nanos(),
+            );
+            reg.add(
+                "card.erase_retry_backoff_ns",
+                c.erase_retry_backoff.as_nanos(),
+            );
         }
         reg.add("lost_dirty_blocks", self.lost_dirty_blocks);
         reg.add("rejected_writes", self.rejected_writes);
         reg.add("rejected_blocks", self.rejected_blocks);
+        reg.add("uncorrectable_reads", self.uncorrectable_reads);
         reg
     }
 
@@ -288,12 +316,15 @@ mod tests {
             read_latency: Histogram::new(),
             write_latency: Histogram::new(),
             overall_latency: Histogram::new(),
+            backoff_ms: Summary::default(),
+            backoff_latency: Histogram::new(),
             duration: SimDuration::from_secs(50),
             cache: Some(CacheStats {
                 read_hits: 80,
                 read_misses: 20,
                 writes: 10,
                 writebacks: 0,
+                fill_rejects: 0,
             }),
             sram: None,
             disk: None,
@@ -303,6 +334,7 @@ mod tests {
             lost_dirty_blocks: 0,
             rejected_writes: 0,
             rejected_blocks: 0,
+            uncorrectable_reads: 0,
         }
     }
 

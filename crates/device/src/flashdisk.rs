@@ -14,11 +14,12 @@
 //!   suspended while the device serves requests.
 
 use mobistore_sim::energy::{EnergyMeter, Joules};
+use mobistore_sim::integrity::{IntegrityConfig, IntegrityPlan, ReadVerdict};
 use mobistore_sim::obs::{Event, NoopObserver, Observer};
 use mobistore_sim::time::SimTime;
 
 use crate::params::{ErasePolicy, FlashDiskParams};
-use crate::{Dir, Service};
+use crate::{DeviceError, Dir, Service};
 
 /// Counters the flash disk maintains alongside energy.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -37,6 +38,12 @@ pub struct FlashDiskCounters {
     pub power_failures: u64,
     /// Total sim time spent re-scanning remap metadata after power loss.
     pub recovery_time: mobistore_sim::time::SimDuration,
+    /// Read accesses whose raw bit errors the ECC corrected transparently.
+    pub ecc_corrected: u64,
+    /// Read-retry attempts spent recovering marginal reads.
+    pub read_retries: u64,
+    /// Read accesses lost to uncorrectable bit errors.
+    pub uncorrectable_reads: u64,
 }
 
 /// A simulated flash disk emulator.
@@ -65,6 +72,12 @@ pub struct FlashDisk {
     erased_pool: u64,
     /// Bytes of dirty sectors awaiting background erasure.
     garbage: u64,
+    /// Bit-error/ECC plan for reads; quiet by default.
+    integrity: IntegrityPlan,
+    /// Sim time of the last completed write; the retention term of the
+    /// bit-error model is measured from here (the flash disk remaps
+    /// internally, so per-block placement is not modeled).
+    last_write: SimTime,
 }
 
 const CATEGORIES: &[&str] = &["active", "erase", "idle", "recover"];
@@ -92,7 +105,25 @@ impl FlashDisk {
             free_at: SimTime::ZERO,
             erased_pool,
             garbage: 0,
+            integrity: IntegrityPlan::quiet(),
+            last_write: SimTime::ZERO,
         }
+    }
+
+    /// Installs a bit-error/ECC plan built from `integrity`. A zero-rate
+    /// configuration (the default) draws nothing and leaves behaviour
+    /// bit-identical to a device without a plan. The flash disk ignores
+    /// `scrub_interval` — its controller hides sector management, so there
+    /// is no segment walk to schedule — and uses the configuration's own
+    /// `retry_backoff` (it has no fault plan to borrow one from).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `integrity` has a negative or non-finite rate or
+    /// disordered thresholds.
+    pub fn with_integrity(mut self, integrity: IntegrityConfig) -> Self {
+        self.integrity = IntegrityPlan::new(integrity);
+        self
     }
 
     /// Sets the queue discipline (see [`crate::QueueDiscipline`]).
@@ -160,11 +191,88 @@ impl FlashDisk {
         self.counters.ops += 1;
         match dir {
             Dir::Read => self.counters.bytes_read += bytes,
-            Dir::Write => self.counters.bytes_written += bytes,
+            Dir::Write => {
+                self.counters.bytes_written += bytes;
+                self.last_write = self.last_write.max(end);
+            }
         }
         // Open-loop accesses may overlap; keep the marker monotone.
         self.free_at = self.free_at.max(end);
         Service { start, end }
+    }
+
+    /// Fallible read: one bit-error classification per access (the flash
+    /// disk's controller remaps sectors internally, so errors are modeled
+    /// per request, with the retention clock reset by any write). Time and
+    /// energy are always accounted; an error count past the ECC budget and
+    /// the bounded read-retry yields [`DeviceError::Uncorrectable`] —
+    /// reported, never silent.
+    pub fn try_read(
+        &mut self,
+        now: SimTime,
+        lbn: u64,
+        bytes: u64,
+    ) -> (Service, Result<(), DeviceError>) {
+        self.try_read_obs(now, lbn, bytes, &mut NoopObserver)
+    }
+
+    /// [`try_read`](Self::try_read), reporting ECC corrections, retries,
+    /// and uncorrectable losses to an observer.
+    pub fn try_read_obs<O: Observer>(
+        &mut self,
+        now: SimTime,
+        lbn: u64,
+        bytes: u64,
+        obs: &mut O,
+    ) -> (Service, Result<(), DeviceError>) {
+        let start = self.settle(now, obs);
+        let transfer = self.params.read_bandwidth.transfer_time(bytes);
+        let mut total = self.params.access_latency + transfer;
+        let mut result = Ok(());
+        let verdict = self
+            .integrity
+            .classify_read(0, start.saturating_since(self.last_write));
+        match verdict {
+            ReadVerdict::Clean => {}
+            ReadVerdict::Corrected { errors } => {
+                self.counters.ecc_corrected += 1;
+                total += self.integrity.config().correction_penalty;
+                obs.record(&Event::EccCorrected {
+                    t: start,
+                    lbn,
+                    errors,
+                });
+            }
+            ReadVerdict::Retried {
+                errors: _,
+                attempts,
+            } => {
+                self.counters.read_retries += u64::from(attempts);
+                // Each retry backs off and re-runs the transfer.
+                total += (self.integrity.config().retry_backoff + transfer) * u64::from(attempts);
+                obs.record(&Event::ReadRetry {
+                    t: start,
+                    lbn,
+                    attempts,
+                });
+            }
+            ReadVerdict::Uncorrectable { errors } => {
+                self.counters.uncorrectable_reads += 1;
+                obs.record(&Event::UncorrectableRead {
+                    t: start,
+                    lbn,
+                    errors,
+                });
+                result = Err(DeviceError::Uncorrectable { lbn, errors });
+            }
+        }
+        let end = start + total;
+        self.meter
+            .charge_for("active", self.params.active_power, total);
+        self.counters.ops += 1;
+        self.counters.bytes_read += bytes;
+        self.free_at = self.free_at.max(end);
+        (Service { start, end }, result)
     }
 
     /// Accounts for the trailing idle period (and any final background
@@ -425,6 +533,64 @@ mod tests {
         assert_eq!(svc2.start, mid);
         let after = fd.access(svc2.end, Dir::Read, KIB);
         assert_eq!(after.start, svc2.end, "device serves as soon as recovered");
+    }
+
+    #[test]
+    fn quiet_integrity_reads_are_byte_identical() {
+        let mut plain = FlashDisk::new(sdp5_datasheet());
+        let mut quiet = FlashDisk::new(sdp5_datasheet()).with_integrity(IntegrityConfig::none());
+        for i in 0..20u64 {
+            let t = SimTime::from_secs_f64(i as f64);
+            let a = plain.access(t, Dir::Read, 4 * KIB);
+            let (b, res) = quiet.try_read(t, i, 4 * KIB);
+            assert_eq!(a, b);
+            assert!(res.is_ok());
+        }
+        assert_eq!(plain.counters(), quiet.counters());
+        assert_eq!(plain.energy().get(), quiet.energy().get());
+    }
+
+    #[test]
+    fn retention_decay_makes_reads_uncorrectable() {
+        let cfg = IntegrityConfig {
+            retention_per_hour: 40.0,
+            seed: 17,
+            ..IntegrityConfig::none()
+        };
+        let mut fd = FlashDisk::new(sdp5_datasheet()).with_integrity(cfg);
+        let w = fd.access(SimTime::ZERO, Dir::Write, 4 * KIB);
+        // Immediately after the write λ ≈ 0: the read is clean.
+        let (_, fresh) = fd.try_read(w.end, 0, 4 * KIB);
+        assert!(fresh.is_ok());
+        // An hour later λ = 40: far past the retry threshold.
+        let (svc, stale) = fd.try_read(w.end + SimDuration::from_hours(1), 0, 4 * KIB);
+        assert!(svc.end > svc.start, "time accounted even on failure");
+        let err = stale.expect_err("an hour at 40 errors/hour is fatal");
+        assert!(matches!(err, DeviceError::Uncorrectable { lbn: 0, .. }));
+        assert_eq!(fd.counters().uncorrectable_reads, 1);
+        // A fresh write resets the retention clock.
+        let w2 = fd.access(svc.end, Dir::Write, 4 * KIB);
+        let (_, res) = fd.try_read(w2.end, 0, 4 * KIB);
+        assert!(res.is_ok());
+    }
+
+    #[test]
+    fn corrections_cost_the_configured_penalty() {
+        let cfg = IntegrityConfig {
+            base_errors: 3.0,
+            seed: 2,
+            ..IntegrityConfig::none()
+        };
+        let mut clean = FlashDisk::new(sdp5_datasheet());
+        let mut noisy = FlashDisk::new(sdp5_datasheet()).with_integrity(cfg);
+        let ok = clean.access(SimTime::ZERO, Dir::Read, 4 * KIB);
+        let (slow, res) = noisy.try_read(SimTime::ZERO, 0, 4 * KIB);
+        assert!(res.is_ok());
+        assert_eq!(noisy.counters().ecc_corrected, 1);
+        assert_eq!(
+            (slow.end - slow.start).saturating_sub(ok.end - ok.start),
+            cfg.correction_penalty
+        );
     }
 
     #[test]

@@ -62,6 +62,15 @@ pub enum DeviceError {
         /// Configured block size in bytes.
         block_bytes: u64,
     },
+    /// A read saw more raw bit errors than the ECC budget and the
+    /// bounded read-retry could recover; the block's data is lost. The
+    /// device stays usable — callers degrade per-block, not per-run.
+    Uncorrectable {
+        /// The logical block whose data could not be recovered.
+        lbn: u64,
+        /// Raw bit errors the read saw.
+        errors: u32,
+    },
 }
 
 impl std::fmt::Display for DeviceError {
@@ -85,6 +94,11 @@ impl std::fmt::Display for DeviceError {
             } => write!(
                 f,
                 "flash segment of {segment_bytes} bytes cannot hold one {block_bytes}-byte block"
+            ),
+            DeviceError::Uncorrectable { lbn, errors } => write!(
+                f,
+                "uncorrectable read of block {lbn}: {errors} raw bit errors exceed the ECC \
+                 budget and read-retry"
             ),
         }
     }

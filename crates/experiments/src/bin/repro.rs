@@ -6,7 +6,7 @@
 //!
 //! Targets: `table1 table2 table3 table4 figure1 figure2 figure3 figure4
 //! figure5 async endurance verify battery ablations nextgen sensitivity
-//! related reliability observe crashcheck` (default: all).
+//! related reliability observe crashcheck integrity` (default: all).
 //!
 //! The `reliability` target takes extra flags: `--fault-rates <a,b,c>`
 //! (transient write/erase fault rates to sweep), `--fault-power-interval
@@ -17,6 +17,12 @@
 //! The `crashcheck` target takes `--crash-points <all|n>` (crash at every
 //! op boundary, or at `n` sampled boundaries per grid cell) and
 //! `--crash-seed <n>` (the crash-instant jitter seed).
+//!
+//! The `integrity` target takes `--ber-rates <a,b,c>` (expected raw bit
+//! errors per fresh block read, swept one run per rate; must be finite
+//! and non-negative), `--scrub-interval <secs>` (background scrub pass
+//! period; 0 disables scrubbing), and `--ber-seed <n>` (the bit-error
+//! streams' seed, independent of the workload seed).
 //!
 //! Exit codes are typed: `0` success, `1` I/O failure, `2` usage error,
 //! `3` configuration error ([`SimError::Config`]), `4` device error,
@@ -133,6 +139,23 @@ fn main() -> ExitCode {
             "--crash-seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
                 Some(v) => render.crashcheck.seed = v,
                 None => return usage("--crash-seed needs an integer"),
+            },
+            "--ber-rates" => match args.next().map(|v| parse_ber_rates(&v)) {
+                Some(Some(rates)) => render.integrity.rates = rates,
+                _ => {
+                    return usage("--ber-rates needs comma-separated non-negative error counts");
+                }
+            },
+            "--scrub-interval" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(secs) if secs >= 0.0 && secs.is_finite() => {
+                    render.integrity.scrub_interval =
+                        (secs > 0.0).then(|| SimDuration::from_secs_f64(secs));
+                }
+                _ => return usage("--scrub-interval needs seconds (0 disables)"),
+            },
+            "--ber-seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => render.integrity.ber_seed = v,
+                None => return usage("--ber-seed needs an integer"),
             },
             "--help" | "-h" => return usage(""),
             t if !t.starts_with('-') => targets.push(t.to_owned()),
@@ -300,6 +323,20 @@ fn parse_rates(s: &str) -> Option<Vec<f64>> {
     rates.filter(|r| !r.is_empty())
 }
 
+/// Parses `--ber-rates`: comma-separated expected raw error counts.
+/// Unlike fault probabilities these are not capped at 1 — they are
+/// Poisson means per block read — but they must be finite and `>= 0`.
+fn parse_ber_rates(s: &str) -> Option<Vec<f64>> {
+    let rates: Option<Vec<f64>> = s
+        .split(',')
+        .map(|part| match part.trim().parse::<f64>() {
+            Ok(r) if r.is_finite() && r >= 0.0 => Some(r),
+            _ => None,
+        })
+        .collect();
+    rates.filter(|r| !r.is_empty())
+}
+
 /// Writes one CSV file into the `--csv` directory, if one was given.
 fn write_csv(dir: &Option<PathBuf>, name: &str, contents: &str) {
     let Some(dir) = dir else { return };
@@ -339,8 +376,10 @@ fn usage(err: &str) -> ExitCode {
          [--events-out <file>] [--metrics-out <file>] [--timings-json <file>] \
          [--fault-rates <a,b,c>] [--fault-power-interval <secs>] [--fault-seed <n>] \
          [--crash-points <all|n>] [--crash-seed <n>] \
+         [--ber-rates <a,b,c>] [--scrub-interval <secs>] [--ber-seed <n>] \
          [table1|table2|table3|table4|figure1|figure2|figure3|figure4|figure5|async|endurance|\
-         verify|battery|ablations|nextgen|sensitivity|related|reliability|observe|crashcheck ...]"
+         verify|battery|ablations|nextgen|sensitivity|related|reliability|observe|crashcheck|\
+         integrity ...]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -26,6 +26,7 @@
 //! | [`reliability`] | fault-rate sweep with crash recovery (beyond the paper) |
 //! | [`observe`] | state residency + latency percentiles per workload × device |
 //! | [`crashcheck`] | crash-consistency torture sweep + end-of-life degradation |
+//! | [`integrity`] | wear-coupled bit errors, ECC + read-retry, scrubbing |
 //!
 //! [`render`] turns any named target into its exact stdout bytes, shared
 //! by the `repro` binary and the golden snapshot tests.
@@ -48,6 +49,7 @@ pub mod figure2;
 pub mod figure3;
 pub mod figure4;
 pub mod figure5;
+pub mod integrity;
 pub mod next_gen;
 pub mod observe;
 pub mod plot;

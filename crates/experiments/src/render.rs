@@ -12,11 +12,12 @@ use mobistore_core::metrics::Metrics;
 use mobistore_core::simulator::SimError;
 
 use crate::crashcheck::CrashCheckOptions;
+use crate::integrity::IntegrityOptions;
 use crate::reliability::ReliabilityOptions;
-use crate::{crashcheck, reliability, Scale};
+use crate::{crashcheck, integrity, reliability, Scale};
 
 /// Every known target, in the default (paper) order.
-pub const TARGETS: [&str; 20] = [
+pub const TARGETS: [&str; 21] = [
     "table1",
     "table2",
     "table3",
@@ -37,6 +38,7 @@ pub const TARGETS: [&str; 20] = [
     "reliability",
     "observe",
     "crashcheck",
+    "integrity",
 ];
 
 /// Options a target may consume beyond the [`Scale`].
@@ -46,6 +48,8 @@ pub struct RenderOptions {
     pub reliability: ReliabilityOptions,
     /// The `crashcheck` target's sweep density and jitter seed.
     pub crashcheck: CrashCheckOptions,
+    /// The `integrity` target's bit-error sweep parameters.
+    pub integrity: IntegrityOptions,
     /// Collect per-event JSONL streams (the `--events-out` payload) from
     /// targets that observe their simulations. Off by default: rendering
     /// with the default options is exactly the pre-observability output.
@@ -169,6 +173,11 @@ pub fn try_render_target(
         "related" => p(&mut out, crate::related::run(scale)),
         "reliability" => p(&mut out, reliability::run(scale, &options.reliability)),
         "crashcheck" => p(&mut out, crashcheck::run(scale, &options.crashcheck)?),
+        "integrity" => {
+            let r = integrity::run(scale, &options.integrity);
+            p(&mut out, &r);
+            metrics.extend(r.metrics_rows());
+        }
         "observe" => {
             let o = crate::observe::run(scale, options.collect_events);
             p(&mut out, &o);

@@ -56,6 +56,37 @@ fn malformed_fault_rates_are_usage_errors() {
 }
 
 #[test]
+fn malformed_ber_rates_are_usage_errors() {
+    assert_usage_error(&["--ber-rates", "nan"], "--ber-rates");
+    assert_usage_error(&["--ber-rates", "2,-1"], "--ber-rates");
+    assert_usage_error(&["--ber-rates", "0,banana"], "--ber-rates");
+    assert_usage_error(&["--ber-rates", "inf"], "--ber-rates");
+    assert_usage_error(&["--ber-rates", ""], "--ber-rates");
+    assert_usage_error(&["--ber-rates"], "--ber-rates");
+}
+
+#[test]
+fn malformed_ber_seed_is_a_usage_error() {
+    assert_usage_error(&["--ber-seed", "banana"], "--ber-seed");
+    assert_usage_error(&["--ber-seed", "-1"], "--ber-seed");
+    assert_usage_error(&["--ber-seed"], "--ber-seed");
+}
+
+#[test]
+fn malformed_scrub_interval_is_a_usage_error() {
+    assert_usage_error(&["--scrub-interval", "nan"], "--scrub-interval");
+    assert_usage_error(&["--scrub-interval", "-5"], "--scrub-interval");
+    assert_usage_error(&["--scrub-interval", "soon"], "--scrub-interval");
+    assert_usage_error(&["--scrub-interval"], "--scrub-interval");
+}
+
+#[test]
+fn malformed_fault_power_interval_is_a_usage_error() {
+    assert_usage_error(&["--fault-power-interval", "nan"], "--fault-power-interval");
+    assert_usage_error(&["--fault-power-interval", "-1"], "--fault-power-interval");
+}
+
+#[test]
 fn malformed_crash_seed_is_a_usage_error() {
     assert_usage_error(&["--crash-seed", "banana"], "--crash-seed");
     assert_usage_error(&["--crash-seed", "-1"], "--crash-seed");

@@ -26,7 +26,7 @@
 //!
 //! Everything here is `std`-only, integer-valued, and deterministic.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// First generation number handed out by a fresh [`ShadowModel`] (and by a
@@ -181,6 +181,22 @@ impl ShadowModel {
     /// contain each lbn at most once. Returns every violation found (empty
     /// means the recovered state is legal).
     pub fn verify(&self, observed: &[(u64, u64)]) -> Vec<Violation> {
+        self.verify_with_uncorrectable(observed, &BTreeSet::new())
+    }
+
+    /// [`verify`](Self::verify), with an integrity-model escape hatch:
+    /// blocks in `uncorrectable` were *reported* lost by the device
+    /// (typed [`UncorrectableRead`] errors surfaced to the host), so
+    /// their absence or staleness is legal. Everything else is held to
+    /// the usual standard — silent corruption of an acknowledged block
+    /// remains the one illegal outcome.
+    ///
+    /// [`UncorrectableRead`]: crate::obs::Event::UncorrectableRead
+    pub fn verify_with_uncorrectable(
+        &self,
+        observed: &[(u64, u64)],
+        uncorrectable: &BTreeSet<u64>,
+    ) -> Vec<Violation> {
         let mut violations = Vec::new();
         let mut seen: BTreeMap<u64, u64> = BTreeMap::new();
         for &(lbn, gen) in observed {
@@ -190,6 +206,11 @@ impl ShadowModel {
         }
 
         for (&lbn, &gen) in &self.acked {
+            if uncorrectable.contains(&lbn) {
+                // The device admitted this block's data is gone; loss is
+                // reported, not silent.
+                continue;
+            }
             let legal = self.legal(lbn);
             match seen.get(&lbn) {
                 None => violations.push(Violation::LostWrite {
@@ -454,6 +475,39 @@ mod tests {
         let v = s.verify(&[(42, 7)]);
         assert!(matches!(v[0], Violation::Resurrected { lbn: 42, .. }));
         assert!(s.verify(&[]).is_empty());
+    }
+
+    #[test]
+    fn reported_uncorrectable_blocks_are_excused() {
+        let mut s = ShadowModel::new();
+        s.write(10, 2); // gens 1, 2
+        s.write(20, 1); // gen 3
+
+        // lbn 10's data was reported uncorrectable: its loss is legal,
+        // but unreported losses still fail.
+        let reported: BTreeSet<u64> = [10].into_iter().collect();
+        assert!(s
+            .verify_with_uncorrectable(&[(11, 2), (20, 3)], &reported)
+            .is_empty());
+        let v = s.verify_with_uncorrectable(&[(11, 2)], &reported);
+        assert_eq!(
+            v,
+            vec![Violation::LostWrite {
+                lbn: 20,
+                expected_gen: 3
+            }]
+        );
+
+        // Reporting does not relax checks on blocks that are still there:
+        // silent corruption elsewhere is caught.
+        let v = s.verify_with_uncorrectable(&[(11, 99), (20, 3)], &reported);
+        assert!(matches!(v[0], Violation::StaleData { lbn: 11, .. }));
+
+        // An empty report is plain verify.
+        assert_eq!(
+            s.verify(&[(20, 3)]),
+            s.verify_with_uncorrectable(&[(20, 3)], &BTreeSet::new())
+        );
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   power-failure schedules;
 //! * [`hist`] — log-bucketed latency histograms ([`hist::Histogram`]) with
 //!   deterministic p50/p90/p99/p99.9 queries;
+//! * [`integrity`] — seeded, wear-coupled bit-error injection and ECC
+//!   classification ([`integrity::IntegrityPlan`]): raw errors grow with
+//!   erase count and retention time, verdicts split into corrected /
+//!   retried / uncorrectable;
 //! * [`obs`] — structured sim-time event tracing ([`obs::Event`],
 //!   [`obs::Observer`]); the default [`obs::NoopObserver`] monomorphises
 //!   away entirely;
@@ -39,6 +43,7 @@ pub mod energy;
 pub mod exec;
 pub mod fault;
 pub mod hist;
+pub mod integrity;
 pub mod obs;
 pub mod rng;
 pub mod stats;
@@ -49,6 +54,7 @@ pub use crashcheck::{ShadowModel, Violation};
 pub use energy::{EnergyMeter, Joules, Watts};
 pub use fault::{FaultConfig, FaultPlan};
 pub use hist::{Histogram, LatencyRecorder, Percentiles};
+pub use integrity::{IntegrityConfig, IntegrityPlan, ReadVerdict};
 pub use obs::{CounterRegistry, Event, NoopObserver, Observer};
 pub use rng::SimRng;
 pub use stats::{OnlineStats, Summary};

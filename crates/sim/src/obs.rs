@@ -203,6 +203,59 @@ pub enum Event {
         /// Retired (bad-segment) blocks at the transition.
         retired: u64,
     },
+    /// The ECC transparently corrected raw bit errors on a block read.
+    EccCorrected {
+        /// Read time.
+        t: SimTime,
+        /// The block whose data was corrected.
+        lbn: u64,
+        /// Raw bit errors corrected.
+        errors: u32,
+    },
+    /// A marginal block read was recovered by bounded read-retry.
+    ReadRetry {
+        /// Read time.
+        t: SimTime,
+        /// The block that needed retries.
+        lbn: u64,
+        /// Retry attempts the recovery cost.
+        attempts: u32,
+    },
+    /// A block read exceeded what ECC and read-retry can recover; its
+    /// data is lost and the failure surfaces as a typed device error.
+    UncorrectableRead {
+        /// Read time.
+        t: SimTime,
+        /// The block whose data was lost.
+        lbn: u64,
+        /// Raw bit errors seen.
+        errors: u32,
+    },
+    /// A degraded-but-correctable block was rewritten to fresh cells at
+    /// the write frontier (relocate-and-remap).
+    BlockRelocated {
+        /// Relocation time.
+        t: SimTime,
+        /// The relocated block.
+        lbn: u64,
+        /// Segment the block was relocated out of.
+        from_segment: u32,
+        /// Raw bit errors that triggered the relocation.
+        errors: u32,
+    },
+    /// The background scrubber finished a pass over one segment.
+    ScrubPass {
+        /// Pass completion time.
+        t: SimTime,
+        /// The segment scrubbed.
+        segment: u32,
+        /// Live blocks read by the pass.
+        blocks: u32,
+        /// Blocks whose errors the ECC corrected during the pass.
+        corrected: u32,
+        /// Blocks the pass relocated to fresh cells.
+        relocated: u32,
+    },
 }
 
 impl Event {
@@ -226,6 +279,11 @@ impl Event {
             Event::PowerFail { .. } => "power_fail",
             Event::RecoveryEnd { .. } => "recovery_end",
             Event::FlashEndOfLife { .. } => "flash_end_of_life",
+            Event::EccCorrected { .. } => "ecc_corrected",
+            Event::ReadRetry { .. } => "read_retry",
+            Event::UncorrectableRead { .. } => "uncorrectable_read",
+            Event::BlockRelocated { .. } => "block_relocated",
+            Event::ScrubPass { .. } => "scrub_pass",
         }
     }
 
@@ -247,7 +305,12 @@ impl Event {
             | Event::FaultInjected { t, .. }
             | Event::PowerFail { t, .. }
             | Event::RecoveryEnd { t, .. }
-            | Event::FlashEndOfLife { t, .. } => t,
+            | Event::FlashEndOfLife { t, .. }
+            | Event::EccCorrected { t, .. }
+            | Event::ReadRetry { t, .. }
+            | Event::UncorrectableRead { t, .. }
+            | Event::BlockRelocated { t, .. }
+            | Event::ScrubPass { t, .. } => t,
         }
     }
 
@@ -352,6 +415,36 @@ impl Event {
                 let _ = write!(
                     s,
                     ",\"live\":{live},\"usable\":{usable},\"retired\":{retired}"
+                );
+            }
+            Event::EccCorrected { lbn, errors, .. }
+            | Event::UncorrectableRead { lbn, errors, .. } => {
+                let _ = write!(s, ",\"lbn\":{lbn},\"errors\":{errors}");
+            }
+            Event::ReadRetry { lbn, attempts, .. } => {
+                let _ = write!(s, ",\"lbn\":{lbn},\"attempts\":{attempts}");
+            }
+            Event::BlockRelocated {
+                lbn,
+                from_segment,
+                errors,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"lbn\":{lbn},\"from_segment\":{from_segment},\"errors\":{errors}"
+                );
+            }
+            Event::ScrubPass {
+                segment,
+                blocks,
+                corrected,
+                relocated,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"segment\":{segment},\"blocks\":{blocks},\"corrected\":{corrected},\"relocated\":{relocated}"
                 );
             }
         }

@@ -50,6 +50,26 @@ jq -e '
 jq -e '[.targets[].rows[] | .overall.count] | add > 0' "$METRICS" >/dev/null \
     || { echo "FAIL: no rows with observations" >&2; exit 1; }
 
+# Data-integrity counters (additive in mobistore-metrics/1): every row
+# carries the top-level uncorrectable-read count, and integrity-target
+# rows expose the ECC/scrub counter families for their backend.
+jq -e 'all(.targets[].rows[];
+           .counters.uncorrectable_reads | type == "number")' \
+    "$METRICS" >/dev/null \
+    || { echo "FAIL: a row is missing counters.uncorrectable_reads" >&2; exit 1; }
+if jq -e 'any(.targets[]; .target == "integrity")' "$METRICS" >/dev/null; then
+    jq -e '
+      [.targets[] | select(.target == "integrity") | .rows[]] as $rows
+      | any($rows[]; .counters | has("card.ecc_corrected")
+                     and has("card.read_retries")
+                     and has("card.scrub_passes")
+                     and has("card.blocks_relocated"))
+        and any($rows[]; .counters | has("flashdisk.ecc_corrected")
+                         and has("flashdisk.read_retries"))
+    ' "$METRICS" >/dev/null \
+        || { echo "FAIL: integrity rows missing ECC/scrub counters" >&2; exit 1; }
+fi
+
 echo "ok: metrics document is well-formed" >&2
 
 if [ -n "$EVENTS" ]; then

@@ -8,6 +8,7 @@
 //! serial and parallel halves into separate tests would race on the
 //! worker-count override.
 
+use mobistore::experiments::integrity::{self, IntegrityOptions};
 use mobistore::experiments::reliability::{self, ReliabilityOptions};
 use mobistore::experiments::{figure4, table4, Scale};
 use mobistore::sim::exec;
@@ -21,16 +22,23 @@ fn parallel_runs_match_serial_runs() {
         power_interval: Some(SimDuration::from_secs(300)),
         fault_seed: 1994,
     };
+    let ber_opts = IntegrityOptions {
+        rates: vec![0.0, 4.0],
+        scrub_interval: Some(SimDuration::from_secs(45)),
+        ber_seed: 1994,
+    };
 
     exec::set_jobs(1);
     let fig4_serial = figure4::run(scale);
     let tab4_serial = table4::run(scale);
     let rel_serial = reliability::run(scale, &fault_opts);
+    let ber_serial = integrity::run(scale, &ber_opts);
 
     exec::set_jobs(4);
     let fig4_parallel = figure4::run(scale);
     let tab4_parallel = table4::run(scale);
     let rel_parallel = reliability::run(scale, &fault_opts);
+    let ber_parallel = integrity::run(scale, &ber_opts);
 
     // Rendered output is the acceptance surface of `repro` — it must be
     // byte-identical.
@@ -73,5 +81,39 @@ fn parallel_runs_match_serial_runs() {
     for (a, b) in rel_serial.disk.iter().zip(&rel_parallel.disk) {
         assert_eq!(a.energy.get(), b.energy.get(), "{:?}", a.workload);
         assert_eq!(a.faults, b.faults, "{:?}", a.workload);
+    }
+
+    // Bit-error-injected runs: the same BER seed must produce the same
+    // error schedule — and so the same corrected/uncorrectable counts and
+    // the same energy — at any worker count.
+    assert_eq!(ber_serial.to_string(), ber_parallel.to_string());
+    for (a, b) in ber_serial.card.iter().zip(&ber_parallel.card) {
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.rate, b.rate);
+        assert_eq!(a.scrubbed, b.scrubbed);
+        assert_eq!(
+            a.metrics.energy.get(),
+            b.metrics.energy.get(),
+            "{}",
+            a.metrics.name
+        );
+        assert_eq!(
+            a.metrics.flash_card, b.metrics.flash_card,
+            "{}",
+            a.metrics.name
+        );
+    }
+    for (a, b) in ber_serial.flash_disk.iter().zip(&ber_parallel.flash_disk) {
+        assert_eq!(
+            a.metrics.energy.get(),
+            b.metrics.energy.get(),
+            "{}",
+            a.metrics.name
+        );
+        assert_eq!(
+            a.metrics.flash_disk, b.metrics.flash_disk,
+            "{}",
+            a.metrics.name
+        );
     }
 }

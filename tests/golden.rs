@@ -12,8 +12,10 @@ use mobistore::experiments::Scale;
 
 /// The targets with committed fixtures: the paper's tables and figures,
 /// plus the crash-consistency torture sweep (a quiet fault plan — its
-/// fixture doubles as proof the sweep is deterministic end to end).
-const GOLDEN_TARGETS: [&str; 10] = [
+/// fixture doubles as proof the sweep is deterministic end to end) and
+/// the bit-error integrity sweep (whose zero-rate rows double as proof
+/// that a quiet integrity plan draws no randomness).
+const GOLDEN_TARGETS: [&str; 11] = [
     "table1",
     "table2",
     "table3",
@@ -24,6 +26,7 @@ const GOLDEN_TARGETS: [&str; 10] = [
     "figure4",
     "figure5",
     "crashcheck",
+    "integrity",
 ];
 
 fn fixture_path(target: &str) -> std::path::PathBuf {
