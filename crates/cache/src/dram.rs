@@ -47,6 +47,18 @@ pub struct CacheStats {
     pub fill_rejects: u64,
 }
 
+impl CacheStats {
+    /// Adds another cache's counters into this one (fleet aggregation:
+    /// every field is a plain count, so merging is field-wise addition).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.read_hits += other.read_hits;
+        self.read_misses += other.read_misses;
+        self.writes += other.writes;
+        self.writebacks += other.writebacks;
+        self.fill_rejects += other.fill_rejects;
+    }
+}
+
 /// A block was evicted and, if dirty, must be flushed by the caller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Evicted {

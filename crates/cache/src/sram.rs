@@ -31,6 +31,15 @@ pub struct SramStats {
     pub read_hits: u64,
 }
 
+impl SramStats {
+    /// Adds another buffer's counters into this one (fleet aggregation).
+    pub fn merge(&mut self, other: &SramStats) {
+        self.absorbed += other.absorbed;
+        self.flushes += other.flushes;
+        self.read_hits += other.read_hits;
+    }
+}
+
 /// A fixed-capacity write buffer holding whole blocks.
 ///
 /// # Examples

@@ -98,7 +98,117 @@ pub struct FaultTotals {
     pub rejected_writes: u64,
 }
 
+/// Merges a named accumulator list (`energy_by_component`-style): values
+/// for names already present add in place, new names append in `other`'s
+/// order.
+fn merge_named<T: Copy, F: Fn(&mut T, T)>(
+    into: &mut Vec<(&'static str, T)>,
+    other: &[(&'static str, T)],
+    add: F,
+) {
+    for &(name, value) in other {
+        match into.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, existing)) => add(existing, value),
+            None => into.push((name, value)),
+        }
+    }
+}
+
+/// Merges optional component counters: `Some + Some` merges field-wise,
+/// `None + Some` adopts the other side's counters.
+fn merge_opt<T: Copy, F: Fn(&mut T, &T)>(into: &mut Option<T>, other: &Option<T>, merge: F) {
+    if let Some(o) = other {
+        match into {
+            Some(existing) => merge(existing, o),
+            None => *into = Some(*o),
+        }
+    }
+}
+
 impl Metrics {
+    /// An all-zero result carrying only a label: the identity for
+    /// [`merge`](Self::merge), and the fold seed for fleet aggregation.
+    pub fn empty(name: &str) -> Metrics {
+        Metrics {
+            name: name.to_string(),
+            energy: Joules(0.0),
+            energy_by_component: Vec::new(),
+            backend_states: Vec::new(),
+            read_response_ms: Summary::default(),
+            write_response_ms: Summary::default(),
+            overall_response_ms: Summary::default(),
+            read_latency: Histogram::new(),
+            write_latency: Histogram::new(),
+            overall_latency: Histogram::new(),
+            backoff_ms: Summary::default(),
+            backoff_latency: Histogram::new(),
+            duration: SimDuration::ZERO,
+            cache: None,
+            sram: None,
+            disk: None,
+            flash_disk: None,
+            flash_card: None,
+            wear: None,
+            lost_dirty_blocks: 0,
+            rejected_writes: 0,
+            rejected_blocks: 0,
+            uncorrectable_reads: 0,
+        }
+    }
+
+    /// Folds another run's results into this one, as if both populations
+    /// of operations had been observed by a single (fleet-wide) meter.
+    ///
+    /// Energy, histograms, response-time moments, and every component
+    /// counter add; `duration` takes the maximum because merged runs
+    /// model shards executing concurrently, not back to back. The `name`
+    /// keeps `self`'s label. Merging [`Metrics::empty`] in either
+    /// direction is an identity (up to the label).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.energy += other.energy;
+        merge_named(
+            &mut self.energy_by_component,
+            &other.energy_by_component,
+            |a, b| *a += b,
+        );
+        for &(name, e, d) in &other.backend_states {
+            match self.backend_states.iter_mut().find(|(n, _, _)| *n == name) {
+                Some((_, se, sd)) => {
+                    *se += e;
+                    *sd += d;
+                }
+                None => self.backend_states.push((name, e, d)),
+            }
+        }
+        self.read_response_ms.merge(&other.read_response_ms);
+        self.write_response_ms.merge(&other.write_response_ms);
+        self.overall_response_ms.merge(&other.overall_response_ms);
+        self.read_latency.merge(&other.read_latency);
+        self.write_latency.merge(&other.write_latency);
+        self.overall_latency.merge(&other.overall_latency);
+        self.backoff_ms.merge(&other.backoff_ms);
+        self.backoff_latency.merge(&other.backoff_latency);
+        self.duration = self.duration.max(other.duration);
+        merge_opt(&mut self.cache, &other.cache, CacheStats::merge);
+        merge_opt(&mut self.sram, &other.sram, SramStats::merge);
+        merge_opt(&mut self.disk, &other.disk, DiskCounters::merge);
+        merge_opt(
+            &mut self.flash_disk,
+            &other.flash_disk,
+            FlashDiskCounters::merge,
+        );
+        merge_opt(
+            &mut self.flash_card,
+            &other.flash_card,
+            FlashCardCounters::merge,
+        );
+        merge_opt(&mut self.wear, &other.wear, WearStats::merge);
+        self.lost_dirty_blocks += other.lost_dirty_blocks;
+        self.rejected_writes += other.rejected_writes;
+        self.rejected_blocks += other.rejected_blocks;
+        self.uncorrectable_reads += other.uncorrectable_reads;
+    }
+
     /// Mean power draw over the measured portion, in watts.
     pub fn mean_power_w(&self) -> f64 {
         let secs = self.duration.as_secs_f64();
@@ -336,6 +446,49 @@ mod tests {
             rejected_blocks: 0,
             uncorrectable_reads: 0,
         }
+    }
+
+    #[test]
+    fn merge_adds_counters_and_keeps_max_duration() {
+        let mut a = dummy();
+        let mut b = dummy();
+        b.duration = SimDuration::from_secs(20);
+        b.energy_by_component = vec![("dram", Joules(1.0)), ("sram", Joules(2.0))];
+        b.backend_states = vec![
+            ("standby", Joules(5.0), SimDuration::from_secs(25)),
+            ("active", Joules(1.0), SimDuration::from_secs(1)),
+        ];
+        b.lost_dirty_blocks = 7;
+        a.merge(&b);
+        assert_eq!(a.energy, Joules(200.0));
+        assert_eq!(a.duration, SimDuration::from_secs(50));
+        assert_eq!(a.read_response_ms.count, 20);
+        assert_eq!(a.lost_dirty_blocks, 7);
+        assert_eq!(
+            a.energy_by_component,
+            vec![
+                ("disk", Joules(90.0)),
+                ("dram", Joules(11.0)),
+                ("sram", Joules(2.0))
+            ]
+        );
+        assert_eq!(a.backend_states.len(), 2);
+        assert_eq!(a.backend_states[0].2, SimDuration::from_secs(50));
+        let c = a.cache.unwrap();
+        assert_eq!(c.read_hits, 160);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = dummy();
+        a.merge(&Metrics::empty("zero"));
+        let dbg_a = format!("{a:?}").replace("name: \"test\"", "");
+        let mut e = Metrics::empty("zero");
+        e.merge(&dummy());
+        let dbg_e = format!("{e:?}").replace("name: \"zero\"", "");
+        assert_eq!(dbg_a, dbg_e);
+        assert_eq!(a.energy, dummy().energy);
+        assert_eq!(a.read_response_ms, dummy().read_response_ms);
     }
 
     #[test]

@@ -122,6 +122,20 @@ pub struct DiskCounters {
     pub recovery_time: SimDuration,
 }
 
+impl DiskCounters {
+    /// Adds another disk's counters into this one (fleet aggregation:
+    /// counts and durations are all additive).
+    pub fn merge(&mut self, other: &DiskCounters) {
+        self.ops += other.ops;
+        self.spin_ups += other.spin_ups;
+        self.spin_downs += other.spin_downs;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.power_failures += other.power_failures;
+        self.recovery_time += other.recovery_time;
+    }
+}
+
 /// A simulated magnetic hard disk with spin-down power management.
 ///
 /// # Examples

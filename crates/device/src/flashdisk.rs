@@ -46,6 +46,23 @@ pub struct FlashDiskCounters {
     pub uncorrectable_reads: u64,
 }
 
+impl FlashDiskCounters {
+    /// Adds another flash disk's counters into this one (fleet
+    /// aggregation: counts and durations are all additive).
+    pub fn merge(&mut self, other: &FlashDiskCounters) {
+        self.ops += other.ops;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.bytes_pre_erased += other.bytes_pre_erased;
+        self.bytes_erased_on_demand += other.bytes_erased_on_demand;
+        self.power_failures += other.power_failures;
+        self.recovery_time += other.recovery_time;
+        self.ecc_corrected += other.ecc_corrected;
+        self.read_retries += other.read_retries;
+        self.uncorrectable_reads += other.uncorrectable_reads;
+    }
+}
+
 /// A simulated flash disk emulator.
 ///
 /// # Examples

@@ -6,7 +6,7 @@
 //!
 //! Targets: `table1 table2 table3 table4 figure1 figure2 figure3 figure4
 //! figure5 async endurance verify battery ablations nextgen sensitivity
-//! related reliability observe crashcheck integrity` (default: all).
+//! related reliability observe crashcheck integrity fleet` (default: all).
 //!
 //! The `reliability` target takes extra flags: `--fault-rates <a,b,c>`
 //! (transient write/erase fault rates to sweep), `--fault-power-interval
@@ -23,6 +23,12 @@
 //! and non-negative), `--scrub-interval <secs>` (background scrub pass
 //! period; 0 disables scrubbing), and `--ber-seed <n>` (the bit-error
 //! streams' seed, independent of the workload seed).
+//!
+//! The `fleet` target takes `--fleet-shards <n>` (simulated device
+//! shards, positive), `--fleet-population <n>` (users hash-range-mapped
+//! onto the shards, positive; default eight per shard), and
+//! `--fleet-seed <n>` (the fleet seed every per-shard stream derives
+//! from). Its merged metrics are byte-identical at any `--jobs` count.
 //!
 //! Exit codes are typed: `0` success, `1` I/O failure, `2` usage error,
 //! `3` configuration error ([`SimError::Config`]), `4` device error,
@@ -56,6 +62,7 @@ use std::time::{Duration, Instant};
 use mobistore_core::crashcheck::CrashPoints;
 use mobistore_core::metrics::Metrics;
 use mobistore_core::simulator::SimError;
+use mobistore_experiments::fleet::FleetOptions;
 use mobistore_experiments::render::{try_render_target, RenderOptions, TARGETS};
 use mobistore_experiments::{export, Scale};
 use mobistore_sim::exec;
@@ -67,6 +74,7 @@ struct TargetOutput {
     csvs: Vec<(&'static str, String)>,
     metrics: Vec<Metrics>,
     events_jsonl: Option<String>,
+    fleet_info: Option<export::FleetInfo>,
     elapsed: Duration,
 }
 
@@ -80,6 +88,7 @@ fn main() -> ExitCode {
     let mut metrics_out: Option<PathBuf> = None;
     let mut timings_json: Option<PathBuf> = None;
     let mut render = RenderOptions::default();
+    let mut fleet_population_set = false;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -157,10 +166,28 @@ fn main() -> ExitCode {
                 Some(v) => render.integrity.ber_seed = v,
                 None => return usage("--ber-seed needs an integer"),
             },
+            "--fleet-shards" => match args.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(v) if v > 0 => render.fleet.shards = v,
+                _ => return usage("--fleet-shards needs a positive integer"),
+            },
+            "--fleet-population" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) if v > 0 => {
+                    render.fleet.population = v;
+                    fleet_population_set = true;
+                }
+                _ => return usage("--fleet-population needs a positive integer"),
+            },
+            "--fleet-seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => render.fleet.seed = v,
+                None => return usage("--fleet-seed needs an integer"),
+            },
             "--help" | "-h" => return usage(""),
             t if !t.starts_with('-') => targets.push(t.to_owned()),
             other => return usage(&format!("unknown flag {other}")),
         }
+    }
+    if !fleet_population_set {
+        render.fleet.population = FleetOptions::default_population(render.fleet.shards);
     }
     if targets.is_empty() {
         targets = TARGETS.iter().map(|s| (*s).to_owned()).collect();
@@ -188,6 +215,7 @@ fn main() -> ExitCode {
             csvs: r.csvs,
             metrics: r.metrics,
             events_jsonl: r.events_jsonl,
+            fleet_info: r.fleet_info,
             elapsed: t0.elapsed(),
         })
     });
@@ -224,10 +252,14 @@ fn main() -> ExitCode {
         write_artifact(path, &stream, "events");
     }
     if let Some(path) = &metrics_out {
-        let per_target: Vec<(&str, &[Metrics])> = targets
+        let per_target: Vec<export::TargetExport<'_>> = targets
             .iter()
             .zip(&results)
-            .map(|(t, r)| (t.as_str(), r.metrics.as_slice()))
+            .map(|(t, r)| export::TargetExport {
+                target: t.as_str(),
+                rows: r.metrics.as_slice(),
+                fleet: r.fleet_info,
+            })
             .collect();
         write_artifact(path, &export::metrics_json(scale, &per_target), "metrics");
     }
@@ -377,9 +409,10 @@ fn usage(err: &str) -> ExitCode {
          [--fault-rates <a,b,c>] [--fault-power-interval <secs>] [--fault-seed <n>] \
          [--crash-points <all|n>] [--crash-seed <n>] \
          [--ber-rates <a,b,c>] [--scrub-interval <secs>] [--ber-seed <n>] \
+         [--fleet-shards <n>] [--fleet-population <n>] [--fleet-seed <n>] \
          [table1|table2|table3|table4|figure1|figure2|figure3|figure4|figure5|async|endurance|\
          verify|battery|ablations|nextgen|sensitivity|related|reliability|observe|crashcheck|\
-         integrity ...]"
+         integrity|fleet ...]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

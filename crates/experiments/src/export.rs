@@ -22,6 +22,32 @@ use crate::Scale;
 /// incompatible layout change.
 pub const METRICS_SCHEMA: &str = "mobistore-metrics/1";
 
+/// Version tag of the per-target `fleet` block the `fleet` target emits.
+pub const FLEET_SCHEMA: &str = "mobistore-fleet/1";
+
+/// Fleet sharding parameters, embedded in the `fleet` target's entry as a
+/// versioned `fleet` object so consumers can re-derive the shard map.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetInfo {
+    /// Number of shards the fleet ran.
+    pub shards: u32,
+    /// User population hashed onto the shards.
+    pub population: u64,
+    /// The fleet seed.
+    pub seed: u64,
+}
+
+/// One target's contribution to the export document.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetExport<'a> {
+    /// Target name.
+    pub target: &'a str,
+    /// The metrics rows the target produced.
+    pub rows: &'a [Metrics],
+    /// Fleet block, set only by the `fleet` target.
+    pub fleet: Option<FleetInfo>,
+}
+
 /// Formats a float for JSON: plain shortest-roundtrip decimal, with
 /// non-finite values clamped to 0 (JSON has no NaN/Infinity).
 fn jnum(x: f64) -> String {
@@ -118,8 +144,9 @@ fn row_json(m: &Metrics) -> String {
 
 /// Serializes the whole document: one entry per rendered target, in
 /// request order, each carrying the metrics rows that target produced
-/// (empty for targets that report derived values only).
-pub fn metrics_json(scale: Scale, targets: &[(&str, &[Metrics])]) -> String {
+/// (empty for targets that report derived values only) plus, for the
+/// `fleet` target, its versioned [`FleetInfo`] block.
+pub fn metrics_json(scale: Scale, targets: &[TargetExport<'_>]) -> String {
     let mut s = String::with_capacity(4096);
     let _ = write!(
         s,
@@ -128,12 +155,23 @@ pub fn metrics_json(scale: Scale, targets: &[(&str, &[Metrics])]) -> String {
         jnum(scale.fraction),
         scale.seed
     );
-    for (i, (target, rows)) in targets.iter().enumerate() {
+    for (i, entry) in targets.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
-        let _ = write!(s, "{{\"target\":{},\"rows\":[", jstr(target));
-        for (j, row) in rows.iter().enumerate() {
+        let _ = write!(s, "{{\"target\":{}", jstr(entry.target));
+        if let Some(fleet) = entry.fleet {
+            let _ = write!(
+                s,
+                ",\"fleet\":{{\"schema\":{},\"shards\":{},\"population\":{},\"seed\":{}}}",
+                jstr(FLEET_SCHEMA),
+                fleet.shards,
+                fleet.population,
+                fleet.seed
+            );
+        }
+        s.push_str(",\"rows\":[");
+        for (j, row) in entry.rows.iter().enumerate() {
             if j > 0 {
                 s.push(',');
             }
@@ -179,7 +217,14 @@ mod tests {
     #[test]
     fn document_carries_schema_rows_and_percentiles() {
         let m = metrics();
-        let doc = metrics_json(Scale::quick(), &[("observe", std::slice::from_ref(&m))]);
+        let doc = metrics_json(
+            Scale::quick(),
+            &[TargetExport {
+                target: "observe",
+                rows: std::slice::from_ref(&m),
+                fleet: None,
+            }],
+        );
         assert!(doc.starts_with("{\"schema\":\"mobistore-metrics/1\""));
         assert!(doc.contains("\"target\":\"observe\""));
         assert!(doc.contains("\"name\":\"test/flash\""));
@@ -208,7 +253,35 @@ mod tests {
 
     #[test]
     fn empty_target_list_is_valid() {
-        let doc = metrics_json(Scale::quick(), &[("table1", &[])]);
+        let doc = metrics_json(
+            Scale::quick(),
+            &[TargetExport {
+                target: "table1",
+                rows: &[],
+                fleet: None,
+            }],
+        );
         assert!(doc.contains("\"target\":\"table1\",\"rows\":[]"));
+    }
+
+    #[test]
+    fn fleet_block_is_versioned_and_placed_in_its_target() {
+        let doc = metrics_json(
+            Scale::quick(),
+            &[TargetExport {
+                target: "fleet",
+                rows: &[],
+                fleet: Some(FleetInfo {
+                    shards: 64,
+                    population: 512,
+                    seed: 1994,
+                }),
+            }],
+        );
+        assert!(doc.contains(
+            "\"target\":\"fleet\",\"fleet\":{\"schema\":\"mobistore-fleet/1\",\
+             \"shards\":64,\"population\":512,\"seed\":1994}"
+        ));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
 }

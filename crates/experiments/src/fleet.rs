@@ -1,0 +1,482 @@
+//! The `repro fleet` target — fleet-scale sharded simulation with
+//! mergeable metrics.
+//!
+//! The paper evaluates one device against one trace; this target scales
+//! that to a device *population*: a user population is hash-range-mapped
+//! onto shards by [`mobistore_sim::fleet`], each shard gets a device
+//! class and workload class from weighted mixes plus a per-user demand
+//! level drawn from its own RNG stream, every shard simulates
+//! independently through [`parallel_map`], and the per-shard [`Metrics`]
+//! merge into per-device-class rollups and one fleet-wide row.
+//!
+//! Determinism contract: a shard's bytes are a pure function of
+//! `(fleet seed, shard index)` — its trace seed, demand draw, and fault
+//! seed all derive from that pair. Shards are simulated in fixed chunks
+//! dispatched through [`parallel_map`] (input-order results) and merged
+//! in shard-index order with a fixed chunk size, so the report, the
+//! merged percentiles, and the `--metrics-out` document are
+//! byte-identical at any `--jobs` count, and simulating shard `k` alone
+//! reproduces exactly the bytes it contributed in-fleet.
+
+use std::fmt;
+
+use mobistore_core::config::SystemConfig;
+use mobistore_core::metrics::Metrics;
+use mobistore_core::simulator::simulate;
+use mobistore_device::params::{cu140_datasheet, intel_datasheet, sdp5_datasheet};
+use mobistore_sim::exec::parallel_map;
+use mobistore_sim::fault::FaultConfig;
+use mobistore_sim::fleet::{splitmix64, FleetConfig, FleetPlan, FleetShard, Mix};
+use mobistore_sim::time::SimDuration;
+use mobistore_sim::units::MIB;
+use mobistore_workload::Workload;
+
+use crate::{working_set_blocks, Scale};
+
+/// Salt for the per-shard demand-sampling RNG stream.
+const DEMAND_SALT: u64 = 0x7fee_7000_dead_beef;
+
+/// Salt for the per-shard fault-injection seed.
+const FAULT_SALT: u64 = 0xfau64 << 56 | 0x0017_5eed;
+
+/// Trace fraction one unit of user demand contributes: a shard with `u`
+/// users replays roughly `u × this` of its workload's full trace (before
+/// the lognormal per-user spread). Sized so the default eight users per
+/// shard produce a small but non-degenerate trace even in 10k-shard
+/// fleets.
+const PER_USER_DEMAND: f64 = 0.002;
+
+/// Transient fault rate injected into every shard (so fleet fault totals
+/// are non-trivial even at quick scales).
+const FLEET_FAULT_RATE: f64 = 0.01;
+
+/// Mean interval between injected power failures per shard.
+const POWER_FAIL_INTERVAL: SimDuration = SimDuration::from_secs(600);
+
+/// Shards simulated per [`parallel_map`] task. Fixed (never derived from
+/// the worker count) so the merge grouping — and therefore every floating
+/// point fold — is identical at any `--jobs`.
+const CHUNK: usize = 32;
+
+/// The fleet's workload mix: mostly interactive file-level traces, some
+/// disk-level and synthetic stress shards.
+pub fn workload_mix() -> Mix {
+    Mix::new(&[("mac", 4), ("dos", 3), ("hp", 2), ("synth", 1)])
+}
+
+/// The fleet's device mix: the paper's three storage alternatives.
+pub fn device_mix() -> Mix {
+    Mix::new(&[("cu140-disk", 3), ("sdp5-flashdisk", 2), ("intel-card", 3)])
+}
+
+/// `repro fleet` parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetOptions {
+    /// Number of simulated device shards.
+    pub shards: u32,
+    /// User population hashed onto the shards.
+    pub population: u64,
+    /// Fleet seed; every per-shard stream derives from it.
+    pub seed: u64,
+}
+
+impl FleetOptions {
+    /// The default population for a shard count: eight users per shard.
+    pub fn default_population(shards: u32) -> u64 {
+        u64::from(shards) * 8
+    }
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        FleetOptions {
+            shards: 64,
+            population: Self::default_population(64),
+            seed: 1994,
+        }
+    }
+}
+
+/// Builds the sharding config for these options.
+pub fn fleet_config(opts: &FleetOptions) -> FleetConfig {
+    FleetConfig {
+        shards: opts.shards,
+        population: opts.population,
+        workload_mix: workload_mix(),
+        device_mix: device_mix(),
+        seed: opts.seed,
+    }
+}
+
+/// Resolves a workload-mix label to the workload it names.
+fn workload_by_name(name: &str) -> Workload {
+    match name {
+        "mac" => Workload::Mac,
+        "dos" => Workload::Dos,
+        "hp" => Workload::Hp,
+        "synth" => Workload::Synth,
+        other => panic!("unknown workload class {other}"),
+    }
+}
+
+/// Like [`crate::flash_card_config`], but with a 4-MiB floor instead of
+/// the paper's 40-MiB card: fleet shards replay tiny per-device traces,
+/// and preloading 10k full-size cards would dominate the run.
+fn fleet_card_config(trace: &mobistore_trace::record::Trace, utilization: f64) -> SystemConfig {
+    let params = intel_datasheet();
+    let seg = params.segment_size;
+    let w_bytes = working_set_blocks(trace) * trace.block_size;
+    let needed = (w_bytes as f64 / utilization) as u64 + 2 * seg;
+    let capacity = (4 * MIB).max(needed.div_ceil(seg) * seg);
+    SystemConfig::flash_card(params)
+        .with_flash_capacity(capacity)
+        .with_utilization(utilization)
+}
+
+/// Builds one shard's system configuration.
+fn shard_config(
+    shard: &FleetShard,
+    workload: Workload,
+    trace: &mobistore_trace::record::Trace,
+) -> SystemConfig {
+    let fault_seed = splitmix64(shard.seed ^ FAULT_SALT ^ u64::from(shard.index));
+    let fault = FaultConfig::with_rate(FLEET_FAULT_RATE, fault_seed)
+        .with_power_failures(POWER_FAIL_INTERVAL);
+    let dram = if workload.below_buffer_cache() {
+        0
+    } else {
+        2 * 1024 * 1024
+    };
+    let cfg = match shard.device {
+        "cu140-disk" => SystemConfig::disk(cu140_datasheet()),
+        "sdp5-flashdisk" => SystemConfig::flash_disk(sdp5_datasheet()),
+        "intel-card" => fleet_card_config(trace, 0.80),
+        other => panic!("unknown device class {other}"),
+    };
+    cfg.with_dram(dram).with_faults(fault)
+}
+
+/// The shard's total trace demand: the sum of its users' lognormal
+/// per-user demands (drawn from the shard's dedicated RNG stream), scaled
+/// by [`PER_USER_DEMAND`] and the run's [`Scale`].
+fn shard_demand(shard: &FleetShard, scale: Scale) -> f64 {
+    let mut rng = shard.rng(DEMAND_SALT);
+    let mut units = 0.0;
+    for _ in 0..shard.users {
+        units += rng.lognormal_mean_std(1.0, 1.0);
+    }
+    units * PER_USER_DEMAND * scale.fraction
+}
+
+/// Simulates one shard: generates its demand-scaled trace and replays it
+/// against its assigned device class. Pure function of the shard (which
+/// is itself a pure function of `(fleet seed, shard index)`) and the
+/// scale — calling this on a shard alone reproduces exactly its in-fleet
+/// result.
+pub fn simulate_shard(shard: &FleetShard, scale: Scale) -> Metrics {
+    let workload = workload_by_name(shard.workload);
+    let trace = workload.generate_demand(shard_demand(shard, scale), shard.trace_seed());
+    let cfg = shard_config(shard, workload, &trace);
+    let mut metrics = simulate(&cfg, &trace);
+    metrics.name = format!(
+        "shard{:05}/{}/{}",
+        shard.index, shard.workload, shard.device
+    );
+    metrics
+}
+
+/// FNV-1a over a metrics row's debug rendering: a cheap but sensitive
+/// fingerprint used to prove shard-alone equals in-fleet without
+/// retaining 10k full metric sets.
+pub fn metrics_digest(m: &Metrics) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{m:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One shard's lightweight summary row (the full [`Metrics`] is merged
+/// into the rollups, not retained per shard).
+#[derive(Debug, Clone)]
+pub struct ShardRow {
+    /// Shard index.
+    pub index: u32,
+    /// Users hashed onto the shard.
+    pub users: u64,
+    /// Workload-class label.
+    pub workload: &'static str,
+    /// Device-class label.
+    pub device: &'static str,
+    /// Operations the shard replayed.
+    pub ops: u64,
+    /// Energy the shard consumed, joules.
+    pub energy_j: f64,
+    /// [`metrics_digest`] of the shard's full metrics.
+    pub digest: u64,
+}
+
+/// What one chunk task returns: rows plus pre-merged partials.
+struct ChunkResult {
+    rows: Vec<ShardRow>,
+    per_class: Vec<(&'static str, Metrics)>,
+    total: Metrics,
+}
+
+/// The fleet run: shard map, per-shard rows, per-device-class rollups,
+/// and the fleet-wide merged metrics.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    /// The options that produced this fleet.
+    pub options: FleetOptions,
+    /// The shard plan (hash ranges, assignments, user counts).
+    pub plan: FleetPlan,
+    /// One lightweight row per shard, in index order.
+    pub rows: Vec<ShardRow>,
+    /// Per-device-class merged metrics, in device-mix order; classes no
+    /// shard drew are omitted.
+    pub per_class: Vec<(&'static str, Metrics)>,
+    /// Every shard merged: the fleet-wide row (`fleet/all`).
+    pub total: Metrics,
+}
+
+impl Fleet {
+    /// The metrics rows exported via `--metrics-out`: the fleet-wide row
+    /// first, then the per-device-class rollups.
+    pub fn metrics_rows(&self) -> Vec<Metrics> {
+        let mut rows = vec![self.total.clone()];
+        for (class, m) in &self.per_class {
+            let mut m = m.clone();
+            m.name = format!("fleet/{class}");
+            rows.push(m);
+        }
+        rows
+    }
+
+    /// Shards per workload class, in workload-mix order.
+    fn workload_counts(&self) -> Vec<(&'static str, u32)> {
+        let mut counts: Vec<(&'static str, u32)> = workload_mix()
+            .entries()
+            .iter()
+            .map(|&(name, _)| (name, 0))
+            .collect();
+        for shard in &self.plan.shards {
+            if let Some((_, c)) = counts.iter_mut().find(|(n, _)| *n == shard.workload) {
+                *c += 1;
+            }
+        }
+        counts
+    }
+
+    /// Shards per device class, in device-mix order.
+    fn device_counts(&self) -> Vec<(&'static str, u32)> {
+        let mut counts: Vec<(&'static str, u32)> = device_mix()
+            .entries()
+            .iter()
+            .map(|&(name, _)| (name, 0))
+            .collect();
+        for shard in &self.plan.shards {
+            if let Some((_, c)) = counts.iter_mut().find(|(n, _)| *n == shard.device) {
+                *c += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// Runs the fleet: plans the shards, simulates them in fixed chunks
+/// through [`parallel_map`], and merges rows in shard-index order.
+pub fn run(scale: Scale, opts: &FleetOptions) -> Fleet {
+    let plan = fleet_config(opts).plan();
+    let chunks: Vec<&[FleetShard]> = plan.shards.chunks(CHUNK).collect();
+    let results = parallel_map(&chunks, |chunk| {
+        let mut rows = Vec::with_capacity(chunk.len());
+        let mut per_class: Vec<(&'static str, Metrics)> = Vec::new();
+        let mut total = Metrics::empty("fleet/all");
+        for shard in *chunk {
+            let m = simulate_shard(shard, scale);
+            rows.push(ShardRow {
+                index: shard.index,
+                users: shard.users,
+                workload: shard.workload,
+                device: shard.device,
+                ops: m.overall_response_ms.count,
+                energy_j: m.energy.get(),
+                digest: metrics_digest(&m),
+            });
+            match per_class.iter_mut().find(|(n, _)| *n == shard.device) {
+                Some((_, acc)) => acc.merge(&m),
+                None => {
+                    let mut acc = Metrics::empty(shard.device);
+                    acc.merge(&m);
+                    per_class.push((shard.device, acc));
+                }
+            }
+            total.merge(&m);
+        }
+        ChunkResult {
+            rows,
+            per_class,
+            total,
+        }
+    });
+    let mut rows = Vec::with_capacity(plan.shards.len());
+    let mut per_class: Vec<(&'static str, Metrics)> = device_mix()
+        .entries()
+        .iter()
+        .map(|&(name, _)| (name, Metrics::empty(name)))
+        .collect();
+    let mut total = Metrics::empty("fleet/all");
+    for chunk in results {
+        rows.extend(chunk.rows);
+        for (class, m) in &chunk.per_class {
+            let (_, acc) = per_class
+                .iter_mut()
+                .find(|(n, _)| n == class)
+                .expect("chunk class comes from the device mix");
+            acc.merge(m);
+        }
+        total.merge(&chunk.total);
+    }
+    per_class.retain(|(_, m)| m.overall_response_ms.count > 0 || m.duration > SimDuration::ZERO);
+    Fleet {
+        options: *opts,
+        plan,
+        rows,
+        per_class,
+        total,
+    }
+}
+
+/// Formats one merged latency row: class label, shard count, op count,
+/// mean, p50/p90/p99/p99.9, max.
+fn latency_row(f: &mut fmt::Formatter<'_>, label: &str, shards: usize, m: &Metrics) -> fmt::Result {
+    let p = m.overall_percentiles();
+    writeln!(
+        f,
+        "  {label:<16} {shards:>6} {:>9} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.1}",
+        m.overall_response_ms.count,
+        m.overall_response_ms.mean,
+        p.p50,
+        p.p90,
+        p.p99,
+        p.p999,
+        m.overall_response_ms.max,
+    )
+}
+
+impl fmt::Display for Fleet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fleet simulation: {} shards, {} users, seed {}",
+            self.options.shards, self.options.population, self.options.seed
+        )?;
+        writeln!(f, "  shard map: {}", self.plan.range_map(3))?;
+        write!(f, "  workloads:")?;
+        for (name, count) in self.workload_counts() {
+            write!(f, " {name}={count}")?;
+        }
+        writeln!(f)?;
+        write!(f, "  devices:")?;
+        for (name, count) in self.device_counts() {
+            write!(f, " {name}={count}")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "  energy {:.1} J, span {:.1} s (max shard), mean shard power {:.3} W",
+            self.total.energy.get(),
+            self.total.duration.as_secs_f64(),
+            self.total.mean_power_w(),
+        )?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "  {:<16} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "class", "shards", "n", "mean", "p50", "p90", "p99", "p99.9", "max"
+        )?;
+        for (class, m) in &self.per_class {
+            let shards = self.rows.iter().filter(|r| r.device == *class).count();
+            latency_row(f, class, shards, m)?;
+        }
+        latency_row(f, "fleet/all", self.rows.len(), &self.total)?;
+        let t = self.total.fault_totals();
+        writeln!(
+            f,
+            "  faults: write_retries={} erase_retries={} segments_retired={} \
+             power_failures={} lost_dirty_blocks={} rejected_writes={}",
+            t.write_retries,
+            t.erase_retries,
+            t.segments_retired,
+            t.power_failures,
+            t.lost_dirty_blocks,
+            t.rejected_writes,
+        )?;
+        writeln!(
+            f,
+            "  integrity: uncorrectable_reads={} recovery {:.3} s",
+            self.total.uncorrectable_reads,
+            t.recovery_time.as_secs_f64(),
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FleetOptions {
+        FleetOptions {
+            shards: 6,
+            population: 48,
+            seed: 1994,
+        }
+    }
+
+    #[test]
+    fn fleet_runs_and_merges() {
+        let fleet = run(Scale::quick(), &tiny());
+        assert_eq!(fleet.rows.len(), 6);
+        assert_eq!(fleet.plan.users(), 48);
+        assert!(fleet.total.overall_response_ms.count > 0);
+        assert!(fleet.total.energy.get() > 0.0);
+        // The per-class rollups partition the fleet's operations.
+        let class_ops: u64 = fleet
+            .per_class
+            .iter()
+            .map(|(_, m)| m.overall_response_ms.count)
+            .sum();
+        assert_eq!(class_ops, fleet.total.overall_response_ms.count);
+        let row_ops: u64 = fleet.rows.iter().map(|r| r.ops).sum();
+        assert_eq!(row_ops, fleet.total.overall_response_ms.count);
+        let rendered = format!("{fleet}");
+        assert!(rendered.contains("fleet/all"));
+        assert!(rendered.contains("p99.9"));
+        assert!(rendered.contains("shard map:"));
+    }
+
+    #[test]
+    fn shard_alone_matches_in_fleet_digest() {
+        let opts = tiny();
+        let fleet = run(Scale::quick(), &opts);
+        let plan = fleet_config(&opts).plan();
+        for (shard, row) in plan.shards.iter().zip(&fleet.rows) {
+            let alone = simulate_shard(shard, Scale::quick());
+            assert_eq!(metrics_digest(&alone), row.digest, "shard {}", shard.index);
+        }
+    }
+
+    #[test]
+    fn export_rows_lead_with_fleet_wide() {
+        let fleet = run(Scale::quick(), &tiny());
+        let rows = fleet.metrics_rows();
+        assert_eq!(rows[0].name, "fleet/all");
+        assert!(rows.len() > 1);
+        for row in &rows[1..] {
+            assert!(row.name.starts_with("fleet/"), "{}", row.name);
+        }
+    }
+}

@@ -27,6 +27,7 @@
 //! | [`observe`] | state residency + latency percentiles per workload × device |
 //! | [`crashcheck`] | crash-consistency torture sweep + end-of-life degradation |
 //! | [`integrity`] | wear-coupled bit errors, ECC + read-retry, scrubbing |
+//! | [`fleet`] | fleet-scale sharded simulation with merged metrics |
 //!
 //! [`render`] turns any named target into its exact stdout bytes, shared
 //! by the `repro` binary and the golden snapshot tests.
@@ -49,6 +50,7 @@ pub mod figure2;
 pub mod figure3;
 pub mod figure4;
 pub mod figure5;
+pub mod fleet;
 pub mod integrity;
 pub mod next_gen;
 pub mod observe;

@@ -12,12 +12,13 @@ use mobistore_core::metrics::Metrics;
 use mobistore_core::simulator::SimError;
 
 use crate::crashcheck::CrashCheckOptions;
+use crate::fleet::FleetOptions;
 use crate::integrity::IntegrityOptions;
 use crate::reliability::ReliabilityOptions;
-use crate::{crashcheck, integrity, reliability, Scale};
+use crate::{crashcheck, fleet, integrity, reliability, Scale};
 
 /// Every known target, in the default (paper) order.
-pub const TARGETS: [&str; 21] = [
+pub const TARGETS: [&str; 22] = [
     "table1",
     "table2",
     "table3",
@@ -39,6 +40,7 @@ pub const TARGETS: [&str; 21] = [
     "observe",
     "crashcheck",
     "integrity",
+    "fleet",
 ];
 
 /// Options a target may consume beyond the [`Scale`].
@@ -50,6 +52,8 @@ pub struct RenderOptions {
     pub crashcheck: CrashCheckOptions,
     /// The `integrity` target's bit-error sweep parameters.
     pub integrity: IntegrityOptions,
+    /// The `fleet` target's shard count, population, and seed.
+    pub fleet: FleetOptions,
     /// Collect per-event JSONL streams (the `--events-out` payload) from
     /// targets that observe their simulations. Off by default: rendering
     /// with the default options is exactly the pre-observability output.
@@ -69,6 +73,9 @@ pub struct RenderedTarget {
     /// The target's JSONL event stream, when
     /// [`RenderOptions::collect_events`] was set and the target observes.
     pub events_jsonl: Option<String>,
+    /// Fleet sharding parameters, set only by the `fleet` target; carried
+    /// into the `--metrics-out` document as its `mobistore-fleet/1` block.
+    pub fleet_info: Option<crate::export::FleetInfo>,
 }
 
 /// Renders one target, panicking on any [`SimError`].
@@ -104,6 +111,7 @@ pub fn try_render_target(
     let mut csvs: Vec<(&'static str, String)> = Vec::new();
     let mut metrics: Vec<Metrics> = Vec::new();
     let mut events_jsonl: Option<String> = None;
+    let mut fleet_info: Option<crate::export::FleetInfo> = None;
     // Mirrors the old `println!("{}\n", x)`: the value, then a blank line.
     fn p(out: &mut String, x: impl Display) {
         out.push_str(&format!("{x}\n\n"));
@@ -184,6 +192,16 @@ pub fn try_render_target(
             events_jsonl = o.events_jsonl();
             metrics.extend(o.cells.into_iter().map(|c| c.metrics));
         }
+        "fleet" => {
+            let fl = fleet::run(scale, &options.fleet);
+            p(&mut out, &fl);
+            metrics.extend(fl.metrics_rows());
+            fleet_info = Some(crate::export::FleetInfo {
+                shards: fl.options.shards,
+                population: fl.options.population,
+                seed: fl.options.seed,
+            });
+        }
         other => panic!("unknown target {other}"),
     }
     Ok(RenderedTarget {
@@ -191,6 +209,7 @@ pub fn try_render_target(
         csvs,
         metrics,
         events_jsonl,
+        fleet_info,
     })
 }
 

@@ -113,3 +113,29 @@ fn help_exits_zero_with_usage() {
     assert!(stderr.contains("usage:"), "missing usage text:\n{stderr}");
     assert!(stderr.contains("crashcheck"), "usage omits crashcheck");
 }
+
+#[test]
+fn malformed_fleet_shards_are_usage_errors() {
+    assert_usage_error(&["--fleet-shards", "0"], "--fleet-shards");
+    assert_usage_error(&["--fleet-shards", "-4"], "--fleet-shards");
+    assert_usage_error(&["--fleet-shards", "nan"], "--fleet-shards");
+    assert_usage_error(&["--fleet-shards", "many"], "--fleet-shards");
+    assert_usage_error(&["--fleet-shards", "1.5"], "--fleet-shards");
+    assert_usage_error(&["--fleet-shards"], "--fleet-shards");
+}
+
+#[test]
+fn malformed_fleet_population_is_a_usage_error() {
+    assert_usage_error(&["--fleet-population", "0"], "--fleet-population");
+    assert_usage_error(&["--fleet-population", "-1"], "--fleet-population");
+    assert_usage_error(&["--fleet-population", "nan"], "--fleet-population");
+    assert_usage_error(&["--fleet-population", "everyone"], "--fleet-population");
+    assert_usage_error(&["--fleet-population"], "--fleet-population");
+}
+
+#[test]
+fn malformed_fleet_seed_is_a_usage_error() {
+    assert_usage_error(&["--fleet-seed", "banana"], "--fleet-seed");
+    assert_usage_error(&["--fleet-seed", "-1"], "--fleet-seed");
+    assert_usage_error(&["--fleet-seed"], "--fleet-seed");
+}

@@ -176,6 +176,33 @@ pub struct FlashCardCounters {
     pub erase_retry_backoff: SimDuration,
 }
 
+impl FlashCardCounters {
+    /// Adds another card's counters into this one (fleet aggregation:
+    /// counts and durations are all additive).
+    pub fn merge(&mut self, other: &FlashCardCounters) {
+        self.ops += other.ops;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.erasures += other.erasures;
+        self.blocks_copied += other.blocks_copied;
+        self.cleaning_waits += other.cleaning_waits;
+        self.write_retries += other.write_retries;
+        self.erase_retries += other.erase_retries;
+        self.segments_retired += other.segments_retired;
+        self.power_failures += other.power_failures;
+        self.recovery_time += other.recovery_time;
+        self.eol_write_rejections += other.eol_write_rejections;
+        self.ecc_corrected += other.ecc_corrected;
+        self.read_retries += other.read_retries;
+        self.uncorrectable_reads += other.uncorrectable_reads;
+        self.blocks_relocated += other.blocks_relocated;
+        self.scrub_passes += other.scrub_passes;
+        self.scrub_reads += other.scrub_reads;
+        self.write_retry_backoff += other.write_retry_backoff;
+        self.erase_retry_backoff += other.erase_retry_backoff;
+    }
+}
+
 /// A full accounting of every block slot on the card. The four classes
 /// partition capacity: `live + free + dead + retired == capacity`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -230,6 +257,29 @@ pub struct WearStats {
     pub mean_erase: f64,
     /// Total erasures.
     pub total: u64,
+}
+
+impl WearStats {
+    /// Combines wear from another card (fleet aggregation): totals add,
+    /// the maximum erase count is the max across cards, and the mean is
+    /// re-weighted by each card's inferred segment count.
+    pub fn merge(&mut self, other: &WearStats) {
+        let segs = |w: &WearStats| {
+            if w.mean_erase > 0.0 {
+                w.total as f64 / w.mean_erase
+            } else {
+                0.0
+            }
+        };
+        let (n1, n2) = (segs(self), segs(other));
+        self.max_erase = self.max_erase.max(other.max_erase);
+        self.total += other.total;
+        self.mean_erase = if n1 + n2 > 0.0 {
+            self.total as f64 / (n1 + n2)
+        } else {
+            0.0
+        };
+    }
 }
 
 /// A simulated byte-accessible flash memory card with segment cleaning.

@@ -19,6 +19,10 @@
 //! * [`fault`] — seeded, deterministic fault injection ([`fault::FaultPlan`])
 //!   for transient write/erase failures, permanent bad blocks, and
 //!   power-failure schedules;
+//! * [`fleet`] — hash-range sharding of a user population onto simulated
+//!   devices ([`fleet::FleetConfig`], [`fleet::FleetPlan`]), with one
+//!   dedicated RNG stream per shard so fleet results are independent of
+//!   worker count and of which other shards run;
 //! * [`hist`] — log-bucketed latency histograms ([`hist::Histogram`]) with
 //!   deterministic p50/p90/p99/p99.9 queries;
 //! * [`integrity`] — seeded, wear-coupled bit-error injection and ECC
@@ -42,6 +46,7 @@ pub mod crashcheck;
 pub mod energy;
 pub mod exec;
 pub mod fault;
+pub mod fleet;
 pub mod hist;
 pub mod integrity;
 pub mod obs;
@@ -53,6 +58,7 @@ pub mod units;
 pub use crashcheck::{ShadowModel, Violation};
 pub use energy::{EnergyMeter, Joules, Watts};
 pub use fault::{FaultConfig, FaultPlan};
+pub use fleet::{FleetConfig, FleetPlan, FleetShard, Mix};
 pub use hist::{Histogram, LatencyRecorder, Percentiles};
 pub use integrity::{IntegrityConfig, IntegrityPlan, ReadVerdict};
 pub use obs::{CounterRegistry, Event, NoopObserver, Observer};

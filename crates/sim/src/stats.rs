@@ -170,6 +170,38 @@ pub struct Summary {
     pub sum: f64,
 }
 
+impl Summary {
+    /// Merges another frozen summary into this one, as if the two sample
+    /// streams had been concatenated: counts and sums add, min/max
+    /// combine, the mean comes from the combined sum, and σ from the
+    /// Chan et al. parallel combination of the reconstructed second
+    /// moments. Every operation is written symmetrically (IEEE addition
+    /// and multiplication commute), so `a.merge(b)` and `b.merge(a)`
+    /// produce bit-identical results; merging an empty summary is an
+    /// identity.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let total = n1 + n2;
+        let delta = self.mean - other.mean;
+        let m2 = (self.std * self.std * n1 + other.std * other.std * n2)
+            + delta * delta * (n1 * n2 / total);
+        self.count += other.count;
+        self.sum += other.sum;
+        self.mean = self.sum / total;
+        self.std = (m2 / total).sqrt();
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -253,6 +285,43 @@ mod tests {
         let mut empty = OnlineStats::new();
         empty.merge(&a);
         assert_eq!(empty.summary(), before);
+    }
+
+    #[test]
+    fn summary_merge_matches_online_merge() {
+        let xs: Vec<f64> = (0..300).map(|i| ((i * 13) % 47) as f64 * 0.5).collect();
+        let mut whole = OnlineStats::new();
+        let (mut left, mut right) = (OnlineStats::new(), OnlineStats::new());
+        for &x in &xs {
+            whole.record(x);
+        }
+        for &x in &xs[..120] {
+            left.record(x);
+        }
+        for &x in &xs[120..] {
+            right.record(x);
+        }
+        let mut merged = left.summary();
+        merged.merge(&right.summary());
+        let expect = whole.summary();
+        assert_eq!(merged.count, expect.count);
+        assert_eq!(merged.max, expect.max);
+        assert_eq!(merged.min, expect.min);
+        assert!((merged.mean - expect.mean).abs() < 1e-9);
+        assert!((merged.std - expect.std).abs() < 1e-9);
+        // Bit-exact commutativity: the formula is written symmetrically.
+        let mut ab = left.summary();
+        ab.merge(&right.summary());
+        let mut ba = right.summary();
+        ba.merge(&left.summary());
+        assert_eq!(ab, ba);
+        // Empty merges are identities on both sides.
+        let mut id = expect;
+        id.merge(&Summary::default());
+        assert_eq!(id, expect);
+        let mut from_empty = Summary::default();
+        from_empty.merge(&expect);
+        assert_eq!(from_empty, expect);
     }
 
     #[test]

@@ -84,4 +84,24 @@ impl Workload {
             }
         }
     }
+
+    /// Generates the workload at an arbitrary per-device demand level
+    /// (for fleet shards, whose populations imply tiny per-device trace
+    /// fractions).
+    ///
+    /// `demand` is clamped into `[1e-4, 1.0]`. The trace generators are
+    /// statistical, so a very small fraction of a bursty trace can land
+    /// entirely inside an idle gap and come out empty; in that case the
+    /// fraction deterministically doubles (same seed) until the trace is
+    /// non-empty, which is guaranteed by `fraction = 1`.
+    pub fn generate_demand(self, demand: f64, seed: u64) -> Trace {
+        let mut fraction = demand.clamp(1e-4, 1.0);
+        loop {
+            let trace = self.generate_scaled(fraction, seed);
+            if !trace.is_empty() || fraction >= 1.0 {
+                return trace;
+            }
+            fraction = (fraction * 2.0).min(1.0);
+        }
+    }
 }

@@ -70,6 +70,26 @@ if jq -e 'any(.targets[]; .target == "integrity")' "$METRICS" >/dev/null; then
         || { echo "FAIL: integrity rows missing ECC/scrub counters" >&2; exit 1; }
 fi
 
+# Fleet export (mobistore-fleet/1): when the fleet target is present its
+# entry must carry the versioned fleet block with positive shard and
+# population counts, and its rows must lead with the fleet-wide rollup.
+if jq -e 'any(.targets[]; .target == "fleet")' "$METRICS" >/dev/null; then
+    jq -e '
+      [.targets[] | select(.target == "fleet")] as $fleet
+      | all($fleet[]; (.fleet.schema == "mobistore-fleet/1")
+                      and (.fleet.shards | type == "number" and . > 0)
+                      and (.fleet.population | type == "number" and . > 0)
+                      and (.fleet.seed | type == "number"))
+    ' "$METRICS" >/dev/null \
+        || { echo "FAIL: fleet entry missing a valid mobistore-fleet/1 block" >&2; exit 1; }
+    jq -e '
+      [.targets[] | select(.target == "fleet") | .rows[]] as $rows
+      | any($rows[]; .name == "fleet/all")
+        and all($rows[]; .name | startswith("fleet/"))
+    ' "$METRICS" >/dev/null \
+        || { echo "FAIL: fleet rows must lead with fleet/all rollups" >&2; exit 1; }
+fi
+
 echo "ok: metrics document is well-formed" >&2
 
 if [ -n "$EVENTS" ]; then

@@ -1,0 +1,102 @@
+//! Fleet shard-determinism tests.
+//!
+//! This is one `#[test]` on purpose: `exec::set_jobs` is process-global,
+//! so the jobs-1 and jobs-4 runs must happen inside a single test (each
+//! integration-test file is its own process, so toggling here cannot race
+//! other suites).
+//!
+//! Two contracts are pinned:
+//!
+//! 1. **Worker-count independence** — `repro fleet` output, the merged
+//!    metrics, and the `--metrics-out` document are byte-identical at
+//!    `--jobs 1` and `--jobs 4`.
+//! 2. **Shard independence** — every shard's metrics are a pure function
+//!    of `(fleet seed, shard index)`: simulating shard `k` alone
+//!    reproduces exactly the bytes it contributed in-fleet.
+
+use mobistore::experiments::export::{metrics_json, TargetExport};
+use mobistore::experiments::fleet::{self, FleetOptions};
+use mobistore::experiments::render::{render_target, RenderOptions};
+use mobistore::experiments::Scale;
+use mobistore::sim::exec;
+
+#[test]
+fn fleet_is_byte_identical_across_jobs_and_shards_are_independent() {
+    let opts = FleetOptions {
+        shards: 48,
+        population: 384,
+        seed: 1994,
+    };
+    let scale = Scale::quick();
+    let render = RenderOptions {
+        fleet: opts,
+        ..RenderOptions::default()
+    };
+
+    exec::set_jobs(1);
+    let serial = fleet::run(scale, &opts);
+    let serial_text = render_target("fleet", scale, &render).text;
+    let serial_rows = serial.metrics_rows();
+    let serial_doc = metrics_json(
+        scale,
+        &[TargetExport {
+            target: "fleet",
+            rows: &serial_rows,
+            fleet: None,
+        }],
+    );
+
+    exec::set_jobs(4);
+    let parallel = fleet::run(scale, &opts);
+    let parallel_text = render_target("fleet", scale, &render).text;
+    let parallel_rows = parallel.metrics_rows();
+    let parallel_doc = metrics_json(
+        scale,
+        &[TargetExport {
+            target: "fleet",
+            rows: &parallel_rows,
+            fleet: None,
+        }],
+    );
+
+    // 1. Byte-identical report, merged metrics, and export document.
+    assert_eq!(serial_text, parallel_text, "report differs across --jobs");
+    assert_eq!(
+        serial_doc, parallel_doc,
+        "metrics export differs across --jobs"
+    );
+    assert_eq!(
+        format!("{:?}", serial.total),
+        format!("{:?}", parallel.total),
+        "fleet-wide merged metrics differ across --jobs"
+    );
+    assert_eq!(serial.rows.len(), parallel.rows.len());
+    for (a, b) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(
+            a.digest, b.digest,
+            "shard {} differs across --jobs",
+            a.index
+        );
+    }
+
+    // 2. Shard k alone reproduces its in-fleet bytes: re-simulate every
+    // shard standalone (still at jobs 4 — simulate_shard is serial) and
+    // compare against the digests the fleet run recorded.
+    let plan = fleet::fleet_config(&opts).plan();
+    assert_eq!(plan.shards.len(), parallel.rows.len());
+    for (shard, row) in plan.shards.iter().zip(&parallel.rows) {
+        let alone = fleet::simulate_shard(shard, scale);
+        assert_eq!(
+            fleet::metrics_digest(&alone),
+            row.digest,
+            "shard {} differs alone vs in-fleet",
+            shard.index
+        );
+        assert_eq!(shard.users, row.users);
+    }
+
+    // The fleet-wide row leads the export and carries percentile fields.
+    assert_eq!(serial_rows[0].name, "fleet/all");
+    assert!(serial_doc.contains("\"name\":\"fleet/all\""));
+    assert!(serial_doc.contains("p999_ms"));
+}

@@ -14,8 +14,9 @@ use mobistore::experiments::Scale;
 /// plus the crash-consistency torture sweep (a quiet fault plan — its
 /// fixture doubles as proof the sweep is deterministic end to end) and
 /// the bit-error integrity sweep (whose zero-rate rows double as proof
-/// that a quiet integrity plan draws no randomness).
-const GOLDEN_TARGETS: [&str; 11] = [
+/// that a quiet integrity plan draws no randomness) and the 64-shard
+/// fleet run (whose merged percentiles pin the metric-merge semantics).
+const GOLDEN_TARGETS: [&str; 12] = [
     "table1",
     "table2",
     "table3",
@@ -27,6 +28,7 @@ const GOLDEN_TARGETS: [&str; 11] = [
     "figure5",
     "crashcheck",
     "integrity",
+    "fleet",
 ];
 
 fn fixture_path(target: &str) -> std::path::PathBuf {

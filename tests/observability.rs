@@ -10,7 +10,7 @@
 //! on the worker-count override. The content checks below don't touch
 //! the jobs setting — results are jobs-independent by construction.
 
-use mobistore::experiments::export::{metrics_json, METRICS_SCHEMA};
+use mobistore::experiments::export::{metrics_json, TargetExport, METRICS_SCHEMA};
 use mobistore::experiments::render::{render_target, RenderOptions, TARGETS};
 use mobistore::experiments::Scale;
 use mobistore::sim::exec;
@@ -28,7 +28,14 @@ fn observe_options() -> RenderOptions {
 fn render_exports() -> (String, String, String) {
     let r = render_target("observe", Scale::quick(), &observe_options());
     let events = r.events_jsonl.expect("observe collects events");
-    let doc = metrics_json(Scale::quick(), &[("observe", &r.metrics)]);
+    let doc = metrics_json(
+        Scale::quick(),
+        &[TargetExport {
+            target: "observe",
+            rows: &r.metrics,
+            fleet: None,
+        }],
+    );
     (r.text, events, doc)
 }
 

@@ -771,3 +771,211 @@ fn magnetic_disk_recovery_is_idempotent() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Histogram merge: commutative, associative, empty-identity, and the
+// merged percentiles equal the concatenated stream's percentiles (the
+// merge is a bucket-wise add, so the merged histogram IS the histogram
+// of the concatenation — and its percentile estimates stay within one
+// 1/32-octave sub-bucket of the exact concatenated-sample quantiles).
+// ---------------------------------------------------------------------
+
+#[test]
+fn histogram_merge_equals_concatenation() {
+    use mobistore::sim::hist::Histogram;
+
+    let hist_of = |samples: &[u64]| {
+        let mut h = Histogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        h
+    };
+    for case in 0..200u64 {
+        let mut rng = case_rng(23, case);
+        let gen = |rng: &mut SimRng| -> Vec<u64> {
+            let n = rng.below(200) as usize;
+            (0..n).map(|_| rng.next_u64() >> rng.below(55)).collect()
+        };
+        let (xs, ys, zs) = (gen(&mut rng), gen(&mut rng), gen(&mut rng));
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+
+        // Commutative and associative, exactly (bucket-wise u64 adds).
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "case {case}: merge not commutative");
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "case {case}: merge not associative");
+
+        // Empty is an identity on both sides.
+        let mut id = a.clone();
+        id.merge(&Histogram::new());
+        assert_eq!(id, a, "case {case}: right identity");
+        let mut id = Histogram::new();
+        id.merge(&a);
+        assert_eq!(id, a, "case {case}: left identity");
+
+        // Merged == histogram of the concatenated stream, so percentiles
+        // agree exactly...
+        let mut concat = xs.clone();
+        concat.extend(&ys);
+        let whole = hist_of(&concat);
+        assert_eq!(ab, whole, "case {case}: merge != concatenation");
+
+        // ...and track the exact concatenated-sample quantiles within one
+        // log-linear sub-bucket (1/32 octave).
+        if concat.is_empty() {
+            continue;
+        }
+        concat.sort_unstable();
+        let n = concat.len();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = concat[rank - 1];
+            let est = ab.percentile_nanos(q);
+            let (lo, hi) = Histogram::bucket_bounds(exact);
+            assert_eq!(est, lo, "case {case} q {q}");
+            assert!(
+                est <= exact && (exact - est < hi - lo || hi == u64::MAX),
+                "case {case} q {q}: {est} more than a sub-bucket from {exact}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Summary merge: merging frozen summaries matches summarizing the
+// concatenated stream; bit-exact commutativity; empty identity. (Exact
+// associativity is not claimed — float addition regroups — so the
+// three-way check uses a relative tolerance.)
+// ---------------------------------------------------------------------
+
+#[test]
+fn summary_merge_matches_concatenated_stream() {
+    use mobistore::sim::stats::Summary;
+
+    let summarize = |xs: &[f64]| {
+        let mut s = OnlineStats::new();
+        for &x in xs {
+            s.record(x);
+        }
+        s.summary()
+    };
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+    for case in 0..200u64 {
+        let mut rng = case_rng(24, case);
+        let gen = |rng: &mut SimRng| -> Vec<f64> {
+            let n = rng.below(150) as usize;
+            (0..n).map(|_| rng.uniform(0.0, 1e4)).collect()
+        };
+        let (xs, ys, zs) = (gen(&mut rng), gen(&mut rng), gen(&mut rng));
+        let (a, b, c) = (summarize(&xs), summarize(&ys), summarize(&zs));
+
+        // Merge == summarize(concatenation), within float tolerance.
+        let mut concat = xs.clone();
+        concat.extend(&ys);
+        let whole = summarize(&concat);
+        let mut ab = a;
+        ab.merge(&b);
+        assert_eq!(ab.count, whole.count, "case {case}");
+        assert_eq!(ab.min, whole.min, "case {case}");
+        assert_eq!(ab.max, whole.max, "case {case}");
+        assert!(close(ab.mean, whole.mean), "case {case}: mean");
+        assert!(close(ab.std, whole.std), "case {case}: std");
+
+        // Bit-exact commutativity (the merge is written symmetrically).
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "case {case}: merge not commutative");
+
+        // Associative within tolerance.
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        assert_eq!(ab_c.count, a_bc.count, "case {case}");
+        assert!(close(ab_c.mean, a_bc.mean), "case {case}: assoc mean");
+        assert!(close(ab_c.std, a_bc.std), "case {case}: assoc std");
+
+        // Empty is an identity on both sides.
+        let mut id = a;
+        id.merge(&Summary::default());
+        assert_eq!(id, a, "case {case}: right identity");
+        let mut id = Summary::default();
+        id.merge(&a);
+        assert_eq!(id, a, "case {case}: left identity");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics merge: counters add exactly, histograms concatenate, energy
+// adds, duration takes the max, and Metrics::empty is an identity —
+// checked on real simulation outputs, not synthetic rows.
+// ---------------------------------------------------------------------
+
+#[test]
+fn metrics_merge_combines_runs() {
+    use mobistore::core::config::SystemConfig;
+    use mobistore::core::metrics::Metrics;
+    use mobistore::device::params::{cu140_datasheet, sdp5_datasheet};
+    use mobistore::Workload;
+
+    let run = |cfg: &SystemConfig, seed: u64| {
+        let trace = Workload::Synth.generate_scaled(0.02, seed);
+        mobistore::simulate(cfg, &trace)
+    };
+    let disk = SystemConfig::disk(cu140_datasheet()).with_dram(1 << 20);
+    let flash = SystemConfig::flash_disk(sdp5_datasheet()).with_dram(1 << 20);
+    for case in 0..8u64 {
+        let a = run(&disk, 100 + case);
+        let b = run(&flash, 200 + case);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(
+            ab.overall_response_ms.count,
+            a.overall_response_ms.count + b.overall_response_ms.count,
+            "case {case}"
+        );
+        assert_eq!(ab.energy, a.energy + b.energy, "case {case}");
+        assert_eq!(ab.duration, a.duration.max(b.duration), "case {case}");
+        let mut whole = a.overall_latency.clone();
+        whole.merge(&b.overall_latency);
+        assert_eq!(ab.overall_latency, whole, "case {case}");
+        // Both component counter sets survive the merge.
+        let (da, db) = (a.disk.unwrap(), b.flash_disk.unwrap());
+        assert_eq!(ab.disk.unwrap().ops, da.ops, "case {case}");
+        assert_eq!(ab.flash_disk.unwrap().ops, db.ops, "case {case}");
+
+        // Commutative up to the label: same bytes either way.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let strip = |m: &Metrics| {
+            let mut m = m.clone();
+            m.name = String::new();
+            // The named lists append in first-seen order; sort for the
+            // comparison since row order is presentation, not meaning.
+            m.energy_by_component.sort_by_key(|&(n, _)| n);
+            m.backend_states.sort_by_key(|&(n, _, _)| n);
+            format!("{m:?}")
+        };
+        assert_eq!(strip(&ab), strip(&ba), "case {case}: merge not commutative");
+
+        // Metrics::empty is an identity on both sides.
+        let mut id = a.clone();
+        id.merge(&Metrics::empty("zero"));
+        assert_eq!(strip(&id), strip(&a), "case {case}: right identity");
+        let mut id = Metrics::empty("zero");
+        id.merge(&a);
+        assert_eq!(strip(&id), strip(&a), "case {case}: left identity");
+    }
+}
