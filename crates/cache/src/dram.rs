@@ -16,6 +16,7 @@ use std::collections::HashSet;
 use mobistore_device::params::DramParams;
 use mobistore_sim::energy::{EnergyMeter, Joules, Watts};
 use mobistore_sim::obs::{Event, Observer};
+use mobistore_sim::span::{Span, SpanKind};
 use mobistore_sim::time::{SimDuration, SimTime};
 use mobistore_sim::units::MIB;
 
@@ -85,6 +86,7 @@ pub struct Evicted {
 pub struct BufferCache {
     params: DramParams,
     capacity_mib: f64,
+    block_size: u64,
     lru: LruSet,
     dirty: HashSet<u64>,
     policy: WritePolicy,
@@ -133,6 +135,7 @@ impl BufferCache {
         Ok(BufferCache {
             params,
             capacity_mib: capacity_bytes as f64 / MIB as f64,
+            block_size,
             lru: LruSet::new(blocks),
             dirty: HashSet::new(),
             policy,
@@ -189,7 +192,9 @@ impl BufferCache {
     }
 
     /// [`read_probe`](Self::read_probe), reporting the hit/miss split to
-    /// an observer as a [`Event::CacheRead`] stamped `now`.
+    /// an observer as a [`Event::CacheRead`] stamped `now` plus a
+    /// [`SpanKind::CacheLookup`] span covering the cache's access time
+    /// for the probed blocks.
     pub fn read_probe_obs<O: Observer>(
         &mut self,
         now: SimTime,
@@ -197,11 +202,20 @@ impl BufferCache {
         obs: &mut O,
     ) -> Vec<u64> {
         let misses = self.read_probe(lbns);
+        let hits = (lbns.len() - misses.len()) as u32;
         obs.record(&Event::CacheRead {
             t: now,
-            hits: (lbns.len() - misses.len()) as u32,
+            hits,
             misses: misses.len() as u32,
         });
+        obs.span(&Span::new(
+            SpanKind::CacheLookup {
+                hits,
+                misses: misses.len() as u32,
+            },
+            now,
+            now + self.access_time(lbns.len() as u64 * self.block_size),
+        ));
         misses
     }
 

@@ -22,6 +22,7 @@ use mobistore_flash::store::{FlashCardConfig, FlashCardStore};
 use mobistore_sim::fault::PowerFailSchedule;
 use mobistore_sim::hist::LatencyRecorder;
 use mobistore_sim::obs::{Event, NoopObserver, Observer, OpKind};
+use mobistore_sim::span::{Span, SpanKind};
 use mobistore_sim::time::{SimDuration, SimTime};
 use mobistore_trace::record::{DiskOp, DiskOpKind, Trace};
 
@@ -418,6 +419,9 @@ impl<'o, O: Observer> Simulator<'o, O> {
             options.warm_percent < 100,
             "warm-up must leave something to measure"
         );
+        // One relaxed atomic add per run keeps the throughput harness's
+        // ops/sec denominator honest without touching the per-op path.
+        mobistore_sim::prof::add_ops(trace.ops.len() as u64);
         let warm_count = trace.ops.len() * options.warm_percent as usize / 100;
 
         let mut measure_start = SimTime::ZERO;
@@ -484,6 +488,15 @@ impl<'o, O: Observer> Simulator<'o, O> {
             service: self.op_service,
             response,
         });
+        self.obs.span(&Span::new(
+            SpanKind::Op {
+                kind,
+                lbn: op.lbn,
+                blocks: op.blocks,
+            },
+            op.time,
+            op.time + response,
+        ));
     }
 
     fn do_read(&mut self, op: &DiskOp) -> SimDuration {
@@ -801,6 +814,8 @@ impl<'o, O: Observer> Simulator<'o, O> {
                 t: svc.end,
                 duration: svc.end.saturating_since(at),
             });
+            self.obs
+                .span(&Span::new(SpanKind::Recovery, at, svc.end.max(at)));
             self.last_completion = self.last_completion.max(svc.end);
         }
     }

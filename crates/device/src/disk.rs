@@ -21,6 +21,7 @@
 
 use mobistore_sim::energy::{EnergyMeter, Joules};
 use mobistore_sim::obs::{Event, NoopObserver, Observer};
+use mobistore_sim::span::{Span, SpanKind};
 use mobistore_sim::time::{SimDuration, SimTime};
 
 use crate::params::DiskParams;
@@ -383,6 +384,13 @@ impl MagneticDisk {
         let end = ready + active;
         self.meter
             .charge_for("active", self.params.active_power, active);
+        let transfer_start = ready + seek + self.params.avg_rotation;
+        obs.span(&Span::new(SpanKind::DiskSeek, ready, transfer_start));
+        obs.span(&Span::new(
+            SpanKind::DiskTransfer { bytes },
+            transfer_start,
+            end,
+        ));
 
         self.counters.ops += 1;
         match dir {

@@ -16,6 +16,7 @@
 use mobistore_sim::energy::{EnergyMeter, Joules};
 use mobistore_sim::integrity::{IntegrityConfig, IntegrityPlan, ReadVerdict};
 use mobistore_sim::obs::{Event, NoopObserver, Observer};
+use mobistore_sim::span::{Span, SpanKind};
 use mobistore_sim::time::SimTime;
 
 use crate::params::{ErasePolicy, FlashDiskParams};
@@ -206,13 +207,18 @@ impl FlashDisk {
             .charge_for("active", self.params.active_power, total);
 
         self.counters.ops += 1;
-        match dir {
-            Dir::Read => self.counters.bytes_read += bytes,
+        let span_kind = match dir {
+            Dir::Read => {
+                self.counters.bytes_read += bytes;
+                SpanKind::FlashRead { bytes }
+            }
             Dir::Write => {
                 self.counters.bytes_written += bytes;
                 self.last_write = self.last_write.max(end);
+                SpanKind::FlashProgram { bytes }
             }
-        }
+        };
+        obs.span(&Span::new(span_kind, start, end));
         // Open-loop accesses may overlap; keep the marker monotone.
         self.free_at = self.free_at.max(end);
         Service { start, end }
@@ -245,6 +251,7 @@ impl FlashDisk {
         let start = self.settle(now, obs);
         let transfer = self.params.read_bandwidth.transfer_time(bytes);
         let mut total = self.params.access_latency + transfer;
+        let mut retry = None;
         let mut result = Ok(());
         let verdict = self
             .integrity
@@ -266,7 +273,10 @@ impl FlashDisk {
             } => {
                 self.counters.read_retries += u64::from(attempts);
                 // Each retry backs off and re-runs the transfer.
-                total += (self.integrity.config().retry_backoff + transfer) * u64::from(attempts);
+                let extra =
+                    (self.integrity.config().retry_backoff + transfer) * u64::from(attempts);
+                total += extra;
+                retry = Some((attempts, extra));
                 obs.record(&Event::ReadRetry {
                     t: start,
                     lbn,
@@ -286,6 +296,14 @@ impl FlashDisk {
         let end = start + total;
         self.meter
             .charge_for("active", self.params.active_power, total);
+        obs.span(&Span::new(SpanKind::FlashRead { bytes }, start, end));
+        if let Some((attempts, extra)) = retry {
+            obs.span(&Span::new(
+                SpanKind::EccRetry { lbn, attempts },
+                end - extra,
+                end,
+            ));
+        }
         self.counters.ops += 1;
         self.counters.bytes_read += bytes;
         self.free_at = self.free_at.max(end);
@@ -398,6 +416,11 @@ impl FlashDisk {
                     t: self.free_at,
                     bytes: erased,
                 });
+                obs.span(&Span::new(
+                    SpanKind::FlashErase { bytes: erased },
+                    self.free_at,
+                    self.free_at + spent,
+                ));
             }
             self.meter
                 .charge_for("erase", self.params.active_power, spent);

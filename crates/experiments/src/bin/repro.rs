@@ -6,7 +6,9 @@
 //!
 //! Targets: `table1 table2 table3 table4 figure1 figure2 figure3 figure4
 //! figure5 async endurance verify battery ablations nextgen sensitivity
-//! related reliability observe crashcheck integrity fleet` (default: all).
+//! related reliability observe crashcheck integrity fleet profile`
+//! (default: all), plus the on-demand target `throughput` (never part of
+//! the default list: its stdout carries wall-clock numbers).
 //!
 //! The `reliability` target takes extra flags: `--fault-rates <a,b,c>`
 //! (transient write/erase fault rates to sweep), `--fault-power-interval
@@ -35,13 +37,22 @@
 //! `5` cache error.
 //!
 //! Observability exports: `--events-out <path>` writes the JSONL event
-//! stream produced by observing targets (`observe`), and `--metrics-out
-//! <path>` writes a versioned JSON document with every rendered target's
-//! full metrics rows (latency percentiles included). Both artifacts carry
-//! sim time only, so they are byte-identical at any `--jobs` count.
-//! `--timings-json <path>` writes the per-target wall-clock profile as
-//! JSON (the `BENCH_repro.json` feed); unlike the sim-time exports it
-//! measures the host and is *not* deterministic.
+//! stream produced by observing targets (`observe`), `--trace-out
+//! <path>` writes those targets' sim-time spans as a Chrome trace-event
+//! JSON document (schema `mobistore-trace/1`, loadable in Perfetto or
+//! `chrome://tracing`), and `--metrics-out <path>` writes a versioned
+//! JSON document with every rendered target's full metrics rows (latency
+//! percentiles included). All three artifacts carry sim time only, so
+//! they are byte-identical at any `--jobs` count. `--timings-json
+//! <path>` writes the per-target wall-clock profile as JSON (the
+//! `BENCH_repro.json` feed), with per-target simulated op counts and
+//! ops/sec; unlike the sim-time exports it measures the host and is
+//! *not* deterministic. `--throughput-json <path>` writes the
+//! `throughput` target's `mobistore-throughput/1` document, and
+//! `--throughput-reps <n>` sets its timed repetition count. `--progress`
+//! prints fleet shard heartbeats to stderr, leaving stdout untouched.
+//! The `profile` target prints its deterministic counts to stdout and
+//! its wall-clock phase table to stderr.
 //!
 //! Targets run **concurrently** on a worker pool (`--jobs N`, the
 //! `MOBISTORE_JOBS` environment variable, or all available cores), with
@@ -57,15 +68,19 @@ use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mobistore_core::crashcheck::CrashPoints;
 use mobistore_core::metrics::Metrics;
 use mobistore_core::simulator::SimError;
 use mobistore_experiments::fleet::FleetOptions;
-use mobistore_experiments::render::{try_render_target, RenderOptions, TARGETS};
+use mobistore_experiments::render::{try_render_target, RenderOptions, ON_DEMAND_TARGETS, TARGETS};
 use mobistore_experiments::{export, Scale};
 use mobistore_sim::exec;
+use mobistore_sim::prof;
+use mobistore_sim::span::{chrome_trace_json, Span};
 use mobistore_sim::time::SimDuration;
 
 /// One finished target: rendered output plus its wall-clock time.
@@ -75,7 +90,12 @@ struct TargetOutput {
     metrics: Vec<Metrics>,
     events_jsonl: Option<String>,
     fleet_info: Option<export::FleetInfo>,
+    span_processes: Vec<(String, Vec<Span>)>,
+    host_report: Option<String>,
+    throughput_json: Option<String>,
     elapsed: Duration,
+    /// Simulated operations this target's simulations replayed.
+    ops: u64,
 }
 
 fn main() -> ExitCode {
@@ -87,6 +107,8 @@ fn main() -> ExitCode {
     let mut events_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
     let mut timings_json: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut throughput_json: Option<PathBuf> = None;
     let mut render = RenderOptions::default();
     let mut fleet_population_set = false;
     let mut args = env::args().skip(1);
@@ -124,6 +146,22 @@ fn main() -> ExitCode {
                 Some(path) => timings_json = Some(PathBuf::from(path)),
                 None => return usage("--timings-json needs a file path"),
             },
+            "--trace-out" => match args.next() {
+                Some(path) => {
+                    trace_out = Some(PathBuf::from(path));
+                    render.collect_spans = true;
+                }
+                None => return usage("--trace-out needs a file path"),
+            },
+            "--throughput-json" => match args.next() {
+                Some(path) => throughput_json = Some(PathBuf::from(path)),
+                None => return usage("--throughput-json needs a file path"),
+            },
+            "--throughput-reps" => match args.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(v) if v > 0 => render.throughput.reps = v,
+                _ => return usage("--throughput-reps needs a positive integer"),
+            },
+            "--progress" => render.progress = true,
             "--fault-rates" => match args.next().map(|v| parse_rates(&v)) {
                 Some(Some(rates)) => render.reliability.rates = rates,
                 _ => {
@@ -190,9 +228,15 @@ fn main() -> ExitCode {
         render.fleet.population = FleetOptions::default_population(render.fleet.shards);
     }
     if targets.is_empty() {
+        // On-demand targets never join the default expansion: their
+        // stdout is wall-clock, and the default list is byte-identical
+        // across runs.
         targets = TARGETS.iter().map(|s| (*s).to_owned()).collect();
     }
-    if let Some(bad) = targets.iter().find(|t| !TARGETS.contains(&t.as_str())) {
+    if let Some(bad) = targets
+        .iter()
+        .find(|t| !TARGETS.contains(&t.as_str()) && !ON_DEMAND_TARGETS.contains(&t.as_str()))
+    {
         return usage(&format!("unknown target {bad}"));
     }
 
@@ -209,14 +253,22 @@ fn main() -> ExitCode {
     let rendered: Vec<Result<TargetOutput, SimError>> = exec::parallel_map(&targets, |target| {
         eprintln!("# running {target}...");
         let t0 = Instant::now();
-        let r = try_render_target(target, scale, &render)?;
+        // A per-target op counter: the simulator credits every run to the
+        // thread's context, which parallel_map propagates into nested
+        // worker pools, so fan-out targets still attribute correctly.
+        let ops = Arc::new(AtomicU64::new(0));
+        let r = prof::with_context(ops.clone(), || try_render_target(target, scale, &render))?;
         Ok(TargetOutput {
             text: r.text,
             csvs: r.csvs,
             metrics: r.metrics,
             events_jsonl: r.events_jsonl,
             fleet_info: r.fleet_info,
+            span_processes: r.span_processes,
+            host_report: r.host_report,
+            throughput_json: r.throughput_json,
             elapsed: t0.elapsed(),
+            ops: ops.load(Ordering::Relaxed),
         })
     });
     let mut results: Vec<TargetOutput> = Vec::with_capacity(rendered.len());
@@ -242,6 +294,36 @@ fn main() -> ExitCode {
     }
     drop(lock);
 
+    // Wall-clock side reports go to stderr only — stdout stays
+    // byte-identical with or without them.
+    for (target, r) in targets.iter().zip(&results) {
+        if let Some(report) = &r.host_report {
+            eprint!("# host profile ({target}):\n{report}");
+        }
+    }
+
+    if let Some(path) = &trace_out {
+        let mut processes: Vec<(String, Vec<Span>)> = Vec::new();
+        for r in &results {
+            processes.extend(r.span_processes.iter().cloned());
+        }
+        if processes.is_empty() {
+            eprintln!(
+                "# --trace-out: no spans collected \
+                 (no observing target in the requested set?)"
+            );
+        }
+        write_artifact(path, &chrome_trace_json(&processes), "trace");
+    }
+    if let Some(path) = &throughput_json {
+        match results.iter().find_map(|r| r.throughput_json.as_deref()) {
+            Some(doc) => write_artifact(path, doc, "throughput"),
+            None => eprintln!(
+                "# --throughput-json: the throughput target was not requested; \
+                 nothing written"
+            ),
+        }
+    }
     if let Some(path) = &events_out {
         let mut stream = String::new();
         for r in &results {
@@ -292,20 +374,25 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Renders the `--timings-json` document: wall-clock per target plus the
-/// trace-cache summary (host profiling — not deterministic).
+/// Renders the `--timings-json` document: wall-clock, simulated op
+/// count, and ops/sec per target, plus the trace-cache summary (host
+/// profiling — not deterministic). Schema 1.1 adds the `ops` and
+/// `ops_per_sec` row fields.
 fn timings_json_doc(targets: &[String], results: &[TargetOutput], total: Duration) -> String {
-    let mut s = String::from("{\"schema\":\"mobistore-timings/1\"");
+    let mut s = String::from("{\"schema\":\"mobistore-timings/1.1\"");
     let _ = write!(s, ",\"jobs\":{}", exec::jobs());
     s.push_str(",\"targets\":[");
     for (i, (target, r)) in targets.iter().zip(results).enumerate() {
         if i > 0 {
             s.push(',');
         }
+        let secs = r.elapsed.as_secs_f64();
+        let ops_per_sec = if secs > 0.0 { r.ops as f64 / secs } else { 0.0 };
         let _ = write!(
             s,
-            "{{\"target\":\"{target}\",\"seconds\":{:.6}}}",
-            r.elapsed.as_secs_f64()
+            "{{\"target\":\"{target}\",\"seconds\":{secs:.6},\"ops\":{},\
+             \"ops_per_sec\":{ops_per_sec:.1}}}",
+            r.ops
         );
     }
     let c = mobistore_workload::cache::summary();
@@ -405,14 +492,16 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: repro [--scale <0..1]] [--seed <n>] [--jobs <n>] [--timings] [--csv <dir>] \
-         [--events-out <file>] [--metrics-out <file>] [--timings-json <file>] \
+         [--events-out <file>] [--trace-out <file>] [--metrics-out <file>] \
+         [--timings-json <file>] [--throughput-json <file>] [--throughput-reps <n>] \
+         [--progress] \
          [--fault-rates <a,b,c>] [--fault-power-interval <secs>] [--fault-seed <n>] \
          [--crash-points <all|n>] [--crash-seed <n>] \
          [--ber-rates <a,b,c>] [--scrub-interval <secs>] [--ber-seed <n>] \
          [--fleet-shards <n>] [--fleet-population <n>] [--fleet-seed <n>] \
          [table1|table2|table3|table4|figure1|figure2|figure3|figure4|figure5|async|endurance|\
          verify|battery|ablations|nextgen|sensitivity|related|reliability|observe|crashcheck|\
-         integrity|fleet ...]"
+         integrity|fleet|profile|throughput ...]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

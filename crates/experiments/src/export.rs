@@ -25,6 +25,10 @@ pub const METRICS_SCHEMA: &str = "mobistore-metrics/1";
 /// Version tag of the per-target `fleet` block the `fleet` target emits.
 pub const FLEET_SCHEMA: &str = "mobistore-fleet/1";
 
+/// Version tag of the `repro throughput` JSON document
+/// ([`crate::throughput::Throughput::to_json`]).
+pub const THROUGHPUT_SCHEMA: &str = "mobistore-throughput/1";
+
 /// Fleet sharding parameters, embedded in the `fleet` target's entry as a
 /// versioned `fleet` object so consumers can re-derive the shard map.
 #[derive(Debug, Clone, Copy)]
@@ -50,7 +54,7 @@ pub struct TargetExport<'a> {
 
 /// Formats a float for JSON: plain shortest-roundtrip decimal, with
 /// non-finite values clamped to 0 (JSON has no NaN/Infinity).
-fn jnum(x: f64) -> String {
+pub(crate) fn jnum(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {
@@ -59,7 +63,7 @@ fn jnum(x: f64) -> String {
 }
 
 /// Escapes a string for a JSON string literal.
-fn jstr(s: &str) -> String {
+pub(crate) fn jstr(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -19,6 +19,8 @@
 //! reproduces exactly the bytes it contributed in-fleet.
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use mobistore_core::config::SystemConfig;
 use mobistore_core::metrics::Metrics;
@@ -288,7 +290,18 @@ impl Fleet {
 /// Runs the fleet: plans the shards, simulates them in fixed chunks
 /// through [`parallel_map`], and merges rows in shard-index order.
 pub fn run(scale: Scale, opts: &FleetOptions) -> Fleet {
+    run_with_progress(scale, opts, false)
+}
+
+/// Like [`run`], with optional `--progress` heartbeats: each finished
+/// chunk prints completed shards, throughput, and an ETA to stderr.
+/// Stdout (and every exported artifact) is untouched, so a progress run
+/// stays byte-identical to a silent one.
+pub fn run_with_progress(scale: Scale, opts: &FleetOptions, progress: bool) -> Fleet {
     let plan = fleet_config(opts).plan();
+    let total_shards = plan.shards.len();
+    let done = AtomicUsize::new(0);
+    let started = Instant::now();
     let chunks: Vec<&[FleetShard]> = plan.shards.chunks(CHUNK).collect();
     let results = parallel_map(&chunks, |chunk| {
         let mut rows = Vec::with_capacity(chunk.len());
@@ -314,6 +327,16 @@ pub fn run(scale: Scale, opts: &FleetOptions) -> Fleet {
                 }
             }
             total.merge(&m);
+        }
+        if progress {
+            let finished = done.fetch_add(chunk.len(), Ordering::Relaxed) + chunk.len();
+            let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+            let rate = finished as f64 / elapsed;
+            let eta = (total_shards.saturating_sub(finished)) as f64 / rate.max(1e-9);
+            eprintln!(
+                "# fleet progress: {finished}/{total_shards} shards \
+                 ({rate:.1} shards/s, eta {eta:.0} s)"
+            );
         }
         ChunkResult {
             rows,

@@ -28,6 +28,8 @@
 //! | [`crashcheck`] | crash-consistency torture sweep + end-of-life degradation |
 //! | [`integrity`] | wear-coupled bit errors, ECC + read-retry, scrubbing |
 //! | [`fleet`] | fleet-scale sharded simulation with merged metrics |
+//! | [`profile`] | host-time self-profiling of the simulator's hot paths |
+//! | [`throughput`] | wall-clock ops/sec accountability harness (on demand) |
 //!
 //! [`render`] turns any named target into its exact stdout bytes, shared
 //! by the `repro` binary and the golden snapshot tests.
@@ -55,6 +57,7 @@ pub mod integrity;
 pub mod next_gen;
 pub mod observe;
 pub mod plot;
+pub mod profile;
 pub mod related;
 pub mod reliability;
 pub mod render;
@@ -63,6 +66,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod throughput;
 pub mod verification;
 
 use std::sync::Arc;

@@ -24,6 +24,7 @@ use mobistore_sim::exec::parallel_map;
 use mobistore_sim::fault::FaultConfig;
 use mobistore_sim::hist::{Histogram, Percentiles};
 use mobistore_sim::obs::{CounterRegistry, Event, Observer};
+use mobistore_sim::span::Span;
 use mobistore_sim::stats::Summary;
 use mobistore_sim::time::SimDuration;
 use mobistore_workload::Workload;
@@ -37,15 +38,16 @@ const POWER_FAIL_INTERVAL: SimDuration = SimDuration::from_secs(120);
 /// Seed for the fault streams (independent of the workload seed).
 const FAULT_SEED: u64 = 1994;
 
-/// The devices in the grid, in report order.
-const DEVICES: [ObserveDevice; 3] = [
+/// The devices in the grid, in report order (shared with the `profile`
+/// and `throughput` targets so all three walk the same cells).
+pub(crate) const DEVICES: [ObserveDevice; 3] = [
     ObserveDevice::Cu140Disk,
     ObserveDevice::Sdp5FlashDisk,
     ObserveDevice::IntelCard,
 ];
 
 /// The workloads in the grid, in report order.
-const WORKLOADS: [Workload; 2] = [Workload::Mac, Workload::Dos];
+pub(crate) const WORKLOADS: [Workload; 2] = [Workload::Mac, Workload::Dos];
 
 /// One device column of the observe grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,11 +72,13 @@ impl ObserveDevice {
 }
 
 /// An observer that counts events and optionally serializes each one as a
-/// JSONL line prefixed with the cell's workload/device context.
+/// JSONL line prefixed with the cell's workload/device context, and
+/// optionally keeps every sim-time span (the `--trace-out` payload).
 struct Collector {
     counts: CounterRegistry,
     jsonl: Option<String>,
     prefix: String,
+    spans: Option<Vec<Span>>,
 }
 
 impl Observer for Collector {
@@ -85,6 +89,12 @@ impl Observer for Collector {
             buf.push_str(&self.prefix);
             buf.push_str(&event.json_fields());
             buf.push_str("}\n");
+        }
+    }
+
+    fn span(&mut self, span: &Span) {
+        if let Some(spans) = &mut self.spans {
+            spans.push(*span);
         }
     }
 }
@@ -102,6 +112,8 @@ pub struct ObserveCell {
     pub event_counts: CounterRegistry,
     /// The cell's JSONL event stream, when collection was requested.
     pub events_jsonl: Option<String>,
+    /// The cell's sim-time spans, when span collection was requested.
+    pub spans: Option<Vec<Span>>,
 }
 
 /// The observe grid.
@@ -125,10 +137,29 @@ impl Observe {
         }
         any.then_some(out)
     }
+
+    /// One `(process name, spans)` pair per cell for
+    /// [`mobistore_sim::span::chrome_trace_json`], or `None` when span
+    /// collection was off.
+    pub fn span_processes(&self) -> Option<Vec<(String, Vec<Span>)>> {
+        let procs: Vec<(String, Vec<Span>)> = self
+            .cells
+            .iter()
+            .filter_map(|cell| {
+                cell.spans.as_ref().map(|spans| {
+                    (
+                        format!("{} x {}", cell.workload.name(), cell.device.name()),
+                        spans.clone(),
+                    )
+                })
+            })
+            .collect();
+        (!procs.is_empty()).then_some(procs)
+    }
 }
 
 /// Builds the system configuration for one cell.
-fn cell_config(
+pub(crate) fn cell_config(
     workload: Workload,
     device: ObserveDevice,
     trace: &mobistore_trace::record::Trace,
@@ -149,8 +180,9 @@ fn cell_config(
 }
 
 /// Runs the grid; `collect_events` additionally captures every cell's
-/// JSONL event stream (the `--events-out` payload).
-pub fn run(scale: Scale, collect_events: bool) -> Observe {
+/// JSONL event stream (the `--events-out` payload) and `collect_spans`
+/// captures every cell's sim-time spans (the `--trace-out` payload).
+pub fn run(scale: Scale, collect_events: bool, collect_spans: bool) -> Observe {
     let mut grid: Vec<(Workload, ObserveDevice)> = Vec::new();
     for w in WORKLOADS {
         for d in DEVICES {
@@ -168,6 +200,7 @@ pub fn run(scale: Scale, collect_events: bool) -> Observe {
                 workload.name(),
                 device.name()
             ),
+            spans: collect_spans.then(Vec::new),
         };
         let mut metrics = simulate_observed(&cfg, &trace, RunOptions::default(), &mut obs);
         metrics.name = format!("{}/{}", workload.name(), device.name());
@@ -177,6 +210,7 @@ pub fn run(scale: Scale, collect_events: bool) -> Observe {
             metrics,
             event_counts: obs.counts,
             events_jsonl: obs.jsonl,
+            spans: obs.spans,
         }
     });
     Observe { cells }
@@ -254,9 +288,10 @@ mod tests {
 
     #[test]
     fn grid_covers_workloads_and_devices() {
-        let o = run(Scale::quick(), false);
+        let o = run(Scale::quick(), false, false);
         assert_eq!(o.cells.len(), WORKLOADS.len() * DEVICES.len());
         assert!(o.events_jsonl().is_none());
+        assert!(o.span_processes().is_none());
         for cell in &o.cells {
             assert!(cell.metrics.energy.get() > 0.0, "{}", cell.metrics.name);
             assert!(cell.event_counts.get("op_issued") > 0);
@@ -273,7 +308,7 @@ mod tests {
 
     #[test]
     fn event_stream_covers_required_event_families() {
-        let o = run(Scale::quick(), true);
+        let o = run(Scale::quick(), true, false);
         let events = o.events_jsonl().expect("collection was on");
         for needle in [
             "\"event\":\"op_issued\"",
@@ -298,8 +333,28 @@ mod tests {
 
     #[test]
     fn report_is_deterministic() {
-        let a = format!("{}", run(Scale::quick(), false));
-        let b = format!("{}", run(Scale::quick(), false));
-        assert_eq!(a, b);
+        let a = format!("{}", run(Scale::quick(), false, false));
+        let b = format!("{}", run(Scale::quick(), false, true));
+        assert_eq!(a, b, "span collection must not perturb the report");
+    }
+
+    #[test]
+    fn span_collection_covers_op_and_device_phases() {
+        let o = run(Scale::quick(), false, true);
+        let procs = o.span_processes().expect("span collection was on");
+        assert_eq!(procs.len(), WORKLOADS.len() * DEVICES.len());
+        let names: Vec<&str> = procs
+            .iter()
+            .flat_map(|(_, spans)| spans.iter().map(|s| s.kind.name()))
+            .collect();
+        for needle in [
+            "op/read",
+            "op/write",
+            "cache_lookup",
+            "disk_seek",
+            "cleaning",
+        ] {
+            assert!(names.contains(&needle), "missing span {needle}");
+        }
     }
 }

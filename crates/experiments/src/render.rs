@@ -10,15 +10,19 @@ use std::fmt::Display;
 
 use mobistore_core::metrics::Metrics;
 use mobistore_core::simulator::SimError;
+use mobistore_sim::span::Span;
 
 use crate::crashcheck::CrashCheckOptions;
 use crate::fleet::FleetOptions;
 use crate::integrity::IntegrityOptions;
 use crate::reliability::ReliabilityOptions;
+use crate::throughput::ThroughputOptions;
 use crate::{crashcheck, fleet, integrity, reliability, Scale};
 
-/// Every known target, in the default (paper) order.
-pub const TARGETS: [&str; 22] = [
+/// Every default target, in the default (paper) order. Each target's
+/// stdout is deterministic (byte-identical at any `--jobs` count), so
+/// the whole list is golden-pinnable.
+pub const TARGETS: [&str; 23] = [
     "table1",
     "table2",
     "table3",
@@ -41,7 +45,14 @@ pub const TARGETS: [&str; 22] = [
     "crashcheck",
     "integrity",
     "fleet",
+    "profile",
 ];
+
+/// Targets that must be requested by name: their stdout carries
+/// wall-clock numbers, so they can never join the deterministic default
+/// list (the CI determinism smoke `cmp`s default-target stdout across
+/// `--jobs` counts).
+pub const ON_DEMAND_TARGETS: [&str; 1] = ["throughput"];
 
 /// Options a target may consume beyond the [`Scale`].
 #[derive(Debug, Clone, Default)]
@@ -58,6 +69,13 @@ pub struct RenderOptions {
     /// targets that observe their simulations. Off by default: rendering
     /// with the default options is exactly the pre-observability output.
     pub collect_events: bool,
+    /// Collect sim-time spans (the `--trace-out` payload) from targets
+    /// that observe their simulations. Off by default.
+    pub collect_spans: bool,
+    /// Print fleet progress heartbeats to stderr. Stdout is unaffected.
+    pub progress: bool,
+    /// The `throughput` target's repetition counts.
+    pub throughput: ThroughputOptions,
 }
 
 /// One rendered target: its stdout bytes and any side artifacts.
@@ -76,15 +94,24 @@ pub struct RenderedTarget {
     /// Fleet sharding parameters, set only by the `fleet` target; carried
     /// into the `--metrics-out` document as its `mobistore-fleet/1` block.
     pub fleet_info: Option<crate::export::FleetInfo>,
+    /// `(process name, spans)` pairs for the `--trace-out` export, when
+    /// [`RenderOptions::collect_spans`] was set and the target observes.
+    pub span_processes: Vec<(String, Vec<Span>)>,
+    /// Wall-clock report for stderr (never stdout), set by the `profile`
+    /// target.
+    pub host_report: Option<String>,
+    /// The `mobistore-throughput/1` JSON document, set by the
+    /// `throughput` target.
+    pub throughput_json: Option<String>,
 }
 
 /// Renders one target, panicking on any [`SimError`].
 ///
 /// # Panics
 ///
-/// Panics on a target name not in [`TARGETS`] or on a simulation that
-/// cannot be set up. The `repro` binary goes through
-/// [`try_render_target`] instead, mapping errors to exit codes.
+/// Panics on a target name not in [`TARGETS`] or [`ON_DEMAND_TARGETS`],
+/// or on a simulation that cannot be set up. The `repro` binary goes
+/// through [`try_render_target`] instead, mapping errors to exit codes.
 pub fn render_target(target: &str, scale: Scale, options: &RenderOptions) -> RenderedTarget {
     match try_render_target(target, scale, options) {
         Ok(r) => r,
@@ -101,7 +128,7 @@ pub fn render_target(target: &str, scale: Scale, options: &RenderOptions) -> Ren
 ///
 /// # Panics
 ///
-/// Panics on a target name not in [`TARGETS`].
+/// Panics on a target name not in [`TARGETS`] or [`ON_DEMAND_TARGETS`].
 pub fn try_render_target(
     target: &str,
     scale: Scale,
@@ -112,6 +139,9 @@ pub fn try_render_target(
     let mut metrics: Vec<Metrics> = Vec::new();
     let mut events_jsonl: Option<String> = None;
     let mut fleet_info: Option<crate::export::FleetInfo> = None;
+    let mut span_processes: Vec<(String, Vec<Span>)> = Vec::new();
+    let mut host_report: Option<String> = None;
+    let mut throughput_json: Option<String> = None;
     // Mirrors the old `println!("{}\n", x)`: the value, then a blank line.
     fn p(out: &mut String, x: impl Display) {
         out.push_str(&format!("{x}\n\n"));
@@ -187,13 +217,24 @@ pub fn try_render_target(
             metrics.extend(r.metrics_rows());
         }
         "observe" => {
-            let o = crate::observe::run(scale, options.collect_events);
+            let o = crate::observe::run(scale, options.collect_events, options.collect_spans);
             p(&mut out, &o);
             events_jsonl = o.events_jsonl();
+            span_processes = o.span_processes().unwrap_or_default();
             metrics.extend(o.cells.into_iter().map(|c| c.metrics));
         }
+        "profile" => {
+            let pr = crate::profile::run(scale);
+            p(&mut out, &pr);
+            host_report = Some(pr.host_report().to_owned());
+        }
+        "throughput" => {
+            let t = crate::throughput::run(scale, &options.throughput);
+            p(&mut out, &t);
+            throughput_json = Some(t.to_json());
+        }
         "fleet" => {
-            let fl = fleet::run(scale, &options.fleet);
+            let fl = fleet::run_with_progress(scale, &options.fleet, options.progress);
             p(&mut out, &fl);
             metrics.extend(fl.metrics_rows());
             fleet_info = Some(crate::export::FleetInfo {
@@ -210,6 +251,9 @@ pub fn try_render_target(
         metrics,
         events_jsonl,
         fleet_info,
+        span_processes,
+        host_report,
+        throughput_json,
     })
 }
 

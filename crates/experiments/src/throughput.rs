@@ -1,0 +1,251 @@
+//! The `repro throughput` target — wall-clock throughput
+//! accountability.
+//!
+//! Measures how many **simulated** operations per **host** second the
+//! simulator sustains: each cell of the observe grid, plus one small
+//! fleet cell, runs `warmup` unmeasured repetitions followed by `reps`
+//! timed ones, and reports the median wall-clock alongside ops/sec and
+//! ns/op. Ops are attributed through a [`mobistore_sim::prof`] context
+//! counter (which [`parallel_map`](mobistore_sim::exec::parallel_map)
+//! propagates into its workers), so the fleet cell's fan-out still
+//! credits the right denominator even when other targets run
+//! concurrently in the same process.
+//!
+//! This target is **on demand only** — never part of the default target
+//! list — because its stdout carries wall-clock numbers and would break
+//! the byte-identity contract the default targets keep. The JSON export
+//! ([`Throughput::to_json`], schema
+//! [`THROUGHPUT_SCHEMA`](crate::export::THROUGHPUT_SCHEMA)) lands in
+//! `BENCH_repro.json` via `scripts/bench_repro.sh`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mobistore_core::simulator::simulate;
+use mobistore_sim::prof;
+
+use crate::export::{jnum, jstr, THROUGHPUT_SCHEMA};
+use crate::fleet::{self, FleetOptions};
+use crate::observe::{cell_config, DEVICES, WORKLOADS};
+use crate::{shared_trace, Scale};
+
+/// The fleet cell's shard count (kept small: the cell exists to price
+/// the sharded fan-out path, not to benchmark a 10k fleet).
+const FLEET_SHARDS: u32 = 16;
+
+/// `repro throughput` parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputOptions {
+    /// Timed repetitions per cell (the report takes their median).
+    pub reps: u32,
+    /// Unmeasured warm-up repetitions per cell.
+    pub warmup: u32,
+}
+
+impl Default for ThroughputOptions {
+    fn default() -> Self {
+        ThroughputOptions { reps: 5, warmup: 1 }
+    }
+}
+
+/// One measured cell.
+#[derive(Debug, Clone)]
+pub struct ThroughputCell {
+    /// Cell label (`workload/device`, or `fleet/<shards>x<users>`).
+    pub name: String,
+    /// Simulated operations one repetition replays.
+    pub ops: u64,
+    /// Median wall-clock per repetition, nanoseconds.
+    pub median_ns: u64,
+    /// Simulated operations per host second, at the median.
+    pub ops_per_sec: f64,
+    /// Host nanoseconds per simulated operation, at the median.
+    pub ns_per_op: f64,
+}
+
+/// The throughput run.
+#[derive(Debug, Clone)]
+pub struct Throughput {
+    /// Timed repetitions per cell.
+    pub reps: u32,
+    /// Warm-up repetitions per cell.
+    pub warmup: u32,
+    /// Grid cells first, the fleet cell last.
+    pub cells: Vec<ThroughputCell>,
+}
+
+/// Times `f` with warmup + median-of-reps, attributing simulated ops to
+/// a dedicated context counter.
+fn measure(name: String, opts: &ThroughputOptions, mut f: impl FnMut()) -> ThroughputCell {
+    let reps = opts.reps.max(1);
+    let ctr = Arc::new(AtomicU64::new(0));
+    let mut times = Vec::with_capacity(reps as usize);
+    prof::with_context(ctr.clone(), || {
+        for _ in 0..opts.warmup {
+            f();
+        }
+        ctr.store(0, Ordering::Relaxed);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            f();
+            times.push(t0.elapsed());
+        }
+    });
+    let ops = ctr.load(Ordering::Relaxed) / u64::from(reps);
+    times.sort_unstable();
+    let median_ns = times[times.len() / 2].as_nanos() as u64;
+    let ops_per_sec = if median_ns == 0 {
+        0.0
+    } else {
+        ops as f64 * 1e9 / median_ns as f64
+    };
+    let ns_per_op = if ops == 0 {
+        0.0
+    } else {
+        median_ns as f64 / ops as f64
+    };
+    ThroughputCell {
+        name,
+        ops,
+        median_ns,
+        ops_per_sec,
+        ns_per_op,
+    }
+}
+
+/// Runs the harness: every observe-grid cell, then one fleet cell.
+pub fn run(scale: Scale, opts: &ThroughputOptions) -> Throughput {
+    let mut cells = Vec::new();
+    for workload in WORKLOADS {
+        for device in DEVICES {
+            let trace = shared_trace(workload, scale);
+            let cfg = cell_config(workload, device, &trace);
+            cells.push(measure(
+                format!("{}/{}", workload.name(), device.name()),
+                opts,
+                || {
+                    simulate(&cfg, &trace);
+                },
+            ));
+        }
+    }
+    let fleet_opts = FleetOptions {
+        shards: FLEET_SHARDS,
+        population: FleetOptions::default_population(FLEET_SHARDS),
+        seed: scale.seed,
+    };
+    cells.push(measure(
+        format!("fleet/{}x{}", fleet_opts.shards, fleet_opts.population),
+        opts,
+        || {
+            fleet::run(scale, &fleet_opts);
+        },
+    ));
+    Throughput {
+        reps: opts.reps.max(1),
+        warmup: opts.warmup,
+        cells,
+    }
+}
+
+impl Throughput {
+    /// The `mobistore-throughput/1` JSON document `bench_repro.sh`
+    /// embeds into `BENCH_repro.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"schema\":{},\"reps\":{},\"warmup\":{},\"cells\":[",
+            jstr(THROUGHPUT_SCHEMA),
+            self.reps,
+            self.warmup
+        );
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"cell\":{},\"ops\":{},\"median_ns\":{},\
+                 \"ops_per_sec\":{},\"ns_per_op\":{}}}",
+                jstr(&c.name),
+                c.ops,
+                c.median_ns,
+                jnum(c.ops_per_sec),
+                jnum(c.ns_per_op)
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+impl fmt::Display for Throughput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Throughput harness: median of {} reps after {} warmup \
+             (wall-clock — on-demand target, never golden-pinned)",
+            self.reps, self.warmup
+        )?;
+        writeln!(
+            f,
+            "  {:<20} {:>10} {:>12} {:>14} {:>10}",
+            "cell", "ops", "median_ms", "sim_ops/sec", "ns/op"
+        )?;
+        for c in &self.cells {
+            writeln!(
+                f,
+                "  {:<20} {:>10} {:>12.3} {:>14.0} {:>10.1}",
+                c.name,
+                c.ops,
+                c.median_ns as f64 / 1e6,
+                c.ops_per_sec,
+                c.ns_per_op
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ThroughputOptions {
+        ThroughputOptions { reps: 1, warmup: 0 }
+    }
+
+    #[test]
+    fn harness_measures_grid_and_fleet_cells() {
+        let t = run(Scale::quick(), &tiny());
+        assert_eq!(t.cells.len(), WORKLOADS.len() * DEVICES.len() + 1);
+        for cell in &t.cells {
+            assert!(cell.ops > 0, "{}: zero ops", cell.name);
+            assert!(cell.ops_per_sec > 0.0, "{}", cell.name);
+            assert!(cell.ns_per_op > 0.0, "{}", cell.name);
+        }
+        assert!(t.cells.last().unwrap().name.starts_with("fleet/"));
+        let rendered = format!("{t}");
+        assert!(rendered.contains("sim_ops/sec"));
+        assert!(rendered.contains("mac/cu140-disk"));
+    }
+
+    #[test]
+    fn json_export_is_versioned_and_balanced() {
+        let t = run(Scale::quick(), &tiny());
+        let doc = t.to_json();
+        assert!(doc.starts_with("{\"schema\":\"mobistore-throughput/1\""));
+        assert!(doc.contains("\"reps\":1"));
+        assert!(doc.contains("\"cell\":\"mac/cu140-disk\""));
+        assert!(doc.contains("\"ops_per_sec\":"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn zero_reps_clamps_to_one() {
+        let t = run(Scale::quick(), &ThroughputOptions { reps: 0, warmup: 0 });
+        assert_eq!(t.reps, 1);
+        assert!(t.cells.iter().all(|c| c.ops > 0));
+    }
+}

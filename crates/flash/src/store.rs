@@ -32,6 +32,7 @@ use mobistore_sim::fault::{EraseOutcome, FaultConfig, FaultPlan};
 use mobistore_sim::hist::LatencyRecorder;
 use mobistore_sim::integrity::{IntegrityConfig, IntegrityPlan, ReadVerdict};
 use mobistore_sim::obs::{Event, FaultKind, NoopObserver, Observer};
+use mobistore_sim::span::{Span, SpanKind};
 use mobistore_sim::time::{SimDuration, SimTime};
 
 /// Bytes of per-block metadata (logical block number, state bits) the
@@ -125,6 +126,9 @@ struct CleanJob {
     /// pulse fails permanently and the victim is retired instead of
     /// rejoining the erased pool.
     retire: bool,
+    /// Sim time the job began; the whole cleaning pass is reported as one
+    /// [`SpanKind::Cleaning`] span from here to its completion.
+    started: SimTime,
 }
 
 /// Counters the store maintains alongside energy.
@@ -753,6 +757,9 @@ impl FlashCardStore {
             .read_bandwidth
             .transfer_time(self.config.block_size);
         let mut result = Ok(());
+        let mut retry_extra = SimDuration::ZERO;
+        let mut retry_attempts = 0u32;
+        let mut retry_lbn = 0u64;
         for i in 0..u64::from(blocks) {
             let b = lbn + i;
             let Some(loc) = self.map.get(&b) else {
@@ -787,6 +794,11 @@ impl FlashCardStore {
                         (self.plan.config().retry_backoff + block_read) * u64::from(attempts);
                     self.backoff.record(extra);
                     dur += extra;
+                    retry_extra += extra;
+                    if retry_attempts == 0 {
+                        retry_lbn = b;
+                    }
+                    retry_attempts += attempts;
                     obs.record(&Event::ReadRetry {
                         t: start,
                         lbn: b,
@@ -813,6 +825,17 @@ impl FlashCardStore {
         let end = start + dur;
         self.meter
             .charge_for("active", self.config.params.active_power, dur);
+        obs.span(&Span::new(SpanKind::FlashRead { bytes }, start, end));
+        if retry_attempts > 0 {
+            obs.span(&Span::new(
+                SpanKind::EccRetry {
+                    lbn: retry_lbn,
+                    attempts: retry_attempts,
+                },
+                end - retry_extra,
+                end,
+            ));
+        }
         self.counters.ops += 1;
         self.counters.bytes_read += bytes;
         self.free_at = self.free_at.max(end);
@@ -1001,6 +1024,11 @@ impl FlashCardStore {
         let end = start + wait + dur;
         self.meter
             .charge_for("active", self.config.params.active_power, dur);
+        obs.span(&Span::new(
+            SpanKind::FlashProgram { bytes },
+            start + wait,
+            end,
+        ));
         self.counters.ops += 1;
         self.counters.bytes_written += bytes;
         self.free_at = self.free_at.max(end);
@@ -1070,7 +1098,7 @@ impl FlashCardStore {
     pub fn power_fail_obs<O: Observer>(&mut self, at: SimTime, obs: &mut O) -> Service {
         // Background cleaning progressed until the lights went out.
         let start = self.settle(at, obs);
-        let orphan = self.job.take().map(|j| j.victim);
+        let orphan = self.job.take();
 
         // Log scan: header read per occupied (live or dead) slot.
         let census = self.census();
@@ -1082,9 +1110,9 @@ impl FlashCardStore {
                 .copy_read_bandwidth
                 .transfer_time(scan_bytes);
         // Orphaned-segment reclaim: the interrupted victim is re-erased.
-        if let Some(victim) = orphan {
+        if let Some(job) = orphan {
             dur += self.config.params.erase_time;
-            self.finish_job(start + dur, victim, false, obs);
+            self.finish_job(start + dur, job.victim, false, job.started, obs);
         }
         let end = start + dur;
         self.meter
@@ -1311,6 +1339,7 @@ impl FlashCardStore {
             victim,
             remaining: copy_time + erase_time,
             retire,
+            started: at,
         });
         true
     }
@@ -1331,14 +1360,22 @@ impl FlashCardStore {
         self.meter
             .charge_for("clean", self.config.params.active_power, job.remaining);
         let spent = job.remaining;
-        self.finish_job(at + spent, job.victim, job.retire, obs);
+        self.finish_job(at + spent, job.victim, job.retire, job.started, obs);
         Some(spent)
     }
 
     /// Applies job completion at sim time `at`: the victim becomes erased,
     /// or — when its final erase pulse failed permanently — is retired into
-    /// the bad-block map, shrinking usable capacity.
-    fn finish_job<O: Observer>(&mut self, at: SimTime, victim: u32, retire: bool, obs: &mut O) {
+    /// the bad-block map, shrinking usable capacity. The pass is reported
+    /// as one [`SpanKind::Cleaning`] span covering `[started, at]`.
+    fn finish_job<O: Observer>(
+        &mut self,
+        at: SimTime,
+        victim: u32,
+        retire: bool,
+        started: SimTime,
+        obs: &mut O,
+    ) {
         let seg = &mut self.segments[victim as usize];
         seg.live = 0;
         seg.used = 0;
@@ -1360,6 +1397,11 @@ impl FlashCardStore {
             victim,
             retired: retire,
         });
+        obs.span(&Span::new(
+            SpanKind::Cleaning { victim },
+            started.min(at),
+            at,
+        ));
         self.counters.erasures += 1;
     }
 
@@ -1389,7 +1431,7 @@ impl FlashCardStore {
             t += slice;
             if self.job.as_ref().expect("job exists").remaining.is_zero() {
                 let job = self.job.take().expect("job exists");
-                self.finish_job(t, job.victim, job.retire, obs);
+                self.finish_job(t, job.victim, job.retire, job.started, obs);
             }
         }
         t = self.run_scrub(t, now, obs);
@@ -1490,6 +1532,7 @@ impl FlashCardStore {
                 corrected,
                 relocated,
             });
+            obs.span(&Span::new(SpanKind::Scrub { segment: seg }, begin, t));
             self.next_scrub += interval;
         }
         t

@@ -82,13 +82,21 @@ where
     // never contended.
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    // Workers inherit the caller's op-attribution counter so a target's
+    // ops/sec stays correct when its sweeps fan out across threads.
+    let prof_ctx = crate::prof::current_context();
     std::thread::scope(|scope| {
+        let (next, slots, f) = (&next, &slots, &f);
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let result = f(item);
-                *slots[i].lock().expect("slot poisoned") = Some(result);
+            let prof_ctx = prof_ctx.clone();
+            scope.spawn(move || {
+                crate::prof::set_context(prof_ctx);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let result = f(item);
+                    *slots[i].lock().expect("slot poisoned") = Some(result);
+                }
             });
         }
     });

@@ -32,6 +32,12 @@
 //! * [`obs`] — structured sim-time event tracing ([`obs::Event`],
 //!   [`obs::Observer`]); the default [`obs::NoopObserver`] monomorphises
 //!   away entirely;
+//! * [`span`] — sim-time interval tracing ([`span::Span`]) on the same
+//!   observer channel, exported as Chrome trace-event JSON
+//!   ([`span::chrome_trace_json`]) viewable in Perfetto;
+//! * [`prof`] — host-time self-profiling: named-phase wall-clock timers
+//!   ([`prof::Profiler`]) and the process-wide simulated-op counter
+//!   behind every `ops/sec` figure;
 //! * [`crashcheck`] — the differential crash-consistency shadow model
 //!   ([`crashcheck::ShadowModel`]): a device-independent oracle of legal
 //!   post-crash block contents, with typed [`crashcheck::Violation`]s.
@@ -50,7 +56,9 @@ pub mod fleet;
 pub mod hist;
 pub mod integrity;
 pub mod obs;
+pub mod prof;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod units;
@@ -63,6 +71,7 @@ pub use hist::{Histogram, LatencyRecorder, Percentiles};
 pub use integrity::{IntegrityConfig, IntegrityPlan, ReadVerdict};
 pub use obs::{CounterRegistry, Event, NoopObserver, Observer};
 pub use rng::SimRng;
+pub use span::{Span, SpanKind};
 pub use stats::{OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};
 pub use units::{Bandwidth, KIB, MIB};

@@ -466,6 +466,12 @@ impl Event {
 pub trait Observer {
     /// Called once per emitted event.
     fn record(&mut self, event: &Event);
+
+    /// Called once per completed sim-time interval (see [`crate::span`]).
+    /// Defaults to nothing, so event-only observers are unaffected and
+    /// the [`NoopObserver`] path still monomorphises away.
+    #[inline(always)]
+    fn span(&mut self, _span: &crate::span::Span) {}
 }
 
 /// The default observer: does nothing, monomorphises to nothing.
@@ -475,12 +481,20 @@ pub struct NoopObserver;
 impl Observer for NoopObserver {
     #[inline(always)]
     fn record(&mut self, _event: &Event) {}
+
+    #[inline(always)]
+    fn span(&mut self, _span: &crate::span::Span) {}
 }
 
 impl<O: Observer> Observer for &mut O {
     #[inline]
     fn record(&mut self, event: &Event) {
         (**self).record(event);
+    }
+
+    #[inline]
+    fn span(&mut self, span: &crate::span::Span) {
+        (**self).span(span);
     }
 }
 

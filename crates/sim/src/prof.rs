@@ -1,0 +1,204 @@
+//! Host-time self-profiling: wall-clock phase timers and simulated-op
+//! counters.
+//!
+//! This is the *other* side of the observability coin from [`crate::span`]:
+//! spans measure where **simulated** time goes; this module measures
+//! where **wall-clock** time goes and how many trace operations the
+//! process pushed through — the denominator every `ops/sec` number in
+//! `repro throughput` and `--timings-json` divides by.
+//!
+//! Two pieces:
+//!
+//! * [`Profiler`] — an explicit named-phase stopwatch
+//!   (`prof.time("trace_decode", || …)`) that accumulates wall-clock
+//!   per phase and renders a deterministic-*structure* report (the
+//!   numbers are wall-clock and never enter any golden output).
+//! * A process-wide simulated-op counter: the simulator calls
+//!   [`add_ops`] once per run; [`ops_total`] reads the process total,
+//!   and a thread-local [context](set_context) counter lets callers
+//!   attribute ops to one target even when the work fans out through
+//!   [`crate::exec::parallel_map`] (which propagates the caller's
+//!   context into its workers).
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Simulated trace operations completed by this process, across every
+/// thread and every simulation run.
+static OPS_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// The current thread's op-attribution counter, if any.
+    static CONTEXT: RefCell<Option<Arc<AtomicU64>>> = const { RefCell::new(None) };
+}
+
+/// Credits `n` simulated operations to the process total and to the
+/// current thread's [context](set_context) counter, if one is set.
+///
+/// Called by the simulator once per run (one relaxed atomic add per
+/// simulation, not per op — the hot loop never sees this).
+pub fn add_ops(n: u64) {
+    OPS_TOTAL.fetch_add(n, Ordering::Relaxed);
+    CONTEXT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            ctx.fetch_add(n, Ordering::Relaxed);
+        }
+    });
+}
+
+/// The process-wide simulated-op total.
+pub fn ops_total() -> u64 {
+    OPS_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Sets (or clears) this thread's op-attribution counter. Subsequent
+/// [`add_ops`] calls on this thread also credit the given counter.
+pub fn set_context(ctx: Option<Arc<AtomicU64>>) {
+    CONTEXT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// This thread's current op-attribution counter, if any.
+/// [`crate::exec::parallel_map`] captures this before spawning workers
+/// and installs it in each of them.
+pub fn current_context() -> Option<Arc<AtomicU64>> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+/// Runs `f` with `ctx` installed as this thread's op counter, restoring
+/// the previous context afterwards (also on the normal return path of
+/// nested scopes — contexts stack).
+pub fn with_context<R>(ctx: Arc<AtomicU64>, f: impl FnOnce() -> R) -> R {
+    let prev = current_context();
+    set_context(Some(ctx));
+    let r = f();
+    set_context(prev);
+    r
+}
+
+/// A named-phase wall-clock stopwatch.
+///
+/// Phases accumulate: timing the same name twice adds the durations and
+/// bumps the call count. Iteration order is first-use order, so the
+/// rendered report's *structure* is deterministic even though the
+/// numbers are wall-clock.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    phases: Vec<(&'static str, Duration, u64)>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Runs `f`, charging its wall-clock to phase `name`.
+    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.add(name, t0.elapsed());
+        r
+    }
+
+    /// Charges an already-measured duration to phase `name`.
+    pub fn add(&mut self, name: &'static str, elapsed: Duration) {
+        match self.phases.iter_mut().find(|(n, _, _)| *n == name) {
+            Some((_, total, calls)) => {
+                *total += elapsed;
+                *calls += 1;
+            }
+            None => self.phases.push((name, elapsed, 1)),
+        }
+    }
+
+    /// Iterates `(name, total, calls)` in first-use order.
+    pub fn phases(&self) -> impl Iterator<Item = (&'static str, Duration, u64)> + '_ {
+        self.phases.iter().copied()
+    }
+
+    /// Sum of all phase durations.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d, _)| *d).sum()
+    }
+
+    /// Renders a human-readable phase table (wall-clock seconds, share
+    /// of the profiled total, call count). For stderr only — the
+    /// numbers are nondeterministic by nature.
+    pub fn report(&self) -> String {
+        let total = self.total().as_secs_f64();
+        let width = self
+            .phases
+            .iter()
+            .map(|(n, _, _)| n.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (name, dur, calls) in &self.phases {
+            let secs = dur.as_secs_f64();
+            let share = if total > 0.0 {
+                100.0 * secs / total
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<width$}  {secs:>9.4} s  {share:>5.1}%  {calls:>4} call{}",
+                if *calls == 1 { "" } else { "s" }
+            );
+        }
+        let _ = writeln!(out, "  {:<width$}  {:>9.4} s", "total", total);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_accumulate_globally_and_per_context() {
+        let before = ops_total();
+        let ctx = Arc::new(AtomicU64::new(0));
+        with_context(ctx.clone(), || {
+            add_ops(5);
+            add_ops(7);
+        });
+        add_ops(3); // outside the context
+        assert_eq!(ctx.load(Ordering::Relaxed), 12);
+        assert!(ops_total() >= before + 15);
+        assert!(current_context().is_none());
+    }
+
+    #[test]
+    fn contexts_nest_and_restore() {
+        let outer = Arc::new(AtomicU64::new(0));
+        let inner = Arc::new(AtomicU64::new(0));
+        with_context(outer.clone(), || {
+            add_ops(1);
+            with_context(inner.clone(), || add_ops(10));
+            add_ops(2);
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 3);
+        assert_eq!(inner.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn profiler_accumulates_phases_in_first_use_order() {
+        let mut prof = Profiler::new();
+        assert_eq!(prof.time("a", || 41) + 1, 42);
+        prof.time("b", || ());
+        prof.time("a", || ());
+        let phases: Vec<_> = prof.phases().collect();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].0, "a");
+        assert_eq!(phases[0].2, 2);
+        assert_eq!(phases[1].0, "b");
+        assert_eq!(phases[1].2, 1);
+        let report = prof.report();
+        assert!(report.contains("a"));
+        assert!(report.contains("total"));
+    }
+}

@@ -2,16 +2,24 @@
 # Times the full repro pipeline serial (--jobs 1) vs parallel (all cores)
 # and writes the results to BENCH_repro.json in the repo root. The
 # per-target wall-clock breakdown comes from repro's own --timings-json
-# self-profiling, so the benchmark records which targets dominate.
+# self-profiling (mobistore-timings/1.1: per-target ops and ops/sec),
+# the throughput block comes from `repro throughput --throughput-json`
+# (mobistore-throughput/1: warmup + median-of-reps simulated ops/sec per
+# cell), and the environment block records the toolchain and host so the
+# numbers are comparable across machines.
 #
-# Usage: scripts/bench_repro.sh [scale] [seed]
+# Usage: scripts/bench_repro.sh [scale] [seed] [reps]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SCALE="${1:-0.05}"
 SEED="${2:-1994}"
+REPS="${3:-3}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+RUSTC_VERSION="$(rustc -V 2>/dev/null || echo unknown)"
+CPU_MODEL="$(awk -F': ' '/model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null \
+    || sysctl -n machdep.cpu.brand_string 2>/dev/null || echo unknown)"
 
 cargo build --release --workspace >/dev/null
 REPRO=target/release/repro
@@ -34,8 +42,14 @@ SERIAL_OUT="$(mktemp)"
 PARALLEL_OUT="$(mktemp)"
 SERIAL_TIMINGS="$(mktemp)"
 PARALLEL_TIMINGS="$(mktemp)"
+THROUGHPUT_JSON="$(mktemp)"
 SERIAL_MS=$(run 1 "$SERIAL_OUT" "$SERIAL_TIMINGS")
 PARALLEL_MS=$(run "$JOBS" "$PARALLEL_OUT" "$PARALLEL_TIMINGS")
+
+echo "running throughput harness ($REPS reps)..." >&2
+"$REPRO" --scale "$SCALE" --seed "$SEED" --jobs "$JOBS" \
+    --throughput-reps "$REPS" --throughput-json "$THROUGHPUT_JSON" \
+    throughput >/dev/null 2>&1
 
 if cmp -s "$SERIAL_OUT" "$PARALLEL_OUT"; then
     IDENTICAL=true
@@ -47,9 +61,13 @@ rm -f "$SERIAL_OUT" "$PARALLEL_OUT"
 SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $SERIAL_MS / $PARALLEL_MS }")
 
 if command -v jq >/dev/null; then
-    # Embed repro's own per-target profiles (mobistore-timings/1).
+    # Embed repro's own per-target profiles (mobistore-timings/1.1), the
+    # throughput harness block (mobistore-throughput/1), and the host
+    # environment.
     jq -n \
         --arg bench "repro --scale $SCALE --seed $SEED" \
+        --arg rustc "$RUSTC_VERSION" \
+        --arg cpu "$CPU_MODEL" \
         --argjson cores "$JOBS" \
         --argjson serial_ms "$SERIAL_MS" \
         --argjson parallel_ms "$PARALLEL_MS" \
@@ -57,23 +75,34 @@ if command -v jq >/dev/null; then
         --argjson identical "$IDENTICAL" \
         --slurpfile serial "$SERIAL_TIMINGS" \
         --slurpfile parallel "$PARALLEL_TIMINGS" \
-        '{benchmark: $bench, cores: $cores, serial_ms: $serial_ms,
+        --slurpfile throughput "$THROUGHPUT_JSON" \
+        '{benchmark: $bench,
+          environment: {rustc: $rustc, cpu: $cpu, cores: $cores, jobs: $cores},
+          cores: $cores, serial_ms: $serial_ms,
           parallel_ms: $parallel_ms, speedup: $speedup,
           output_identical: $identical,
-          serial_profile: $serial[0], parallel_profile: $parallel[0]}' \
+          serial_profile: $serial[0], parallel_profile: $parallel[0],
+          throughput: $throughput[0]}' \
         > BENCH_repro.json
 else
     cat > BENCH_repro.json <<EOF
 {
   "benchmark": "repro --scale $SCALE --seed $SEED",
+  "environment": {
+    "rustc": "$RUSTC_VERSION",
+    "cpu": "$CPU_MODEL",
+    "cores": $JOBS,
+    "jobs": $JOBS
+  },
   "cores": $JOBS,
   "serial_ms": $SERIAL_MS,
   "parallel_ms": $PARALLEL_MS,
   "speedup": $SPEEDUP,
-  "output_identical": $IDENTICAL
+  "output_identical": $IDENTICAL,
+  "throughput": $(cat "$THROUGHPUT_JSON")
 }
 EOF
 fi
-rm -f "$SERIAL_TIMINGS" "$PARALLEL_TIMINGS"
+rm -f "$SERIAL_TIMINGS" "$PARALLEL_TIMINGS" "$THROUGHPUT_JSON"
 
 cat BENCH_repro.json

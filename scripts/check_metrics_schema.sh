@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
 # Validates the observability export artifacts with jq:
 #
-#   scripts/check_metrics_schema.sh <metrics.json> [events.jsonl]
+#   scripts/check_metrics_schema.sh <metrics.json> [events.jsonl] [timings.json]
 #
 # The metrics document must carry the mobistore-metrics/1 schema tag,
 # a targets array of {target, rows} objects, and every row must expose
 # the full latency-percentile set plus states and counters. The optional
 # JSONL event stream must parse line by line, with every line carrying a
 # sim-time stamp and an event name, and the required event families must
-# all appear at least once.
+# all appear at least once. The optional timings document must carry the
+# mobistore-timings/1.1 schema tag with per-target seconds, simulated op
+# counts, and ops/sec.
 set -euo pipefail
 
-METRICS="${1:?usage: check_metrics_schema.sh <metrics.json> [events.jsonl]}"
+METRICS="${1:?usage: check_metrics_schema.sh <metrics.json> [events.jsonl] [timings.json]}"
 EVENTS="${2:-}"
+TIMINGS="${3:-}"
 
 command -v jq >/dev/null || { echo "jq is required" >&2; exit 1; }
 
@@ -110,6 +113,28 @@ if [ -n "$EVENTS" ]; then
             || { echo "FAIL: no $family events" >&2; exit 1; }
     done
     echo "ok: event stream is well-formed ($(wc -l < "$EVENTS") events)" >&2
+fi
+
+if [ -n "$TIMINGS" ]; then
+    echo "checking $TIMINGS against mobistore-timings/1.1..." >&2
+    jq -e '.schema == "mobistore-timings/1.1"' "$TIMINGS" >/dev/null \
+        || { echo "FAIL: schema tag is not mobistore-timings/1.1" >&2; exit 1; }
+    jq -e '(.jobs | type == "number") and (.total_seconds | type == "number")
+           and (.trace_cache | type == "object")' "$TIMINGS" >/dev/null \
+        || { echo "FAIL: missing jobs/total_seconds/trace_cache" >&2; exit 1; }
+    jq -e '.targets | type == "array" and length > 0' "$TIMINGS" >/dev/null \
+        || { echo "FAIL: targets must be a non-empty array" >&2; exit 1; }
+    jq -e '
+      all(.targets[];
+          (.target | type == "string")
+          and (.seconds | type == "number")
+          and (.ops | type == "number")
+          and (.ops_per_sec | type == "number"))
+    ' "$TIMINGS" >/dev/null \
+        || { echo "FAIL: a timings row is missing seconds/ops/ops_per_sec" >&2; exit 1; }
+    jq -e '[.targets[].ops] | add > 0' "$TIMINGS" >/dev/null \
+        || { echo "FAIL: no simulated ops recorded" >&2; exit 1; }
+    echo "ok: timings document is well-formed" >&2
 fi
 
 echo "PASS" >&2

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Validates a --trace-out document with jq:
+#
+#   scripts/check_trace_schema.sh <trace.json>
+#
+# The document must carry the mobistore-trace/1 schema tag, a
+# displayTimeUnit, and a non-empty traceEvents array in which every
+# event is either metadata ("M": process_name/thread_name with a string
+# args.name) or a complete span ("X" with numeric ts/dur and integer
+# pid/tid). Chrome/Perfetto compatibility rides on exactly these fields.
+set -euo pipefail
+
+TRACE="${1:?usage: check_trace_schema.sh <trace.json>}"
+
+command -v jq >/dev/null || { echo "jq is required" >&2; exit 1; }
+
+echo "checking $TRACE against mobistore-trace/1..." >&2
+
+jq -e '.schema == "mobistore-trace/1"' "$TRACE" >/dev/null \
+    || { echo "FAIL: schema tag is not mobistore-trace/1" >&2; exit 1; }
+jq -e '.displayTimeUnit == "ns"' "$TRACE" >/dev/null \
+    || { echo "FAIL: missing displayTimeUnit" >&2; exit 1; }
+jq -e '.traceEvents | type == "array" and length > 0' "$TRACE" >/dev/null \
+    || { echo "FAIL: traceEvents must be a non-empty array" >&2; exit 1; }
+
+jq -e '
+  all(.traceEvents[];
+      (.ph == "M" and (.name == "process_name" or .name == "thread_name")
+        and (.args.name | type == "string")
+        and (.pid | type == "number"))
+      or
+      (.ph == "X" and (.name | type == "string")
+        and (.ts | type == "number") and (.dur | type == "number")
+        and (.pid | type == "number") and (.tid | type == "number")))
+' "$TRACE" >/dev/null \
+    || { echo "FAIL: a trace event is malformed" >&2; exit 1; }
+
+# Both sides of the span taxonomy must appear: whole ops and device work.
+jq -e '[.traceEvents[] | select(.ph == "X") | .name]
+       | (any(startswith("op/")))
+         and (any(. == "disk_seek" or . == "flash_read"
+                  or . == "flash_program"))' "$TRACE" >/dev/null \
+    || { echo "FAIL: missing op/device span families" >&2; exit 1; }
+
+# Every X event's lane must be disjoint: within one (pid, tid), sorted
+# by ts, no event may start before the previous one ended.
+jq -e '
+  [.traceEvents[] | select(.ph == "X")]
+  | group_by([.pid, .tid])
+  | all(.[];
+        sort_by(.ts) as $g
+        | all(range(1; $g | length); . as $i
+              | ($g[$i].ts >= $g[$i-1].ts + $g[$i-1].dur - 0.0005)))
+' "$TRACE" >/dev/null \
+    || { echo "FAIL: overlapping spans within one rendered lane" >&2; exit 1; }
+
+COUNT=$(jq '[.traceEvents[] | select(.ph == "X")] | length' "$TRACE")
+echo "ok: trace document is well-formed ($COUNT spans)" >&2
+echo "PASS" >&2

@@ -15,8 +15,11 @@ use mobistore::experiments::Scale;
 /// fixture doubles as proof the sweep is deterministic end to end) and
 /// the bit-error integrity sweep (whose zero-rate rows double as proof
 /// that a quiet integrity plan draws no randomness) and the 64-shard
-/// fleet run (whose merged percentiles pin the metric-merge semantics).
-const GOLDEN_TARGETS: [&str; 12] = [
+/// fleet run (whose merged percentiles pin the metric-merge semantics)
+/// and the host profile's simulation counts (whose ops/events/spans
+/// columns pin the observer's event and span cardinalities — wall-clock
+/// stays on stderr, so the fixture is stable).
+const GOLDEN_TARGETS: [&str; 13] = [
     "table1",
     "table2",
     "table3",
@@ -29,6 +32,7 @@ const GOLDEN_TARGETS: [&str; 12] = [
     "crashcheck",
     "integrity",
     "fleet",
+    "profile",
 ];
 
 fn fixture_path(target: &str) -> std::path::PathBuf {

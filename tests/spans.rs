@@ -1,0 +1,138 @@
+//! Span-tracing properties: every collected span is a valid sim-time
+//! interval, op spans are monotone in sim time, the Chrome trace
+//! document's lanes are disjoint (the renderer's packing contract), and
+//! the whole `--trace-out` artifact is byte-identical across `--jobs`
+//! counts.
+//!
+//! The jobs-1-vs-jobs-4 comparison is one `#[test]` on purpose:
+//! `exec::set_jobs` is process-global and the default harness runs tests
+//! concurrently, so splitting the serial and parallel halves would race
+//! on the worker-count override.
+
+use mobistore::experiments::render::{render_target, RenderOptions};
+use mobistore::experiments::Scale;
+use mobistore::sim::exec;
+use mobistore::sim::span::{chrome_trace_json, Span, TRACE_SCHEMA};
+
+fn span_options() -> RenderOptions {
+    RenderOptions {
+        collect_spans: true,
+        ..RenderOptions::default()
+    }
+}
+
+/// Renders `observe` with span collection and returns the per-cell span
+/// streams plus the serialized `--trace-out` document.
+fn render_trace() -> (Vec<(String, Vec<Span>)>, String) {
+    let r = render_target("observe", Scale::quick(), &span_options());
+    let doc = chrome_trace_json(&r.span_processes);
+    (r.span_processes, doc)
+}
+
+#[test]
+fn trace_export_is_byte_identical_across_job_counts() {
+    exec::set_jobs(1);
+    let (_, doc1) = render_trace();
+
+    exec::set_jobs(4);
+    let (_, doc4) = render_trace();
+
+    assert_eq!(doc1, doc4, "trace document differs across job counts");
+}
+
+#[test]
+fn spans_are_valid_intervals_and_ops_are_monotone() {
+    let (processes, _) = render_trace();
+    assert_eq!(processes.len(), 6, "one process per observe cell");
+    for (cell, spans) in &processes {
+        assert!(!spans.is_empty(), "{cell}: no spans");
+        let mut last_op_start = None;
+        for span in spans {
+            assert!(span.end >= span.start, "{cell}: inverted span {span:?}");
+            // Ops are processed in trace order, so their spans' starts
+            // (issue times) are non-decreasing in emission order.
+            if span.kind.track() == "ops" {
+                if let Some(prev) = last_op_start {
+                    assert!(span.start >= prev, "{cell}: op spans not monotone");
+                }
+                last_op_start = Some(span.start);
+            }
+        }
+        let tracks: Vec<&str> = spans.iter().map(|s| s.kind.track()).collect();
+        assert!(tracks.contains(&"ops"), "{cell}: no op spans");
+        assert!(tracks.contains(&"device"), "{cell}: no device spans");
+    }
+}
+
+/// One "X" event pulled back out of the rendered document.
+struct TraceEvent {
+    pid: u64,
+    tid: u64,
+    ts_ns: u64,
+    dur_ns: u64,
+}
+
+/// Parses Chrome's fixed 3-decimal microsecond values back to integer
+/// nanoseconds.
+fn us_to_ns(s: &str) -> u64 {
+    let (whole, frac) = s.split_once('.').expect("3-decimal microseconds");
+    assert_eq!(frac.len(), 3, "ts/dur must have exactly 3 decimals: {s}");
+    whole.parse::<u64>().unwrap() * 1_000 + frac.parse::<u64>().unwrap()
+}
+
+/// Extracts a numeric field like `"tid":42` from one serialized event.
+fn field<'a>(ev: &'a str, key: &str) -> &'a str {
+    let start = ev.find(key).unwrap_or_else(|| panic!("no {key} in {ev}")) + key.len();
+    let rest = &ev[start..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or_else(|| panic!("unterminated {key} in {ev}"));
+    &rest[..end]
+}
+
+#[test]
+fn rendered_lanes_are_disjoint_and_document_is_versioned() {
+    let (_, doc) = render_trace();
+    assert!(
+        doc.starts_with(&format!(
+            "{{\"schema\":\"{TRACE_SCHEMA}\",\"displayTimeUnit\":\"ns\",\"traceEvents\":["
+        )),
+        "document header drifted"
+    );
+    assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+
+    // Pull every complete ("X") event back out of the document.
+    let events: Vec<TraceEvent> = doc
+        .split("{\"name\":")
+        .filter(|chunk| chunk.contains("\"ph\":\"X\""))
+        .map(|chunk| TraceEvent {
+            pid: field(chunk, "\"pid\":").parse().unwrap(),
+            tid: field(chunk, "\"tid\":").parse().unwrap(),
+            ts_ns: us_to_ns(field(chunk, "\"ts\":")),
+            dur_ns: us_to_ns(field(chunk, "\"dur\":")),
+        })
+        .collect();
+    assert!(
+        events.len() > 100,
+        "suspiciously few events: {}",
+        events.len()
+    );
+
+    // Within each (process, lane), events must be disjoint and ordered:
+    // that is exactly the well-nestedness contract the greedy packing
+    // promises Perfetto.
+    let mut lane_cursor: std::collections::BTreeMap<(u64, u64), u64> =
+        std::collections::BTreeMap::new();
+    for ev in &events {
+        let cursor = lane_cursor.entry((ev.pid, ev.tid)).or_insert(0);
+        assert!(
+            ev.ts_ns >= *cursor,
+            "lane (pid {}, tid {}) overlaps at {} ns",
+            ev.pid,
+            ev.tid,
+            ev.ts_ns
+        );
+        *cursor = ev.ts_ns + ev.dur_ns;
+    }
+}
