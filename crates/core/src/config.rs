@@ -9,6 +9,7 @@
 //! flash 80% utilized) so each Table 4 row is one builder call.
 
 use mobistore_cache::dram::WritePolicy;
+use mobistore_device::array::ChildClass;
 use mobistore_device::disk::{SeekModel, SpinDownPolicy};
 use mobistore_device::params::{
     dram_nec, sram_nec, DiskParams, DramParams, FlashCardParams, FlashDiskParams, SramParams,
@@ -53,6 +54,20 @@ pub enum BackendConfig {
         /// Victim selection policy.
         victim_policy: VictimPolicy,
     },
+    /// An erasure-coded `k + m` array over child device profiles (the
+    /// durability study).
+    Array {
+        /// Data shards per stripe.
+        k: usize,
+        /// Parity shards per stripe (losses tolerated).
+        m: usize,
+        /// The `k + m` children, in child order.
+        children: Vec<ChildClass>,
+        /// Hot spares available for background rebuilds.
+        spares: u32,
+        /// Rebuild pace in stripes per second.
+        rebuild_rate: f64,
+    },
 }
 
 impl BackendConfig {
@@ -62,6 +77,7 @@ impl BackendConfig {
             BackendConfig::Disk { .. } => "magnetic-disk",
             BackendConfig::FlashDisk { .. } => "flash-disk",
             BackendConfig::FlashCard { .. } => "flash-card",
+            BackendConfig::Array { .. } => "ec-array",
         }
     }
 }
@@ -177,6 +193,44 @@ impl SystemConfig {
                 utilization: Some(DEFAULT_FLASH_UTILIZATION),
                 mode: CleanerMode::Background,
                 victim_policy: VictimPolicy::GreedyMinLive,
+            },
+        }
+    }
+
+    /// An erasure-coded `k + m` array over `children` device profiles,
+    /// with the flash-disk-style defaults (2-Mbyte DRAM, write-through,
+    /// no SRAM buffer), one hot spare, and a 128-stripe/s rebuild pace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (`k == 0`, `m == 0`) or
+    /// `children.len() != k + m` (the same guards as
+    /// [`mobistore_device::ArrayDevice::new`]).
+    pub fn array(k: usize, m: usize, children: Vec<ChildClass>) -> Self {
+        assert!(k >= 1 && m >= 1, "array geometry {k}+{m} is invalid");
+        assert_eq!(
+            children.len(),
+            k + m,
+            "array geometry {k}+{m} needs exactly {} children, got {}",
+            k + m,
+            children.len()
+        );
+        SystemConfig {
+            name: format!("array-{k}+{m}"),
+            dram_bytes: DEFAULT_DRAM_BYTES,
+            dram_params: dram_nec(),
+            write_policy: WritePolicy::WriteThrough,
+            queueing: QueueDiscipline::OpenLoop,
+            sram_bytes: 0,
+            sram_params: sram_nec(),
+            fault: FaultConfig::none(),
+            integrity: IntegrityConfig::none(),
+            backend: BackendConfig::Array {
+                k,
+                m,
+                children,
+                spares: 1,
+                rebuild_rate: 128.0,
             },
         }
     }
@@ -352,6 +406,46 @@ impl SystemConfig {
         }
         self
     }
+
+    /// Sets the number of hot spares available for array rebuilds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-array backends.
+    pub fn with_spares(mut self, count: u32) -> Self {
+        match &mut self.backend {
+            BackendConfig::Array { spares, .. } => *spares = count,
+            other => panic!(
+                "config '{}': spares apply only to ec-array backends, \
+                 not the {} backend",
+                self.name,
+                other.kind()
+            ),
+        }
+        self
+    }
+
+    /// Sets the array rebuild pace in stripes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-array backends or a non-finite/non-positive rate.
+    pub fn with_rebuild_rate(mut self, stripes_per_sec: f64) -> Self {
+        assert!(
+            stripes_per_sec.is_finite() && stripes_per_sec > 0.0,
+            "rebuild rate out of range: {stripes_per_sec}"
+        );
+        match &mut self.backend {
+            BackendConfig::Array { rebuild_rate, .. } => *rebuild_rate = stripes_per_sec,
+            other => panic!(
+                "config '{}': rebuild rate applies only to ec-array backends, \
+                 not the {} backend",
+                self.name,
+                other.kind()
+            ),
+        }
+        self
+    }
 }
 
 #[cfg(test)]
@@ -444,6 +538,73 @@ mod tests {
             SystemConfig::flash_card(intel_datasheet()).backend.kind(),
             "flash-card"
         );
+        assert_eq!(
+            SystemConfig::array(2, 1, vec![ChildClass::FlashDisk; 3])
+                .backend
+                .kind(),
+            "ec-array"
+        );
+    }
+
+    #[test]
+    fn array_defaults() {
+        let cfg = SystemConfig::array(
+            4,
+            2,
+            vec![
+                ChildClass::FlashCard,
+                ChildClass::FlashCard,
+                ChildClass::FlashDisk,
+                ChildClass::FlashDisk,
+                ChildClass::HardDisk,
+                ChildClass::HardDisk,
+            ],
+        )
+        .with_spares(2)
+        .with_rebuild_rate(64.0);
+        assert_eq!(cfg.name, "array-4+2");
+        assert_eq!(cfg.sram_bytes, 0);
+        match cfg.backend {
+            BackendConfig::Array {
+                k,
+                m,
+                ref children,
+                spares,
+                rebuild_rate,
+            } => {
+                assert_eq!((k, m), (4, 2));
+                assert_eq!(children.len(), 6);
+                assert_eq!(spares, 2);
+                assert_eq!(rebuild_rate, 64.0);
+            }
+            _ => panic!("expected array backend"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "array geometry 0+2 is invalid")]
+    fn array_zero_data_shards_panics() {
+        let _ = SystemConfig::array(0, 2, vec![ChildClass::FlashDisk; 2]);
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "config 'sdp5': rebuild rate applies only to ec-array backends, not the flash-disk backend"
+    )]
+    fn rebuild_rate_mismatch_names_field_and_backend() {
+        let _ = SystemConfig::flash_disk(sdp5_datasheet())
+            .named("sdp5")
+            .with_rebuild_rate(64.0);
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "config 'cu140': spares apply only to ec-array backends, not the magnetic-disk backend"
+    )]
+    fn spares_mismatch_names_field_and_backend() {
+        let _ = SystemConfig::disk(cu140_datasheet())
+            .named("cu140")
+            .with_spares(1);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use mobistore_cache::dram::CacheStats;
 use mobistore_cache::sram::SramStats;
+use mobistore_device::array::ArrayCounters;
 use mobistore_device::disk::DiskCounters;
 use mobistore_device::flashdisk::FlashDiskCounters;
 use mobistore_flash::store::{FlashCardCounters, WearStats};
@@ -48,6 +49,12 @@ pub struct Metrics {
     /// Log-bucketed distribution of those backoff episodes (for
     /// percentiles).
     pub backoff_latency: Histogram,
+    /// Degraded-read episodes on an erasure-coded array (reads that had
+    /// to decode around missing shards), in milliseconds per episode.
+    pub degraded_read_ms: Summary,
+    /// Log-bucketed distribution of those degraded reads (the durability
+    /// sweep's p99 column).
+    pub degraded_read_latency: Histogram,
     /// Wall-clock span of the measured portion.
     pub duration: SimDuration,
     /// DRAM cache behaviour, if a cache was configured.
@@ -60,6 +67,8 @@ pub struct Metrics {
     pub flash_disk: Option<FlashDiskCounters>,
     /// Flash-card counters, for flash-card backends.
     pub flash_card: Option<FlashCardCounters>,
+    /// Erasure-coded array counters, for ec-array backends.
+    pub array: Option<ArrayCounters>,
     /// Flash-card endurance statistics (§5.2), for flash-card backends.
     pub wear: Option<WearStats>,
     /// Dirty write-back blocks lost to injected power failures (volatile
@@ -96,6 +105,10 @@ pub struct FaultTotals {
     /// Writes refused after a flash card degraded to read-only at end of
     /// life.
     pub rejected_writes: u64,
+    /// Permanent child-device deaths on an erasure-coded array.
+    pub device_deaths: u64,
+    /// Stripes an array reported unreconstructable (losses beyond `m`).
+    pub data_loss_events: u64,
 }
 
 /// Merges a named accumulator list (`energy_by_component`-style): values
@@ -142,12 +155,15 @@ impl Metrics {
             overall_latency: Histogram::new(),
             backoff_ms: Summary::default(),
             backoff_latency: Histogram::new(),
+            degraded_read_ms: Summary::default(),
+            degraded_read_latency: Histogram::new(),
             duration: SimDuration::ZERO,
             cache: None,
             sram: None,
             disk: None,
             flash_disk: None,
             flash_card: None,
+            array: None,
             wear: None,
             lost_dirty_blocks: 0,
             rejected_writes: 0,
@@ -188,6 +204,9 @@ impl Metrics {
         self.overall_latency.merge(&other.overall_latency);
         self.backoff_ms.merge(&other.backoff_ms);
         self.backoff_latency.merge(&other.backoff_latency);
+        self.degraded_read_ms.merge(&other.degraded_read_ms);
+        self.degraded_read_latency
+            .merge(&other.degraded_read_latency);
         self.duration = self.duration.max(other.duration);
         merge_opt(&mut self.cache, &other.cache, CacheStats::merge);
         merge_opt(&mut self.sram, &other.sram, SramStats::merge);
@@ -202,6 +221,7 @@ impl Metrics {
             &other.flash_card,
             FlashCardCounters::merge,
         );
+        merge_opt(&mut self.array, &other.array, ArrayCounters::merge);
         merge_opt(&mut self.wear, &other.wear, WearStats::merge);
         self.lost_dirty_blocks += other.lost_dirty_blocks;
         self.rejected_writes += other.rejected_writes;
@@ -265,6 +285,12 @@ impl Metrics {
             t.segments_retired += c.segments_retired;
             t.power_failures += c.power_failures;
             t.recovery_time += c.recovery_time;
+        }
+        if let Some(a) = self.array {
+            t.power_failures += a.power_failures;
+            t.recovery_time += a.recovery_time;
+            t.device_deaths += a.device_deaths;
+            t.data_loss_events += a.data_loss_events;
         }
         t
     }
@@ -351,6 +377,22 @@ impl Metrics {
                 c.erase_retry_backoff.as_nanos(),
             );
         }
+        if let Some(a) = self.array {
+            reg.add("array.ops", a.ops);
+            reg.add("array.bytes_read", a.bytes_read);
+            reg.add("array.bytes_written", a.bytes_written);
+            reg.add("array.degraded_reads", a.degraded_reads);
+            reg.add("array.parity_updates", a.parity_updates);
+            reg.add("array.rebuild_stripes", a.rebuild_stripes);
+            reg.add("array.rebuilds_completed", a.rebuilds_completed);
+            reg.add("array.rebuild_ns", a.rebuild_time.as_nanos());
+            reg.add("array.device_deaths", a.device_deaths);
+            reg.add("array.data_loss_events", a.data_loss_events);
+            reg.add("array.vulnerability_ns", a.vulnerability.as_nanos());
+            reg.add("array.power_failures", a.power_failures);
+            reg.add("array.recovery_ns", a.recovery_time.as_nanos());
+            reg.add("array.read_only_rejections", a.read_only_rejections);
+        }
         reg.add("lost_dirty_blocks", self.lost_dirty_blocks);
         reg.add("rejected_writes", self.rejected_writes);
         reg.add("rejected_blocks", self.rejected_blocks);
@@ -428,6 +470,8 @@ mod tests {
             overall_latency: Histogram::new(),
             backoff_ms: Summary::default(),
             backoff_latency: Histogram::new(),
+            degraded_read_ms: Summary::default(),
+            degraded_read_latency: Histogram::new(),
             duration: SimDuration::from_secs(50),
             cache: Some(CacheStats {
                 read_hits: 80,
@@ -440,6 +484,7 @@ mod tests {
             disk: None,
             flash_disk: None,
             flash_card: None,
+            array: None,
             wear: None,
             lost_dirty_blocks: 0,
             rejected_writes: 0,
@@ -505,6 +550,25 @@ mod tests {
         assert_eq!(t.power_failures, 2);
         assert_eq!(t.lost_dirty_blocks, 3);
         assert_eq!(t.recovery_time, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn fault_totals_include_array_losses() {
+        let mut m = dummy();
+        m.array = Some(ArrayCounters {
+            device_deaths: 2,
+            data_loss_events: 1,
+            power_failures: 3,
+            recovery_time: SimDuration::from_secs(2),
+            ..ArrayCounters::default()
+        });
+        let t = m.fault_totals();
+        assert_eq!(t.device_deaths, 2);
+        assert_eq!(t.data_loss_events, 1);
+        assert_eq!(t.power_failures, 3);
+        assert_eq!(t.recovery_time, SimDuration::from_secs(2));
+        let reg = m.counters();
+        assert_eq!(reg.get("array.device_deaths"), 2);
     }
 
     #[test]

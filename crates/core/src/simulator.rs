@@ -15,11 +15,12 @@
 
 use mobistore_cache::dram::{BufferCache, WritePolicy};
 use mobistore_cache::sram::SramWriteBuffer;
+use mobistore_device::array::ArrayDevice;
 use mobistore_device::disk::MagneticDisk;
 use mobistore_device::flashdisk::FlashDisk;
 use mobistore_device::{Dir, Service};
 use mobistore_flash::store::{FlashCardConfig, FlashCardStore};
-use mobistore_sim::fault::PowerFailSchedule;
+use mobistore_sim::fault::{DeathSchedule, PowerFailSchedule};
 use mobistore_sim::hist::LatencyRecorder;
 use mobistore_sim::obs::{Event, NoopObserver, Observer, OpKind};
 use mobistore_sim::span::{Span, SpanKind};
@@ -54,6 +55,7 @@ enum Backend {
     Disk(MagneticDisk),
     FlashDisk(FlashDisk),
     FlashCard(FlashCardStore),
+    Array(ArrayDevice),
 }
 
 /// Runs `trace` against `config` with default options (10% warm-up).
@@ -390,6 +392,21 @@ impl<'o, O: Observer> Simulator<'o, O> {
                 preload_card(&mut card, trace, *utilization);
                 Backend::FlashCard(card)
             }
+            BackendConfig::Array {
+                k,
+                m,
+                children,
+                spares,
+                rebuild_rate,
+            } => {
+                let mut arr = ArrayDevice::new(*k, *m, children, block_size)
+                    .with_queueing(config.queueing)
+                    .with_deaths(DeathSchedule::new(&config.fault, children.len()))
+                    .with_spares(*spares)
+                    .with_rebuild_rate(*rebuild_rate);
+                preload_array(&mut arr, trace);
+                Backend::Array(arr)
+            }
         };
         Simulator {
             dram,
@@ -592,6 +609,7 @@ impl<'o, O: Observer> Simulator<'o, O> {
             Backend::FlashCard(card) => {
                 card.try_read_obs(now, misses[0], device_blocks as u32, self.obs)
             }
+            Backend::Array(arr) => arr.try_read_obs(now, misses[0], device_blocks as u32, self.obs),
         };
         if read.is_err() {
             self.uncorrectable_reads += 1;
@@ -691,6 +709,18 @@ impl<'o, O: Observer> Simulator<'o, O> {
                             }
                         }
                     }
+                    Backend::Array(arr) => {
+                        match arr.try_write_obs(now, op.lbn, lbns.len() as u32, self.obs) {
+                            Ok(svc) => svc,
+                            Err(_) => {
+                                // Array failed beyond its parity budget:
+                                // it is read-only now; drain the trace.
+                                self.rejected_writes += 1;
+                                self.rejected_blocks += lbns.len() as u64;
+                                return SimDuration::ZERO;
+                            }
+                        }
+                    }
                 };
                 self.note_critical_service(now, &svc);
                 self.last_completion = self.last_completion.max(svc.end);
@@ -736,6 +766,33 @@ impl<'o, O: Observer> Simulator<'o, O> {
                     end,
                 }
             }
+            Backend::Array(arr) => {
+                let mut start = None;
+                let mut end = now;
+                let mut run_start = 0usize;
+                for i in 1..=blocks.len() {
+                    let run_ends = i == blocks.len() || blocks[i] != blocks[i - 1] + 1;
+                    if run_ends {
+                        let lbn = blocks[run_start];
+                        let count = (i - run_start) as u32;
+                        match arr.try_write_obs(end, lbn, count, self.obs) {
+                            Ok(svc) => {
+                                start.get_or_insert(svc.start);
+                                end = svc.end;
+                            }
+                            Err(_) => {
+                                self.rejected_writes += 1;
+                                self.rejected_blocks += u64::from(count);
+                            }
+                        }
+                        run_start = i;
+                    }
+                }
+                Service {
+                    start: start.unwrap_or(now),
+                    end,
+                }
+            }
         }
     }
 
@@ -755,6 +812,23 @@ impl<'o, O: Observer> Simulator<'o, O> {
                 let mut start = now;
                 for &lbn in lbns {
                     match card.try_write_obs(end, lbn, 1, self.obs) {
+                        Ok(svc) => {
+                            start = start.min(svc.start);
+                            end = svc.end;
+                        }
+                        Err(_) => {
+                            self.rejected_writes += 1;
+                            self.rejected_blocks += 1;
+                        }
+                    }
+                }
+                Service { start, end }
+            }
+            Backend::Array(arr) => {
+                let mut end = now;
+                let mut start = now;
+                for &lbn in lbns {
+                    match arr.try_write_obs(end, lbn, 1, self.obs) {
                         Ok(svc) => {
                             start = start.min(svc.start);
                             end = svc.end;
@@ -808,6 +882,7 @@ impl<'o, O: Observer> Simulator<'o, O> {
             Backend::Disk(disk) => Some(disk.power_fail_obs(at, self.fat_scan_bytes, self.obs)),
             Backend::FlashDisk(fd) => Some(fd.power_fail_obs(at, self.obs)),
             Backend::FlashCard(card) => Some(card.power_fail_obs(at, self.obs)),
+            Backend::Array(arr) => Some(arr.power_fail_obs(at, self.obs)),
         };
         if let Some(svc) = svc {
             self.obs.record(&Event::RecoveryEnd {
@@ -828,8 +903,10 @@ impl<'o, O: Observer> Simulator<'o, O> {
             if let Some(buf) = self.sram.as_mut() {
                 buf.invalidate(lbn);
             }
-            if let Backend::FlashCard(card) = &mut self.backend {
-                card.trim_obs(op.time, lbn, 1, self.obs);
+            match &mut self.backend {
+                Backend::FlashCard(card) => card.trim_obs(op.time, lbn, 1, self.obs),
+                Backend::Array(arr) => arr.trim(lbn, 1),
+                _ => {}
             }
         }
     }
@@ -847,6 +924,10 @@ impl<'o, O: Observer> Simulator<'o, O> {
             Backend::FlashCard(card) => {
                 card.finish_obs(at, self.obs);
                 card.reset_metrics(reset_wear);
+            }
+            Backend::Array(arr) => {
+                arr.finish_obs(at, self.obs);
+                arr.reset_metrics();
             }
         }
         if let Some(buf) = self.sram.as_mut() {
@@ -884,25 +965,40 @@ impl<'o, O: Observer> Simulator<'o, O> {
 
         let mut components: Vec<(&'static str, mobistore_sim::energy::Joules)> = Vec::new();
         let mut backoff = LatencyRecorder::new();
-        let (disk_c, fd_c, card_c, wear, backend_states) = match &mut self.backend {
+        let mut degraded = LatencyRecorder::new();
+        let (disk_c, fd_c, card_c, array_c, wear, backend_states) = match &mut self.backend {
             Backend::Disk(disk) => {
                 disk.finish_obs(end, self.obs);
                 components.push(("disk", disk.energy()));
                 let states = disk.meter().breakdown_timed().collect();
-                (Some(disk.counters()), None, None, None, states)
+                (Some(disk.counters()), None, None, None, None, states)
             }
             Backend::FlashDisk(fd) => {
                 fd.finish_obs(end, self.obs);
                 components.push(("flash", fd.energy()));
                 let states = fd.meter().breakdown_timed().collect();
-                (None, Some(fd.counters()), None, None, states)
+                (None, Some(fd.counters()), None, None, None, states)
             }
             Backend::FlashCard(card) => {
                 card.finish_obs(end, self.obs);
                 components.push(("flash", card.energy()));
                 let states = card.meter().breakdown_timed().collect();
                 backoff = card.backoff_recorder().clone();
-                (None, None, Some(card.counters()), Some(card.wear()), states)
+                (
+                    None,
+                    None,
+                    Some(card.counters()),
+                    None,
+                    Some(card.wear()),
+                    states,
+                )
+            }
+            Backend::Array(arr) => {
+                arr.finish_obs(end, self.obs);
+                components.push(("array", arr.energy()));
+                let states = arr.meter().breakdown_timed().collect();
+                degraded = arr.degraded_recorder().clone();
+                (None, None, None, Some(arr.counters()), None, states)
             }
         };
         if let Some(buf) = self.sram.as_mut() {
@@ -930,12 +1026,15 @@ impl<'o, O: Observer> Simulator<'o, O> {
             overall_latency: std::mem::take(&mut self.all_ms).into_histogram(),
             backoff_ms: backoff.summary(),
             backoff_latency: backoff.into_histogram(),
+            degraded_read_ms: degraded.summary(),
+            degraded_read_latency: degraded.into_histogram(),
             duration: span,
             cache: self.dram.as_ref().map(|c| c.stats()),
             sram: sram_stats,
             disk: disk_c,
             flash_disk: fd_c,
             flash_card: card_c,
+            array: array_c,
             wear,
             lost_dirty_blocks: self.lost_dirty_blocks,
             rejected_writes: self.rejected_writes,
@@ -981,6 +1080,21 @@ fn preload_card(card: &mut FlashCardStore, trace: &Trace, utilization: Option<f6
     card.preload_aged(working.into_iter().chain(filler_base..filler_base + filler));
 }
 
+/// Preloads an erasure-coded array with the trace's working set, so every
+/// block the trace reads has a generation-stamped stripe to decode (the
+/// crashcheck oracle preloads the same way).
+fn preload_array(arr: &mut ArrayDevice, trace: &Trace) {
+    let mut working: Vec<u64> = trace
+        .ops
+        .iter()
+        .filter(|op| op.kind != DiskOpKind::Trim)
+        .flat_map(|op| op.lbn..op.lbn + u64::from(op.blocks))
+        .collect();
+    working.sort_unstable();
+    working.dedup();
+    arr.preload(working.into_iter());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1021,6 +1135,52 @@ mod tests {
             assert!(m.read_response_ms.count > 0);
             assert!(m.write_response_ms.count > 0);
         }
+    }
+
+    #[test]
+    fn array_backend_runs_and_reports_counters() {
+        use mobistore_device::array::ChildClass;
+        let trace = small_trace(200, 50);
+        let cfg = SystemConfig::array(2, 1, vec![ChildClass::FlashDisk; 3]);
+        let m = simulate(&cfg, &trace);
+        assert!(m.energy.get() > 0.0);
+        assert!(m.read_response_ms.count > 0);
+        assert!(m.write_response_ms.count > 0);
+        let a = m.array.expect("array counters");
+        assert!(a.ops > 0);
+        assert!(a.parity_updates > 0, "writes must update parity");
+        assert_eq!(a.device_deaths, 0);
+        assert!(m
+            .energy_by_component
+            .iter()
+            .any(|(name, j)| *name == "array" && j.get() > 0.0));
+        // Deterministic: same config, same trace, same joules.
+        let again = simulate(&cfg, &trace);
+        assert_eq!(m.energy.get(), again.energy.get());
+        assert_eq!(m.write_response_ms, again.write_response_ms);
+    }
+
+    #[test]
+    fn array_deaths_degrade_reads_but_lose_nothing_reported() {
+        use mobistore_device::array::ChildClass;
+        use mobistore_sim::fault::FaultConfig;
+        let trace = miss_trace(400, 1000);
+        // No spares and a death rate high enough that a child dies
+        // mid-run: later reads of its shards decode from survivors.
+        let cfg = SystemConfig::array(2, 1, vec![ChildClass::FlashDisk; 3])
+            .with_spares(0)
+            .with_dram(0)
+            .with_faults(FaultConfig::with_rate(0.0, 9).with_death_rate(20.0));
+        let m = simulate(&cfg, &trace);
+        let a = m.array.expect("array counters");
+        let t = m.fault_totals();
+        assert!(t.device_deaths >= 1, "no child died; raise the rate");
+        assert!(a.degraded_reads > 0, "no degraded reads observed");
+        assert!(m.degraded_read_ms.count > 0, "degraded summary empty");
+        // Same seed, same deaths: the run is fully reproducible.
+        let again = simulate(&cfg, &trace);
+        assert_eq!(m.energy.get(), again.energy.get());
+        assert_eq!(m.fault_totals(), again.fault_totals());
     }
 
     /// A trace whose working set (6 MB) exceeds the 2-MB DRAM cache, so

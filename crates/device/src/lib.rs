@@ -23,10 +23,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod array;
 pub mod disk;
 pub mod flashdisk;
 pub mod params;
 
+pub use array::ArrayDevice;
 pub use disk::MagneticDisk;
 pub use flashdisk::FlashDisk;
 
@@ -71,6 +73,25 @@ pub enum DeviceError {
         /// Raw bit errors the read saw.
         errors: u32,
     },
+    /// An erasure-coded array could not reconstruct one stripe: more
+    /// shards are missing than the survivors can decode around (extra
+    /// uncorrectable shards on top of dead children). The array stays
+    /// usable — other stripes still decode; callers degrade per-block.
+    ArrayDegraded {
+        /// The logical block whose stripe could not be reconstructed.
+        lbn: u64,
+        /// Shards missing from the stripe.
+        lost: u32,
+    },
+    /// An erasure-coded array has lost more children than its parity can
+    /// tolerate and has degraded to read-only: writes are rejected, and
+    /// reads whose stripes span the dead children fail.
+    ArrayFailed {
+        /// Children currently dead (not yet rebuilt).
+        lost: u32,
+        /// Concurrent losses the geometry tolerates (`m`).
+        tolerated: u32,
+    },
 }
 
 impl std::fmt::Display for DeviceError {
@@ -99,6 +120,16 @@ impl std::fmt::Display for DeviceError {
                 f,
                 "uncorrectable read of block {lbn}: {errors} raw bit errors exceed the ECC \
                  budget and read-retry"
+            ),
+            DeviceError::ArrayDegraded { lbn, lost } => write!(
+                f,
+                "array cannot reconstruct block {lbn}: {lost} shards of its stripe are \
+                 missing, more than the parity can decode around"
+            ),
+            DeviceError::ArrayFailed { lost, tolerated } => write!(
+                f,
+                "array failed: {lost} children dead, geometry tolerates {tolerated}; \
+                 degraded to read-only"
             ),
         }
     }

@@ -6,9 +6,10 @@
 //!
 //! Targets: `table1 table2 table3 table4 figure1 figure2 figure3 figure4
 //! figure5 async endurance verify battery ablations nextgen sensitivity
-//! related reliability observe crashcheck integrity fleet profile`
-//! (default: all), plus the on-demand target `throughput` (never part of
-//! the default list: its stdout carries wall-clock numbers).
+//! related reliability observe crashcheck integrity fleet profile
+//! durability` (default: all), plus the on-demand target `throughput`
+//! (never part of the default list: its stdout carries wall-clock
+//! numbers).
 //!
 //! The `reliability` target takes extra flags: `--fault-rates <a,b,c>`
 //! (transient write/erase fault rates to sweep), `--fault-power-interval
@@ -32,9 +33,20 @@
 //! `--fleet-seed <n>` (the fleet seed every per-shard stream derives
 //! from). Its merged metrics are byte-identical at any `--jobs` count.
 //!
+//! The `durability` target takes `--ec <k+m,...>` (comma-separated
+//! Reed-Solomon array geometries, each with `k >= 1` data and `m >= 1`
+//! parity shards within the 255-shard stripe limit), `--death-rates
+//! <a,b,c>` (expected permanent whole-device deaths per device-hour,
+//! finite and non-negative), `--rebuild-rate <stripes/s>` (hot-spare
+//! rebuild pacing, positive), and `--durability-seed <n>` (the
+//! death-schedule seed, independent of the workload seed). Its metrics
+//! export carries a versioned `mobistore-durability/1` block.
+//!
 //! Exit codes are typed: `0` success, `1` I/O failure, `2` usage error,
 //! `3` configuration error ([`SimError::Config`]), `4` device error,
-//! `5` cache error.
+//! `5` cache error, `6` degraded array
+//! ([`DeviceError::ArrayDegraded`]), `7` failed array
+//! ([`DeviceError::ArrayFailed`]).
 //!
 //! Observability exports: `--events-out <path>` writes the JSONL event
 //! stream produced by observing targets (`observe`), `--trace-out
@@ -75,6 +87,7 @@ use std::time::{Duration, Instant};
 use mobistore_core::crashcheck::CrashPoints;
 use mobistore_core::metrics::Metrics;
 use mobistore_core::simulator::SimError;
+use mobistore_device::DeviceError;
 use mobistore_experiments::fleet::FleetOptions;
 use mobistore_experiments::render::{try_render_target, RenderOptions, ON_DEMAND_TARGETS, TARGETS};
 use mobistore_experiments::{export, Scale};
@@ -90,6 +103,7 @@ struct TargetOutput {
     metrics: Vec<Metrics>,
     events_jsonl: Option<String>,
     fleet_info: Option<export::FleetInfo>,
+    durability_info: Option<export::DurabilityInfo>,
     span_processes: Vec<(String, Vec<Span>)>,
     host_report: Option<String>,
     throughput_json: Option<String>,
@@ -219,6 +233,30 @@ fn main() -> ExitCode {
                 Some(v) => render.fleet.seed = v,
                 None => return usage("--fleet-seed needs an integer"),
             },
+            "--ec" => match args.next().map(|v| parse_geometries(&v)) {
+                Some(Some(geometries)) => render.durability.geometries = geometries,
+                _ => {
+                    return usage(&format!(
+                        "--ec needs comma-separated k+m geometries with k >= 1, \
+                         m >= 1, and k+m <= the {}-device stripe limit",
+                        mobistore_experiments::durability::MAX_SHARDS
+                    ));
+                }
+            },
+            "--death-rates" => match args.next().map(|v| parse_death_rates(&v)) {
+                Some(Some(rates)) => render.durability.death_rates = rates,
+                _ => {
+                    return usage("--death-rates needs comma-separated non-negative rates");
+                }
+            },
+            "--rebuild-rate" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v.is_finite() && v > 0.0 => render.durability.rebuild_rate = v,
+                _ => return usage("--rebuild-rate needs a positive stripes/sec rate"),
+            },
+            "--durability-seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => render.durability.seed = v,
+                None => return usage("--durability-seed needs an integer"),
+            },
             "--help" | "-h" => return usage(""),
             t if !t.starts_with('-') => targets.push(t.to_owned()),
             other => return usage(&format!("unknown flag {other}")),
@@ -264,6 +302,7 @@ fn main() -> ExitCode {
             metrics: r.metrics,
             events_jsonl: r.events_jsonl,
             fleet_info: r.fleet_info,
+            durability_info: r.durability_info,
             span_processes: r.span_processes,
             host_report: r.host_report,
             throughput_json: r.throughput_json,
@@ -341,6 +380,7 @@ fn main() -> ExitCode {
                 target: t.as_str(),
                 rows: r.metrics.as_slice(),
                 fleet: r.fleet_info,
+                durability: r.durability_info.as_ref(),
             })
             .collect();
         write_artifact(path, &export::metrics_json(scale, &per_target), "metrics");
@@ -409,10 +449,14 @@ fn timings_json_doc(targets: &[String], results: &[TargetOutput], total: Duratio
 }
 
 /// Maps a [`SimError`] to its documented exit code: configuration errors
-/// exit 3, device errors 4, cache errors 5.
+/// exit 3, device errors 4, cache errors 5 — except the typed array
+/// failures, which get their own codes: a degraded array (data still
+/// reconstructible) exits 6, a failed array (losses past `m`) exits 7.
 fn sim_error_exit(e: &SimError) -> ExitCode {
     ExitCode::from(match e {
         SimError::Config(_) => 3,
+        SimError::Device(DeviceError::ArrayDegraded { .. }) => 6,
+        SimError::Device(DeviceError::ArrayFailed { .. }) => 7,
         SimError::Device(_) => 4,
         SimError::Cache(_) => 5,
     })
@@ -428,6 +472,44 @@ fn parse_crash_points(s: &str) -> Option<CrashPoints> {
         Ok(n) if n > 0 => Some(CrashPoints::Sampled(n)),
         _ => None,
     }
+}
+
+/// Parses `--ec`: comma-separated `k+m` geometries. Each part must be
+/// two positive integers joined by `+`, with `k+m` within the GF(2^8)
+/// codec's 255-shard stripe limit — `0+2`, `4+0`, `200+100`, and
+/// anything unparsable are usage errors.
+fn parse_geometries(s: &str) -> Option<Vec<(usize, usize)>> {
+    let geometries: Option<Vec<(usize, usize)>> = s
+        .split(',')
+        .map(|part| {
+            let (k, m) = part.trim().split_once('+')?;
+            match (k.trim().parse::<usize>(), m.trim().parse::<usize>()) {
+                (Ok(k), Ok(m))
+                    if k >= 1
+                        && m >= 1
+                        && k + m <= mobistore_experiments::durability::MAX_SHARDS =>
+                {
+                    Some((k, m))
+                }
+                _ => None,
+            }
+        })
+        .collect();
+    geometries.filter(|g| !g.is_empty())
+}
+
+/// Parses `--death-rates`: comma-separated expected device deaths per
+/// device-hour. Not capped at 1 — they are rates, not probabilities —
+/// but they must be finite and `>= 0`.
+fn parse_death_rates(s: &str) -> Option<Vec<f64>> {
+    let rates: Option<Vec<f64>> = s
+        .split(',')
+        .map(|part| match part.trim().parse::<f64>() {
+            Ok(r) if r.is_finite() && r >= 0.0 => Some(r),
+            _ => None,
+        })
+        .collect();
+    rates.filter(|r| !r.is_empty())
 }
 
 /// Parses `--fault-rates`: comma-separated probabilities in `[0, 1]`.
@@ -499,9 +581,11 @@ fn usage(err: &str) -> ExitCode {
          [--crash-points <all|n>] [--crash-seed <n>] \
          [--ber-rates <a,b,c>] [--scrub-interval <secs>] [--ber-seed <n>] \
          [--fleet-shards <n>] [--fleet-population <n>] [--fleet-seed <n>] \
+         [--ec <k+m,...>] [--death-rates <a,b,c>] [--rebuild-rate <stripes/s>] \
+         [--durability-seed <n>] \
          [table1|table2|table3|table4|figure1|figure2|figure3|figure4|figure5|async|endurance|\
          verify|battery|ablations|nextgen|sensitivity|related|reliability|observe|crashcheck|\
-         integrity|fleet|profile|throughput ...]"
+         integrity|fleet|profile|durability|throughput ...]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -29,6 +29,25 @@ pub const FLEET_SCHEMA: &str = "mobistore-fleet/1";
 /// ([`crate::throughput::Throughput::to_json`]).
 pub const THROUGHPUT_SCHEMA: &str = "mobistore-throughput/1";
 
+/// Version tag of the per-target `durability` block the `durability`
+/// target emits.
+pub const DURABILITY_SCHEMA: &str = "mobistore-durability/1";
+
+/// Durability sweep parameters, embedded in the `durability` target's
+/// entry as a versioned `durability` object so consumers can re-derive
+/// the sweep grid.
+#[derive(Debug, Clone)]
+pub struct DurabilityInfo {
+    /// The `k+m` geometries the sweep ran.
+    pub geometries: Vec<(usize, usize)>,
+    /// The device-death rates the sweep ran.
+    pub death_rates: Vec<f64>,
+    /// Background rebuild pacing, stripes per second.
+    pub rebuild_rate: f64,
+    /// The death-schedule seed.
+    pub seed: u64,
+}
+
 /// Fleet sharding parameters, embedded in the `fleet` target's entry as a
 /// versioned `fleet` object so consumers can re-derive the shard map.
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +69,8 @@ pub struct TargetExport<'a> {
     pub rows: &'a [Metrics],
     /// Fleet block, set only by the `fleet` target.
     pub fleet: Option<FleetInfo>,
+    /// Durability block, set only by the `durability` target.
+    pub durability: Option<&'a DurabilityInfo>,
 }
 
 /// Formats a float for JSON: plain shortest-roundtrip decimal, with
@@ -174,6 +195,33 @@ pub fn metrics_json(scale: Scale, targets: &[TargetExport<'_>]) -> String {
                 fleet.seed
             );
         }
+        if let Some(d) = entry.durability {
+            let _ = write!(
+                s,
+                ",\"durability\":{{\"schema\":{}",
+                jstr(DURABILITY_SCHEMA)
+            );
+            s.push_str(",\"geometries\":[");
+            for (j, (k, m)) in d.geometries.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&jstr(&format!("{k}+{m}")));
+            }
+            s.push_str("],\"death_rates\":[");
+            for (j, rate) in d.death_rates.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&jnum(*rate));
+            }
+            let _ = write!(
+                s,
+                "],\"rebuild_rate\":{},\"seed\":{}}}",
+                jnum(d.rebuild_rate),
+                d.seed
+            );
+        }
         s.push_str(",\"rows\":[");
         for (j, row) in entry.rows.iter().enumerate() {
             if j > 0 {
@@ -227,6 +275,7 @@ mod tests {
                 target: "observe",
                 rows: std::slice::from_ref(&m),
                 fleet: None,
+                durability: None,
             }],
         );
         assert!(doc.starts_with("{\"schema\":\"mobistore-metrics/1\""));
@@ -263,6 +312,7 @@ mod tests {
                 target: "table1",
                 rows: &[],
                 fleet: None,
+                durability: None,
             }],
         );
         assert!(doc.contains("\"target\":\"table1\",\"rows\":[]"));
@@ -280,6 +330,7 @@ mod tests {
                     population: 512,
                     seed: 1994,
                 }),
+                durability: None,
             }],
         );
         assert!(doc.contains(
@@ -287,5 +338,32 @@ mod tests {
              \"shards\":64,\"population\":512,\"seed\":1994}"
         ));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn durability_block_is_versioned_and_placed_in_its_target() {
+        let info = DurabilityInfo {
+            geometries: vec![(2, 1), (4, 2)],
+            death_rates: vec![0.0, 4.0],
+            rebuild_rate: 128.0,
+            seed: 1994,
+        };
+        let doc = metrics_json(
+            Scale::quick(),
+            &[TargetExport {
+                target: "durability",
+                rows: &[],
+                fleet: None,
+                durability: Some(&info),
+            }],
+        );
+        assert!(doc.contains(
+            "\"target\":\"durability\",\"durability\":{\
+             \"schema\":\"mobistore-durability/1\",\
+             \"geometries\":[\"2+1\",\"4+2\"],\"death_rates\":[0,4],\
+             \"rebuild_rate\":128,\"seed\":1994}"
+        ));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
     }
 }

@@ -28,6 +28,7 @@
 //! | [`crashcheck`] | crash-consistency torture sweep + end-of-life degradation |
 //! | [`integrity`] | wear-coupled bit errors, ECC + read-retry, scrubbing |
 //! | [`fleet`] | fleet-scale sharded simulation with merged metrics |
+//! | [`durability`] | Reed-Solomon k+m arrays under device deaths (beyond the paper) |
 //! | [`profile`] | host-time self-profiling of the simulator's hot paths |
 //! | [`throughput`] | wall-clock ops/sec accountability harness (on demand) |
 //!
@@ -45,6 +46,7 @@ pub mod async_cleaning;
 pub mod battery;
 pub mod crashcheck;
 pub mod csv;
+pub mod durability;
 pub mod endurance;
 pub mod export;
 pub mod figure1;

@@ -13,16 +13,17 @@ use mobistore_core::simulator::SimError;
 use mobistore_sim::span::Span;
 
 use crate::crashcheck::CrashCheckOptions;
+use crate::durability::DurabilityOptions;
 use crate::fleet::FleetOptions;
 use crate::integrity::IntegrityOptions;
 use crate::reliability::ReliabilityOptions;
 use crate::throughput::ThroughputOptions;
-use crate::{crashcheck, fleet, integrity, reliability, Scale};
+use crate::{crashcheck, durability, fleet, integrity, reliability, Scale};
 
 /// Every default target, in the default (paper) order. Each target's
 /// stdout is deterministic (byte-identical at any `--jobs` count), so
 /// the whole list is golden-pinnable.
-pub const TARGETS: [&str; 23] = [
+pub const TARGETS: [&str; 24] = [
     "table1",
     "table2",
     "table3",
@@ -46,6 +47,7 @@ pub const TARGETS: [&str; 23] = [
     "integrity",
     "fleet",
     "profile",
+    "durability",
 ];
 
 /// Targets that must be requested by name: their stdout carries
@@ -65,6 +67,8 @@ pub struct RenderOptions {
     pub integrity: IntegrityOptions,
     /// The `fleet` target's shard count, population, and seed.
     pub fleet: FleetOptions,
+    /// The `durability` target's geometry/death-rate sweep parameters.
+    pub durability: DurabilityOptions,
     /// Collect per-event JSONL streams (the `--events-out` payload) from
     /// targets that observe their simulations. Off by default: rendering
     /// with the default options is exactly the pre-observability output.
@@ -94,6 +98,10 @@ pub struct RenderedTarget {
     /// Fleet sharding parameters, set only by the `fleet` target; carried
     /// into the `--metrics-out` document as its `mobistore-fleet/1` block.
     pub fleet_info: Option<crate::export::FleetInfo>,
+    /// Durability sweep parameters, set only by the `durability` target;
+    /// carried into the `--metrics-out` document as its
+    /// `mobistore-durability/1` block.
+    pub durability_info: Option<crate::export::DurabilityInfo>,
     /// `(process name, spans)` pairs for the `--trace-out` export, when
     /// [`RenderOptions::collect_spans`] was set and the target observes.
     pub span_processes: Vec<(String, Vec<Span>)>,
@@ -139,6 +147,7 @@ pub fn try_render_target(
     let mut metrics: Vec<Metrics> = Vec::new();
     let mut events_jsonl: Option<String> = None;
     let mut fleet_info: Option<crate::export::FleetInfo> = None;
+    let mut durability_info: Option<crate::export::DurabilityInfo> = None;
     let mut span_processes: Vec<(String, Vec<Span>)> = Vec::new();
     let mut host_report: Option<String> = None;
     let mut throughput_json: Option<String> = None;
@@ -243,6 +252,17 @@ pub fn try_render_target(
                 seed: fl.options.seed,
             });
         }
+        "durability" => {
+            let d = durability::run(scale, &options.durability);
+            p(&mut out, &d);
+            metrics.extend(d.metrics_rows());
+            durability_info = Some(crate::export::DurabilityInfo {
+                geometries: d.options.geometries.clone(),
+                death_rates: d.options.death_rates.clone(),
+                rebuild_rate: d.options.rebuild_rate,
+                seed: d.options.seed,
+            });
+        }
         other => panic!("unknown target {other}"),
     }
     Ok(RenderedTarget {
@@ -251,6 +271,7 @@ pub fn try_render_target(
         metrics,
         events_jsonl,
         fleet_info,
+        durability_info,
         span_processes,
         host_report,
         throughput_json,

@@ -139,3 +139,53 @@ fn malformed_fleet_seed_is_a_usage_error() {
     assert_usage_error(&["--fleet-seed", "-1"], "--fleet-seed");
     assert_usage_error(&["--fleet-seed"], "--fleet-seed");
 }
+
+#[test]
+fn malformed_ec_geometries_are_usage_errors() {
+    assert_usage_error(&["--ec", "0+2"], "--ec");
+    assert_usage_error(&["--ec", "4+0"], "--ec");
+    assert_usage_error(&["--ec", "200+100"], "--ec");
+    assert_usage_error(&["--ec", "4+2,0+1"], "--ec");
+    assert_usage_error(&["--ec", "4-2"], "--ec");
+    assert_usage_error(&["--ec", "banana"], "--ec");
+    assert_usage_error(&["--ec", "4+two"], "--ec");
+    assert_usage_error(&["--ec", ""], "--ec");
+    assert_usage_error(&["--ec"], "--ec");
+}
+
+#[test]
+fn malformed_death_rates_are_usage_errors() {
+    assert_usage_error(&["--death-rates", "nan"], "--death-rates");
+    assert_usage_error(&["--death-rates", "4,-1"], "--death-rates");
+    assert_usage_error(&["--death-rates", "0,banana"], "--death-rates");
+    assert_usage_error(&["--death-rates", "inf"], "--death-rates");
+    assert_usage_error(&["--death-rates", ""], "--death-rates");
+    assert_usage_error(&["--death-rates"], "--death-rates");
+}
+
+#[test]
+fn malformed_rebuild_rate_is_a_usage_error() {
+    assert_usage_error(&["--rebuild-rate", "0"], "--rebuild-rate");
+    assert_usage_error(&["--rebuild-rate", "-128"], "--rebuild-rate");
+    assert_usage_error(&["--rebuild-rate", "nan"], "--rebuild-rate");
+    assert_usage_error(&["--rebuild-rate", "inf"], "--rebuild-rate");
+    assert_usage_error(&["--rebuild-rate", "fast"], "--rebuild-rate");
+    assert_usage_error(&["--rebuild-rate"], "--rebuild-rate");
+}
+
+#[test]
+fn malformed_durability_seed_is_a_usage_error() {
+    assert_usage_error(&["--durability-seed", "banana"], "--durability-seed");
+    assert_usage_error(&["--durability-seed", "-1"], "--durability-seed");
+    assert_usage_error(&["--durability-seed"], "--durability-seed");
+}
+
+#[test]
+fn usage_lists_the_durability_target_and_flags() {
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for needle in ["durability", "--ec", "--death-rates", "--rebuild-rate"] {
+        assert!(stderr.contains(needle), "usage omits {needle}:\n{stderr}");
+    }
+}

@@ -29,12 +29,14 @@
 //!   reclaim on the flash card).
 
 use crate::rng::SimRng;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 
 /// RNG stream selector for device-level (write/erase) fault draws.
 const DEVICE_FAULT_STREAM: u64 = 0x000f_a017_0001;
 /// RNG stream selector for the power-failure schedule.
 const POWER_FAULT_STREAM: u64 = 0x000f_a017_0002;
+/// RNG stream selector for whole-device permanent-death instants.
+const DEVICE_DEATH_STREAM: u64 = 0x000f_a017_0003;
 
 /// Rates and costs of injected faults. All rates default to zero, which
 /// injects nothing and reproduces the fault-free simulator byte for byte.
@@ -60,6 +62,11 @@ pub struct FaultConfig {
     /// Bytes of file-allocation-table metadata the magnetic disk rescans
     /// on recovery (synchronous-FAT replay after an unclean shutdown).
     pub fat_scan_bytes: u64,
+    /// Whole-device permanent deaths per device-hour (exponentially
+    /// distributed first-arrival per array child). Zero disables death
+    /// injection and draws nothing. Only erasure-coded arrays consult
+    /// this; lone devices have no redundancy to recover with.
+    pub death_rate: f64,
     /// Seed for the fault streams. Independent from the workload seed so
     /// the same trace can be replayed under different fault schedules.
     pub seed: u64,
@@ -76,6 +83,7 @@ impl FaultConfig {
             retry_backoff: SimDuration::from_micros(250),
             power_fail_mean: None,
             fat_scan_bytes: 128 * 1024,
+            death_rate: 0.0,
             seed: 0,
         }
     }
@@ -98,9 +106,18 @@ impl FaultConfig {
         self
     }
 
+    /// Adds a whole-device death rate (deaths per device-hour).
+    pub fn with_death_rate(mut self, rate: f64) -> Self {
+        self.death_rate = rate;
+        self
+    }
+
     /// True if this configuration can never inject anything.
     pub fn is_quiet(&self) -> bool {
-        self.write_fail_rate == 0.0 && self.erase_fail_rate == 0.0 && self.power_fail_mean.is_none()
+        self.write_fail_rate == 0.0
+            && self.erase_fail_rate == 0.0
+            && self.power_fail_mean.is_none()
+            && self.death_rate == 0.0
     }
 
     /// Validates rates; called by plan constructors.
@@ -119,6 +136,11 @@ impl FaultConfig {
                 "{name} out of range: {r}"
             );
         }
+        assert!(
+            self.death_rate.is_finite() && self.death_rate >= 0.0,
+            "death_rate out of range: {}",
+            self.death_rate
+        );
     }
 }
 
@@ -254,6 +276,83 @@ impl PowerFailSchedule {
     }
 }
 
+/// A deterministic schedule of whole-device permanent deaths for an
+/// erasure-coded array's children.
+///
+/// Each child's death instant is an independent exponential first-arrival
+/// at [`FaultConfig::death_rate`] deaths per device-hour, drawn in child
+/// order from a dedicated RNG stream so the schedule is a pure function
+/// of `(seed, child index)` — independent of worker count, op order, and
+/// the write/erase/power fault streams. A zero rate draws nothing, so a
+/// death-free array is bit-for-bit identical to one built without the
+/// schedule.
+#[derive(Debug, Clone)]
+pub struct DeathSchedule {
+    deaths: Vec<Option<SimTime>>,
+}
+
+impl DeathSchedule {
+    /// Draws a death instant for each of `devices` children.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate in `config` is out of range.
+    pub fn new(config: &FaultConfig, devices: usize) -> Self {
+        config.validate();
+        let deaths = if config.death_rate == 0.0 {
+            vec![None; devices]
+        } else {
+            let mut rng = SimRng::seed_with_stream(config.seed, DEVICE_DEATH_STREAM);
+            let mean_secs = 3600.0 / config.death_rate;
+            (0..devices)
+                .map(|_| Some(SimTime::from_secs_f64(rng.exponential(mean_secs))))
+                .collect()
+        };
+        DeathSchedule { deaths }
+    }
+
+    /// A schedule in which nothing ever dies.
+    pub fn quiet(devices: usize) -> Self {
+        DeathSchedule {
+            deaths: vec![None; devices],
+        }
+    }
+
+    /// Builds a schedule from explicit per-device death instants. Test
+    /// and torture harnesses inject exact loss patterns (e.g. precisely
+    /// `m` deaths) this way instead of hunting for a seed.
+    pub fn explicit(deaths: Vec<Option<SimTime>>) -> Self {
+        DeathSchedule { deaths }
+    }
+
+    /// The death instant of `device`, or `None` if it never dies.
+    pub fn death_of(&self, device: usize) -> Option<SimTime> {
+        self.deaths.get(device).copied().flatten()
+    }
+
+    /// True if `device` has died at or before `at`.
+    pub fn dead_by(&self, device: usize, at: SimTime) -> bool {
+        matches!(self.death_of(device), Some(d) if d <= at)
+    }
+
+    /// Number of children covered by the schedule.
+    pub fn len(&self) -> usize {
+        self.deaths.len()
+    }
+
+    /// True if the schedule covers no children.
+    pub fn is_empty(&self) -> bool {
+        self.deaths.is_empty()
+    }
+
+    /// Devices dead at or before `at`, in child order.
+    pub fn dead_at(&self, at: SimTime) -> Vec<usize> {
+        (0..self.deaths.len())
+            .filter(|&i| self.dead_by(i, at))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +444,75 @@ mod tests {
         }
         let mean = sum / n as f64;
         assert!((mean - 1_000.0).abs() < 50.0, "mean interval {mean}");
+    }
+
+    #[test]
+    fn quiet_death_schedule_draws_nothing() {
+        let sched = DeathSchedule::new(&FaultConfig::none(), 6);
+        assert_eq!(sched.len(), 6);
+        for i in 0..6 {
+            assert_eq!(sched.death_of(i), None);
+            assert!(!sched.dead_by(i, SimTime::from_secs_f64(1e9)));
+        }
+        assert!(sched.dead_at(SimTime::from_secs_f64(1e9)).is_empty());
+    }
+
+    #[test]
+    fn death_schedule_is_deterministic_and_seed_sensitive() {
+        let cfg = FaultConfig::none().with_death_rate(2.0);
+        let a = DeathSchedule::new(&FaultConfig { seed: 9, ..cfg }, 8);
+        let b = DeathSchedule::new(&FaultConfig { seed: 9, ..cfg }, 8);
+        let c = DeathSchedule::new(&FaultConfig { seed: 10, ..cfg }, 8);
+        let at: Vec<_> = (0..8).map(|i| a.death_of(i)).collect();
+        let bt: Vec<_> = (0..8).map(|i| b.death_of(i)).collect();
+        let ct: Vec<_> = (0..8).map(|i| c.death_of(i)).collect();
+        assert_eq!(at, bt);
+        assert_ne!(at, ct);
+        assert!(at.iter().all(|t| t.is_some()));
+    }
+
+    #[test]
+    fn death_rate_sets_the_mean() {
+        // 1 death per device-hour => mean first-arrival of 3600 s.
+        let cfg = FaultConfig {
+            death_rate: 1.0,
+            seed: 5,
+            ..FaultConfig::none()
+        };
+        let sched = DeathSchedule::new(&cfg, 10_000);
+        let mean = (0..10_000)
+            .map(|i| sched.death_of(i).unwrap().as_secs_f64())
+            .sum::<f64>()
+            / 10_000.0;
+        assert!((mean - 3600.0).abs() < 150.0, "mean death time {mean}");
+        assert!(!cfg.is_quiet());
+    }
+
+    #[test]
+    fn dead_by_respects_the_instant() {
+        let cfg = FaultConfig {
+            death_rate: 4.0,
+            seed: 3,
+            ..FaultConfig::none()
+        };
+        let sched = DeathSchedule::new(&cfg, 4);
+        for i in 0..4 {
+            let t = sched.death_of(i).unwrap();
+            assert!(sched.dead_by(i, t));
+            assert!(!sched.dead_by(i, t - SimDuration::from_nanos(1)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "death_rate out of range")]
+    fn death_rate_is_validated() {
+        let _ = DeathSchedule::new(
+            &FaultConfig {
+                death_rate: -1.0,
+                ..FaultConfig::none()
+            },
+            2,
+        );
     }
 
     #[test]

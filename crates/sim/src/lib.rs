@@ -13,6 +13,9 @@
 //!   columns of the paper's Table 4;
 //! * [`rng`] — a deterministic PCG32 generator and the distribution samplers
 //!   (exponential, log-normal, Zipf) used by the workload generators;
+//! * [`ec`] — GF(2^8) Reed-Solomon erasure coding ([`ec::ReedSolomon`]):
+//!   systematic Vandermonde `k+m` codes over fixed-size shards, the math
+//!   behind the erasure-coded device arrays;
 //! * [`exec`] — a scoped-thread worker pool ([`exec::parallel_map`]) that
 //!   fans independent simulation points out across cores while preserving
 //!   input order, so parallel results are bit-identical to serial ones;
@@ -49,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod crashcheck;
+pub mod ec;
 pub mod energy;
 pub mod exec;
 pub mod fault;
@@ -64,6 +68,7 @@ pub mod time;
 pub mod units;
 
 pub use crashcheck::{ShadowModel, Violation};
+pub use ec::ReedSolomon;
 pub use energy::{EnergyMeter, Joules, Watts};
 pub use fault::{FaultConfig, FaultPlan};
 pub use fleet::{FleetConfig, FleetPlan, FleetShard, Mix};

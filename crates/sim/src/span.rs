@@ -91,6 +91,27 @@ pub enum SpanKind {
         /// Retry attempts the recovery cost.
         attempts: u32,
     },
+    /// An erasure-coded array decoded a read from survivors after shard
+    /// loss (dead child or uncorrectable shard).
+    DegradedRead {
+        /// The logical block served degraded.
+        lbn: u64,
+        /// Shards missing from the block's stripe.
+        lost: u32,
+    },
+    /// The array's background reconstructor rebuilt stripes onto a hot
+    /// spare.
+    Rebuild {
+        /// First stripe rebuilt in this batch.
+        stripe: u64,
+        /// Stripes rebuilt in this batch.
+        stripes: u32,
+    },
+    /// An array write derived and stored parity shards.
+    ParityUpdate {
+        /// The stripe whose parity was rewritten.
+        stripe: u64,
+    },
 }
 
 impl SpanKind {
@@ -112,6 +133,9 @@ impl SpanKind {
             SpanKind::Scrub { .. } => "scrub",
             SpanKind::Recovery => "recovery",
             SpanKind::EccRetry { .. } => "ecc_retry",
+            SpanKind::DegradedRead { .. } => "degraded_read",
+            SpanKind::Rebuild { .. } => "rebuild",
+            SpanKind::ParityUpdate { .. } => "parity_update",
         }
     }
 
@@ -156,6 +180,15 @@ impl SpanKind {
             }
             SpanKind::EccRetry { lbn, attempts } => {
                 let _ = write!(s, "\"lbn\":{lbn},\"attempts\":{attempts}");
+            }
+            SpanKind::DegradedRead { lbn, lost } => {
+                let _ = write!(s, "\"lbn\":{lbn},\"lost\":{lost}");
+            }
+            SpanKind::Rebuild { stripe, stripes } => {
+                let _ = write!(s, "\"stripe\":{stripe},\"stripes\":{stripes}");
+            }
+            SpanKind::ParityUpdate { stripe } => {
+                let _ = write!(s, "\"stripe\":{stripe}");
             }
         }
         s
@@ -363,6 +396,21 @@ mod tests {
             .args_json(),
             "\"lbn\":9,\"attempts\":2"
         );
+        let degraded = SpanKind::DegradedRead { lbn: 7, lost: 2 };
+        assert_eq!(degraded.name(), "degraded_read");
+        assert_eq!(degraded.track(), "device");
+        assert_eq!(degraded.args_json(), "\"lbn\":7,\"lost\":2");
+        let rebuild = SpanKind::Rebuild {
+            stripe: 64,
+            stripes: 8,
+        };
+        assert_eq!(rebuild.name(), "rebuild");
+        assert_eq!(rebuild.track(), "device");
+        assert_eq!(rebuild.args_json(), "\"stripe\":64,\"stripes\":8");
+        let parity = SpanKind::ParityUpdate { stripe: 3 };
+        assert_eq!(parity.name(), "parity_update");
+        assert_eq!(parity.track(), "device");
+        assert_eq!(parity.args_json(), "\"stripe\":3");
     }
 
     #[test]

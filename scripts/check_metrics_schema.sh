@@ -93,6 +93,34 @@ if jq -e 'any(.targets[]; .target == "fleet")' "$METRICS" >/dev/null; then
         || { echo "FAIL: fleet rows must lead with fleet/all rollups" >&2; exit 1; }
 fi
 
+# Durability export (mobistore-durability/1): when the durability target
+# is present its entry must carry the versioned durability block with at
+# least one k+m geometry and death rate, a positive rebuild rate, and a
+# seed, and its rows must expose the array counter family.
+if jq -e 'any(.targets[]; .target == "durability")' "$METRICS" >/dev/null; then
+    jq -e '
+      [.targets[] | select(.target == "durability")] as $dur
+      | all($dur[]; (.durability.schema == "mobistore-durability/1")
+                    and (.durability.geometries | type == "array" and length > 0
+                         and all(.[]; test("^[0-9]+\\+[0-9]+$")))
+                    and (.durability.death_rates | type == "array" and length > 0
+                         and all(.[]; type == "number" and . >= 0))
+                    and (.durability.rebuild_rate | type == "number" and . > 0)
+                    and (.durability.seed | type == "number"))
+    ' "$METRICS" >/dev/null \
+        || { echo "FAIL: durability entry missing a valid mobistore-durability/1 block" >&2; exit 1; }
+    jq -e '
+      [.targets[] | select(.target == "durability") | .rows[]] as $rows
+      | ($rows | length > 0)
+        and all($rows[]; .counters | has("array.device_deaths")
+                         and has("array.degraded_reads")
+                         and has("array.rebuilds_completed")
+                         and has("array.vulnerability_ns")
+                         and has("array.data_loss_events"))
+    ' "$METRICS" >/dev/null \
+        || { echo "FAIL: durability rows missing array.* counters" >&2; exit 1; }
+fi
+
 echo "ok: metrics document is well-formed" >&2
 
 if [ -n "$EVENTS" ]; then

@@ -9,7 +9,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 
-for target in table1 table2 table3 table4 figure1 figure2 figure3 figure4 figure5 crashcheck integrity fleet profile; do
+for target in table1 table2 table3 table4 figure1 figure2 figure3 figure4 figure5 crashcheck integrity fleet profile durability; do
     echo "# rendering $target" >&2
     ./target/release/repro --scale 0.02 --seed 1994 "$target" \
         2>/dev/null > "tests/golden/$target.txt"

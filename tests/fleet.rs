@@ -43,6 +43,7 @@ fn fleet_is_byte_identical_across_jobs_and_shards_are_independent() {
             target: "fleet",
             rows: &serial_rows,
             fleet: None,
+            durability: None,
         }],
     );
 
@@ -56,6 +57,7 @@ fn fleet_is_byte_identical_across_jobs_and_shards_are_independent() {
             target: "fleet",
             rows: &parallel_rows,
             fleet: None,
+            durability: None,
         }],
     );
 

@@ -18,8 +18,10 @@ use mobistore::experiments::Scale;
 /// fleet run (whose merged percentiles pin the metric-merge semantics)
 /// and the host profile's simulation counts (whose ops/events/spans
 /// columns pin the observer's event and span cardinalities — wall-clock
-/// stays on stderr, so the fixture is stable).
-const GOLDEN_TARGETS: [&str; 13] = [
+/// stays on stderr, so the fixture is stable) and the erasure-coded
+/// durability sweep (whose zero-death-rate rows double as proof that a
+/// quiet death schedule draws no randomness).
+const GOLDEN_TARGETS: [&str; 14] = [
     "table1",
     "table2",
     "table3",
@@ -33,6 +35,7 @@ const GOLDEN_TARGETS: [&str; 13] = [
     "integrity",
     "fleet",
     "profile",
+    "durability",
 ];
 
 fn fixture_path(target: &str) -> std::path::PathBuf {

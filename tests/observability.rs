@@ -34,6 +34,7 @@ fn render_exports() -> (String, String, String) {
             target: "observe",
             rows: &r.metrics,
             fleet: None,
+            durability: None,
         }],
     );
     (r.text, events, doc)
