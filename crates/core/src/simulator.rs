@@ -133,6 +133,9 @@ pub enum ConfigError {
     },
     /// `warm_percent` was 100 or more: nothing would be measured.
     NothingToMeasure,
+    /// A fleet checkpoint could not be used for this run: unreadable,
+    /// malformed, or fingerprint-mismatched against the configuration.
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -153,6 +156,7 @@ impl std::fmt::Display for ConfigError {
                     "warm-up must leave something to measure (warm_percent < 100)"
                 )
             }
+            ConfigError::Checkpoint(reason) => write!(f, "checkpoint: {reason}"),
         }
     }
 }

@@ -33,6 +33,25 @@
 //! `--fleet-seed <n>` (the fleet seed every per-shard stream derives
 //! from). Its merged metrics are byte-identical at any `--jobs` count.
 //!
+//! The fleet runs under a **supervisor**: each shard simulates inside
+//! `catch_unwind`, a panicking shard is retried up to `--fleet-retries
+//! <n>` more times (default 2, deterministically) and then quarantined —
+//! the run completes over the survivors, reports the quarantined shards
+//! (stdout, and a `quarantined` section in the `mobistore-fleet/1`
+//! export block), and the process exits `8` instead of `0`. Long runs
+//! are resumable: `--checkpoint-out <file>` persists a versioned
+//! `mobistore-fleet-ckpt/1` snapshot of the merged state every
+//! `--checkpoint-every <n>` completed chunks (default 1; written
+//! atomically via rename), and `--resume-from <file>` validates the
+//! checkpoint's configuration fingerprint, skips its completed chunks,
+//! and produces stdout and exports **byte-identical** to an
+//! uninterrupted run at any `--jobs` count. A mismatched or unreadable
+//! checkpoint is a configuration error (exit 3). The hidden chaos knobs
+//! `--chaos-panic-rate <p>` (deterministic injected shard panics) and
+//! `--chaos-fail-point <n>` (abort the process with exit code `9` after
+//! `n` chunks, before that chunk checkpoints — a simulated kill -9)
+//! exist to prove those paths end-to-end in tests and CI.
+//!
 //! The `durability` target takes `--ec <k+m,...>` (comma-separated
 //! Reed-Solomon array geometries, each with `k >= 1` data and `m >= 1`
 //! parity shards within the 255-shard stripe limit), `--death-rates
@@ -43,10 +62,12 @@
 //! export carries a versioned `mobistore-durability/1` block.
 //!
 //! Exit codes are typed: `0` success, `1` I/O failure, `2` usage error,
-//! `3` configuration error ([`SimError::Config`]), `4` device error,
-//! `5` cache error, `6` degraded array
+//! `3` configuration error ([`SimError::Config`], including unusable
+//! checkpoints), `4` device error, `5` cache error, `6` degraded array
 //! ([`DeviceError::ArrayDegraded`]), `7` failed array
-//! ([`DeviceError::ArrayFailed`]).
+//! ([`DeviceError::ArrayFailed`]), `8` completed with quarantined fleet
+//! shards (all artifacts written; rollups cover survivors only), `9`
+//! chaos fail-point abort (the supervisor's simulated kill -9).
 //!
 //! Observability exports: `--events-out <path>` writes the JSONL event
 //! stream produced by observing targets (`observe`), `--trace-out
@@ -233,6 +254,34 @@ fn main() -> ExitCode {
                 Some(v) => render.fleet.seed = v,
                 None => return usage("--fleet-seed needs an integer"),
             },
+            "--fleet-retries" => match args.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(v) => render.fleet.retry_budget = v,
+                None => return usage("--fleet-retries needs a non-negative integer"),
+            },
+            "--checkpoint-out" => match args.next() {
+                Some(path) => render.fleet.checkpoint_out = Some(PathBuf::from(path)),
+                None => return usage("--checkpoint-out needs a file path"),
+            },
+            "--checkpoint-every" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) if v > 0 => render.fleet.checkpoint_every = v,
+                _ => return usage("--checkpoint-every needs a positive chunk count"),
+            },
+            "--resume-from" => match args.next() {
+                Some(path) => render.fleet.resume_from = Some(PathBuf::from(path)),
+                None => return usage("--resume-from needs a file path"),
+            },
+            // Hidden chaos knobs (absent from the usage string): they
+            // exist so tests and CI can prove the supervisor end-to-end.
+            "--chaos-panic-rate" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v.is_finite() && (0.0..=1.0).contains(&v) => {
+                    render.fleet.chaos.panic_rate = v;
+                }
+                _ => return usage("--chaos-panic-rate needs a probability in [0, 1]"),
+            },
+            "--chaos-fail-point" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) if v > 0 => render.fleet.chaos.fail_point = Some(v),
+                _ => return usage("--chaos-fail-point needs a positive chunk count"),
+            },
             "--ec" => match args.next().map(|v| parse_geometries(&v)) {
                 Some(Some(geometries)) => render.durability.geometries = geometries,
                 _ => {
@@ -379,7 +428,7 @@ fn main() -> ExitCode {
             .map(|(t, r)| export::TargetExport {
                 target: t.as_str(),
                 rows: r.metrics.as_slice(),
-                fleet: r.fleet_info,
+                fleet: r.fleet_info.as_ref(),
                 durability: r.durability_info.as_ref(),
             })
             .collect();
@@ -410,6 +459,22 @@ fn main() -> ExitCode {
             "# total wall-clock: {:.3}s",
             started.elapsed().as_secs_f64()
         );
+    }
+
+    // Every artifact is written by now; a run that quarantined fleet
+    // shards completed, but its rollups cover survivors only — exit 8 so
+    // scripted callers notice the reduced coverage.
+    let quarantined: usize = results
+        .iter()
+        .filter_map(|r| r.fleet_info.as_ref())
+        .map(|f| f.quarantined.len())
+        .sum();
+    if quarantined > 0 {
+        eprintln!(
+            "# warning: fleet completed with {quarantined} quarantined shard(s); \
+             rollups cover survivors only (exit 8)"
+        );
+        return ExitCode::from(8);
     }
     ExitCode::SUCCESS
 }
@@ -581,6 +646,8 @@ fn usage(err: &str) -> ExitCode {
          [--crash-points <all|n>] [--crash-seed <n>] \
          [--ber-rates <a,b,c>] [--scrub-interval <secs>] [--ber-seed <n>] \
          [--fleet-shards <n>] [--fleet-population <n>] [--fleet-seed <n>] \
+         [--fleet-retries <n>] [--checkpoint-out <file>] [--checkpoint-every <n>] \
+         [--resume-from <file>] \
          [--ec <k+m,...>] [--death-rates <a,b,c>] [--rebuild-rate <stripes/s>] \
          [--durability-seed <n>] \
          [table1|table2|table3|table4|figure1|figure2|figure3|figure4|figure5|async|endurance|\

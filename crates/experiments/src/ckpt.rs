@@ -1,0 +1,940 @@
+//! The `mobistore-fleet-ckpt/1` checkpoint codec.
+//!
+//! A checkpoint persists the fleet supervisor's [`FoldState`] — survivor
+//! rows, per-device-class partial merges, the fleet-wide merge, the
+//! quarantine ledger, and the completed-chunk watermark — so an
+//! interrupted `repro fleet` run resumes where it stopped and still
+//! produces output **byte-identical** to an uninterrupted run.
+//!
+//! Byte-identity forces two properties on the format:
+//!
+//! - **Bit-exact floats.** Every `f64` is stored as its IEEE-754 bit
+//!   pattern (`to_bits()` in hex), never as decimal text, so a
+//!   round-trip cannot perturb a merged mean by half an ulp.
+//! - **Lossless histograms.** [`Histogram`] buckets are stored as
+//!   `lo:count` pairs and replayed through
+//!   [`Histogram::record_n`] — recording a bucket's lower bound maps
+//!   back to the same bucket, so the restored histogram is `Eq`-equal
+//!   to the original.
+//!
+//! The format is line-based text: one tagged line per fact, tokens
+//! separated by spaces, strings escaped (`\s` space, `\n` newline,
+//! `\r` CR, `\\` backslash) so every line splits on whitespace. A
+//! trailing `end` line guards against truncated files: a checkpoint
+//! torn mid-write never validates, and [`store`] writes through a
+//! temporary file plus rename so the published path always holds a
+//! complete document.
+//!
+//! The header carries a **fingerprint** — an FNV-1a hash over every
+//! input that shapes shard bytes (shard count, population, fleet seed,
+//! retry budget, chaos panic rate, scale, chunk size, and both mixes).
+//! [`load`] refuses a checkpoint whose fingerprint differs from the
+//! resuming run's: resuming under a different configuration would
+//! silently splice incompatible shard results. Inputs that *don't*
+//! change shard bytes — `--jobs`, checkpoint cadence and paths, and
+//! `--chaos-fail-point` (it only decides when to abort) — are
+//! deliberately excluded, so a run aborted at a fail point or resumed
+//! on a different core count is accepted.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+
+use mobistore_cache::dram::CacheStats;
+use mobistore_cache::sram::SramStats;
+use mobistore_core::metrics::Metrics;
+use mobistore_device::array::ArrayCounters;
+use mobistore_device::disk::DiskCounters;
+use mobistore_device::flashdisk::FlashDiskCounters;
+use mobistore_flash::store::{FlashCardCounters, WearStats};
+use mobistore_sim::energy::Joules;
+use mobistore_sim::fleet::ShardError;
+use mobistore_sim::hist::Histogram;
+use mobistore_sim::stats::Summary;
+use mobistore_sim::time::SimDuration;
+
+use crate::fleet::{device_mix, workload_mix, FleetOptions, FoldState, ShardRow, CHUNK};
+use crate::Scale;
+
+/// The checkpoint schema identifier (also the file's first line).
+pub const CKPT_SCHEMA: &str = "mobistore-fleet-ckpt/1";
+
+/// FNV-1a over a byte string.
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The configuration fingerprint stored in (and demanded of) a
+/// checkpoint: a hash over every input that shapes shard bytes.
+///
+/// Includes shards, population, fleet seed, retry budget, chaos panic
+/// rate (bit pattern), scale fraction (bit pattern) and seed, the chunk
+/// size, and both weighted mixes. Excludes `--jobs`, checkpoint paths
+/// and cadence, and `--chaos-fail-point` — none of them change what any
+/// shard computes.
+pub fn fingerprint(opts: &FleetOptions, scale: Scale) -> u64 {
+    let mut desc = format!(
+        "{CKPT_SCHEMA};shards={};population={};seed={};retry={};chaos={:016x};\
+         scale={:016x};scaleseed={};chunk={CHUNK}",
+        opts.shards,
+        opts.population,
+        opts.seed,
+        opts.retry_budget,
+        opts.chaos.panic_rate.to_bits(),
+        scale.fraction.to_bits(),
+        scale.seed,
+    );
+    for (name, weight) in workload_mix().entries() {
+        let _ = write!(desc, ";w:{name}={weight}");
+    }
+    for (name, weight) in device_mix().entries() {
+        let _ = write!(desc, ";d:{name}={weight}");
+    }
+    fnv1a(desc.bytes())
+}
+
+/// Escapes a string into a single whitespace-free token.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\s"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`esc`].
+fn unesc(token: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(token.len());
+    let mut chars = token.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('s') => out.push(' '),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => return Err(format!("bad escape '\\{}'", other.unwrap_or(' '))),
+        }
+    }
+    Ok(out)
+}
+
+/// Interns a string, leaking each distinct value exactly once.
+///
+/// Checkpointed labels (workload/device classes, component and state
+/// names) restore into `&'static str` fields; the registry bounds the
+/// leak to the small closed set of distinct names a fleet uses.
+fn intern(s: &str) -> &'static str {
+    static REGISTRY: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let mut reg = REGISTRY
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .expect("intern registry never panics while locked");
+    if let Some(known) = reg.iter().find(|k| **k == s) {
+        return known;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    reg.push(leaked);
+    leaked
+}
+
+/// Hex bit pattern of an `f64` (bit-exact round trip).
+fn bits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// The five (summary, histogram) latency channels a [`Metrics`] carries.
+const CHANNELS: [&str; 5] = ["read", "write", "overall", "backoff", "degraded"];
+
+fn encode_metrics(out: &mut String, m: &Metrics) {
+    let _ = writeln!(out, "m.name {}", esc(&m.name));
+    let _ = writeln!(out, "m.energy {}", bits(m.energy.get()));
+    for (name, j) in &m.energy_by_component {
+        let _ = writeln!(out, "m.comp {} {}", esc(name), bits(j.get()));
+    }
+    for (name, j, d) in &m.backend_states {
+        let _ = writeln!(
+            out,
+            "m.state {} {} {}",
+            esc(name),
+            bits(j.get()),
+            d.as_nanos()
+        );
+    }
+    let summaries = [
+        &m.read_response_ms,
+        &m.write_response_ms,
+        &m.overall_response_ms,
+        &m.backoff_ms,
+        &m.degraded_read_ms,
+    ];
+    for (key, s) in CHANNELS.iter().zip(summaries) {
+        let _ = writeln!(
+            out,
+            "m.sum {key} {} {} {} {} {} {}",
+            s.count,
+            bits(s.mean),
+            bits(s.max),
+            bits(s.min),
+            bits(s.std),
+            bits(s.sum)
+        );
+    }
+    let hists = [
+        &m.read_latency,
+        &m.write_latency,
+        &m.overall_latency,
+        &m.backoff_latency,
+        &m.degraded_read_latency,
+    ];
+    for (key, h) in CHANNELS.iter().zip(hists) {
+        let _ = write!(out, "m.hist {key}");
+        for (lo, _, count) in h.iter_nonzero() {
+            let _ = write!(out, " {lo}:{count}");
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "m.dur {}", m.duration.as_nanos());
+    if let Some(c) = &m.cache {
+        let _ = writeln!(
+            out,
+            "m.cache {} {} {} {} {}",
+            c.read_hits, c.read_misses, c.writes, c.writebacks, c.fill_rejects
+        );
+    }
+    if let Some(s) = &m.sram {
+        let _ = writeln!(out, "m.sram {} {} {}", s.absorbed, s.flushes, s.read_hits);
+    }
+    if let Some(d) = &m.disk {
+        let _ = writeln!(
+            out,
+            "m.disk {} {} {} {} {} {} {}",
+            d.ops,
+            d.spin_ups,
+            d.spin_downs,
+            d.bytes_read,
+            d.bytes_written,
+            d.power_failures,
+            d.recovery_time.as_nanos()
+        );
+    }
+    if let Some(d) = &m.flash_disk {
+        let _ = writeln!(
+            out,
+            "m.flashdisk {} {} {} {} {} {} {} {} {} {}",
+            d.ops,
+            d.bytes_read,
+            d.bytes_written,
+            d.bytes_pre_erased,
+            d.bytes_erased_on_demand,
+            d.power_failures,
+            d.recovery_time.as_nanos(),
+            d.ecc_corrected,
+            d.read_retries,
+            d.uncorrectable_reads
+        );
+    }
+    if let Some(c) = &m.flash_card {
+        let _ = writeln!(
+            out,
+            "m.card {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            c.ops,
+            c.bytes_read,
+            c.bytes_written,
+            c.erasures,
+            c.blocks_copied,
+            c.cleaning_waits,
+            c.write_retries,
+            c.erase_retries,
+            c.segments_retired,
+            c.power_failures,
+            c.recovery_time.as_nanos(),
+            c.eol_write_rejections,
+            c.ecc_corrected,
+            c.read_retries,
+            c.uncorrectable_reads,
+            c.blocks_relocated,
+            c.scrub_passes,
+            c.scrub_reads,
+            c.write_retry_backoff.as_nanos(),
+            c.erase_retry_backoff.as_nanos()
+        );
+    }
+    if let Some(a) = &m.array {
+        let _ = writeln!(
+            out,
+            "m.array {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            a.ops,
+            a.bytes_read,
+            a.bytes_written,
+            a.degraded_reads,
+            a.parity_updates,
+            a.rebuild_stripes,
+            a.rebuilds_completed,
+            a.rebuild_time.as_nanos(),
+            a.device_deaths,
+            a.data_loss_events,
+            a.vulnerability.as_nanos(),
+            a.power_failures,
+            a.recovery_time.as_nanos(),
+            a.read_only_rejections
+        );
+    }
+    if let Some(w) = &m.wear {
+        let _ = writeln!(
+            out,
+            "m.wear {} {} {}",
+            w.max_erase,
+            bits(w.mean_erase),
+            w.total
+        );
+    }
+    let _ = writeln!(
+        out,
+        "m.misc {} {} {} {}",
+        m.lost_dirty_blocks, m.rejected_writes, m.rejected_blocks, m.uncorrectable_reads
+    );
+    out.push_str("m.end\n");
+}
+
+/// Serializes the fold state into checkpoint bytes.
+fn encode(state: &FoldState, fingerprint: u64, total_chunks: u64, shards_total: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{CKPT_SCHEMA}");
+    let _ = writeln!(out, "fingerprint {fingerprint:016x}");
+    let _ = writeln!(
+        out,
+        "progress {} {total_chunks} {shards_total} {CHUNK}",
+        state.chunks_done
+    );
+    for r in &state.rows {
+        let _ = writeln!(
+            out,
+            "row {} {} {} {} {} {} {:016x}",
+            r.index,
+            r.users,
+            esc(r.workload),
+            esc(r.device),
+            r.ops,
+            bits(r.energy_j),
+            r.digest
+        );
+    }
+    for q in &state.quarantined {
+        let _ = writeln!(
+            out,
+            "quarantine {} {} {}",
+            q.shard,
+            q.attempts,
+            esc(&q.cause)
+        );
+    }
+    for (class, m) in &state.per_class {
+        let _ = writeln!(out, "class {}", esc(class));
+        encode_metrics(&mut out, m);
+    }
+    out.push_str("total\n");
+    encode_metrics(&mut out, &state.total);
+    out.push_str("end\n");
+    out
+}
+
+/// Atomically writes `state` as a checkpoint: the bytes land in a
+/// sibling `.tmp` file first and are renamed over `path`, so the
+/// published path never holds a torn document even under kill -9.
+pub fn store(
+    path: &Path,
+    state: &FoldState,
+    fingerprint: u64,
+    total_chunks: u64,
+    shards_total: u64,
+) -> std::io::Result<()> {
+    let doc = encode(state, fingerprint, total_chunks, shards_total);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    fs::write(&tmp, doc)?;
+    fs::rename(&tmp, path)
+}
+
+/// A line cursor that renders parse failures with their line number.
+struct Lines<'a> {
+    lines: std::str::Lines<'a>,
+    number: usize,
+    current: &'a str,
+}
+
+impl<'a> Lines<'a> {
+    fn new(doc: &'a str) -> Self {
+        Lines {
+            lines: doc.lines(),
+            number: 0,
+            current: "",
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, String> {
+        match self.lines.next() {
+            Some(line) => {
+                self.number += 1;
+                self.current = line;
+                Ok(line)
+            }
+            None => Err("truncated checkpoint: unexpected end of file".into()),
+        }
+    }
+
+    fn fail(&self, what: &str) -> String {
+        format!("line {}: {what} in '{}'", self.number, self.current)
+    }
+}
+
+fn parse_u64(cur: &Lines<'_>, token: Option<&str>, what: &str) -> Result<u64, String> {
+    token
+        .ok_or_else(|| cur.fail(&format!("missing {what}")))?
+        .parse::<u64>()
+        .map_err(|_| cur.fail(&format!("bad {what}")))
+}
+
+fn parse_f64_bits(cur: &Lines<'_>, token: Option<&str>, what: &str) -> Result<f64, String> {
+    let token = token.ok_or_else(|| cur.fail(&format!("missing {what}")))?;
+    u64::from_str_radix(token, 16)
+        .map(f64::from_bits)
+        .map_err(|_| cur.fail(&format!("bad {what}")))
+}
+
+fn parse_str(cur: &Lines<'_>, token: Option<&str>, what: &str) -> Result<String, String> {
+    let token = token.ok_or_else(|| cur.fail(&format!("missing {what}")))?;
+    unesc(token).map_err(|e| cur.fail(&format!("bad {what}: {e}")))
+}
+
+/// Decodes one `m.*` block (after its introducing `class`/`total` line).
+fn decode_metrics(cur: &mut Lines<'_>) -> Result<Metrics, String> {
+    let mut m = Metrics::empty("");
+    loop {
+        let line = cur.next()?;
+        let mut t = line.split_whitespace();
+        let tag = t.next().unwrap_or("");
+        match tag {
+            "m.end" => return Ok(m),
+            "m.name" => m.name = parse_str(cur, t.next(), "name")?,
+            "m.energy" => m.energy = Joules(parse_f64_bits(cur, t.next(), "energy")?),
+            "m.comp" => {
+                let name = intern(&parse_str(cur, t.next(), "component")?);
+                let j = Joules(parse_f64_bits(cur, t.next(), "component energy")?);
+                m.energy_by_component.push((name, j));
+            }
+            "m.state" => {
+                let name = intern(&parse_str(cur, t.next(), "state")?);
+                let j = Joules(parse_f64_bits(cur, t.next(), "state energy")?);
+                let d = SimDuration::from_nanos(parse_u64(cur, t.next(), "state duration")?);
+                m.backend_states.push((name, j, d));
+            }
+            "m.sum" => {
+                let key = t.next().unwrap_or("");
+                let s = Summary {
+                    count: parse_u64(cur, t.next(), "count")?,
+                    mean: parse_f64_bits(cur, t.next(), "mean")?,
+                    max: parse_f64_bits(cur, t.next(), "max")?,
+                    min: parse_f64_bits(cur, t.next(), "min")?,
+                    std: parse_f64_bits(cur, t.next(), "std")?,
+                    sum: parse_f64_bits(cur, t.next(), "sum")?,
+                };
+                *match key {
+                    "read" => &mut m.read_response_ms,
+                    "write" => &mut m.write_response_ms,
+                    "overall" => &mut m.overall_response_ms,
+                    "backoff" => &mut m.backoff_ms,
+                    "degraded" => &mut m.degraded_read_ms,
+                    _ => return Err(cur.fail("unknown summary channel")),
+                } = s;
+            }
+            "m.hist" => {
+                let key = t.next().unwrap_or("");
+                let mut h = Histogram::default();
+                for pair in t {
+                    let (lo, count) = pair
+                        .split_once(':')
+                        .ok_or_else(|| cur.fail("bad histogram pair"))?;
+                    let lo = lo.parse::<u64>().map_err(|_| cur.fail("bad bucket lo"))?;
+                    let count = count
+                        .parse::<u64>()
+                        .map_err(|_| cur.fail("bad bucket count"))?;
+                    h.record_n(lo, count);
+                }
+                *match key {
+                    "read" => &mut m.read_latency,
+                    "write" => &mut m.write_latency,
+                    "overall" => &mut m.overall_latency,
+                    "backoff" => &mut m.backoff_latency,
+                    "degraded" => &mut m.degraded_read_latency,
+                    _ => return Err(cur.fail("unknown histogram channel")),
+                } = h;
+            }
+            "m.dur" => m.duration = SimDuration::from_nanos(parse_u64(cur, t.next(), "duration")?),
+            "m.cache" => {
+                m.cache = Some(CacheStats {
+                    read_hits: parse_u64(cur, t.next(), "read_hits")?,
+                    read_misses: parse_u64(cur, t.next(), "read_misses")?,
+                    writes: parse_u64(cur, t.next(), "writes")?,
+                    writebacks: parse_u64(cur, t.next(), "writebacks")?,
+                    fill_rejects: parse_u64(cur, t.next(), "fill_rejects")?,
+                });
+            }
+            "m.sram" => {
+                m.sram = Some(SramStats {
+                    absorbed: parse_u64(cur, t.next(), "absorbed")?,
+                    flushes: parse_u64(cur, t.next(), "flushes")?,
+                    read_hits: parse_u64(cur, t.next(), "read_hits")?,
+                });
+            }
+            "m.disk" => {
+                m.disk = Some(DiskCounters {
+                    ops: parse_u64(cur, t.next(), "ops")?,
+                    spin_ups: parse_u64(cur, t.next(), "spin_ups")?,
+                    spin_downs: parse_u64(cur, t.next(), "spin_downs")?,
+                    bytes_read: parse_u64(cur, t.next(), "bytes_read")?,
+                    bytes_written: parse_u64(cur, t.next(), "bytes_written")?,
+                    power_failures: parse_u64(cur, t.next(), "power_failures")?,
+                    recovery_time: SimDuration::from_nanos(parse_u64(
+                        cur,
+                        t.next(),
+                        "recovery_time",
+                    )?),
+                });
+            }
+            "m.flashdisk" => {
+                m.flash_disk = Some(FlashDiskCounters {
+                    ops: parse_u64(cur, t.next(), "ops")?,
+                    bytes_read: parse_u64(cur, t.next(), "bytes_read")?,
+                    bytes_written: parse_u64(cur, t.next(), "bytes_written")?,
+                    bytes_pre_erased: parse_u64(cur, t.next(), "bytes_pre_erased")?,
+                    bytes_erased_on_demand: parse_u64(cur, t.next(), "bytes_erased_on_demand")?,
+                    power_failures: parse_u64(cur, t.next(), "power_failures")?,
+                    recovery_time: SimDuration::from_nanos(parse_u64(
+                        cur,
+                        t.next(),
+                        "recovery_time",
+                    )?),
+                    ecc_corrected: parse_u64(cur, t.next(), "ecc_corrected")?,
+                    read_retries: parse_u64(cur, t.next(), "read_retries")?,
+                    uncorrectable_reads: parse_u64(cur, t.next(), "uncorrectable_reads")?,
+                });
+            }
+            "m.card" => {
+                m.flash_card = Some(FlashCardCounters {
+                    ops: parse_u64(cur, t.next(), "ops")?,
+                    bytes_read: parse_u64(cur, t.next(), "bytes_read")?,
+                    bytes_written: parse_u64(cur, t.next(), "bytes_written")?,
+                    erasures: parse_u64(cur, t.next(), "erasures")?,
+                    blocks_copied: parse_u64(cur, t.next(), "blocks_copied")?,
+                    cleaning_waits: parse_u64(cur, t.next(), "cleaning_waits")?,
+                    write_retries: parse_u64(cur, t.next(), "write_retries")?,
+                    erase_retries: parse_u64(cur, t.next(), "erase_retries")?,
+                    segments_retired: parse_u64(cur, t.next(), "segments_retired")?,
+                    power_failures: parse_u64(cur, t.next(), "power_failures")?,
+                    recovery_time: SimDuration::from_nanos(parse_u64(
+                        cur,
+                        t.next(),
+                        "recovery_time",
+                    )?),
+                    eol_write_rejections: parse_u64(cur, t.next(), "eol_write_rejections")?,
+                    ecc_corrected: parse_u64(cur, t.next(), "ecc_corrected")?,
+                    read_retries: parse_u64(cur, t.next(), "read_retries")?,
+                    uncorrectable_reads: parse_u64(cur, t.next(), "uncorrectable_reads")?,
+                    blocks_relocated: parse_u64(cur, t.next(), "blocks_relocated")?,
+                    scrub_passes: parse_u64(cur, t.next(), "scrub_passes")?,
+                    scrub_reads: parse_u64(cur, t.next(), "scrub_reads")?,
+                    write_retry_backoff: SimDuration::from_nanos(parse_u64(
+                        cur,
+                        t.next(),
+                        "write_retry_backoff",
+                    )?),
+                    erase_retry_backoff: SimDuration::from_nanos(parse_u64(
+                        cur,
+                        t.next(),
+                        "erase_retry_backoff",
+                    )?),
+                });
+            }
+            "m.array" => {
+                m.array = Some(ArrayCounters {
+                    ops: parse_u64(cur, t.next(), "ops")?,
+                    bytes_read: parse_u64(cur, t.next(), "bytes_read")?,
+                    bytes_written: parse_u64(cur, t.next(), "bytes_written")?,
+                    degraded_reads: parse_u64(cur, t.next(), "degraded_reads")?,
+                    parity_updates: parse_u64(cur, t.next(), "parity_updates")?,
+                    rebuild_stripes: parse_u64(cur, t.next(), "rebuild_stripes")?,
+                    rebuilds_completed: parse_u64(cur, t.next(), "rebuilds_completed")?,
+                    rebuild_time: SimDuration::from_nanos(parse_u64(
+                        cur,
+                        t.next(),
+                        "rebuild_time",
+                    )?),
+                    device_deaths: parse_u64(cur, t.next(), "device_deaths")?,
+                    data_loss_events: parse_u64(cur, t.next(), "data_loss_events")?,
+                    vulnerability: SimDuration::from_nanos(parse_u64(
+                        cur,
+                        t.next(),
+                        "vulnerability",
+                    )?),
+                    power_failures: parse_u64(cur, t.next(), "power_failures")?,
+                    recovery_time: SimDuration::from_nanos(parse_u64(
+                        cur,
+                        t.next(),
+                        "recovery_time",
+                    )?),
+                    read_only_rejections: parse_u64(cur, t.next(), "read_only_rejections")?,
+                });
+            }
+            "m.wear" => {
+                m.wear = Some(WearStats {
+                    max_erase: parse_u64(cur, t.next(), "max_erase")? as u32,
+                    mean_erase: parse_f64_bits(cur, t.next(), "mean_erase")?,
+                    total: parse_u64(cur, t.next(), "total")?,
+                });
+            }
+            "m.misc" => {
+                m.lost_dirty_blocks = parse_u64(cur, t.next(), "lost_dirty_blocks")?;
+                m.rejected_writes = parse_u64(cur, t.next(), "rejected_writes")?;
+                m.rejected_blocks = parse_u64(cur, t.next(), "rejected_blocks")?;
+                m.uncorrectable_reads = parse_u64(cur, t.next(), "uncorrectable_reads")?;
+            }
+            _ => return Err(cur.fail("unknown metrics line")),
+        }
+    }
+}
+
+/// Parses and validates a checkpoint, returning the fold state to resume
+/// from.
+///
+/// # Errors
+///
+/// Returns a human-readable reason when the file is unreadable,
+/// malformed or truncated, carries the wrong schema or chunk size, its
+/// fingerprint does not match `expect_fingerprint`, its progress exceeds
+/// `total_chunks`, or its rows + quarantine entries do not cover exactly
+/// the shards its watermark claims.
+pub fn load(
+    path: &Path,
+    expect_fingerprint: u64,
+    total_chunks: u64,
+    shards_total: u64,
+) -> Result<FoldState, String> {
+    let doc =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(&doc, expect_fingerprint, total_chunks, shards_total)
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn parse(
+    doc: &str,
+    expect_fingerprint: u64,
+    total_chunks: u64,
+    shards_total: u64,
+) -> Result<FoldState, String> {
+    let mut cur = Lines::new(doc);
+    let header = cur.next()?;
+    if header != CKPT_SCHEMA {
+        return Err(format!(
+            "unrecognized schema '{header}' (want {CKPT_SCHEMA})"
+        ));
+    }
+
+    let line = cur.next()?;
+    let mut t = line.split_whitespace();
+    if t.next() != Some("fingerprint") {
+        return Err(cur.fail("expected fingerprint line"));
+    }
+    let fp = t
+        .next()
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| cur.fail("bad fingerprint"))?;
+    if fp != expect_fingerprint {
+        return Err(format!(
+            "fingerprint mismatch: checkpoint {fp:016x} vs this run {expect_fingerprint:016x} \
+             (the checkpoint was produced under different fleet options, scale, or mixes)"
+        ));
+    }
+
+    let line = cur.next()?;
+    let mut t = line.split_whitespace();
+    if t.next() != Some("progress") {
+        return Err(cur.fail("expected progress line"));
+    }
+    let chunks_done = parse_u64(&cur, t.next(), "chunks_done")?;
+    let file_total_chunks = parse_u64(&cur, t.next(), "total_chunks")?;
+    let file_shards = parse_u64(&cur, t.next(), "shards")?;
+    let file_chunk = parse_u64(&cur, t.next(), "chunk size")?;
+    if file_total_chunks != total_chunks || file_shards != shards_total {
+        return Err(format!(
+            "geometry mismatch: checkpoint covers {file_shards} shards in {file_total_chunks} \
+             chunks, this run has {shards_total} in {total_chunks}"
+        ));
+    }
+    if file_chunk != CHUNK as u64 {
+        return Err(format!("chunk size mismatch: {file_chunk} vs {CHUNK}"));
+    }
+    if chunks_done > total_chunks {
+        return Err(format!(
+            "progress {chunks_done}/{total_chunks} exceeds the chunk count"
+        ));
+    }
+
+    let mut state = FoldState::fresh();
+    state.chunks_done = chunks_done;
+    let mut total_seen = false;
+    loop {
+        let line = cur.next()?;
+        let mut t = line.split_whitespace();
+        match t.next().unwrap_or("") {
+            "row" => {
+                let index = parse_u64(&cur, t.next(), "index")? as u32;
+                let users = parse_u64(&cur, t.next(), "users")?;
+                let workload = intern(&parse_str(&cur, t.next(), "workload")?);
+                let device = intern(&parse_str(&cur, t.next(), "device")?);
+                let ops = parse_u64(&cur, t.next(), "ops")?;
+                let energy_j = parse_f64_bits(&cur, t.next(), "energy")?;
+                let digest = t
+                    .next()
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or_else(|| cur.fail("bad digest"))?;
+                state.rows.push(ShardRow {
+                    index,
+                    users,
+                    workload,
+                    device,
+                    ops,
+                    energy_j,
+                    digest,
+                });
+            }
+            "quarantine" => {
+                let shard = parse_u64(&cur, t.next(), "shard")? as u32;
+                let attempts = parse_u64(&cur, t.next(), "attempts")? as u32;
+                let cause = parse_str(&cur, t.next(), "cause")?;
+                state.quarantined.push(ShardError {
+                    shard,
+                    attempts,
+                    cause,
+                });
+            }
+            "class" => {
+                let label = parse_str(&cur, t.next(), "class label")?;
+                let m = decode_metrics(&mut cur)?;
+                let slot = state
+                    .per_class
+                    .iter_mut()
+                    .find(|(n, _)| *n == label)
+                    .ok_or_else(|| format!("unknown device class '{label}'"))?;
+                slot.1 = m;
+            }
+            "total" => {
+                state.total = decode_metrics(&mut cur)?;
+                total_seen = true;
+            }
+            "end" => break,
+            _ => return Err(cur.fail("unknown line")),
+        }
+    }
+    if !total_seen {
+        return Err("truncated checkpoint: missing total block".into());
+    }
+
+    // The watermark says the first `chunks_done` chunks completed; every
+    // shard in them must appear exactly once, as a row or a quarantine
+    // entry, and in index order (the fold order).
+    let covered = (chunks_done * CHUNK as u64).min(shards_total);
+    let mut indices: Vec<u64> = state
+        .rows
+        .iter()
+        .map(|r| u64::from(r.index))
+        .chain(state.quarantined.iter().map(|q| u64::from(q.shard)))
+        .collect();
+    indices.sort_unstable();
+    let expected: Vec<u64> = (0..covered).collect();
+    if indices != expected {
+        return Err(format!(
+            "coverage mismatch: watermark {chunks_done} chunks implies shards 0..{covered}, \
+             found {} rows + {} quarantined that do not line up",
+            state.rows.len(),
+            state.quarantined.len()
+        ));
+    }
+    if !state.rows.windows(2).all(|w| w[0].index < w[1].index) {
+        return Err("rows out of shard-index order".into());
+    }
+    if !state
+        .quarantined
+        .windows(2)
+        .all(|w| w[0].shard < w[1].shard)
+    {
+        return Err("quarantine entries out of shard-index order".into());
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet;
+    use mobistore_sim::fleet::ChaosConfig;
+
+    fn state_after_chaos() -> (FoldState, FleetOptions, u64, u64) {
+        // Run a small chaotic fleet via the public API, then rebuild the
+        // final FoldState it would have checkpointed.
+        let opts = FleetOptions {
+            shards: 12,
+            population: 96,
+            chaos: ChaosConfig {
+                panic_rate: 0.6,
+                fail_point: None,
+            },
+            ..FleetOptions::default()
+        };
+        let run = fleet::run(Scale::quick(), &opts).expect("chaos fleet");
+        let mut state = FoldState::fresh();
+        state.rows = run.rows.clone();
+        for (name, m) in &run.per_class {
+            let slot = state
+                .per_class
+                .iter_mut()
+                .find(|(n, _)| n == name)
+                .expect("class from device mix");
+            slot.1 = m.clone();
+        }
+        state.total = run.total.clone();
+        state.quarantined = run.quarantined.clone();
+        let total_chunks = (opts.shards as u64).div_ceil(CHUNK as u64);
+        state.chunks_done = total_chunks;
+        (state, opts, total_chunks, 12)
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bit_exactly() {
+        let (state, opts, total_chunks, shards) = state_after_chaos();
+        let fp = fingerprint(&opts, Scale::quick());
+        let doc = encode(&state, fp, total_chunks, shards);
+        let back = parse(&doc, fp, total_chunks, shards).expect("round trip");
+        assert_eq!(back.rows, state.rows);
+        assert_eq!(back.quarantined, state.quarantined);
+        assert_eq!(back.chunks_done, state.chunks_done);
+        // Metrics lack PartialEq; their Debug rendering covers every
+        // field (the fleet digest relies on exactly that), so comparing
+        // renderings is a bit-exact comparison.
+        assert_eq!(format!("{:?}", back.total), format!("{:?}", state.total));
+        assert_eq!(
+            format!("{:?}", back.per_class),
+            format!("{:?}", state.per_class)
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_shard_shaping_inputs_only() {
+        let opts = FleetOptions::default();
+        let base = fingerprint(&opts, Scale::quick());
+        assert_eq!(base, fingerprint(&opts, Scale::quick()), "deterministic");
+        let mut other = opts.clone();
+        other.seed = 2001;
+        assert_ne!(base, fingerprint(&other, Scale::quick()), "seed matters");
+        let mut other = opts.clone();
+        other.chaos.panic_rate = 0.5;
+        assert_ne!(base, fingerprint(&other, Scale::quick()), "rate matters");
+        assert_ne!(base, fingerprint(&opts, Scale::full()), "scale matters");
+        // Inputs that do not shape shard bytes are excluded.
+        let mut other = opts.clone();
+        other.chaos.fail_point = Some(3);
+        other.checkpoint_every = 7;
+        other.checkpoint_out = Some("/tmp/ckpt".into());
+        other.resume_from = Some("/tmp/ckpt".into());
+        assert_eq!(base, fingerprint(&other, Scale::quick()));
+    }
+
+    #[test]
+    fn load_rejects_mismatches_and_corruption() {
+        let (state, opts, total_chunks, shards) = state_after_chaos();
+        let fp = fingerprint(&opts, Scale::quick());
+        let doc = encode(&state, fp, total_chunks, shards);
+
+        let err = parse(&doc, fp ^ 1, total_chunks, shards).unwrap_err();
+        assert!(err.contains("fingerprint mismatch"), "{err}");
+
+        let err = parse(&doc, fp, total_chunks + 1, shards).unwrap_err();
+        assert!(err.contains("geometry mismatch"), "{err}");
+
+        let truncated = &doc[..doc.len() - 5];
+        let err = parse(truncated, fp, total_chunks, shards).unwrap_err();
+        assert!(
+            err.contains("truncated") || err.contains("unknown"),
+            "{err}"
+        );
+
+        let garbled = doc.replacen("m.energy", "m.entropy", 1);
+        let err = parse(&garbled, fp, total_chunks, shards).unwrap_err();
+        assert!(err.contains("unknown metrics line"), "{err}");
+
+        let err = parse("mobistore-fleet-ckpt/0\n", fp, total_chunks, shards).unwrap_err();
+        assert!(err.contains("unrecognized schema"), "{err}");
+
+        // A row deleted from a "complete" checkpoint breaks coverage.
+        let victim = state.rows[0].index;
+        let without: String = doc
+            .lines()
+            .filter(|l| !l.starts_with(&format!("row {victim} ")))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = parse(&without, fp, total_chunks, shards).unwrap_err();
+        assert!(err.contains("coverage mismatch"), "{err}");
+    }
+
+    #[test]
+    fn store_and_load_round_trip_through_disk() {
+        let (state, opts, total_chunks, shards) = state_after_chaos();
+        let fp = fingerprint(&opts, Scale::quick());
+        let dir = std::env::temp_dir().join("mobistore-ckpt-test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("fleet.ckpt");
+        store(&path, &state, fp, total_chunks, shards).expect("store");
+        let back = load(&path, fp, total_chunks, shards).expect("load");
+        assert_eq!(back.rows, state.rows);
+        assert_eq!(back.quarantined, state.quarantined);
+        let missing = dir.join("does-not-exist.ckpt");
+        let err = load(&missing, fp, total_chunks, shards).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn escaping_round_trips_hostile_strings() {
+        for s in [
+            "plain",
+            "with space",
+            "new\nline",
+            "back\\slash",
+            "cr\rlf\n mix \\s",
+            "",
+        ] {
+            let e = esc(s);
+            assert!(
+                !e.contains(' ') && !e.contains('\n') && !e.contains('\r'),
+                "{e:?} must be one token"
+            );
+            assert_eq!(unesc(&e).expect("round trip"), s);
+        }
+    }
+}

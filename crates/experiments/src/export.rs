@@ -48,9 +48,11 @@ pub struct DurabilityInfo {
     pub seed: u64,
 }
 
-/// Fleet sharding parameters, embedded in the `fleet` target's entry as a
-/// versioned `fleet` object so consumers can re-derive the shard map.
-#[derive(Debug, Clone, Copy)]
+/// Fleet sharding parameters plus the supervisor's quarantine ledger,
+/// embedded in the `fleet` target's entry as a versioned `fleet` object
+/// so consumers can re-derive the shard map and know exactly which
+/// shards the rollups cover.
+#[derive(Debug, Clone)]
 pub struct FleetInfo {
     /// Number of shards the fleet ran.
     pub shards: u32,
@@ -58,6 +60,11 @@ pub struct FleetInfo {
     pub population: u64,
     /// The fleet seed.
     pub seed: u64,
+    /// Shards that completed; every rollup covers exactly these.
+    pub survivors: u32,
+    /// `(shard, attempts, cause)` for each quarantined shard, in index
+    /// order.
+    pub quarantined: Vec<(u32, u32, String)>,
 }
 
 /// One target's contribution to the export document.
@@ -68,7 +75,7 @@ pub struct TargetExport<'a> {
     /// The metrics rows the target produced.
     pub rows: &'a [Metrics],
     /// Fleet block, set only by the `fleet` target.
-    pub fleet: Option<FleetInfo>,
+    pub fleet: Option<&'a FleetInfo>,
     /// Durability block, set only by the `durability` target.
     pub durability: Option<&'a DurabilityInfo>,
 }
@@ -188,12 +195,42 @@ pub fn metrics_json(scale: Scale, targets: &[TargetExport<'_>]) -> String {
         if let Some(fleet) = entry.fleet {
             let _ = write!(
                 s,
-                ",\"fleet\":{{\"schema\":{},\"shards\":{},\"population\":{},\"seed\":{}}}",
+                ",\"fleet\":{{\"schema\":{},\"shards\":{},\"population\":{},\"seed\":{}",
                 jstr(FLEET_SCHEMA),
                 fleet.shards,
                 fleet.population,
                 fleet.seed
             );
+            let coverage = f64::from(fleet.survivors) / f64::from(fleet.shards.max(1));
+            let _ = write!(
+                s,
+                ",\"survivors\":{},\"coverage\":{}",
+                fleet.survivors,
+                jnum(coverage)
+            );
+            let _ = write!(
+                s,
+                ",\"quarantined\":{{\"count\":{},\"shards\":[",
+                fleet.quarantined.len()
+            );
+            for (j, (shard, _, _)) in fleet.quarantined.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{shard}");
+            }
+            s.push_str("],\"causes\":[");
+            for (j, (shard, attempts, cause)) in fleet.quarantined.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"shard\":{shard},\"attempts\":{attempts},\"cause\":{}}}",
+                    jstr(cause)
+                );
+            }
+            s.push_str("]}}");
         }
         if let Some(d) = entry.durability {
             let _ = write!(
@@ -320,24 +357,60 @@ mod tests {
 
     #[test]
     fn fleet_block_is_versioned_and_placed_in_its_target() {
+        let info = FleetInfo {
+            shards: 64,
+            population: 512,
+            seed: 1994,
+            survivors: 64,
+            quarantined: Vec::new(),
+        };
         let doc = metrics_json(
             Scale::quick(),
             &[TargetExport {
                 target: "fleet",
                 rows: &[],
-                fleet: Some(FleetInfo {
-                    shards: 64,
-                    population: 512,
-                    seed: 1994,
-                }),
+                fleet: Some(&info),
                 durability: None,
             }],
         );
         assert!(doc.contains(
             "\"target\":\"fleet\",\"fleet\":{\"schema\":\"mobistore-fleet/1\",\
-             \"shards\":64,\"population\":512,\"seed\":1994}"
+             \"shards\":64,\"population\":512,\"seed\":1994,\
+             \"survivors\":64,\"coverage\":1,\
+             \"quarantined\":{\"count\":0,\"shards\":[],\"causes\":[]}}"
         ));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn fleet_block_carries_the_quarantine_ledger() {
+        let info = FleetInfo {
+            shards: 64,
+            population: 512,
+            seed: 1994,
+            survivors: 62,
+            quarantined: vec![
+                (7, 3, "chaos: injected panic (shard 7 attempt 2)".into()),
+                (40, 3, "index out of bounds".into()),
+            ],
+        };
+        let doc = metrics_json(
+            Scale::quick(),
+            &[TargetExport {
+                target: "fleet",
+                rows: &[],
+                fleet: Some(&info),
+                durability: None,
+            }],
+        );
+        assert!(doc.contains("\"survivors\":62,\"coverage\":0.96875"));
+        assert!(doc.contains("\"quarantined\":{\"count\":2,\"shards\":[7,40]"));
+        assert!(doc.contains(
+            "{\"shard\":7,\"attempts\":3,\
+             \"cause\":\"chaos: injected panic (shard 7 attempt 2)\"}"
+        ));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
     }
 
     #[test]

@@ -44,6 +44,7 @@
 pub mod ablations;
 pub mod async_cleaning;
 pub mod battery;
+pub mod ckpt;
 pub mod crashcheck;
 pub mod csv;
 pub mod durability;

@@ -243,13 +243,19 @@ pub fn try_render_target(
             throughput_json = Some(t.to_json());
         }
         "fleet" => {
-            let fl = fleet::run_with_progress(scale, &options.fleet, options.progress);
+            let fl = fleet::run_with_progress(scale, &options.fleet, options.progress)?;
             p(&mut out, &fl);
             metrics.extend(fl.metrics_rows());
             fleet_info = Some(crate::export::FleetInfo {
                 shards: fl.options.shards,
                 population: fl.options.population,
                 seed: fl.options.seed,
+                survivors: fl.survivors(),
+                quarantined: fl
+                    .quarantined
+                    .iter()
+                    .map(|e| (e.shard, e.attempts, e.cause.clone()))
+                    .collect(),
             });
         }
         "durability" => {

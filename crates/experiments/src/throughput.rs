@@ -135,12 +135,13 @@ pub fn run(scale: Scale, opts: &ThroughputOptions) -> Throughput {
         shards: FLEET_SHARDS,
         population: FleetOptions::default_population(FLEET_SHARDS),
         seed: scale.seed,
+        ..FleetOptions::default()
     };
     cells.push(measure(
         format!("fleet/{}x{}", fleet_opts.shards, fleet_opts.population),
         opts,
         || {
-            fleet::run(scale, &fleet_opts);
+            fleet::run(scale, &fleet_opts).expect("quiet fleet cell cannot fail");
         },
     ));
     Throughput {

@@ -181,6 +181,92 @@ fn malformed_durability_seed_is_a_usage_error() {
 }
 
 #[test]
+fn malformed_fleet_retries_is_a_usage_error() {
+    assert_usage_error(&["--fleet-retries", "banana"], "--fleet-retries");
+    assert_usage_error(&["--fleet-retries", "-1"], "--fleet-retries");
+    assert_usage_error(&["--fleet-retries"], "--fleet-retries");
+}
+
+#[test]
+fn malformed_checkpoint_flags_are_usage_errors() {
+    assert_usage_error(&["--checkpoint-out"], "--checkpoint-out");
+    assert_usage_error(&["--checkpoint-every", "0"], "--checkpoint-every");
+    assert_usage_error(&["--checkpoint-every", "-3"], "--checkpoint-every");
+    assert_usage_error(&["--checkpoint-every", "often"], "--checkpoint-every");
+    assert_usage_error(&["--checkpoint-every"], "--checkpoint-every");
+    assert_usage_error(&["--resume-from"], "--resume-from");
+}
+
+#[test]
+fn malformed_chaos_knobs_are_usage_errors() {
+    assert_usage_error(&["--chaos-panic-rate", "nan"], "--chaos-panic-rate");
+    assert_usage_error(&["--chaos-panic-rate", "NaN"], "--chaos-panic-rate");
+    assert_usage_error(&["--chaos-panic-rate", "-0.5"], "--chaos-panic-rate");
+    assert_usage_error(&["--chaos-panic-rate", "1.5"], "--chaos-panic-rate");
+    assert_usage_error(&["--chaos-panic-rate", "inf"], "--chaos-panic-rate");
+    assert_usage_error(&["--chaos-panic-rate", "often"], "--chaos-panic-rate");
+    assert_usage_error(&["--chaos-panic-rate"], "--chaos-panic-rate");
+    assert_usage_error(&["--chaos-fail-point", "0"], "--chaos-fail-point");
+    assert_usage_error(&["--chaos-fail-point", "-2"], "--chaos-fail-point");
+    assert_usage_error(&["--chaos-fail-point", "later"], "--chaos-fail-point");
+    assert_usage_error(&["--chaos-fail-point"], "--chaos-fail-point");
+}
+
+#[test]
+fn chaos_knobs_stay_hidden_but_checkpoint_flags_are_documented() {
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for needle in ["--checkpoint-out", "--checkpoint-every", "--resume-from"] {
+        assert!(stderr.contains(needle), "usage omits {needle}:\n{stderr}");
+    }
+    assert!(
+        !stderr.contains("--chaos"),
+        "chaos knobs are self-test plumbing and must stay out of the usage \
+         string:\n{stderr}"
+    );
+}
+
+#[test]
+fn unusable_resume_checkpoint_is_a_config_error() {
+    // A nonexistent checkpoint exits 3 (config) with a typed reason, not
+    // 2 (usage: the flag itself was well-formed) and not a panic.
+    let out = repro(&[
+        "--scale",
+        "0.02",
+        "--resume-from",
+        "/nonexistent/fleet.ckpt",
+        "fleet",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "bad --resume-from should exit 3; stderr:\n{stderr}"
+    );
+    assert!(stderr.contains("checkpoint"), "untyped error:\n{stderr}");
+    assert!(!stderr.contains("panicked"), "panicked:\n{stderr}");
+}
+
+#[test]
+fn unwritable_checkpoint_out_is_a_config_error() {
+    let out = repro(&[
+        "--scale",
+        "0.02",
+        "--checkpoint-out",
+        "/nonexistent-dir/fleet.ckpt",
+        "fleet",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "unwritable --checkpoint-out should fail fast with exit 3; stderr:\n{stderr}"
+    );
+    assert!(stderr.contains("checkpoint"), "untyped error:\n{stderr}");
+}
+
+#[test]
 fn usage_lists_the_durability_target_and_flags() {
     let out = repro(&["--help"]);
     assert_eq!(out.status.code(), Some(0));

@@ -1,0 +1,210 @@
+//! End-to-end supervisor proofs against the real `repro` binary:
+//! a fleet run aborted at a chaos fail point (the simulated kill -9)
+//! and resumed from its checkpoint — at a *different* `--jobs` count —
+//! produces stdout and `--metrics-out` bytes identical to an
+//! uninterrupted run; unusable checkpoints exit with the typed config
+//! code; injected panics quarantine shards and exit 8 with the ledger
+//! in both the report and the export.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// 96 shards = 3 chunks of 32: enough chunks to abort in the middle,
+/// small enough to run the binary several times in one test.
+const FLEET_ARGS: [&str; 8] = [
+    "--scale",
+    "0.02",
+    "--seed",
+    "1994",
+    "--fleet-shards",
+    "96",
+    "--fleet-population",
+    "768",
+];
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro spawns")
+}
+
+fn fleet_run(extra: &[&str]) -> Output {
+    let mut args: Vec<&str> = FLEET_ARGS.to_vec();
+    args.extend_from_slice(extra);
+    args.push("fleet");
+    repro(&args)
+}
+
+/// A per-test scratch directory under the target-local temp dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mobistore-fleet-resume-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn abort_at_fail_point_then_resume_is_byte_identical() {
+    let dir = scratch("abort-resume");
+    let golden_json = dir.join("golden.json");
+    let golden = fleet_run(&["--metrics-out", golden_json.to_str().unwrap()]);
+    assert_eq!(
+        golden.status.code(),
+        Some(0),
+        "uninterrupted run failed: {}",
+        String::from_utf8_lossy(&golden.stderr)
+    );
+    let golden_doc = std::fs::read_to_string(&golden_json).expect("golden metrics");
+
+    // Abort after chunk k (of 3) for several k: each leaves a checkpoint
+    // whose watermark is k-1 — the in-flight chunk is the at-most-one
+    // chunk a kill -9 costs — and resuming at a different --jobs count
+    // reproduces the uninterrupted bytes exactly.
+    for fail_after in ["1", "2"] {
+        let ckpt = dir.join(format!("fleet-{fail_after}.ckpt"));
+        let ckpt = ckpt.to_str().unwrap();
+        let aborted = fleet_run(&[
+            "--jobs",
+            "1",
+            "--checkpoint-out",
+            ckpt,
+            "--chaos-fail-point",
+            fail_after,
+        ]);
+        let stderr = String::from_utf8_lossy(&aborted.stderr);
+        assert_eq!(
+            aborted.status.code(),
+            Some(9),
+            "fail point {fail_after} should exit 9; stderr:\n{stderr}"
+        );
+        assert!(
+            stderr.contains("chaos: aborting"),
+            "missing abort notice:\n{stderr}"
+        );
+        assert!(
+            std::path::Path::new(ckpt).exists(),
+            "abort must leave a checkpoint behind"
+        );
+
+        let resumed_json = dir.join(format!("resumed-{fail_after}.json"));
+        let resumed = fleet_run(&[
+            "--jobs",
+            "4",
+            "--resume-from",
+            ckpt,
+            "--metrics-out",
+            resumed_json.to_str().unwrap(),
+        ]);
+        assert_eq!(
+            resumed.status.code(),
+            Some(0),
+            "resume after fail point {fail_after} failed: {}",
+            String::from_utf8_lossy(&resumed.stderr)
+        );
+        assert_eq!(
+            resumed.stdout, golden.stdout,
+            "resumed stdout differs from the uninterrupted run (fail point {fail_after})"
+        );
+        let resumed_doc = std::fs::read_to_string(&resumed_json).expect("resumed metrics");
+        assert_eq!(
+            resumed_doc, golden_doc,
+            "resumed metrics export differs (fail point {fail_after})"
+        );
+    }
+
+    // Resuming a *complete* checkpoint simulates nothing and still
+    // reproduces the bytes.
+    let ckpt = dir.join("complete.ckpt");
+    let ckpt = ckpt.to_str().unwrap();
+    let full = fleet_run(&["--checkpoint-out", ckpt]);
+    assert_eq!(full.status.code(), Some(0));
+    let resumed = fleet_run(&["--resume-from", ckpt]);
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "resume of a complete checkpoint failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(resumed.stdout, golden.stdout);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fingerprint_mismatch_is_a_typed_config_error() {
+    let dir = scratch("fingerprint");
+    let ckpt = dir.join("fleet.ckpt");
+    let ckpt = ckpt.to_str().unwrap();
+    let aborted = fleet_run(&["--checkpoint-out", ckpt, "--chaos-fail-point", "2"]);
+    assert_eq!(aborted.status.code(), Some(9));
+
+    // Same checkpoint, different fleet seed: the shard bytes would not
+    // line up, so the resume must be refused with the config exit code.
+    let mut args: Vec<&str> = FLEET_ARGS.to_vec();
+    args.extend_from_slice(&["--fleet-seed", "2001", "--resume-from", ckpt, "fleet"]);
+    let out = repro(&args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "fingerprint mismatch should exit 3; stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("fingerprint"),
+        "mismatch reason not surfaced:\n{stderr}"
+    );
+
+    // A garbled checkpoint is refused the same way.
+    let garbled = dir.join("garbled.ckpt");
+    std::fs::write(&garbled, "mobistore-fleet-ckpt/1\nfingerprint zzzz\n").unwrap();
+    let out = fleet_run(&["--resume-from", garbled.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "garbled checkpoint should exit 3; stderr:\n{stderr}"
+    );
+    assert!(stderr.contains("checkpoint"), "untyped error:\n{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_panics_quarantine_and_exit_8_with_ledger_everywhere() {
+    let dir = scratch("quarantine");
+    let json = dir.join("chaos.json");
+    let out = fleet_run(&[
+        "--chaos-panic-rate",
+        "0.6",
+        "--metrics-out",
+        json.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(8),
+        "quarantined run should exit 8; stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("quarantined shard"),
+        "exit-8 notice missing:\n{stderr}"
+    );
+    // The report carries the ledger: a count line plus one line per shard.
+    assert!(
+        stdout.contains("quarantined:"),
+        "report missing the quarantine section:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("chaos: injected panic"),
+        "report missing the panic cause:\n{stdout}"
+    );
+    assert!(stdout.contains("coverage"), "coverage missing:\n{stdout}");
+    // And so does the mobistore-fleet/1 export block.
+    let doc = std::fs::read_to_string(&json).expect("chaos metrics");
+    assert!(doc.contains("\"schema\":\"mobistore-fleet/1\""));
+    assert!(doc.contains("\"quarantined\":{\"count\":"));
+    assert!(!doc.contains("\"quarantined\":{\"count\":0,"));
+    assert!(doc.contains("\"survivors\":"));
+    assert!(doc.contains("chaos: injected panic"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -14,13 +14,23 @@
 //! 3. [`std::thread::available_parallelism`].
 //!
 //! With one job, [`parallel_map`] degenerates to an inline loop on the
-//! calling thread — no threads are spawned at all. Panics in workers are
-//! propagated to the caller by [`std::thread::scope`].
+//! calling thread — no threads are spawned at all. A panic raised by `f`
+//! is caught per item and re-raised with context (item index, worker id)
+//! so the caller sees *which* unit of work blew up, not just an anonymous
+//! unwinding payload.
+//!
+//! [`ordered_stream_map`] is the streaming sibling: same dynamic
+//! distribution, but instead of collecting a `Vec` it delivers each
+//! result to a sink **in input order, as soon as its contiguous prefix is
+//! complete** — the primitive the fleet supervisor folds checkpoints
+//! through.
 //!
 //! No external dependencies: `std::thread::scope` + atomics only.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Process-wide override for the worker count (0 = unset).
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -54,6 +64,51 @@ pub fn jobs() -> usize {
     env.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
+/// Renders a panic payload as a human-readable cause string: the `&str`
+/// or `String` message if the payload carries one (the overwhelmingly
+/// common case — `panic!` with a format string), else a placeholder.
+pub fn panic_cause(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// The first panic observed by a pool: which item, which worker, why.
+struct PanicReport {
+    index: usize,
+    worker: usize,
+    cause: String,
+}
+
+impl PanicReport {
+    fn render(&self, primitive: &str, total: usize, workers: usize) -> String {
+        format!(
+            "{primitive}: item {} of {total} panicked on worker {} of {workers}: {}",
+            self.index, self.worker, self.cause
+        )
+    }
+}
+
+/// Runs `f(item)` inline, re-raising any panic with item context (the
+/// single-worker degenerate path of both map primitives).
+fn run_inline<T, R>(primitive: &str, i: usize, total: usize, f: &impl Fn(&T) -> R, item: &T) -> R {
+    match catch_unwind(AssertUnwindSafe(|| f(item))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let report = PanicReport {
+                index: i,
+                worker: 0,
+                cause: panic_cause(&*payload),
+            };
+            panic!("{}", report.render(primitive, total, 1));
+        }
+    }
+}
+
 /// Applies `f` to every item, in parallel over [`jobs`] workers, and
 /// returns the results in input order.
 ///
@@ -65,7 +120,9 @@ pub fn jobs() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates the first panic raised by `f` on any worker.
+/// Re-raises the first panic raised by `f`, with the item index and
+/// worker id prepended to the original cause. Remaining workers stop
+/// pulling new items once a panic is recorded.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -74,7 +131,11 @@ where
 {
     let workers = jobs().min(items.len());
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| run_inline("parallel_map", i, items.len(), &f, item))
+            .collect();
     }
 
     // `Mutex<Option<R>>` rather than `OnceLock<R>`: it is `Sync` for any
@@ -82,24 +143,43 @@ where
     // never contended.
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let panic_slot: Mutex<Option<PanicReport>> = Mutex::new(None);
     // Workers inherit the caller's op-attribution counter so a target's
     // ops/sec stays correct when its sweeps fan out across threads.
     let prof_ctx = crate::prof::current_context();
     std::thread::scope(|scope| {
         let (next, slots, f) = (&next, &slots, &f);
-        for _ in 0..workers {
+        let (poisoned, panic_slot) = (&poisoned, &panic_slot);
+        for worker in 0..workers {
             let prof_ctx = prof_ctx.clone();
             scope.spawn(move || {
                 crate::prof::set_context(prof_ctx);
-                loop {
+                while !poisoned.load(Ordering::Relaxed) {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(i) else { break };
-                    let result = f(item);
-                    *slots[i].lock().expect("slot poisoned") = Some(result);
+                    match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                        Ok(result) => {
+                            *slots[i].lock().expect("slot poisoned") = Some(result);
+                        }
+                        Err(payload) => {
+                            let mut slot = panic_slot.lock().expect("panic slot poisoned");
+                            slot.get_or_insert_with(|| PanicReport {
+                                index: i,
+                                worker,
+                                cause: panic_cause(&*payload),
+                            });
+                            poisoned.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
                 }
             });
         }
     });
+    if let Some(report) = panic_slot.into_inner().expect("panic slot poisoned") {
+        panic!("{}", report.render("parallel_map", items.len(), workers));
+    }
     slots
         .into_iter()
         .map(|slot| {
@@ -108,6 +188,125 @@ where
                 .expect("worker filled every slot")
         })
         .collect()
+}
+
+/// Shared coordination state of one [`ordered_stream_map`] pool.
+struct StreamState<R> {
+    /// Completed results not yet delivered, keyed by item index.
+    ready: BTreeMap<usize, R>,
+    /// First panic observed, if any.
+    panic: Option<PanicReport>,
+    /// Workers that have not yet exited their pull loop.
+    live_workers: usize,
+}
+
+/// Applies `f` to every item in parallel (same dynamic distribution as
+/// [`parallel_map`]) but delivers each result to `sink` **on the calling
+/// thread, in input order**, as soon as the contiguous prefix up to it is
+/// complete. This keeps peak memory at O(out-of-order window) instead of
+/// O(items), and — because the sink runs serially in order — lets the
+/// caller fold incrementally and persist checkpoints at watermarks.
+///
+/// With one job the pool degenerates to an inline `map` + `sink` loop.
+///
+/// # Panics
+///
+/// Re-raises the first panic raised by `f` with item/worker context, the
+/// same contract as [`parallel_map`]. The sink may have observed a
+/// contiguous prefix of results before the panic propagates.
+pub fn ordered_stream_map<T, R, F, S>(items: &[T], f: F, mut sink: S)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    S: FnMut(usize, R),
+{
+    let workers = jobs().min(items.len());
+    if workers <= 1 {
+        for (i, item) in items.iter().enumerate() {
+            let r = run_inline("ordered_stream_map", i, items.len(), &f, item);
+            sink(i, r);
+        }
+        return;
+    }
+
+    let next = AtomicUsize::new(0);
+    let state = Mutex::new(StreamState::<R> {
+        ready: BTreeMap::new(),
+        panic: None,
+        live_workers: workers,
+    });
+    let cv = Condvar::new();
+    let prof_ctx = crate::prof::current_context();
+    std::thread::scope(|scope| {
+        let (next, state, cv, f) = (&next, &state, &cv, &f);
+        for worker in 0..workers {
+            let prof_ctx = prof_ctx.clone();
+            scope.spawn(move || {
+                crate::prof::set_context(prof_ctx);
+                loop {
+                    if state.lock().expect("stream state poisoned").panic.is_some() {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                        Ok(result) => {
+                            let mut st = state.lock().expect("stream state poisoned");
+                            st.ready.insert(i, result);
+                        }
+                        Err(payload) => {
+                            let mut st = state.lock().expect("stream state poisoned");
+                            st.panic.get_or_insert_with(|| PanicReport {
+                                index: i,
+                                worker,
+                                cause: panic_cause(&*payload),
+                            });
+                            break;
+                        }
+                    }
+                    cv.notify_all();
+                }
+                let mut st = state.lock().expect("stream state poisoned");
+                st.live_workers -= 1;
+                drop(st);
+                cv.notify_all();
+            });
+        }
+
+        // Deliver the contiguous prefix in order on this thread; park on
+        // the condvar while the next-in-order result is still in flight.
+        let mut delivered = 0usize;
+        let mut st = state.lock().expect("stream state poisoned");
+        while delivered < items.len() {
+            if let Some(r) = st.ready.remove(&delivered) {
+                drop(st);
+                sink(delivered, r);
+                delivered += 1;
+                st = state.lock().expect("stream state poisoned");
+                continue;
+            }
+            if st.panic.is_some() {
+                break;
+            }
+            assert!(
+                st.live_workers > 0,
+                "ordered_stream_map: workers exited with item {delivered} of {} missing",
+                items.len()
+            );
+            st = cv.wait(st).expect("stream state poisoned");
+        }
+        let report = st.panic.take();
+        drop(st);
+        if let Some(report) = report {
+            // `std::thread::scope` joins the remaining workers (they stop
+            // at the panic flag) before this unwind leaves the scope.
+            panic!(
+                "{}",
+                report.render("ordered_stream_map", items.len(), workers)
+            );
+        }
+    });
 }
 
 #[cfg(test)]
@@ -141,7 +340,7 @@ mod tests {
     }
 
     #[test]
-    fn propagates_panics() {
+    fn propagates_panics_with_item_context() {
         let result = std::panic::catch_unwind(|| {
             parallel_map(&[1u32, 2, 3, 4, 5, 6, 7, 8], |&x| {
                 if x == 5 {
@@ -150,7 +349,72 @@ mod tests {
                 x
             })
         });
-        assert!(result.is_err());
+        let payload = result.expect_err("panic must propagate");
+        let cause = panic_cause(&*payload);
+        assert!(
+            cause.contains("parallel_map: item 4 of 8") && cause.contains("boom"),
+            "panic message must carry item context, got: {cause}"
+        );
+    }
+
+    #[test]
+    fn panic_cause_renders_common_payloads() {
+        assert_eq!(panic_cause(&"static"), "static");
+        assert_eq!(panic_cause(&"owned".to_owned()), "owned");
+        assert_eq!(panic_cause(&42u32), "non-string panic payload");
+    }
+
+    #[test]
+    fn ordered_stream_map_delivers_in_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let mut seen = Vec::new();
+        ordered_stream_map(
+            &items,
+            |&x| {
+                // Uneven costs so results complete out of order.
+                let spins = if x % 5 == 0 { 20_000 } else { 10 };
+                (0..spins).fold(x, |acc, _| acc.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+                x * 3
+            },
+            |i, r| {
+                assert_eq!(seen.len(), i, "sink must run in input order");
+                seen.push(r);
+            },
+        );
+        assert_eq!(seen, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ordered_stream_map_handles_empty_and_single() {
+        let mut calls = 0u32;
+        ordered_stream_map(&Vec::<u32>::new(), |&x| x, |_, _| calls += 1);
+        assert_eq!(calls, 0);
+        let mut got = None;
+        ordered_stream_map(&[9u32], |&x| x + 1, |i, r| got = Some((i, r)));
+        assert_eq!(got, Some((0, 10)));
+    }
+
+    #[test]
+    fn ordered_stream_map_propagates_panics_with_context() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut delivered = Vec::new();
+            ordered_stream_map(
+                &(0u32..64).collect::<Vec<_>>(),
+                |&x| {
+                    if x == 40 {
+                        panic!("chunk exploded");
+                    }
+                    x
+                },
+                |i, _| delivered.push(i),
+            );
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let cause = panic_cause(&*payload);
+        assert!(
+            cause.contains("ordered_stream_map: item 40 of 64") && cause.contains("chunk exploded"),
+            "panic message must carry item context, got: {cause}"
+        );
     }
 
     #[test]

@@ -39,6 +39,10 @@ const DEVICE_SALT: u64 = 0xd1b5_4a32_d192_ed03;
 /// Salt mixed into per-shard trace seeds.
 const TRACE_SALT: u64 = 0x2545_f491_4f6c_dd1d;
 
+/// Salt mixed into chaos-injection draws (the `--chaos-panic-rate`
+/// self-test knob), distinct from every data-bearing stream.
+const CHAOS_SALT: u64 = 0xc4a0_5bad_0bad_c0de;
+
 /// SplitMix64: the finalizer used for user and assignment hashing. Full
 /// 64-bit avalanche, so consecutive user ids scatter uniformly over the
 /// hash space (and therefore over shards).
@@ -234,6 +238,68 @@ impl FleetShard {
     }
 }
 
+/// Chaos-engineering knobs for the fleet supervisor's self-tests: inject
+/// deterministic shard panics and mid-run aborts so fault isolation,
+/// quarantine accounting, and checkpoint/resume can be proven end-to-end.
+///
+/// Production runs use [`ChaosConfig::default`] (no injection); the
+/// injection draw is a pure function of `(fleet seed, shard index,
+/// attempt)`, so a chaos run is as deterministic as a quiet one.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChaosConfig {
+    /// Probability in `[0, 1]` that any given `(shard, attempt)` panics.
+    pub panic_rate: f64,
+    /// Abort the process (exit) after this many completed chunks, to
+    /// emulate a kill -9 mid-run. `None` disables.
+    pub fail_point: Option<u64>,
+}
+
+impl ChaosConfig {
+    /// True when no injection is configured (the production path).
+    pub fn is_quiet(&self) -> bool {
+        self.panic_rate <= 0.0 && self.fail_point.is_none()
+    }
+
+    /// Whether attempt number `attempt` of shard `shard` must panic: a
+    /// pure function of `(fleet seed, shard, attempt)`, independent of
+    /// worker count and scheduling, so quarantine sets are byte-identical
+    /// at any `--jobs`.
+    pub fn should_panic(&self, fleet_seed: u64, shard: u32, attempt: u32) -> bool {
+        if self.panic_rate <= 0.0 {
+            return false;
+        }
+        if self.panic_rate >= 1.0 {
+            return true;
+        }
+        let draw =
+            splitmix64(splitmix64(fleet_seed ^ CHAOS_SALT ^ u64::from(shard)) ^ u64::from(attempt));
+        // Compare in the 64-bit hash space: P(draw < rate·2⁶⁴) = rate.
+        (draw as f64) < self.panic_rate * 1.844_674_407_370_955_2e19
+    }
+}
+
+/// A shard that panicked past its retry budget: the typed form the fleet
+/// supervisor quarantines instead of tearing down the worker pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardError {
+    /// Index of the failed shard.
+    pub shard: u32,
+    /// Attempts made (first run + retries) before quarantine.
+    pub attempts: u32,
+    /// Rendered panic payload of the last attempt.
+    pub cause: String,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard{:05}: quarantined after {} attempts: {}",
+            self.shard, self.attempts, self.cause
+        )
+    }
+}
+
 /// The computed shard map of one fleet.
 #[derive(Debug, Clone)]
 pub struct FleetPlan {
@@ -387,5 +453,64 @@ mod tests {
     #[should_panic(expected = "at least one user")]
     fn zero_population_panics() {
         let _ = config(1, 0, 1).plan();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one positive weight")]
+    fn empty_mix_panics() {
+        let _ = Mix::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one positive weight")]
+    fn all_zero_weight_mix_panics() {
+        let _ = Mix::new(&[("a", 0), ("b", 0)]);
+    }
+
+    #[test]
+    fn chaos_draw_is_deterministic_and_rate_shaped() {
+        let quiet = ChaosConfig::default();
+        assert!(quiet.is_quiet());
+        assert!(!quiet.should_panic(1994, 0, 0));
+
+        let always = ChaosConfig {
+            panic_rate: 1.0,
+            fail_point: None,
+        };
+        assert!(always.should_panic(1994, 7, 2));
+
+        let half = ChaosConfig {
+            panic_rate: 0.5,
+            fail_point: None,
+        };
+        assert!(!half.is_quiet());
+        let mut hits = 0u32;
+        for shard in 0..4096u32 {
+            // Pure function of (seed, shard, attempt): stable across calls.
+            let a = half.should_panic(1994, shard, 0);
+            assert_eq!(a, half.should_panic(1994, shard, 0));
+            if a {
+                hits += 1;
+            }
+            // Attempts draw independently; a different seed reshuffles.
+            let _ = half.should_panic(1994, shard, 1);
+        }
+        assert!(
+            (1700..2400).contains(&hits),
+            "rate 0.5 should hit about half of 4096 shards, got {hits}"
+        );
+    }
+
+    #[test]
+    fn shard_error_displays_with_context() {
+        let e = ShardError {
+            shard: 12,
+            attempts: 3,
+            cause: "boom".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shard00012: quarantined after 3 attempts: boom"
+        );
     }
 }

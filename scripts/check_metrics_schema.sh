@@ -10,12 +10,15 @@
 # sim-time stamp and an event name, and the required event families must
 # all appear at least once. The optional timings document must carry the
 # mobistore-timings/1.1 schema tag with per-target seconds, simulated op
-# counts, and ops/sec.
+# counts, and ops/sec. The optional fourth argument validates a
+# mobistore-fleet-ckpt/1 fleet checkpoint: header, fingerprint, progress
+# arithmetic, and that rows + quarantine entries cover the watermark.
 set -euo pipefail
 
-METRICS="${1:?usage: check_metrics_schema.sh <metrics.json> [events.jsonl] [timings.json]}"
+METRICS="${1:?usage: check_metrics_schema.sh <metrics.json> [events.jsonl] [timings.json] [fleet.ckpt]}"
 EVENTS="${2:-}"
 TIMINGS="${3:-}"
+CKPT="${4:-}"
 
 command -v jq >/dev/null || { echo "jq is required" >&2; exit 1; }
 
@@ -91,6 +94,31 @@ if jq -e 'any(.targets[]; .target == "fleet")' "$METRICS" >/dev/null; then
         and all($rows[]; .name | startswith("fleet/"))
     ' "$METRICS" >/dev/null \
         || { echo "FAIL: fleet rows must lead with fleet/all rollups" >&2; exit 1; }
+    # Supervisor block (additive in mobistore-fleet/1): survivors +
+    # quarantined count must account for every shard, coverage must be
+    # survivors/shards in [0, 1], and the quarantine ledger's shards and
+    # causes arrays must agree with its count.
+    jq -e '
+      [.targets[] | select(.target == "fleet")] as $fleet
+      | all($fleet[];
+            (.fleet.survivors | type == "number" and . >= 0)
+            and (.fleet.coverage | type == "number" and . >= 0 and . <= 1)
+            and (.fleet.quarantined.count | type == "number")
+            and (.fleet.quarantined.count == (.fleet.shards - .fleet.survivors))
+            and ((.fleet.quarantined.shards | type) == "array")
+            and ((.fleet.quarantined.shards | length)
+                 == .fleet.quarantined.count)
+            and ((.fleet.quarantined.causes | type) == "array")
+            and ((.fleet.quarantined.causes | length)
+                 == .fleet.quarantined.count)
+            and all(.fleet.quarantined.causes[];
+                    (.shard | type == "number")
+                    and (.attempts | type == "number" and . > 0)
+                    and (.cause | type == "string" and length > 0))
+            and ((.fleet.coverage * .fleet.shards | round)
+                 == .fleet.survivors))
+    ' "$METRICS" >/dev/null \
+        || { echo "FAIL: fleet quarantine accounting is inconsistent" >&2; exit 1; }
 fi
 
 # Durability export (mobistore-durability/1): when the durability target
@@ -163,6 +191,39 @@ if [ -n "$TIMINGS" ]; then
     jq -e '[.targets[].ops] | add > 0' "$TIMINGS" >/dev/null \
         || { echo "FAIL: no simulated ops recorded" >&2; exit 1; }
     echo "ok: timings document is well-formed" >&2
+fi
+
+if [ -n "$CKPT" ]; then
+    echo "checking $CKPT against mobistore-fleet-ckpt/1..." >&2
+    head -n 1 "$CKPT" | grep -qx "mobistore-fleet-ckpt/1" \
+        || { echo "FAIL: first line is not the mobistore-fleet-ckpt/1 tag" >&2; exit 1; }
+    sed -n '2p' "$CKPT" | grep -qE '^fingerprint [0-9a-f]{16}$' \
+        || { echo "FAIL: malformed fingerprint line" >&2; exit 1; }
+    sed -n '3p' "$CKPT" | grep -qE '^progress [0-9]+ [0-9]+ [0-9]+ [0-9]+$' \
+        || { echo "FAIL: malformed progress line" >&2; exit 1; }
+    # progress <done> <total_chunks> <shards> <chunk>: done <= total,
+    # and total_chunks must be ceil(shards / chunk).
+    sed -n '3p' "$CKPT" | awk '
+      { done = $2; total = $3; shards = $4; chunk = $5 }
+      END {
+        if (done > total) { exit 1 }
+        if (total != int((shards + chunk - 1) / chunk)) { exit 1 }
+      }' || { echo "FAIL: progress arithmetic is inconsistent" >&2; exit 1; }
+    # A complete document ends with the closing marker, carries exactly
+    # one total block, and its rows + quarantine entries cover exactly
+    # min(done * chunk, shards) shards.
+    tail -n 1 "$CKPT" | grep -qx "end" \
+        || { echo "FAIL: missing trailing end marker (torn write?)" >&2; exit 1; }
+    [ "$(grep -cx 'total' "$CKPT")" -eq 1 ] \
+        || { echo "FAIL: expected exactly one total block" >&2; exit 1; }
+    grep -qx 'm.end' "$CKPT" \
+        || { echo "FAIL: no metrics blocks" >&2; exit 1; }
+    covered=$(sed -n '3p' "$CKPT" | awk '
+      { c = $2 * $5; if (c > $4) c = $4; print c }')
+    entries=$(grep -cE '^(row|quarantine) ' "$CKPT" || true)
+    [ "$entries" -eq "$covered" ] \
+        || { echo "FAIL: $entries rows+quarantines for $covered covered shards" >&2; exit 1; }
+    echo "ok: checkpoint is well-formed ($entries shards covered)" >&2
 fi
 
 echo "PASS" >&2

@@ -15,4 +15,16 @@ for target in table1 table2 table3 table4 figure1 figure2 figure3 figure4 figure
         2>/dev/null > "tests/golden/$target.txt"
 done
 
+# The chaos fleet fixture: injected panics quarantine shards, so the
+# run *succeeds with reduced coverage* and exits 8 by design — anything
+# else (a real failure, or chaos silently not firing) aborts the update.
+echo "# rendering fleet (chaos)" >&2
+rc=0
+./target/release/repro --scale 0.02 --seed 1994 --chaos-panic-rate 0.5 fleet \
+    2>/dev/null > "tests/golden/fleet_chaos.txt" || rc=$?
+if [ "$rc" -ne 8 ]; then
+    echo "error: chaos fleet render expected exit 8 (quarantined), got $rc" >&2
+    exit 1
+fi
+
 echo "# fixtures updated; review with: git diff tests/golden" >&2

@@ -25,16 +25,16 @@ fn fleet_is_byte_identical_across_jobs_and_shards_are_independent() {
     let opts = FleetOptions {
         shards: 48,
         population: 384,
-        seed: 1994,
+        ..FleetOptions::default()
     };
     let scale = Scale::quick();
     let render = RenderOptions {
-        fleet: opts,
+        fleet: opts.clone(),
         ..RenderOptions::default()
     };
 
     exec::set_jobs(1);
-    let serial = fleet::run(scale, &opts);
+    let serial = fleet::run(scale, &opts).expect("quiet fleet");
     let serial_text = render_target("fleet", scale, &render).text;
     let serial_rows = serial.metrics_rows();
     let serial_doc = metrics_json(
@@ -48,7 +48,7 @@ fn fleet_is_byte_identical_across_jobs_and_shards_are_independent() {
     );
 
     exec::set_jobs(4);
-    let parallel = fleet::run(scale, &opts);
+    let parallel = fleet::run(scale, &opts).expect("quiet fleet");
     let parallel_text = render_target("fleet", scale, &render).text;
     let parallel_rows = parallel.metrics_rows();
     let parallel_doc = metrics_json(

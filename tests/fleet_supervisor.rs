@@ -1,0 +1,131 @@
+//! Fleet supervisor determinism tests.
+//!
+//! One `#[test]` on purpose: `exec::set_jobs` is process-global, so the
+//! jobs-1 and jobs-4 runs must happen inside a single test (each
+//! integration-test file is its own process, so toggling here cannot
+//! race other suites).
+//!
+//! Three contracts are pinned:
+//!
+//! 1. **Quarantine determinism** — under injected chaos panics, the set
+//!    of quarantined shards, the retry accounting, and the full rendered
+//!    report are byte-identical at `--jobs 1` and `--jobs 4`: fault
+//!    isolation must not introduce scheduling-dependent output.
+//! 2. **Conservation** — survivors + quarantined always partition the
+//!    fleet, and the rollups cover exactly the survivors.
+//! 3. **Checkpoint/resume identity** — a run resumed from a mid-run
+//!    checkpoint merges to the same bytes as an uninterrupted run, at a
+//!    different worker count than the run that wrote the checkpoint.
+
+use mobistore::experiments::fleet::{self, FleetOptions};
+use mobistore::experiments::render::{render_target, RenderOptions};
+use mobistore::experiments::Scale;
+use mobistore::sim::exec;
+use mobistore::sim::fleet::ChaosConfig;
+
+#[test]
+fn supervisor_is_deterministic_across_jobs_and_resume() {
+    let scale = Scale::quick();
+    let opts = FleetOptions {
+        shards: 96,
+        population: 768,
+        chaos: ChaosConfig {
+            panic_rate: 0.6,
+            fail_point: None,
+        },
+        ..FleetOptions::default()
+    };
+    let render = RenderOptions {
+        fleet: opts.clone(),
+        ..RenderOptions::default()
+    };
+
+    exec::set_jobs(1);
+    let serial = fleet::run(scale, &opts).expect("chaos fleet completes");
+    let serial_text = render_target("fleet", scale, &render).text;
+
+    exec::set_jobs(4);
+    let parallel = fleet::run(scale, &opts).expect("chaos fleet completes");
+    let parallel_text = render_target("fleet", scale, &render).text;
+
+    // 1. Quarantine determinism across worker counts.
+    assert!(
+        !serial.quarantined.is_empty(),
+        "rate 0.6 with 3 attempts should quarantine some of 96 shards"
+    );
+    assert_eq!(
+        serial.quarantined, parallel.quarantined,
+        "quarantine ledger differs across --jobs"
+    );
+    assert_eq!(
+        serial_text, parallel_text,
+        "chaos report differs across --jobs"
+    );
+    assert_eq!(
+        format!("{:?}", serial.total),
+        format!("{:?}", parallel.total),
+        "survivor rollup differs across --jobs"
+    );
+
+    // 2. Conservation: every shard is a survivor or quarantined, and the
+    // rollups cover exactly the survivors.
+    assert_eq!(
+        serial.rows.len() + serial.quarantined.len(),
+        opts.shards as usize
+    );
+    assert_eq!(serial.survivors() as usize, serial.rows.len());
+    let row_ops: u64 = serial.rows.iter().map(|r| r.ops).sum();
+    assert_eq!(row_ops, serial.total.overall_response_ms.count);
+    let expected_coverage = serial.rows.len() as f64 / opts.shards as f64;
+    assert!((serial.coverage() - expected_coverage).abs() < 1e-12);
+    for e in &serial.quarantined {
+        assert_eq!(e.attempts, 3, "default budget is first try + 2 retries");
+        assert!(e.cause.contains("chaos: injected panic"), "{}", e.cause);
+    }
+
+    // 3. Checkpoint/resume identity: write checkpoints at jobs 4, then
+    // resume from the *final* checkpoint at jobs 2 — nothing re-simulates
+    // and the merged state must be bit-identical; a fresh jobs-2 run from
+    // a *mid-run* state must also converge to the same bytes.
+    let dir = std::env::temp_dir().join("mobistore-fleet-supervisor-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let ckpt = dir.join("fleet.ckpt");
+    let ckpt_opts = FleetOptions {
+        checkpoint_out: Some(ckpt.clone()),
+        ..opts.clone()
+    };
+    let written = fleet::run(scale, &ckpt_opts).expect("checkpointed run");
+    assert_eq!(format!("{written}"), format!("{parallel}"));
+
+    exec::set_jobs(2);
+    let resume_opts = FleetOptions {
+        resume_from: Some(ckpt.clone()),
+        ..opts.clone()
+    };
+    let resumed = fleet::run(scale, &resume_opts).expect("resume from final checkpoint");
+    assert_eq!(
+        format!("{resumed}"),
+        format!("{parallel}"),
+        "resume from the final checkpoint must reproduce the report"
+    );
+    assert_eq!(resumed.quarantined, parallel.quarantined);
+    assert_eq!(resumed.rows, parallel.rows);
+    assert_eq!(
+        format!("{:?}", resumed.total),
+        format!("{:?}", parallel.total)
+    );
+
+    // A fingerprint-mismatched resume is refused with the typed error.
+    let mismatched = FleetOptions {
+        seed: 2001,
+        resume_from: Some(ckpt),
+        ..opts.clone()
+    };
+    let err = fleet::run(scale, &mismatched).expect_err("mismatched resume must fail");
+    assert!(
+        format!("{err}").contains("fingerprint"),
+        "unexpected error: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -9,6 +9,7 @@
 
 use mobistore::experiments::render::{render_target, RenderOptions};
 use mobistore::experiments::Scale;
+use mobistore::sim::fleet::ChaosConfig;
 
 /// The targets with committed fixtures: the paper's tables and figures,
 /// plus the crash-consistency torture sweep (a quiet fault plan — its
@@ -78,4 +79,39 @@ fn rendered_targets_match_golden_fixtures() {
         "output drifted from tests/golden fixtures for {failures:?}; if the \
          change is intentional, run scripts/update_golden.sh and commit the diff"
     );
+}
+
+/// The 15th fixture: the fleet target under injected chaos panics. Pins
+/// the supervisor's quarantine section — which shards a 0.5 panic rate
+/// quarantines at seed 1994, their retry accounting, the coverage line,
+/// and that the survivor rollups stay byte-stable when their neighbours
+/// panic. (The quiet `fleet.txt` fixture above proves the section is
+/// absent from clean runs.)
+#[test]
+fn chaos_fleet_matches_golden_fixture() {
+    let mut opts = RenderOptions::default();
+    opts.fleet.chaos = ChaosConfig {
+        panic_rate: 0.5,
+        fail_point: None,
+    };
+    let path = fixture_path("fleet_chaos");
+    let expect = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    let got = render_target("fleet", Scale::quick(), &opts).text;
+    if got != expect {
+        for (i, (g, e)) in got.lines().zip(expect.lines()).enumerate() {
+            if g != e {
+                eprintln!("fleet_chaos: first mismatch at line {}:", i + 1);
+                eprintln!("  expected: {e}");
+                eprintln!("  rendered: {g}");
+                break;
+            }
+        }
+    }
+    assert_eq!(
+        got, expect,
+        "chaos fleet output drifted from tests/golden/fleet_chaos.txt; if \
+         intentional, run scripts/update_golden.sh and commit the diff"
+    );
+    assert!(got.contains("quarantined:"), "fixture lost its ledger");
 }
